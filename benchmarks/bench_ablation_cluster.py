@@ -1,0 +1,57 @@
+"""Ablation: the distributed multi-machine extension (paper §5 future work).
+
+Extends Fig. 13 beyond one machine: 1, 2 and 4 simulated machines
+(2 V100s each) sharing the root counter over the network.  Sweeps the
+counter-claim batch size to show the trade-off the paper's plain
+``atomicInc_system`` would hit across machines: per-vertex claims pay
+one RTT each, so batching claims is what preserves scaling.
+"""
+
+from conftest import SCALE, once
+
+from repro.bench.common import scale_device
+from repro.datasets import load
+from repro.gmbe import ClusterSpec, gmbe_cluster
+from repro.gpusim import V100
+
+NODE_COUNTS = [1, 2, 4]
+
+
+def test_ablation_distributed_cluster(benchmark):
+    graph = load("BX", scale=SCALE)
+    device = scale_device(V100)
+
+    def run():
+        out = {}
+        for nodes in NODE_COUNTS:
+            for batch in (1, 32):
+                spec = ClusterSpec(
+                    n_nodes=nodes,
+                    gpus_per_node=2,
+                    device=device,
+                    remote_pull_cycles=20_000,
+                    claim_batch=batch,
+                )
+                out[(nodes, batch)] = gmbe_cluster(graph, cluster=spec)
+        return out
+
+    results = once(benchmark, run)
+
+    counts = {k: r.n_maximal for k, r in results.items()}
+    assert len(set(counts.values())) == 1
+
+    print("\nAblation: distributed GMBE on BX (2 V100s per machine)")
+    for (nodes, batch), res in sorted(results.items()):
+        per_node = ", ".join(
+            f"{t * 1e6:.1f}" for t in res.extras["per_node_seconds"]
+        )
+        print(
+            f"  machines={nodes} batch={batch:2d}: "
+            f"{res.sim_time * 1e6:8.1f} us (per-node finish: {per_node} us)"
+        )
+
+    # Batched claims never lose, and with them extra machines still help.
+    for nodes in NODE_COUNTS:
+        assert results[(nodes, 32)].sim_time <= results[(nodes, 1)].sim_time * 1.02
+    assert results[(4, 32)].sim_time < results[(1, 32)].sim_time
+    assert results[(2, 32)].sim_time < results[(1, 32)].sim_time

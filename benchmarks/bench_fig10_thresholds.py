@@ -1,0 +1,22 @@
+"""Bench target: Fig. 10 — sensitivity to bound_height / bound_size.
+
+Paper shape: the sweep is fairly flat, with GMBE-(20,1500) empirically
+best or near-best in most cases — it is the shipped default.
+"""
+
+from conftest import SWEEP_SCALE, once
+
+from repro.bench import experiment_fig10, print_fig10
+
+
+def test_fig10_threshold_sweep(benchmark):
+    result = once(benchmark, lambda: experiment_fig10(scale=SWEEP_SCALE))
+    print_fig10(result)
+
+    near_best = sum(
+        result.default_within_factor(code, factor=1.5)
+        for code in result.seconds
+    )
+    # The default (20,1500) is within 1.5x of the best configuration on
+    # a clear majority of datasets.
+    assert near_best >= 0.7 * len(result.seconds), near_best

@@ -1,0 +1,24 @@
+"""Bench target: Fig. 11 — impact of WarpPerSM (8/16/24/32).
+
+Paper shape: 16 warps per SM wins on most datasets (more parallel MBE
+procedures), while pushing to 24/32 cuts per-warp resources enough to
+hurt; occasionally 32 still wins on enumeration-heavy inputs.
+"""
+
+from conftest import SWEEP_SCALE, once
+
+from repro.bench import experiment_fig11, print_fig11
+
+
+def test_fig11_warps_per_sm(benchmark):
+    result = once(benchmark, lambda: experiment_fig11(scale=SWEEP_SCALE))
+    print_fig11(result)
+
+    for code, per in result.seconds.items():
+        # 16 always beats 8 (twice the resident procedures, no derate).
+        assert per[16] <= per[8] * 1.05, code
+        # and is within a modest factor of the best setting overall.
+        assert per[16] <= 1.5 * min(per.values()), code
+
+    best16 = sum(result.best_warps(code) in (16, 24, 32) for code in result.seconds)
+    assert best16 >= 0.7 * len(result.seconds)

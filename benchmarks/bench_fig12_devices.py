@@ -1,0 +1,26 @@
+"""Bench target: Fig. 12 — adaptability on A100 / V100 / 2080Ti.
+
+Paper shape: GMBE completes every dataset on all three boards, with the
+A100 slightly fastest (more SMs) and the 2080Ti slowest.
+"""
+
+from conftest import SWEEP_SCALE, once
+
+from repro.bench import experiment_fig12, print_fig12
+
+
+def test_fig12_device_adaptability(benchmark):
+    result = once(benchmark, lambda: experiment_fig12(scale=SWEEP_SCALE))
+    print_fig12(result)
+
+    for code, per in result.seconds.items():
+        # All devices complete; A100 never slower than the 2080Ti.
+        assert set(per) == {"A100", "V100", "2080Ti"}
+        assert per["A100"] <= per["2080Ti"] * 1.05, code
+
+    # Aggregate ordering across the suite: A100 <= V100 <= 2080Ti.
+    totals = {
+        name: sum(per[name] for per in result.seconds.values())
+        for name in ("A100", "V100", "2080Ti")
+    }
+    assert totals["A100"] <= totals["V100"] <= totals["2080Ti"]

@@ -1,0 +1,37 @@
+"""Bench target: Fig. 13 — multi-GPU scalability (1/2/4/8 V100s).
+
+Paper shape: near-linear scaling on BookCrossing and Github because the
+shared atomic counter balances roots across devices and per-GPU finish
+times stay close (each GPU "finishes its execution almost at the same
+time").
+"""
+
+from conftest import SCALE, once
+
+from repro.bench import experiment_fig13, print_fig13
+
+
+def test_fig13_multi_gpu_scaling(benchmark):
+    rows = once(benchmark, lambda: experiment_fig13(scale=SCALE))
+    print_fig13(rows)
+
+    by_code: dict[str, dict[int, object]] = {}
+    for r in rows:
+        by_code.setdefault(r.code, {})[r.n_gpus] = r
+
+    for code, per in by_code.items():
+        t1, t2, t4 = per[1].total_s, per[2].total_s, per[4].total_s
+        # More GPUs never slower; clear speedups at 2 and 4 GPUs.  At
+        # analog scale the hub tree's split chain (a critical path the
+        # full-size datasets amortize away) caps scaling below the
+        # paper's near-linear 8-GPU curve — see EXPERIMENTS.md.
+        assert t2 <= t1 and t4 <= t2, code
+        assert t1 / t2 > 1.3, (code, t1 / t2)
+        assert t1 / t4 > 1.7, (code, t1 / t4)
+        # Per-GPU finish times stay reasonably close (the paper's
+        # load-balance claim; looser at 8 GPUs where work runs out).
+        for n, row in per.items():
+            if 1 < n <= 4:
+                assert row.imbalance < 1.6, (code, n, row.imbalance)
+            elif n > 4:
+                assert row.imbalance < 2.0, (code, n, row.imbalance)

@@ -1,0 +1,39 @@
+"""Bench target: Fig. 6 — overall runtime, six algorithms × 12 datasets.
+
+The paper's headline: GMBE on one (simulated) A100 beats every CPU
+competitor on every dataset — 3.5×–69.8× over the next-best CPU
+algorithm and up to 70.6× over 96-core ParMBE.
+"""
+
+from conftest import SCALE, once
+
+from repro.bench import experiment_fig6, print_fig6
+from repro.datasets import DATASET_ORDER, LARGE_DATASETS
+
+
+def test_fig6_overall_runtime(benchmark):
+    result = once(benchmark, lambda: experiment_fig6(scale=SCALE))
+    print_fig6(result)
+
+    for code in result.seconds:
+        per = result.seconds[code]
+        # GMBE is the fastest algorithm on every dataset.
+        assert per["GMBE"] == min(per.values()), (code, per)
+        # Serial refinement ladder holds: MBEA is never the best CPU.
+        assert per["MBEA"] >= per["ooMBEA"], code
+
+    # Meaningful speedups over the best CPU competitor on the large,
+    # biclique-dense datasets (the paper's 3.5x-69.8x band).
+    for code in LARGE_DATASETS:
+        if code in result.seconds:
+            assert result.speedup_vs_best_cpu(code) > 2.0, code
+
+    # GMBE vs ParMBE: the paper's marquee comparison.
+    speedups = [
+        result.speedup_vs_parmbe(code) for code in result.seconds
+    ]
+    assert max(speedups) > 5.0
+    print(
+        "\nGMBE speedup vs ParMBE(96 cores): "
+        + " ".join(f"{s:.1f}x" for s in speedups)
+    )

@@ -1,0 +1,34 @@
+"""Bench target: Fig. 8 — effect of pruning and task scheduling.
+
+Paper shape: GMBE beats GMBE-w/o_PRUNE everywhere (pruning shrinks the
+enumeration space), and beats GMBE-WARP / GMBE-BLOCK on the large
+datasets where trees are skewed.
+"""
+
+from conftest import SCALE, once
+
+from repro.bench import experiment_fig8, print_fig8
+from repro.datasets import LARGE_DATASETS
+
+
+def test_fig8_pruning_and_scheduling(benchmark):
+    result = once(benchmark, lambda: experiment_fig8(scale=SCALE))
+    print_fig8(result)
+
+    strict_prune_wins = 0
+    for code, per in result.seconds.items():
+        # Pruning never hurts, and wins outright on nearly every dataset
+        # (the sparsest analog, WA, has no pruning opportunity at all).
+        assert per["GMBE"] <= per["GMBE-w/o_PRUNE"], code
+        strict_prune_wins += per["GMBE"] < per["GMBE-w/o_PRUNE"]
+        # Task-centric never loses badly to the naive mappings.
+        assert per["GMBE"] <= 1.25 * min(per["GMBE-WARP"], per["GMBE-BLOCK"]), code
+    assert strict_prune_wins >= 0.75 * len(result.seconds)
+
+    # On the large datasets the scheduling gap is material.
+    gains = [
+        max(result.speedup(code, "GMBE-WARP"), result.speedup(code, "GMBE-BLOCK"))
+        for code in LARGE_DATASETS
+        if code in result.seconds
+    ]
+    assert gains and max(gains) > 2.0

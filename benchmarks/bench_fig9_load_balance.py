@@ -1,0 +1,28 @@
+"""Bench target: Figs. 4 and 9 — runtime loads on SMs over time.
+
+Paper shape (BookCrossing / EuAll): with warp-centric mapping most SMs
+go idle early and wait on stragglers (Fig. 4's '86 SMs waste 80% of
+running time'); block-centric holds SMs longer but finishes slower;
+task-centric GMBE keeps the SM population busy essentially until the
+end and finishes first.
+"""
+
+from conftest import SCALE, once
+
+from repro.bench import experiment_fig9, print_fig9
+
+
+def test_fig9_active_sms_over_time(benchmark):
+    curves = once(benchmark, lambda: experiment_fig9(scale=SCALE))
+    print_fig9(curves)
+
+    by_key = {(c.code, c.scheme): c for c in curves}
+    for code in {c.code for c in curves}:
+        gmbe = by_key[(code, "GMBE")]
+        warp = by_key[(code, "GMBE-WARP")]
+        block = by_key[(code, "GMBE-BLOCK")]
+        # GMBE finishes first (or ties within noise).
+        assert gmbe.finish_s <= 1.1 * min(warp.finish_s, block.finish_s), code
+        # GMBE wastes less of its run in the low-occupancy tail than the
+        # warp-centric mapping wastes of its own (the Fig. 4 pathology).
+        assert gmbe.tail_idle_fraction() <= warp.tail_idle_fraction() + 0.05, code

@@ -1,0 +1,27 @@
+"""Bench target: Table 1 — dataset statistics and biclique counts.
+
+Regenerates every column of the paper's Table 1 for the synthetic
+analogs and checks the defining property: maximal-biclique counts
+ascend in the paper's dataset order.
+"""
+
+from conftest import SCALE, once
+
+from repro.bench import experiment_table1, print_table1
+from repro.datasets import DATASET_ORDER, PAPER_MAX_BICLIQUES
+
+
+def test_table1_dataset_statistics(benchmark):
+    rows = once(benchmark, lambda: experiment_table1(scale=SCALE))
+    print_table1(rows)
+
+    assert [r.code for r in rows] == DATASET_ORDER
+    counts = [r.n_maximal for r in rows]
+    # Paper shape: datasets sorted ascending by maximal-biclique count.
+    assert counts == sorted(counts), counts
+    # Paper shape: the 'large' group dwarfs the small one, as in Table 1
+    # where GH has ~395x more bicliques than Mti.
+    assert counts[-1] > 10 * counts[0]
+    # Sanity: paper's own column is ascending too (data fidelity check).
+    paper = [PAPER_MAX_BICLIQUES[c] for c in DATASET_ORDER]
+    assert paper == sorted(paper)

@@ -1,0 +1,22 @@
+"""Shared benchmark configuration.
+
+Environment knobs:
+
+- ``REPRO_SCALE``        — dataset scale for the headline experiments
+  (Table 1/2, Figs. 6–9, 13); default 1.0 (the calibrated analogs).
+- ``REPRO_SWEEP_SCALE``  — dataset scale for the sensitivity sweeps
+  (Figs. 10–12, which re-run GMBE 3–6× per dataset); default 0.5.
+
+Runs within one pytest session share the in-process result cache
+(:mod:`repro.bench.common`), so e.g. Fig. 8 reuses Fig. 6's GMBE runs.
+"""
+
+import os
+
+SCALE = float(os.environ.get("REPRO_SCALE", "1.0"))
+SWEEP_SCALE = float(os.environ.get("REPRO_SWEEP_SCALE", "0.5"))
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,55 @@
+"""Distributed GMBE across simulated machines (the paper's future work).
+
+The paper (§5) sketches extending GMBE beyond one machine: share the
+``processing_v`` counter over the network, keep everything else local.
+This example runs the BookCrossing analog on 1, 2 and 4 simulated
+machines (2 V100s each) and shows the claim-batching trade-off: with
+per-vertex claims a slow network erases the scaling; reserving vertices
+in batches restores it.
+
+Run:  python examples/distributed_cluster.py
+"""
+
+from repro.bench.common import scale_device
+from repro.datasets import load
+from repro.gmbe import ClusterSpec, gmbe_cluster
+from repro.gpusim import V100
+
+DATASET = "EE"
+RTT_CYCLES = 20_000  # ~14 us network round-trip at V100 clock
+
+
+def main() -> None:
+    graph = load(DATASET)
+    device = scale_device(V100)
+    print(f"dataset: {graph}")
+    print(f"per-machine GPUs: 2x {device.name}, counter RTT ~"
+          f"{RTT_CYCLES / device.clock_hz * 1e6:.1f} us\n")
+
+    baseline = None
+    for n_nodes in (1, 2, 4):
+        for batch in (1, 32):
+            spec = ClusterSpec(
+                n_nodes=n_nodes,
+                gpus_per_node=2,
+                device=device,
+                remote_pull_cycles=RTT_CYCLES,
+                claim_batch=batch,
+            )
+            res = gmbe_cluster(graph, cluster=spec)
+            if baseline is None:
+                baseline = res.sim_time
+            per_node = " ".join(
+                f"{t * 1e6:.0f}us" for t in res.extras["per_node_seconds"]
+            )
+            print(
+                f"machines={n_nodes} claim_batch={batch:2d}: "
+                f"{res.sim_time * 1e6:7.1f} us "
+                f"(speedup {baseline / res.sim_time:4.2f}x) "
+                f"per-node finish: {per_node}"
+            )
+        print()
+
+
+if __name__ == "__main__":
+    main()

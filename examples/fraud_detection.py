@@ -1,0 +1,99 @@
+"""Fraud-ring detection in an e-commerce purchase graph.
+
+The paper's motivating application (§1): online sellers inflate ratings
+through coordinated fake purchases, so *a large group of customers all
+buying the same set of products* is suspicious.  Every such group is a
+maximal biclique of the customer-product graph.
+
+This example plants three fraud rings inside a realistic power-law
+purchase background, enumerates all maximal bicliques with GMBE on the
+simulated GPU, filters them by size, and checks the planted rings were
+recovered.
+
+Run:  python examples/fraud_detection.py
+"""
+
+import numpy as np
+
+from repro import BicliqueCollector
+from repro.gmbe import gmbe_gpu
+from repro.graph import BipartiteGraph, power_law_bipartite
+
+RNG = np.random.default_rng(42)
+
+N_CUSTOMERS = 3000
+N_PRODUCTS = 900
+#: (customers, products) per planted fraud ring
+RINGS = [(14, 7), (11, 9), (17, 5)]
+#: minimum ring size we alert on: at least this many customers AND products
+MIN_CUSTOMERS, MIN_PRODUCTS = 8, 4
+
+
+def build_market() -> tuple[BipartiteGraph, list[tuple[set, set]]]:
+    """Organic purchases plus planted rings; returns graph and rings."""
+    organic = power_law_bipartite(
+        N_CUSTOMERS, N_PRODUCTS, 12_000, exponent_u=2.6, exponent_v=2.2, seed=7
+    )
+    edges = [
+        np.column_stack(
+            [
+                np.repeat(np.arange(N_CUSTOMERS), np.diff(organic.u_indptr)),
+                organic.u_indices,
+            ]
+        )
+    ]
+    planted: list[tuple[set, set]] = []
+    for n_cust, n_prod in RINGS:
+        custs = RNG.choice(N_CUSTOMERS, size=n_cust, replace=False)
+        prods = RNG.choice(N_PRODUCTS, size=n_prod, replace=False)
+        edges.append(
+            np.column_stack(
+                [np.repeat(custs, n_prod), np.tile(prods, n_cust)]
+            )
+        )
+        planted.append((set(custs.tolist()), set(prods.tolist())))
+    graph = BipartiteGraph.from_edges(
+        N_CUSTOMERS, N_PRODUCTS, np.concatenate(edges), name="market"
+    )
+    return graph, planted
+
+
+def main() -> None:
+    graph, planted = build_market()
+    print(f"purchase graph: {graph}")
+
+    collector = BicliqueCollector()
+    result = gmbe_gpu(graph, collector)
+    print(
+        f"GMBE enumerated {result.n_maximal} maximal bicliques "
+        f"({result.sim_time * 1e3:.3f} simulated ms on an A100)"
+    )
+
+    suspicious = [
+        b
+        for b in collector.bicliques
+        if len(b.left) >= MIN_CUSTOMERS and len(b.right) >= MIN_PRODUCTS
+    ]
+    suspicious.sort(key=lambda b: b.n_edges, reverse=True)
+    print(f"\n{len(suspicious)} suspicious co-purchase groups "
+          f"(>= {MIN_CUSTOMERS} customers x {MIN_PRODUCTS} products):")
+    for b in suspicious[:10]:
+        print(
+            f"  {len(b.left)} customers x {len(b.right)} products "
+            f"({b.n_edges} purchases)"
+        )
+
+    # Verify every planted ring is contained in some reported group.
+    recovered = 0
+    for custs, prods in planted:
+        if any(
+            custs <= set(b.left) and prods <= set(b.right)
+            for b in suspicious
+        ):
+            recovered += 1
+    print(f"\nplanted rings recovered: {recovered}/{len(planted)}")
+    assert recovered == len(planted), "a planted ring went undetected!"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Biclustering gene-expression data with maximal biclique enumeration.
+
+One of the paper's cited applications (§1): in a binary gene×condition
+matrix ("gene g is differentially expressed under condition c"), every
+inclusion-maximal bicluster — a set of genes co-expressed across a set
+of conditions — is a maximal biclique of the bipartite graph.
+
+We synthesize an expression matrix with three overlapping planted
+modules plus speckle noise, enumerate all maximal bicliques with GMBE,
+and rank biclusters by area to recover the modules.
+
+Run:  python examples/gene_expression.py
+"""
+
+import numpy as np
+
+from repro import BicliqueCollector
+from repro.gmbe import gmbe_gpu
+from repro.graph import BipartiteGraph
+
+RNG = np.random.default_rng(11)
+
+N_GENES = 400
+N_CONDITIONS = 60
+#: planted co-expression modules: (genes, conditions)
+MODULES = [(40, 12), (30, 9), (25, 15)]
+NOISE_P = 0.015
+
+
+def build_expression_matrix() -> tuple[np.ndarray, list[tuple[set, set]]]:
+    matrix = RNG.random((N_GENES, N_CONDITIONS)) < NOISE_P
+    planted: list[tuple[set, set]] = []
+    prev_genes: np.ndarray | None = None
+    for n_genes, n_conds in MODULES:
+        genes = RNG.choice(N_GENES, size=n_genes, replace=False)
+        if prev_genes is not None:  # overlap a third with the previous module
+            genes[: n_genes // 3] = prev_genes[: n_genes // 3]
+            genes = np.unique(genes)
+        conds = RNG.choice(N_CONDITIONS, size=n_conds, replace=False)
+        matrix[np.ix_(genes, conds)] = True
+        planted.append((set(genes.tolist()), set(conds.tolist())))
+        prev_genes = genes
+    return matrix, planted
+
+
+def main() -> None:
+    matrix, planted = build_expression_matrix()
+    graph = BipartiteGraph.from_biadjacency(matrix, name="expression")
+    print(f"expression graph: {graph}")
+
+    collector = BicliqueCollector()
+    result = gmbe_gpu(graph, collector)
+    print(f"{result.n_maximal} maximal biclusters found")
+
+    # Rank by bicluster area; the planted modules should top the list.
+    ranked = sorted(collector.bicliques, key=lambda b: b.n_edges, reverse=True)
+    print("\ntop biclusters (genes x conditions = area):")
+    for b in ranked[:6]:
+        print(f"  {len(b.left):4d} x {len(b.right):2d} = {b.n_edges}")
+
+    recovered = 0
+    for genes, conds in planted:
+        if any(
+            genes <= set(b.left) and conds <= set(b.right) for b in ranked[:20]
+        ):
+            recovered += 1
+    print(f"\nplanted modules recovered in top-20: {recovered}/{len(MODULES)}")
+    assert recovered == len(MODULES)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Quickstart: enumerate maximal bicliques three ways.
+
+Builds the example bipartite graph from the paper's Fig. 1, enumerates
+its maximal bicliques with a serial CPU baseline, with sequential GMBE,
+and with GMBE on the simulated GPU, and shows they agree.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import BicliqueCollector, BipartiteGraph, oombea
+from repro.gmbe import gmbe_gpu, gmbe_host
+
+# --- 1. Build a bipartite graph -------------------------------------
+# The paper's G0: customers u1..u5 (ids 0..4) and products v1..v4
+# (ids 0..3); an edge means "u bought v".
+edges = [
+    (0, 0), (1, 0),                    # v1 bought by u1, u2
+    (0, 1), (1, 1), (2, 1), (3, 1),    # v2 bought by u1..u4
+    (0, 2), (1, 2), (3, 2),            # v3 bought by u1, u2, u4
+    (1, 3), (3, 3), (4, 3),            # v4 bought by u2, u4, u5
+]
+graph = BipartiteGraph.from_edges(5, 4, edges, name="G0")
+print(graph)
+
+# --- 2. Enumerate with a CPU baseline --------------------------------
+collector = BicliqueCollector()
+result = oombea(graph, collector)
+print(f"\nooMBEA found {result.n_maximal} maximal bicliques:")
+for biclique in sorted(collector.bicliques):
+    left = ", ".join(f"u{u + 1}" for u in biclique.left)
+    right = ", ".join(f"v{v + 1}" for v in biclique.right)
+    print(f"  {{{left}}} x {{{right}}}")
+
+# --- 3. Enumerate with GMBE (sequential, then simulated GPU) ---------
+host = gmbe_host(graph)
+gpu_collector = BicliqueCollector()
+gpu = gmbe_gpu(graph, gpu_collector)
+
+assert host.n_maximal == gpu.n_maximal == result.n_maximal
+assert gpu_collector.as_set() == collector.as_set()
+print(f"\nGMBE (host) agrees: {host.n_maximal} bicliques")
+print(
+    f"GMBE (simulated A100) agrees: {gpu.n_maximal} bicliques "
+    f"in {gpu.sim_time * 1e6:.2f} simulated microseconds"
+)
+print(
+    f"  nodes generated: {gpu.counters.nodes_generated}, "
+    f"pruned candidates: {gpu.counters.pruned}, "
+    f"modeled lane utilization: {gpu.extras['warp_efficiency']:.0%}"
+)

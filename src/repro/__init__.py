@@ -1,0 +1,50 @@
+"""GMBE reproduction: maximal biclique enumeration with a simulated GPU.
+
+Public API tour:
+
+- :mod:`repro.graph` — bipartite CSR graphs, IO, preprocessing, generators;
+- :mod:`repro.core` — the CPU algorithms (MBEA, iMBEA, PMBE, ooMBEA,
+  ParMBE) and shared enumeration machinery;
+- :mod:`repro.gmbe` — the paper's contribution: node-reuse stack
+  iteration, local-neighborhood-size pruning, load-aware task scheduling;
+- :mod:`repro.gpusim` — the SIMT GPU simulator substrate (devices, warps,
+  memory model, persistent-thread scheduler);
+- :mod:`repro.datasets` — offline synthetic analogs of the paper's 12
+  datasets;
+- :mod:`repro.bench` — drivers regenerating every table and figure.
+"""
+
+from .api import as_bipartite_graph, enumerate_maximal_bicliques
+from .core import (
+    Biclique,
+    BicliqueCollector,
+    BicliqueCounter,
+    EnumerationResult,
+    imbea,
+    mbea,
+    oombea,
+    parmbe,
+    pmbe,
+)
+from .graph import BipartiteGraph
+from .verify import VerificationReport, verify_enumeration
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Biclique",
+    "BicliqueCollector",
+    "BicliqueCounter",
+    "BipartiteGraph",
+    "VerificationReport",
+    "EnumerationResult",
+    "__version__",
+    "as_bipartite_graph",
+    "enumerate_maximal_bicliques",
+    "imbea",
+    "mbea",
+    "oombea",
+    "parmbe",
+    "pmbe",
+    "verify_enumeration",
+]

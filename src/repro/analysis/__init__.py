@@ -1,0 +1,23 @@
+"""Post-processing of biclique sets: statistics, greedy edge-cover
+selection, and overlap clustering."""
+
+from .cover import CoverResult, greedy_edge_cover
+from .overlap import OverlapComponents, jaccard, overlap_components
+from .stats import (
+    BicliqueSetStats,
+    edge_coverage,
+    participation_counts,
+    summarize,
+)
+
+__all__ = [
+    "BicliqueSetStats",
+    "CoverResult",
+    "OverlapComponents",
+    "edge_coverage",
+    "greedy_edge_cover",
+    "jaccard",
+    "overlap_components",
+    "participation_counts",
+    "summarize",
+]

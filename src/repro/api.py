@@ -1,0 +1,113 @@
+"""High-level convenience API.
+
+:func:`enumerate_maximal_bicliques` is the one-call entry point for
+downstream users: accepts a :class:`BipartiteGraph`, a dense 0/1 numpy
+matrix, a scipy.sparse biadjacency matrix, or a networkx bipartite
+graph; runs any of the bundled algorithms; and returns the maximal
+bicliques as a list (optionally size-filtered — the common need in
+fraud/bicluster applications).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .core import (
+    Biclique,
+    BicliqueCollector,
+    imbea,
+    mbea,
+    oombea,
+    parmbe,
+    pmbe,
+)
+from .gmbe import GMBEConfig, gmbe_gpu, gmbe_host
+from .graph import BipartiteGraph
+
+__all__ = ["enumerate_maximal_bicliques", "as_bipartite_graph"]
+
+_ALGORITHMS = {
+    "gmbe": None,
+    "gmbe-host": None,
+    "mbea": mbea,
+    "imbea": imbea,
+    "pmbe": pmbe,
+    "oombea": oombea,
+    "parmbe": parmbe,
+}
+
+
+def as_bipartite_graph(data) -> BipartiteGraph:
+    """Coerce supported inputs into a :class:`BipartiteGraph`.
+
+    Accepts: BipartiteGraph (returned as-is), numpy 2-D arrays
+    (biadjacency), scipy.sparse matrices, and networkx graphs with the
+    ``bipartite`` node attribute.
+    """
+    if isinstance(data, BipartiteGraph):
+        return data
+    if isinstance(data, np.ndarray):
+        return BipartiteGraph.from_biadjacency(data)
+    if hasattr(data, "tocoo"):  # scipy.sparse duck type
+        from .graph.interop import from_scipy_sparse
+
+        return from_scipy_sparse(data)
+    if hasattr(data, "nodes") and hasattr(data, "edges"):  # networkx
+        from .graph.interop import from_networkx
+
+        return from_networkx(data)
+    raise TypeError(
+        "expected BipartiteGraph, numpy array, scipy.sparse matrix, or "
+        f"networkx graph; got {type(data).__name__}"
+    )
+
+
+def enumerate_maximal_bicliques(
+    data,
+    *,
+    algorithm: str = "gmbe",
+    min_left: int = 1,
+    min_right: int = 1,
+    config: GMBEConfig | None = None,
+) -> list[Biclique]:
+    """Enumerate all maximal bicliques of ``data``.
+
+    Parameters
+    ----------
+    data:
+        Anything :func:`as_bipartite_graph` accepts.  For matrix inputs,
+        rows are the U side and columns the V side.
+    algorithm:
+        ``"gmbe"`` (simulated GPU, default), ``"gmbe-host"``, or one of
+        the CPU baselines (``mbea``/``imbea``/``pmbe``/``oombea``/
+        ``parmbe``).  All produce the identical set.
+    min_left, min_right:
+        Only return bicliques with at least this many vertices per side
+        (filtering happens after enumeration; maximality is global).
+    config:
+        Optional :class:`GMBEConfig` for the GMBE variants.
+
+    Returns
+    -------
+    list[Biclique]
+        Sorted for determinism.
+    """
+    if algorithm not in _ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; choose from {sorted(_ALGORITHMS)}"
+        )
+    graph = as_bipartite_graph(data)
+    collector = BicliqueCollector()
+    if algorithm == "gmbe":
+        gmbe_gpu(graph, collector, config=config or GMBEConfig())
+    elif algorithm == "gmbe-host":
+        gmbe_host(graph, collector, config=config or GMBEConfig())
+    else:
+        _ALGORITHMS[algorithm](graph, collector)
+    out = [
+        b
+        for b in collector.bicliques
+        if len(b.left) >= min_left and len(b.right) >= min_right
+    ]
+    out.sort()
+    return out

@@ -1,0 +1,149 @@
+"""Shared benchmark plumbing: algorithm dispatch, timing, memoization.
+
+Every figure/table driver funnels through :func:`run_algorithm`, which
+executes an algorithm once on a dataset and attaches both wall-clock
+(host Python time, reported by pytest-benchmark separately) and
+*simulated* seconds in the paper's cross-platform units (see
+:mod:`repro.bench.costmodel`).  Results are memoized per process so the
+figure drivers can share runs (Fig. 6 and Fig. 8 both need GMBE on all
+datasets, for example) without re-enumerating.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..core import imbea, mbea, oombea, parmbe, pmbe
+from ..core.bicliques import EnumerationResult
+from ..gmbe import GMBEConfig, gmbe_gpu, gmbe_host
+from ..gpusim.device import DEVICE_PRESETS, A100, DeviceSpec
+from ..graph.bipartite import BipartiteGraph
+from .costmodel import XEON_5318Y, CPUModel
+
+__all__ = [
+    "AlgoRun",
+    "run_algorithm",
+    "clear_cache",
+    "scale_device",
+    "DEVICE_SCALE",
+    "SERIAL_CPU_ALGOS",
+]
+
+#: Default device down-scale factor for timing experiments.  The analog
+#: datasets are ~2 orders of magnitude smaller than the paper's, so a
+#: full A100 (1,728 resident warps) would never saturate and every
+#: load-balance effect would vanish; dividing SM counts by 8 restores
+#: the paper's regime (tasks ≫ warps) while preserving the A100 : V100 :
+#: 2080Ti ratios.  Set to 1 to simulate full boards.
+DEVICE_SCALE = 8
+
+
+def scale_device(device: "DeviceSpec", factor: int = DEVICE_SCALE) -> "DeviceSpec":
+    """Shrink a device's SM count by ``factor`` (min 1 SM), renaming it
+    ``<name>/<factor>``; all other parameters are untouched."""
+    if factor <= 1:
+        return device
+    return device.with_(
+        name=f"{device.name}/{factor}",
+        n_sms=max(1, round(device.n_sms / factor)),
+    )
+
+SERIAL_CPU_ALGOS = ("MBEA", "iMBEA", "PMBE", "ooMBEA")
+
+_SERIAL: dict[str, Callable[..., EnumerationResult]] = {
+    "MBEA": mbea,
+    "iMBEA": imbea,
+    "PMBE": pmbe,
+    "ooMBEA": oombea,
+}
+
+
+@dataclass
+class AlgoRun:
+    """One algorithm × dataset execution."""
+
+    algo: str
+    dataset: str
+    result: EnumerationResult
+    wall_seconds: float
+    sim_seconds: float
+
+    @property
+    def n_maximal(self) -> int:
+        return self.result.n_maximal
+
+
+_CACHE: dict[tuple, AlgoRun] = {}
+
+
+def clear_cache() -> None:
+    """Drop all memoized runs (tests use this for isolation)."""
+    _CACHE.clear()
+
+
+def run_algorithm(
+    algo: str,
+    graph: BipartiteGraph,
+    *,
+    cpu_model: CPUModel = XEON_5318Y,
+    n_cores: int = 96,
+    config: GMBEConfig | None = None,
+    device: DeviceSpec | str = A100,
+    n_gpus: int = 1,
+    cache_key: Any = None,
+) -> AlgoRun:
+    """Run ``algo`` on ``graph`` once, with simulated-seconds attached.
+
+    ``algo`` is one of ``MBEA``, ``iMBEA``, ``PMBE``, ``ooMBEA``,
+    ``ParMBE``, ``GMBE`` (simulated GPU) or ``GMBE-HOST``.  GMBE accepts
+    ``config``/``device``/``n_gpus``.  ``cache_key`` (e.g. the dataset
+    code + scale) enables memoization; pass ``None`` to force a fresh
+    run.
+    """
+    if isinstance(device, str):
+        device = DEVICE_PRESETS[device]
+    key = None
+    if cache_key is not None:
+        key = (algo, cache_key, config, device.name, n_gpus, n_cores)
+        hit = _CACHE.get(key)
+        if hit is not None:
+            return hit
+
+    start = time.perf_counter()
+    if algo in _SERIAL:
+        result = _SERIAL[algo](graph)
+        sim = cpu_model.serial_seconds(result.counters)
+    elif algo == "ParMBE":
+        result = parmbe(graph, n_workers=n_cores)
+        sim = cpu_model.parallel_seconds(
+            result.extras["task_costs"], result.extras["task_nodes"], n_cores
+        )
+    elif algo == "GMBE":
+        result = gmbe_gpu(
+            graph,
+            config=config if config is not None else GMBEConfig(),
+            device=device,
+            n_gpus=n_gpus,
+        )
+        sim = result.sim_time
+    elif algo == "GMBE-HOST":
+        result = gmbe_host(
+            graph, config=config if config is not None else GMBEConfig()
+        )
+        sim = cpu_model.serial_seconds(result.counters)
+    else:
+        raise ValueError(f"unknown algorithm {algo!r}")
+    wall = time.perf_counter() - start
+
+    run = AlgoRun(
+        algo=algo,
+        dataset=graph.name,
+        result=result,
+        wall_seconds=wall,
+        sim_seconds=sim,
+    )
+    if key is not None:
+        _CACHE[key] = run
+    return run

@@ -1,0 +1,91 @@
+"""Experiment: Fig. 10 — sensitivity to the load-balancing thresholds.
+
+Sweeps the (bound_height, bound_size) pairs the paper evaluates —
+(20,1000), (20,1500), (30,1500), (30,2500), (40,2500), (40,3500) — over
+all datasets.  Expected shape: (20,1500) near-best in most cases (it is
+GMBE's default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..datasets import DATASET_ORDER, load
+from ..gmbe import GMBEConfig
+from ..gpusim.device import A100
+from .common import DEVICE_SCALE, run_algorithm, scale_device
+from .tables import format_si, format_table
+
+__all__ = ["THRESHOLD_GRID", "Fig10Result", "experiment_fig10", "print_fig10"]
+
+THRESHOLD_GRID = [
+    (20, 1000),
+    (20, 1500),
+    (30, 1500),
+    (30, 2500),
+    (40, 2500),
+    (40, 3500),
+]
+
+
+@dataclass
+class Fig10Result:
+    #: seconds[dataset][(height, size)]
+    seconds: dict[str, dict[tuple[int, int], float]] = field(default_factory=dict)
+
+    def best_config(self, code: str) -> tuple[int, int]:
+        per = self.seconds[code]
+        return min(per, key=per.get)
+
+    def default_within_factor(self, code: str, factor: float = 1.25) -> bool:
+        """Is the paper's default (20,1500) within ``factor`` of best?"""
+        per = self.seconds[code]
+        return per[(20, 1500)] <= factor * per[self.best_config(code)]
+
+
+def experiment_fig10(
+    *,
+    scale: float = 1.0,
+    codes: list[str] | None = None,
+    grid: list[tuple[int, int]] | None = None,
+    device_scale: int = DEVICE_SCALE,
+) -> Fig10Result:
+    """Sweep the (bound_height, bound_size) grid of Fig. 10."""
+    result = Fig10Result()
+    device = scale_device(A100, device_scale)
+    for code in codes if codes is not None else DATASET_ORDER:
+        graph = load(code, scale=scale)
+        per: dict[tuple[int, int], float] = {}
+        counts = set()
+        for height, size in grid if grid is not None else THRESHOLD_GRID:
+            run = run_algorithm(
+                "GMBE",
+                graph,
+                config=GMBEConfig(bound_height=height, bound_size=size),
+                device=device,
+                cache_key=(code, scale),
+            )
+            per[(height, size)] = run.sim_seconds
+            counts.add(run.n_maximal)
+        assert len(counts) == 1
+        result.seconds[code] = per
+    return result
+
+
+def print_fig10(result: Fig10Result) -> str:
+    """Print the Fig. 10 table; returns the rendered text."""
+    grid = THRESHOLD_GRID
+    rows = []
+    for code, per in result.seconds.items():
+        rows.append(
+            [code]
+            + [format_si(per[g]) + "s" for g in grid if g in per]
+            + [str(result.best_config(code))]
+        )
+    out = format_table(
+        ["Dataset"] + [f"({h},{s})" for h, s in grid] + ["best"],
+        rows,
+        title="Fig. 10: GMBE-(bound_height, bound_size) sweep (simulated seconds)",
+    )
+    print(out)
+    return out

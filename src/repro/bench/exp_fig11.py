@@ -1,0 +1,75 @@
+"""Experiment: Fig. 11 — impact of WarpPerSM (8/16/24/32).
+
+The trade-off: more resident warps per SM means more parallel MBE tasks
+but fewer registers per warp; the paper finds 16 the sweet spot on most
+datasets, with 32 occasionally winning on enumeration-heavy ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..datasets import DATASET_ORDER, load
+from ..gmbe import GMBEConfig
+from ..gpusim.device import A100
+from .common import DEVICE_SCALE, run_algorithm, scale_device
+from .tables import format_si, format_table
+
+__all__ = ["WARP_GRID", "Fig11Result", "experiment_fig11", "print_fig11"]
+
+WARP_GRID = [8, 16, 24, 32]
+
+
+@dataclass
+class Fig11Result:
+    seconds: dict[str, dict[int, float]] = field(default_factory=dict)
+
+    def best_warps(self, code: str) -> int:
+        per = self.seconds[code]
+        return min(per, key=per.get)
+
+
+def experiment_fig11(
+    *,
+    scale: float = 1.0,
+    codes: list[str] | None = None,
+    grid: list[int] | None = None,
+    device_scale: int = DEVICE_SCALE,
+) -> Fig11Result:
+    """Sweep WarpPerSM per Fig. 11."""
+    result = Fig11Result()
+    device = scale_device(A100, device_scale)
+    for code in codes if codes is not None else DATASET_ORDER:
+        graph = load(code, scale=scale)
+        per: dict[int, float] = {}
+        counts = set()
+        for warps in grid if grid is not None else WARP_GRID:
+            run = run_algorithm(
+                "GMBE",
+                graph,
+                config=GMBEConfig(warps_per_sm=warps),
+                device=device,
+                cache_key=(code, scale),
+            )
+            per[warps] = run.sim_seconds
+            counts.add(run.n_maximal)
+        assert len(counts) == 1
+        result.seconds[code] = per
+    return result
+
+
+def print_fig11(result: Fig11Result) -> str:
+    """Print the Fig. 11 table; returns the rendered text."""
+    rows = [
+        [code]
+        + [format_si(per[w]) + "s" for w in WARP_GRID if w in per]
+        + [str(result.best_warps(code))]
+        for code, per in result.seconds.items()
+    ]
+    out = format_table(
+        ["Dataset"] + [f"GMBE({w})" for w in WARP_GRID] + ["best"],
+        rows,
+        title="Fig. 11: WarpPerSM sweep (simulated seconds)",
+    )
+    print(out)
+    return out

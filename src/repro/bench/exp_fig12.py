@@ -1,0 +1,64 @@
+"""Experiment: Fig. 12 — adaptability across GPUs (A100/V100/2080Ti).
+
+Same GMBE configuration, three device models.  Expected shape: all
+three complete everything; the A100 is fastest, the 2080Ti slowest,
+with modest gaps (the paper's differences are mostly SM count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..datasets import DATASET_ORDER, load
+from ..gpusim.device import A100, RTX2080TI, V100
+from .common import DEVICE_SCALE, run_algorithm, scale_device
+from .tables import format_si, format_table
+
+__all__ = ["DEVICES", "Fig12Result", "experiment_fig12", "print_fig12"]
+
+DEVICES = [A100, V100, RTX2080TI]
+
+
+@dataclass
+class Fig12Result:
+    seconds: dict[str, dict[str, float]] = field(default_factory=dict)
+
+
+def experiment_fig12(
+    *,
+    scale: float = 1.0,
+    codes: list[str] | None = None,
+    device_scale: int = DEVICE_SCALE,
+) -> Fig12Result:
+    """Run GMBE on each device preset per Fig. 12."""
+    result = Fig12Result()
+    for code in codes if codes is not None else DATASET_ORDER:
+        graph = load(code, scale=scale)
+        per: dict[str, float] = {}
+        counts = set()
+        for preset in DEVICES:
+            device = scale_device(preset, device_scale)
+            run = run_algorithm(
+                "GMBE", graph, device=device, cache_key=(code, scale)
+            )
+            per[preset.name] = run.sim_seconds
+            counts.add(run.n_maximal)
+        assert len(counts) == 1
+        result.seconds[code] = per
+    return result
+
+
+def print_fig12(result: Fig12Result) -> str:
+    """Print the Fig. 12 table; returns the rendered text."""
+    names = [d.name for d in DEVICES]
+    rows = [
+        [code] + [format_si(per[n]) + "s" for n in names]
+        for code, per in result.seconds.items()
+    ]
+    out = format_table(
+        ["Dataset"] + [f"GMBE-{n}" for n in names],
+        rows,
+        title="Fig. 12: adaptability on different GPUs (simulated seconds)",
+    )
+    print(out)
+    return out

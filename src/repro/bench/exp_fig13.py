@@ -1,0 +1,102 @@
+"""Experiment: Fig. 13 — multi-GPU scalability (1/2/4/8 V100s).
+
+The paper's multi-GPU GMBE shares the ``processing_v`` atomic counter
+system-wide (atomicInc_system) while keeping task queues per device;
+per-GPU finish times land close together, so scaling is near-linear on
+BookCrossing and Github.  This driver reports total and per-GPU times
+for 1, 2, 4 and 8 simulated V100s on the BX and GH analogs.
+
+Device scaling note: the analogs are ~100× smaller than the paper's
+datasets, so a full V100 (1,280 resident warps) is never saturated by
+one analog and adding GPUs would show nothing.  The default device here
+is a V100 scaled to 10 SMs — same architecture, capacity matched to the
+analog scale — which restores the paper's regime of tasks ≫ warps.
+Pass ``device=V100`` to use the full board.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datasets import load
+from ..gpusim.device import DeviceSpec, V100
+from .common import DEVICE_SCALE, run_algorithm, scale_device
+from .tables import format_si, format_table
+
+__all__ = [
+    "Fig13Row",
+    "V100_SCALED",
+    "experiment_fig13",
+    "print_fig13",
+    "DEFAULT_FIG13_CODES",
+    "GPU_COUNTS",
+]
+
+DEFAULT_FIG13_CODES = ["BX", "GH"]
+GPU_COUNTS = [1, 2, 4, 8]
+
+#: V100 with SM count scaled to the analogs' dataset scale.
+V100_SCALED = scale_device(V100, DEVICE_SCALE)
+
+
+@dataclass(frozen=True)
+class Fig13Row:
+    code: str
+    n_gpus: int
+    total_s: float
+    per_gpu_s: tuple[float, ...]
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean per-GPU finish time (1.0 = perfectly even)."""
+        mean = sum(self.per_gpu_s) / len(self.per_gpu_s)
+        return max(self.per_gpu_s) / mean if mean > 0 else 1.0
+
+
+def experiment_fig13(
+    *,
+    scale: float = 1.0,
+    codes: list[str] | None = None,
+    gpu_counts: list[int] | None = None,
+    device: DeviceSpec = V100_SCALED,
+) -> list[Fig13Row]:
+    """Measure Fig. 13's multi-GPU scaling rows."""
+    rows: list[Fig13Row] = []
+    for code in codes if codes is not None else DEFAULT_FIG13_CODES:
+        graph = load(code, scale=scale)
+        counts = set()
+        for n in gpu_counts if gpu_counts is not None else GPU_COUNTS:
+            run = run_algorithm(
+                "GMBE", graph, device=device, n_gpus=n, cache_key=(code, scale)
+            )
+            counts.add(run.n_maximal)
+            rows.append(
+                Fig13Row(
+                    code=code,
+                    n_gpus=n,
+                    total_s=run.sim_seconds,
+                    per_gpu_s=tuple(run.result.extras["per_gpu_seconds"]),
+                )
+            )
+        assert len(counts) == 1
+    return rows
+
+
+def print_fig13(rows: list[Fig13Row]) -> str:
+    """Print the Fig. 13 table; returns the rendered text."""
+    out = format_table(
+        ["Dataset", "GPUs", "total", "per-GPU finish times", "imbalance"],
+        [
+            (
+                r.code,
+                r.n_gpus,
+                format_si(r.total_s) + "s",
+                " ".join(format_si(t) for t in r.per_gpu_s),
+                f"{r.imbalance:.2f}",
+            )
+            for r in rows
+        ],
+        title="Fig. 13: multi-GPU scalability on V100s (simulated seconds)",
+    )
+    print(out)
+    return out

@@ -1,0 +1,86 @@
+"""Experiment: Fig. 6 — overall runtime of all six algorithms.
+
+Runs MBEA, iMBEA, PMBE, ooMBEA, ParMBE (96 simulated cores) and GMBE
+(simulated A100) on every dataset analog and reports simulated seconds
+per (algorithm, dataset) plus GMBE's speedup over the best CPU
+competitor — the paper's headline 3.5×–70.6× claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..datasets import DATASET_ORDER, load
+from ..gpusim.device import A100
+from .common import DEVICE_SCALE, AlgoRun, run_algorithm, scale_device
+from .tables import format_si, format_table
+
+__all__ = ["Fig6Result", "ALGORITHMS", "experiment_fig6", "print_fig6"]
+
+ALGORITHMS = ["MBEA", "iMBEA", "PMBE", "ooMBEA", "ParMBE", "GMBE"]
+
+
+@dataclass
+class Fig6Result:
+    """Simulated seconds per algorithm per dataset."""
+
+    seconds: dict[str, dict[str, float]] = field(default_factory=dict)
+    runs: dict[tuple[str, str], AlgoRun] = field(default_factory=dict)
+
+    def speedup_vs_best_cpu(self, code: str) -> float:
+        """GMBE speedup over the fastest CPU algorithm on ``code``."""
+        per = self.seconds[code]
+        best_cpu = min(v for k, v in per.items() if k != "GMBE")
+        return best_cpu / per["GMBE"] if per["GMBE"] > 0 else float("inf")
+
+    def speedup_vs_parmbe(self, code: str) -> float:
+        per = self.seconds[code]
+        return per["ParMBE"] / per["GMBE"] if per["GMBE"] > 0 else float("inf")
+
+
+def experiment_fig6(
+    *,
+    scale: float = 1.0,
+    codes: list[str] | None = None,
+    algorithms: list[str] | None = None,
+    device_scale: int = DEVICE_SCALE,
+) -> Fig6Result:
+    """Run the Fig. 6 grid; results are memoized across drivers."""
+    result = Fig6Result()
+    device = scale_device(A100, device_scale)
+    algos = algorithms if algorithms is not None else ALGORITHMS
+    for code in codes if codes is not None else DATASET_ORDER:
+        graph = load(code, scale=scale)
+        per: dict[str, float] = {}
+        counts: set[int] = set()
+        for algo in algos:
+            run = run_algorithm(algo, graph, device=device, cache_key=(code, scale))
+            per[algo] = run.sim_seconds
+            counts.add(run.n_maximal)
+            result.runs[(code, algo)] = run
+        if len(counts) != 1:
+            raise AssertionError(
+                f"algorithms disagree on {code}: {sorted(counts)}"
+            )
+        result.seconds[code] = per
+    return result
+
+
+def print_fig6(result: Fig6Result) -> str:
+    """Print the Fig. 6 table; returns the rendered text."""
+    codes = list(result.seconds)
+    algos = [a for a in ALGORITHMS if all(a in result.seconds[c] for c in codes)]
+    rows = []
+    for code in codes:
+        per = result.seconds[code]
+        row = [code] + [format_si(per[a]) + "s" for a in algos]
+        if "GMBE" in per and len(per) > 1:
+            row.append(f"{result.speedup_vs_best_cpu(code):.1f}x")
+        rows.append(row)
+    out = format_table(
+        ["Dataset"] + algos + ["GMBE vs best CPU"],
+        rows,
+        title="Fig. 6: overall runtime (simulated seconds, log-scale in paper)",
+    )
+    print(out)
+    return out

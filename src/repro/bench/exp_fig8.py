@@ -1,0 +1,79 @@
+"""Experiment: Fig. 8 — effect of pruning and task scheduling.
+
+Four GMBE variants per dataset: full GMBE, GMBE-w/o_PRUNE (pruning off),
+GMBE-WARP (one tree per warp) and GMBE-BLOCK (one tree per block).  The
+paper's shape: GMBE always fastest; the scheduling gap opens on the
+large, skewed datasets (up to 44.7× vs WARP on EuAll).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..datasets import DATASET_ORDER, load
+from ..gmbe import GMBEConfig
+from ..gpusim.device import A100
+from .common import DEVICE_SCALE, run_algorithm, scale_device
+from .tables import format_si, format_table
+
+__all__ = ["VARIANTS", "Fig8Result", "experiment_fig8", "print_fig8"]
+
+VARIANTS: dict[str, GMBEConfig] = {
+    "GMBE": GMBEConfig(),
+    "GMBE-w/o_PRUNE": GMBEConfig(prune=False),
+    "GMBE-WARP": GMBEConfig(scheduling="warp"),
+    "GMBE-BLOCK": GMBEConfig(scheduling="block"),
+}
+
+
+@dataclass
+class Fig8Result:
+    seconds: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def speedup(self, code: str, variant: str) -> float:
+        per = self.seconds[code]
+        return per[variant] / per["GMBE"] if per["GMBE"] > 0 else float("inf")
+
+
+def experiment_fig8(
+    *,
+    scale: float = 1.0,
+    codes: list[str] | None = None,
+    device_scale: int = DEVICE_SCALE,
+) -> Fig8Result:
+    """Run the four GMBE variants of Fig. 8 on each dataset."""
+    result = Fig8Result()
+    device = scale_device(A100, device_scale)
+    for code in codes if codes is not None else DATASET_ORDER:
+        graph = load(code, scale=scale)
+        per: dict[str, float] = {}
+        counts = set()
+        for name, config in VARIANTS.items():
+            run = run_algorithm(
+                "GMBE", graph, config=config, device=device,
+                cache_key=(code, scale),
+            )
+            per[name] = run.sim_seconds
+            counts.add(run.n_maximal)
+        assert len(counts) == 1, f"variant counts disagree on {code}"
+        result.seconds[code] = per
+    return result
+
+
+def print_fig8(result: Fig8Result) -> str:
+    """Print the Fig. 8 table; returns the rendered text."""
+    names = list(VARIANTS)
+    rows = []
+    for code, per in result.seconds.items():
+        rows.append(
+            [code]
+            + [format_si(per[n]) + "s" for n in names]
+            + [f"{result.speedup(code, 'GMBE-WARP'):.1f}x / {result.speedup(code, 'GMBE-BLOCK'):.1f}x"]
+        )
+    out = format_table(
+        ["Dataset"] + names + ["GMBE gain vs WARP/BLOCK"],
+        rows,
+        title="Fig. 8: pruning and scheduling variants (simulated seconds)",
+    )
+    print(out)
+    return out

@@ -1,0 +1,110 @@
+"""Experiment: Figs. 4 and 9 — runtime load on SMs over time.
+
+Samples the number of active SMs (an SM is active while any of its
+resident warps executes a task) over simulated time for GMBE,
+GMBE-WARP, and GMBE-BLOCK on the two datasets the paper plots: EuAll
+and BookCrossing analogs.  Fig. 4 is the GMBE-WARP curve alone.
+
+The paper's shape: the WARP curve decays early (most SMs idle waiting
+for stragglers), BLOCK holds longer, and task-centric GMBE keeps nearly
+all SMs busy until the very end, finishing first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets import load
+from ..gmbe import GMBEConfig
+from ..gpusim.timeline import active_sm_curve, active_units_curve
+from ..gpusim.device import A100
+from .common import DEVICE_SCALE, run_algorithm, scale_device
+from .tables import format_series
+
+__all__ = ["Fig9Curve", "experiment_fig9", "print_fig9", "DEFAULT_FIG9_CODES"]
+
+DEFAULT_FIG9_CODES = ["EE", "BX"]
+
+_SCHEMES = {
+    "GMBE": GMBEConfig(),
+    "GMBE-WARP": GMBEConfig(scheduling="warp"),
+    "GMBE-BLOCK": GMBEConfig(scheduling="block"),
+}
+
+
+@dataclass
+class Fig9Curve:
+    code: str
+    scheme: str
+    times_s: np.ndarray
+    active_sms: np.ndarray
+    finish_s: float
+
+    def tail_idle_fraction(self, threshold: float = 0.5) -> float:
+        """Fraction of the run spent with less than ``threshold`` of the
+        peak SM count active — the 'waiting for the slowest' waste."""
+        peak = self.active_sms.max(initial=0)
+        if peak == 0:
+            return 0.0
+        low = self.active_sms < threshold * peak
+        return float(np.count_nonzero(low)) / len(self.active_sms)
+
+
+def experiment_fig9(
+    *,
+    scale: float = 1.0,
+    codes: list[str] | None = None,
+    n_samples: int = 120,
+    device_scale: int = DEVICE_SCALE,
+) -> list[Fig9Curve]:
+    """Record Fig. 9's active-SM curves per dataset and scheme."""
+    curves: list[Fig9Curve] = []
+    dev_scaled = scale_device(A100, device_scale)
+    for code in codes if codes is not None else DEFAULT_FIG9_CODES:
+        graph = load(code, scale=scale)
+        for scheme, config in _SCHEMES.items():
+            run = run_algorithm(
+                "GMBE", graph, config=config, device=dev_scaled,
+                cache_key=(code, scale),
+            )
+            report = run.result.extras["report"]
+            device = run.result.extras["device"]
+            recorder = report.recorders[0]
+            if config.scheduling == "block":
+                times_c, counts = active_units_curve(
+                    recorder, lambda unit: unit, n_samples=n_samples
+                )
+            else:
+                times_c, counts = active_sm_curve(
+                    recorder, device.warps_per_sm, n_samples=n_samples
+                )
+            curves.append(
+                Fig9Curve(
+                    code=code,
+                    scheme=scheme,
+                    times_s=times_c / device.clock_hz,
+                    active_sms=counts,
+                    finish_s=run.sim_seconds,
+                )
+            )
+    return curves
+
+
+def print_fig9(curves: list[Fig9Curve], *, points: int = 12) -> str:
+    """Print the Fig. 9 series; returns the rendered text."""
+    lines = ["Fig. 9 (and Fig. 4): active SMs over simulated time"]
+    for c in curves:
+        idx = np.linspace(0, len(c.times_s) - 1, points).astype(int)
+        lines.append(
+            format_series(
+                f"{c.code}/{c.scheme} (finish {c.finish_s:.3g}s)",
+                [f"{t:.2g}s" for t in c.times_s[idx]],
+                c.active_sms[idx].astype(float),
+                digits=3,
+            )
+        )
+    out = "\n".join(lines)
+    print(out)
+    return out

@@ -1,0 +1,187 @@
+"""Figure-file generation — the artifact's ``fig/`` directory, in SVG.
+
+One ``render_*`` per figure, taking the corresponding experiment result
+(see the ``exp_*`` drivers) and writing an SVG chart that mirrors the
+paper's presentation (log-scale bars for the runtime figures, active-SM
+step lines for Figs. 4/9, grouped per-GPU bars for Fig. 13).
+
+``render_all(out_dir, ...)`` runs every experiment and writes the whole
+figure set.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from .exp_fig6 import ALGORITHMS, Fig6Result
+from .exp_fig7 import Fig7Row
+from .exp_fig8 import VARIANTS, Fig8Result
+from .exp_fig9 import Fig9Curve
+from .exp_fig10 import THRESHOLD_GRID, Fig10Result
+from .exp_fig11 import WARP_GRID, Fig11Result
+from .exp_fig12 import DEVICES, Fig12Result
+from .exp_fig13 import Fig13Row
+from .svgplot import grouped_bar_chart, line_chart
+
+__all__ = [
+    "render_fig6",
+    "render_fig7",
+    "render_fig8",
+    "render_fig9",
+    "render_fig10",
+    "render_fig11",
+    "render_fig12",
+    "render_fig13",
+    "render_all",
+]
+
+
+def _write(path: str | os.PathLike[str], svg: str) -> str:
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(svg, encoding="utf-8")
+    return str(p)
+
+
+def render_fig6(result: Fig6Result, path) -> str:
+    codes = list(result.seconds)
+    series = {
+        algo: [result.seconds[c][algo] for c in codes]
+        for algo in ALGORITHMS
+        if all(algo in result.seconds[c] for c in codes)
+    }
+    return _write(path, grouped_bar_chart(
+        codes, series,
+        title="Fig. 6: overall runtime", ylabel="seconds (sim)", log=True,
+    ))
+
+
+def render_fig7(rows: list[Fig7Row], path) -> str:
+    codes = [r.code for r in rows]
+    series = {
+        "GMBE": [r.reuse_bytes / 1e9 for r in rows],
+        "GMBE-w/o_REUSE": [r.naive_bytes / 1e9 for r in rows],
+    }
+    return _write(path, grouped_bar_chart(
+        codes, series,
+        title="Fig. 7: memory demand (GB)", ylabel="GB", log=True,
+    ))
+
+
+def render_fig8(result: Fig8Result, path) -> str:
+    codes = list(result.seconds)
+    series = {
+        name: [result.seconds[c][name] for c in codes] for name in VARIANTS
+    }
+    return _write(path, grouped_bar_chart(
+        codes, series,
+        title="Fig. 8: pruning & scheduling variants",
+        ylabel="seconds (sim)", log=True,
+    ))
+
+
+def render_fig9(curves: list[Fig9Curve], path_prefix) -> list[str]:
+    out = []
+    by_code: dict[str, list[Fig9Curve]] = {}
+    for c in curves:
+        by_code.setdefault(c.code, []).append(c)
+    for code, cs in by_code.items():
+        series = {
+            c.scheme: (c.times_s.tolist(), c.active_sms.tolist()) for c in cs
+        }
+        svg = line_chart(
+            series,
+            title=f"Fig. 9: active SMs over time ({code})",
+            xlabel="simulated seconds",
+            ylabel="active SMs",
+        )
+        out.append(_write(f"{path_prefix}_{code}.svg", svg))
+    return out
+
+
+def render_fig10(result: Fig10Result, path) -> str:
+    codes = list(result.seconds)
+    series = {
+        f"({h},{s})": [result.seconds[c][(h, s)] for c in codes]
+        for h, s in THRESHOLD_GRID
+        if all((h, s) in result.seconds[c] for c in codes)
+    }
+    return _write(path, grouped_bar_chart(
+        codes, series,
+        title="Fig. 10: scheduling thresholds", ylabel="seconds (sim)", log=True,
+    ))
+
+
+def render_fig11(result: Fig11Result, path) -> str:
+    codes = list(result.seconds)
+    series = {
+        f"GMBE({w})": [result.seconds[c][w] for c in codes]
+        for w in WARP_GRID
+        if all(w in result.seconds[c] for c in codes)
+    }
+    return _write(path, grouped_bar_chart(
+        codes, series,
+        title="Fig. 11: WarpPerSM", ylabel="seconds (sim)", log=True,
+    ))
+
+
+def render_fig12(result: Fig12Result, path) -> str:
+    codes = list(result.seconds)
+    series = {
+        f"GMBE-{d.name}": [result.seconds[c][d.name] for c in codes]
+        for d in DEVICES
+    }
+    return _write(path, grouped_bar_chart(
+        codes, series,
+        title="Fig. 12: GPU adaptability", ylabel="seconds (sim)", log=True,
+    ))
+
+
+def render_fig13(rows: list[Fig13Row], path_prefix) -> list[str]:
+    out = []
+    by_code: dict[str, list[Fig13Row]] = {}
+    for r in rows:
+        by_code.setdefault(r.code, []).append(r)
+    for code, rs in by_code.items():
+        counts = [str(r.n_gpus) for r in rs]
+        max_gpus = max(r.n_gpus for r in rs)
+        series = {}
+        for gpu in range(max_gpus):
+            series[f"GPU-{gpu}"] = [
+                r.per_gpu_s[gpu] if gpu < len(r.per_gpu_s) else 0.0 for r in rs
+            ]
+        svg = grouped_bar_chart(
+            counts, series,
+            title=f"Fig. 13: multi-GPU scaling ({code})",
+            ylabel="seconds (sim)",
+        )
+        out.append(_write(f"{path_prefix}_{code}.svg", svg))
+    return out
+
+
+def render_all(out_dir, *, scale: float = 1.0, sweep_scale: float = 0.5) -> list[str]:
+    """Run every figure experiment and write the full SVG set."""
+    from . import (
+        experiment_fig6,
+        experiment_fig7,
+        experiment_fig8,
+        experiment_fig9,
+        experiment_fig10,
+        experiment_fig11,
+        experiment_fig12,
+        experiment_fig13,
+    )
+
+    out = Path(out_dir)
+    written = [
+        render_fig6(experiment_fig6(scale=scale), out / "fig6.svg"),
+        render_fig7(experiment_fig7(), out / "fig7.svg"),
+        render_fig8(experiment_fig8(scale=scale), out / "fig8.svg"),
+        *render_fig9(experiment_fig9(scale=scale), out / "fig9"),
+        render_fig10(experiment_fig10(scale=sweep_scale), out / "fig10.svg"),
+        render_fig11(experiment_fig11(scale=sweep_scale), out / "fig11.svg"),
+        render_fig12(experiment_fig12(scale=sweep_scale), out / "fig12.svg"),
+        *render_fig13(experiment_fig13(scale=scale), out / "fig13"),
+    ]
+    return written

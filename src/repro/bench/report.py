@@ -1,0 +1,95 @@
+"""Full-evaluation report generator.
+
+Mirrors the paper artifact's ``scripts/`` + ``results.txt`` workflow:
+one call runs every experiment and writes a single text report with all
+tables and figure data.  Used by ``gmbe bench all`` and handy for
+regression-diffing two checkouts.
+"""
+
+from __future__ import annotations
+
+import io
+import time
+from contextlib import redirect_stdout
+
+from . import (
+    experiment_fig6,
+    experiment_fig7,
+    experiment_fig8,
+    experiment_fig9,
+    experiment_fig10,
+    experiment_fig11,
+    experiment_fig12,
+    experiment_fig13,
+    experiment_table1,
+    experiment_table2,
+    print_fig6,
+    print_fig7,
+    print_fig8,
+    print_fig9,
+    print_fig10,
+    print_fig11,
+    print_fig12,
+    print_fig13,
+    print_table1,
+    print_table2,
+)
+
+__all__ = ["EXPERIMENTS", "generate_report"]
+
+#: experiment name -> (driver, printer, default kwargs)
+EXPERIMENTS = {
+    "table1": (experiment_table1, print_table1, {}),
+    "fig6": (experiment_fig6, print_fig6, {}),
+    "fig7": (experiment_fig7, print_fig7, {}),
+    "fig8": (experiment_fig8, print_fig8, {}),
+    "table2": (experiment_table2, print_table2, {}),
+    "fig9": (experiment_fig9, print_fig9, {}),
+    "fig10": (experiment_fig10, print_fig10, {"scale": 0.5}),
+    "fig11": (experiment_fig11, print_fig11, {"scale": 0.5}),
+    "fig12": (experiment_fig12, print_fig12, {"scale": 0.5}),
+    "fig13": (experiment_fig13, print_fig13, {}),
+}
+
+
+def generate_report(
+    *,
+    scale: float | None = None,
+    only: list[str] | None = None,
+    progress=None,
+) -> str:
+    """Run the selected experiments and return the combined report text.
+
+    Parameters
+    ----------
+    scale:
+        Override every experiment's dataset scale (default: per-
+        experiment defaults — headline experiments at 1.0, sweeps 0.5).
+    only:
+        Subset of experiment names; default all, in paper order.
+    progress:
+        Optional callable receiving one status line per experiment (the
+        artifact's ``progress.txt`` behaviour).
+    """
+    names = only if only is not None else list(EXPERIMENTS)
+    unknown = set(names) - set(EXPERIMENTS)
+    if unknown:
+        raise ValueError(f"unknown experiments: {sorted(unknown)}")
+    sections: list[str] = []
+    for name in names:
+        driver, printer, defaults = EXPERIMENTS[name]
+        kwargs = dict(defaults)
+        if scale is not None:
+            kwargs["scale"] = scale
+        if name == "fig7":
+            kwargs.pop("scale", None)  # analytical; scale-free by default
+        start = time.perf_counter()
+        result = driver(**kwargs)
+        buf = io.StringIO()
+        with redirect_stdout(buf):
+            printer(result)
+        elapsed = time.perf_counter() - start
+        if progress is not None:
+            progress(f"{name}: done in {elapsed:.1f}s")
+        sections.append(buf.getvalue().rstrip())
+    return "\n\n".join(sections) + "\n"

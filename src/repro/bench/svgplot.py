@@ -1,0 +1,228 @@
+"""Dependency-free SVG charts.
+
+The paper's artifact regenerates its figures with a plotting toolchain
+(zplot + ghostscript); this reproduction ships a minimal SVG backend so
+``repro.bench.figures`` can emit figure files with zero extra
+dependencies.  Supports exactly what the paper's figures need: grouped
+bar charts with optional log scale (Figs. 6–8, 10–12), line/step charts
+(Figs. 4, 9), and grouped scaling bars (Fig. 13).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["SvgCanvas", "grouped_bar_chart", "line_chart"]
+
+#: categorical palette (colorblind-safe-ish)
+PALETTE = [
+    "#4477aa", "#ee6677", "#228833", "#ccbb44",
+    "#66ccee", "#aa3377", "#bbbbbb", "#000000",
+]
+
+
+def _esc(s: str) -> str:
+    return (
+        s.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+@dataclass
+class SvgCanvas:
+    """Tiny element-list SVG builder."""
+
+    width: int
+    height: int
+    elements: list[str] = field(default_factory=list)
+
+    def line(self, x1, y1, x2, y2, *, stroke="#333", width=1.0, dash=None):
+        d = f' stroke-dasharray="{dash}"' if dash else ""
+        self.elements.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="{stroke}" stroke-width="{width}"{d}/>'
+        )
+
+    def polyline(self, points, *, stroke="#4477aa", width=1.5):
+        pts = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+        self.elements.append(
+            f'<polyline points="{pts}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{width}"/>'
+        )
+
+    def rect(self, x, y, w, h, *, fill="#4477aa", stroke="none"):
+        self.elements.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" height="{h:.1f}" '
+            f'fill="{fill}" stroke="{stroke}"/>'
+        )
+
+    def text(self, x, y, s, *, size=11, anchor="middle", rotate=None, fill="#222"):
+        t = f' transform="rotate({rotate} {x:.1f} {y:.1f})"' if rotate else ""
+        self.elements.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" '
+            f'text-anchor="{anchor}" fill="{fill}" '
+            f'font-family="Helvetica,Arial,sans-serif"{t}>{_esc(str(s))}</text>'
+        )
+
+    def render(self) -> str:
+        body = "\n".join(self.elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">\n'
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>\n'
+            f"{body}\n</svg>\n"
+        )
+
+
+def _log_ticks(lo: float, hi: float) -> list[float]:
+    lo_e = math.floor(math.log10(lo))
+    hi_e = math.ceil(math.log10(hi))
+    return [10.0**e for e in range(lo_e, hi_e + 1)]
+
+
+def _fmt_tick(v: float) -> str:
+    if v >= 1 or v <= 0:
+        if v >= 1000 or (v > 0 and v < 0.01):
+            return f"1e{int(math.log10(v))}" if v > 0 else "0"
+        return f"{v:g}"
+    return f"1e{int(round(math.log10(v)))}"
+
+
+def grouped_bar_chart(
+    categories: Sequence[str],
+    series: dict[str, Sequence[float]],
+    *,
+    title: str = "",
+    ylabel: str = "",
+    log: bool = False,
+    width: int = 760,
+    height: int = 320,
+) -> str:
+    """Render a grouped bar chart; returns the SVG text."""
+    if not categories or not series:
+        raise ValueError("need at least one category and one series")
+    margin_l, margin_r, margin_t, margin_b = 64, 12, 30, 58
+    plot_w = width - margin_l - margin_r
+    plot_h = height - margin_t - margin_b
+    values = [v for vs in series.values() for v in vs]
+    positive = [v for v in values if v > 0]
+    if log and not positive:
+        log = False
+    if log:
+        lo = min(positive) / 1.5
+        hi = max(positive) * 1.5
+
+        def y_of(v: float) -> float:
+            if v <= 0:
+                return margin_t + plot_h
+            frac = (math.log10(v) - math.log10(lo)) / (
+                math.log10(hi) - math.log10(lo)
+            )
+            return margin_t + plot_h * (1 - frac)
+
+        ticks = [t for t in _log_ticks(lo, hi) if lo <= t <= hi]
+    else:
+        hi = max(values + [0.0]) * 1.1 or 1.0
+        lo = 0.0
+
+        def y_of(v: float) -> float:
+            return margin_t + plot_h * (1 - v / hi)
+
+        ticks = [hi * i / 4 for i in range(5)]
+
+    svg = SvgCanvas(width, height)
+    if title:
+        svg.text(width / 2, 18, title, size=13)
+    # axes + ticks
+    svg.line(margin_l, margin_t, margin_l, margin_t + plot_h)
+    svg.line(margin_l, margin_t + plot_h, margin_l + plot_w, margin_t + plot_h)
+    for t in ticks:
+        y = y_of(t)
+        svg.line(margin_l - 3, y, margin_l, y)
+        svg.line(margin_l, y, margin_l + plot_w, y, stroke="#eee")
+        svg.text(margin_l - 6, y + 3, _fmt_tick(t), size=9, anchor="end")
+    if ylabel:
+        svg.text(14, margin_t + plot_h / 2, ylabel, size=10, rotate=-90)
+
+    n_cat = len(categories)
+    n_ser = len(series)
+    group_w = plot_w / n_cat
+    bar_w = max(1.0, group_w * 0.8 / n_ser)
+    for ci, cat in enumerate(categories):
+        gx = margin_l + ci * group_w
+        svg.text(gx + group_w / 2, margin_t + plot_h + 14, cat, size=9)
+        for si, (name, vs) in enumerate(series.items()):
+            v = vs[ci]
+            x = gx + group_w * 0.1 + si * bar_w
+            y = y_of(max(v, lo if log else 0.0))
+            svg.rect(
+                x, y, bar_w * 0.92, margin_t + plot_h - y,
+                fill=PALETTE[si % len(PALETTE)],
+            )
+    # legend
+    lx = margin_l
+    ly = height - 18
+    for si, name in enumerate(series):
+        svg.rect(lx, ly - 8, 10, 10, fill=PALETTE[si % len(PALETTE)])
+        svg.text(lx + 14, ly, name, size=9, anchor="start")
+        lx += 16 + 7 * len(name)
+    return svg.render()
+
+
+def line_chart(
+    series: dict[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+    width: int = 680,
+    height: int = 300,
+) -> str:
+    """Render a multi-series line chart; returns the SVG text."""
+    if not series:
+        raise ValueError("need at least one series")
+    margin_l, margin_r, margin_t, margin_b = 56, 12, 30, 52
+    plot_w = width - margin_l - margin_r
+    plot_h = height - margin_t - margin_b
+    all_x = [x for xs, _ in series.values() for x in xs]
+    all_y = [y for _, ys in series.values() for y in ys]
+    x_hi = max(all_x) or 1.0
+    y_hi = max(all_y) * 1.08 or 1.0
+
+    def pt(x: float, y: float) -> tuple[float, float]:
+        return (
+            margin_l + plot_w * (x / x_hi),
+            margin_t + plot_h * (1 - y / y_hi),
+        )
+
+    svg = SvgCanvas(width, height)
+    if title:
+        svg.text(width / 2, 18, title, size=13)
+    svg.line(margin_l, margin_t, margin_l, margin_t + plot_h)
+    svg.line(margin_l, margin_t + plot_h, margin_l + plot_w, margin_t + plot_h)
+    for i in range(5):
+        fy = y_hi * i / 4
+        _, y = pt(0, fy)
+        svg.line(margin_l - 3, y, margin_l, y)
+        svg.text(margin_l - 6, y + 3, f"{fy:g}", size=9, anchor="end")
+        fx = x_hi * i / 4
+        x, _ = pt(fx, 0)
+        svg.line(x, margin_t + plot_h, x, margin_t + plot_h + 3)
+        svg.text(x, margin_t + plot_h + 14, f"{fx:.3g}", size=9)
+    if ylabel:
+        svg.text(14, margin_t + plot_h / 2, ylabel, size=10, rotate=-90)
+    if xlabel:
+        svg.text(margin_l + plot_w / 2, height - 26, xlabel, size=10)
+    for si, (name, (xs, ys)) in enumerate(series.items()):
+        svg.polyline(
+            [pt(x, y) for x, y in zip(xs, ys)],
+            stroke=PALETTE[si % len(PALETTE)],
+        )
+    lx = margin_l
+    ly = height - 8
+    for si, name in enumerate(series):
+        svg.line(lx, ly - 4, lx + 12, ly - 4, stroke=PALETTE[si % len(PALETTE)], width=2)
+        svg.text(lx + 16, ly, name, size=9, anchor="start")
+        lx += 22 + 7 * len(name)
+    return svg.render()

@@ -1,0 +1,65 @@
+"""Plain-text table/series rendering for the benchmark drivers.
+
+The paper's artifact prints results to text files and regenerates plots
+separately; these helpers produce the same rows/series on stdout so each
+``bench_*`` target's output can be compared line-by-line with the
+paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_series", "format_si", "log_bucket"]
+
+
+def format_si(value: float, *, digits: int = 3) -> str:
+    """Human SI formatting: 1.23k, 45.6M, 0.012 …"""
+    if value == 0:
+        return "0"
+    for cutoff, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(value) >= cutoff:
+            return f"{value / cutoff:.{digits}g}{suffix}"
+    if abs(value) >= 0.01:
+        return f"{value:.{digits}g}"
+    return f"{value:.2e}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence[object], ys: Sequence[float], *, digits: int = 4
+) -> str:
+    """One named data series as ``name: x=y x=y …`` (figure line data)."""
+    pairs = " ".join(f"{x}={format_si(float(y), digits=digits)}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"
+
+
+def log_bucket(value: float) -> str:
+    """Coarse log-scale bucket label, for eyeballing log plots."""
+    import math
+
+    if value <= 0:
+        return "0"
+    exp = math.floor(math.log10(value))
+    return f"1e{exp}"

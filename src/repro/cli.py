@@ -1,0 +1,258 @@
+"""Command-line interface.
+
+Subcommands::
+
+    gmbe datasets                      list the bundled dataset analogs
+    gmbe stats  <graph>                Table-1 statistics of a graph
+    gmbe run    <graph> [options]      enumerate maximal bicliques
+    gmbe bench  <experiment> [options] regenerate a paper table/figure
+    gmbe figures [--out DIR]           render every figure as SVG
+    gmbe verify <graph> <bicliques>    certify an enumeration output
+
+``<graph>`` is either a dataset code (e.g. ``EE``) or a path to an
+edge-list file.  ``<experiment>`` is one of table1, table2, fig6..fig13.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .core import BicliqueWriter, imbea, mbea, oombea, parmbe, pmbe
+from .datasets import DATASET_ORDER, DATASETS, load
+from .gmbe import GMBEConfig, gmbe_gpu, gmbe_host
+from .gpusim.device import DEVICE_PRESETS
+from .graph import BipartiteGraph, compute_stats, read_edge_list
+
+__all__ = ["main", "build_parser"]
+
+_ALGOS = {
+    "mbea": mbea,
+    "imbea": imbea,
+    "pmbe": pmbe,
+    "oombea": oombea,
+    "parmbe": parmbe,
+    "gmbe": None,       # simulated GPU; handled specially
+    "gmbe-host": None,  # sequential GMBE; handled specially
+}
+
+_EXPERIMENTS = (
+    "table1", "table2", "fig6", "fig7", "fig8",
+    "fig9", "fig10", "fig11", "fig12", "fig13", "all",
+)
+
+
+def _load_graph(spec: str) -> BipartiteGraph:
+    if spec in DATASETS:
+        return load(spec)
+    return read_edge_list(spec)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the `gmbe` argument parser (see module docs for commands)."""
+    parser = argparse.ArgumentParser(
+        prog="gmbe",
+        description="GMBE reproduction: maximal biclique enumeration "
+        "with a simulated GPU (SC '23).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list bundled dataset analogs")
+
+    p_stats = sub.add_parser("stats", help="graph statistics (Table 1 row)")
+    p_stats.add_argument("graph", help="dataset code or edge-list path")
+
+    p_run = sub.add_parser("run", help="enumerate maximal bicliques")
+    p_run.add_argument("graph", help="dataset code or edge-list path")
+    p_run.add_argument(
+        "--algo", choices=sorted(_ALGOS), default="gmbe", help="algorithm"
+    )
+    p_run.add_argument(
+        "--device", choices=sorted(DEVICE_PRESETS), default="A100"
+    )
+    p_run.add_argument("--gpus", type=int, default=1, help="simulated GPUs")
+    p_run.add_argument(
+        "--nodes",
+        type=int,
+        default=1,
+        help="simulated cluster machines (each with --gpus GPUs); "
+        "values > 1 use the distributed extension",
+    )
+    p_run.add_argument("--no-prune", action="store_true")
+    p_run.add_argument(
+        "--scheduling", choices=["task", "warp", "block"], default="task"
+    )
+    p_run.add_argument("--warps-per-sm", type=int, default=16)
+    p_run.add_argument(
+        "--output", help="write bicliques to this file (default: count only)"
+    )
+
+    p_bench = sub.add_parser("bench", help="regenerate a paper table/figure")
+    p_bench.add_argument("experiment", choices=_EXPERIMENTS)
+    p_bench.add_argument("--scale", type=float, default=None,
+                         help="dataset scale factor (default per experiment)")
+    p_bench.add_argument("--codes", nargs="*", default=None,
+                         help="dataset codes (default: the experiment's own)")
+    p_bench.add_argument("--report", default=None,
+                         help="with 'all': write the combined report here")
+
+    p_fig = sub.add_parser("figures", help="render every figure as SVG")
+    p_fig.add_argument("--out", default="fig", help="output directory")
+    p_fig.add_argument("--scale", type=float, default=1.0)
+    p_fig.add_argument("--sweep-scale", type=float, default=0.5)
+
+    p_ver = sub.add_parser("verify", help="certify an enumeration output")
+    p_ver.add_argument("graph", help="dataset code or edge-list path")
+    p_ver.add_argument("bicliques", help="BicliqueWriter output file")
+    p_ver.add_argument(
+        "--reference", choices=["oombea", "imbea", "mbea"], default="oombea"
+    )
+    p_ver.add_argument("--no-deep", action="store_true",
+                       help="skip per-biclique structural checks")
+    return parser
+
+
+def _cmd_datasets() -> int:
+    from .bench.tables import format_table
+
+    rows = []
+    for code in DATASET_ORDER:
+        spec = DATASETS[code]
+        g = load(code)
+        rows.append(
+            (code, spec.paper_name, g.n_u, g.n_v, g.n_edges,
+             "large" if spec.large else "")
+        )
+    print(format_table(
+        ["code", "paper dataset", "|U|", "|V|", "|E|", ""], rows,
+        title="Bundled synthetic analogs (Table 1 order)",
+    ))
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    g = _load_graph(args.graph)
+    s = compute_stats(g)
+    print(f"{g}")
+    print(f"  dU={s.max_deg_u} d2U={s.max_two_hop_u} "
+          f"dV={s.max_deg_v} d2V={s.max_two_hop_v}")
+    print(f"  node_buf words/procedure: {s.node_buffer_words()}")
+    print(f"  naive subtree words:      {s.naive_tree_words()}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    g = _load_graph(args.graph)
+    config = GMBEConfig(
+        prune=not args.no_prune,
+        scheduling=args.scheduling,
+        warps_per_sm=args.warps_per_sm,
+    )
+    sink = None
+    out_fh = None
+    if args.output:
+        out_fh = open(args.output, "w", encoding="utf-8")
+        sink = BicliqueWriter(out_fh)
+    try:
+        start = time.perf_counter()
+        if args.algo == "gmbe" and getattr(args, "nodes", 1) > 1:
+            from .gmbe import ClusterSpec, gmbe_cluster
+
+            res = gmbe_cluster(
+                g, sink,
+                config=config,
+                cluster=ClusterSpec(
+                    n_nodes=args.nodes,
+                    gpus_per_node=args.gpus,
+                    device=DEVICE_PRESETS[args.device],
+                ),
+            )
+        elif args.algo == "gmbe":
+            res = gmbe_gpu(
+                g, sink,
+                config=config,
+                device=DEVICE_PRESETS[args.device],
+                n_gpus=args.gpus,
+            )
+        elif args.algo == "gmbe-host":
+            res = gmbe_host(g, sink, config=config)
+        else:
+            res = _ALGOS[args.algo](g, sink)
+        wall = time.perf_counter() - start
+    finally:
+        if out_fh is not None:
+            out_fh.close()
+    print(f"{res.n_maximal} maximal bicliques ({wall:.2f}s host wall clock)")
+    if res.sim_time:
+        where = f"{args.device} x{args.gpus}"
+        if getattr(args, "nodes", 1) > 1:
+            where += f" x{args.nodes} machines"
+        print(f"simulated time: {res.sim_time:.6g}s on {where}")
+    c = res.counters
+    print(f"nodes={c.nodes_generated} non-maximal={c.non_maximal} "
+          f"pruned={c.pruned}")
+    if args.output:
+        print(f"bicliques written to {args.output}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from . import bench
+
+    if args.experiment == "all":
+        text = bench.generate_report(scale=args.scale, progress=print)
+        if args.report:
+            with open(args.report, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            print(f"report written to {args.report}")
+        else:
+            print(text)
+        return 0
+    kwargs: dict = {}
+    if args.scale is not None:
+        kwargs["scale"] = args.scale
+    if args.codes:
+        kwargs["codes"] = args.codes
+    experiment = getattr(bench, f"experiment_{args.experiment}")
+    printer = getattr(bench, f"print_{args.experiment}")
+    printer(experiment(**kwargs))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return _cmd_datasets()
+    if args.command == "stats":
+        return _cmd_stats(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
+    if args.command == "figures":
+        from .bench.figures import render_all
+
+        written = render_all(
+            args.out, scale=args.scale, sweep_scale=args.sweep_scale
+        )
+        for path in written:
+            print(path)
+        return 0
+    if args.command == "verify":
+        from .verify import parse_biclique_file, verify_enumeration
+
+        report = verify_enumeration(
+            _load_graph(args.graph),
+            parse_biclique_file(args.bicliques),
+            reference_algorithm=args.reference,
+            deep_check=not args.no_deep,
+        )
+        print(report.summary())
+        return 0 if report.ok else 1
+    return 1  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

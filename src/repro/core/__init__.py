@@ -1,0 +1,57 @@
+"""Core MBE algorithms: the serial baselines (MBEA, iMBEA, PMBE, ooMBEA),
+the parallel CPU baseline (ParMBE), their shared enumeration engine, and
+the brute-force reference oracle."""
+
+from .bicliques import (
+    Biclique,
+    BicliqueCollector,
+    BicliqueCounter,
+    BicliqueSink,
+    BicliqueWriter,
+    Counters,
+    EnumerationResult,
+    verify_biclique,
+)
+from .constrained import constrained_mbe
+from .counting import codegree_histogram, count_bicliques_pq, count_butterflies
+from .engine import EngineOptions, run_engine, run_subtree
+from .imbea import imbea
+from .localcount import LocalCounter, ragged_gather
+from .maximum import OBJECTIVES, maximum_biclique
+from .mbea import mbea
+from .oombea import oombea
+from .parmbe import parmbe
+from .pmbe import pmbe
+from .reference import maximal_biclique_count_reference, reference_mbe
+from .tasks import RootTask, build_root_task
+
+__all__ = [
+    "Biclique",
+    "BicliqueCollector",
+    "BicliqueCounter",
+    "BicliqueSink",
+    "BicliqueWriter",
+    "Counters",
+    "EngineOptions",
+    "EnumerationResult",
+    "LocalCounter",
+    "RootTask",
+    "build_root_task",
+    "codegree_histogram",
+    "constrained_mbe",
+    "count_bicliques_pq",
+    "count_butterflies",
+    "imbea",
+    "OBJECTIVES",
+    "maximal_biclique_count_reference",
+    "maximum_biclique",
+    "mbea",
+    "oombea",
+    "parmbe",
+    "pmbe",
+    "ragged_gather",
+    "reference_mbe",
+    "run_engine",
+    "run_subtree",
+    "verify_biclique",
+]

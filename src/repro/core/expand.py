@@ -1,0 +1,155 @@
+"""Shared node-expansion and maximality-check primitives.
+
+These implement the two halves of the enumeration-node body shared by
+Algorithm 1 (recursive baseline), Algorithm 2 (GMBE's stack iteration),
+and Algorithm 4 (GMBE's kernel):
+
+- *node generation*: split the parent candidate set by each candidate's
+  local neighborhood size against the child's ``L'`` (lines #9–13 of
+  Alg. 2) — vectorized through :class:`repro.core.localcount.LocalCounter`;
+- *maximality check*: ``R' == Γ(L')`` (line #14), realized as a chained
+  sorted intersection with early abort once ``|Γ|`` provably exceeds or
+  matches can no longer hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.bipartite import BipartiteGraph
+from . import sets
+from .bicliques import Counters
+from .localcount import LocalCounter
+
+__all__ = ["Expansion", "expand_node", "gamma", "gamma_matches"]
+
+
+@dataclass
+class Expansion:
+    """Result of one node generation.
+
+    Attributes
+    ----------
+    left:
+        ``L' = L ∩ N(v')`` (sorted U vertices).
+    absorbed:
+        Candidates fully connected to ``L'`` (join ``R'``), in candidate
+        order; includes ``v'`` itself when it is part of ``candidates``.
+    new_candidates:
+        Candidates with ``0 < |N_L'| < |L'|`` (form ``C'``).
+    new_counts:
+        Local neighborhood sizes of ``new_candidates`` against ``L'``.
+    work:
+        Scalar units of gathered adjacency — the cost-model input.
+    """
+
+    left: np.ndarray
+    absorbed: np.ndarray
+    new_candidates: np.ndarray
+    new_counts: np.ndarray
+    work: int
+    #: ``|N(v_c) ∩ L'|`` for *every* input candidate, aligned with the
+    #: ``candidates`` argument — what the local-neighborhood-size pruning
+    #: rule (§4.2) compares against the parent's counts.
+    all_counts: np.ndarray | None = None
+
+
+def expand_node(
+    graph: BipartiteGraph,
+    counter: LocalCounter,
+    left: np.ndarray,
+    v_prime: int,
+    candidates: np.ndarray,
+    counters: Counters | None = None,
+) -> Expansion:
+    """Generate the child node reached by traversing ``v_prime``.
+
+    ``candidates`` must contain the candidates to classify (conventionally
+    still including ``v_prime``; it will then land in ``absorbed``).
+    """
+    n_vp = graph.neighbors_v(v_prime)
+    new_left = sets.intersect(left, n_vp)
+    work = len(left) + len(n_vp)
+    if len(new_left) == 0:
+        empty = np.empty(0, dtype=candidates.dtype)
+        if counters is not None:
+            counters.charge(len(left), len(n_vp))
+        return Expansion(
+            new_left,
+            empty,
+            empty,
+            np.empty(0, dtype=np.int64),
+            work,
+            all_counts=np.zeros(len(candidates), dtype=np.int64),
+        )
+    counter.set_left(new_left)
+    if counters is not None:
+        counters.charge(len(left), len(n_vp))
+        counters.charge(len(new_left), 0)  # stamping L'
+    counts, gathered = counter.counts(candidates, counters)
+    work += gathered + len(new_left)
+    full = counts == len(new_left)
+    partial = (counts > 0) & ~full
+    return Expansion(
+        left=new_left,
+        absorbed=candidates[full],
+        new_candidates=candidates[partial],
+        new_counts=counts[partial],
+        work=work,
+        all_counts=counts,
+    )
+
+
+def gamma(
+    graph: BipartiteGraph, left: np.ndarray, counters: Counters | None = None
+) -> np.ndarray:
+    """``Γ(L)`` — the common V-neighborhood of all vertices in ``left``."""
+    if len(left) == 0:
+        return np.arange(graph.n_v, dtype=np.int32)
+    # Start from the smallest adjacency list to keep intermediates tight.
+    degs = graph.u_indptr[np.asarray(left) + 1] - graph.u_indptr[np.asarray(left)]
+    order = np.argsort(degs, kind="stable")
+    acc = graph.neighbors_u(int(left[order[0]]))
+    for i in order[1:]:
+        nbrs = graph.neighbors_u(int(left[i]))
+        if counters is not None:
+            counters.charge(len(acc), len(nbrs))
+        acc = sets.intersect(acc, nbrs)
+        if len(acc) == 0:
+            break
+    return acc
+
+
+def gamma_matches(
+    graph: BipartiteGraph,
+    left: np.ndarray,
+    right_size: int,
+    counters: Counters | None = None,
+) -> bool:
+    """Whether ``|Γ(left)| == right_size`` — the Alg. 2 maximality check.
+
+    ``R' ⊆ Γ(L')`` always holds for nodes built by :func:`expand_node`, so
+    equality of sizes is equality of sets.  Aborts the intersection chain
+    as soon as ``|Γ|`` drops below ``right_size``.
+    """
+    if len(left) == 0:
+        return right_size == graph.n_v
+    # Seed the chain from the smallest adjacency list (cheapest pivot),
+    # then sweep the rest in natural order with early abort.
+    degs = graph.u_indptr[left + 1] - graph.u_indptr[left]
+    first = int(np.argmin(degs))
+    acc = graph.neighbors_u(int(left[first]))
+    if len(acc) < right_size:
+        return False
+    for i in range(len(left)):
+        if i == first:
+            continue
+        nbrs = graph.neighbors_u(int(left[i]))
+        if counters is not None:
+            counters.charge(len(acc), len(nbrs))
+        acc = sets.intersect(acc, nbrs)
+        if len(acc) < right_size:
+            return False
+    return len(acc) == right_size

@@ -1,0 +1,98 @@
+"""Vectorized local-neighborhood counting.
+
+The inner loop of every MBE node expansion is: *for each candidate
+``v_c ∈ C``, how many vertices of ``N(v_c)`` fall inside the current
+``L``?*  (the paper's *local neighborhood size*, §4.2).  Done naively this
+is ``|C|`` separate set intersections; done here it is one ragged CSR
+gather plus a ``reduceat`` — the numpy equivalent of the warp-parallel
+counting a GPU performs, and the main reason the Python reproduction can
+enumerate tens of thousands of bicliques per second.
+
+The membership test uses a *version-stamped* array over U: marking ``L``
+costs ``O(|L|)`` and never needs clearing, so per-node overhead stays
+proportional to actual work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.bipartite import BipartiteGraph
+
+__all__ = ["LocalCounter", "ragged_gather"]
+
+
+def ragged_gather(
+    indptr: np.ndarray, indices: np.ndarray, rows: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate CSR rows ``rows`` into one flat array.
+
+    Returns ``(flat, lengths)`` where ``flat`` is the concatenation of
+    ``indices[indptr[r]:indptr[r+1]]`` for each ``r`` in order and
+    ``lengths[i]`` is the length of row ``rows[i]``.
+    """
+    starts = indptr[rows]
+    lengths = (indptr[rows + 1] - starts).astype(np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=indices.dtype), lengths
+    # Standard ragged-range construction: for each row an arithmetic ramp
+    # starting at `starts[i]`, all packed into one flat index vector.
+    offsets = np.cumsum(lengths) - lengths
+    flat_pos = np.arange(total, dtype=np.int64)
+    flat_pos += np.repeat(starts - offsets, lengths)
+    return indices[flat_pos], lengths
+
+
+class LocalCounter:
+    """Counts ``|N(v_c) ∩ L|`` for whole candidate batches at once.
+
+    One instance is bound to a graph side; it owns the stamp array over
+    that side's *opposite* vertices (the members of ``L``).
+    """
+
+    def __init__(self, graph: BipartiteGraph) -> None:
+        self._graph = graph
+        self._stamp = np.zeros(graph.n_u, dtype=np.int64)
+        self._version = 0
+        self._l_size = 0
+
+    def set_left(self, left: np.ndarray) -> None:
+        """Declare the current ``L`` (array of U vertices)."""
+        self._version += 1
+        self._stamp[left] = self._version
+        self._l_size = len(left)
+
+    @property
+    def left_size(self) -> int:
+        return self._l_size
+
+    def counts(
+        self, candidates: np.ndarray, counters=None
+    ) -> tuple[np.ndarray, int]:
+        """``|N(v_c) ∩ L|`` for every candidate, plus total gathered work.
+
+        The second return value is the summed adjacency length — the raw
+        work the SIMT cost model charges for this pass.  When ``counters``
+        is given, the pass is charged to it as a ragged warp operation.
+        """
+        g = self._graph
+        if len(candidates) == 0:
+            return np.empty(0, dtype=np.int64), 0
+        flat, lengths = ragged_gather(g.v_indptr, g.v_indices, candidates)
+        if counters is not None:
+            counters.charge_ragged(lengths)
+        if len(flat) == 0:
+            return np.zeros(len(candidates), dtype=np.int64), 0
+        hits = self._stamp[flat] == self._version
+        # Segment sums via prefix-sum differencing: robust to zero-length
+        # rows, unlike np.add.reduceat.
+        csum = np.zeros(len(flat) + 1, dtype=np.int64)
+        np.cumsum(hits, out=csum[1:])
+        ends = np.cumsum(lengths)
+        counts = csum[ends] - csum[ends - lengths]
+        return counts, int(len(flat))
+
+    def membership(self, vertices: np.ndarray) -> np.ndarray:
+        """Boolean mask: which of ``vertices`` (U side) are in ``L``."""
+        return self._stamp[vertices] == self._version

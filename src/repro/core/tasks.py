@@ -1,0 +1,93 @@
+"""Per-vertex root-task construction (Alg. 3 / Alg. 4 lines #7–13).
+
+Both ParMBE and GMBE decompose the problem into one independent task per
+V-vertex ``v_s``: the subtree rooted at the closure of ``{v_s}``, with
+candidates drawn from the *later-ordered* 2-hop neighborhood.  A task is
+dropped when ``v_s`` is not the smallest vertex of its ``R`` — the
+cross-task deduplication rule — so each maximal biclique belongs to
+exactly one task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.bipartite import BipartiteGraph
+from .bicliques import Counters
+from .localcount import LocalCounter, ragged_gather
+
+__all__ = ["RootTask", "build_root_task"]
+
+
+@dataclass
+class RootTask:
+    """Root node of one per-vertex subtree.
+
+    ``(left, right)`` is itself a maximal biclique (the closure of
+    ``{v_s}``), reported by the executor exactly when the task survives
+    deduplication.  ``work`` is the scalar cost of building the task.
+    """
+
+    v_s: int
+    left: np.ndarray
+    right: np.ndarray
+    cands: np.ndarray
+    counts: np.ndarray
+    work: int
+
+    def estimated_height(self) -> int:
+        """Tree-height estimate ``min(|L|, |C|)`` from §4.3."""
+        return min(len(self.left), len(self.cands))
+
+    def estimated_size(self) -> int:
+        """Tree-size estimate ``min(|L|, |C|) · |C|`` from §4.3."""
+        return self.estimated_height() * len(self.cands)
+
+
+def build_root_task(
+    graph: BipartiteGraph,
+    counter: LocalCounter,
+    v_s: int,
+    counters: Counters | None = None,
+) -> RootTask | None:
+    """Build the root task for ``v_s``; ``None`` if empty or deduplicated.
+
+    The returned task's ``right`` is the closure ``Γ(N(v_s))`` restricted
+    per Alg. 3: every 2-hop neighbor fully connected to ``L_s`` joins
+    ``R_s`` regardless of order, so ``R_s == Γ(L_s)`` by construction and
+    the survival test is simply ``min(R_s) == v_s``.
+    """
+    left = graph.neighbors_v(v_s)
+    if len(left) == 0:
+        return None
+    # N2(v_s): V-vertices sharing a U-neighbor with v_s.
+    flat, hop_lengths = ragged_gather(
+        graph.u_indptr, graph.u_indices, left.astype(np.int64)
+    )
+    work = int(len(flat))
+    two_hop = np.unique(flat)
+    two_hop = two_hop[two_hop != v_s]
+    counter.set_left(left)
+    if counters is not None:
+        counters.charge_ragged(hop_lengths)
+        counters.charge(len(left), 0)  # stamping L_s
+    counts, gathered = counter.counts(two_hop, counters)
+    work += gathered + len(left)
+    full = counts == len(left)
+    absorbed = two_hop[full]
+    if len(absorbed) and int(absorbed[0]) < v_s:
+        return None  # a smaller vertex owns this biclique's task
+    right = np.concatenate(
+        [absorbed[absorbed < v_s], [np.int32(v_s)], absorbed[absorbed >= v_s]]
+    ).astype(np.int32)
+    later_partial = (counts > 0) & ~full & (two_hop > v_s)
+    return RootTask(
+        v_s=v_s,
+        left=left,
+        right=right,
+        cands=two_hop[later_partial].astype(np.int32),
+        counts=counts[later_partial],
+        work=work,
+    )

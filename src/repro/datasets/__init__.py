@@ -1,0 +1,20 @@
+"""Offline synthetic analogs of the paper's 12 evaluation datasets."""
+
+from .paper_stats import PAPER_MAX_BICLIQUES, PAPER_TABLE1
+from .registry import (
+    DATASET_ORDER,
+    DATASETS,
+    LARGE_DATASETS,
+    DatasetSpec,
+    load,
+)
+
+__all__ = [
+    "DATASETS",
+    "DATASET_ORDER",
+    "DatasetSpec",
+    "LARGE_DATASETS",
+    "PAPER_MAX_BICLIQUES",
+    "PAPER_TABLE1",
+    "load",
+]

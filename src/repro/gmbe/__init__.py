@@ -1,0 +1,29 @@
+"""GMBE — the paper's contribution.
+
+- :class:`NodeBuffer` — stack-based iteration with node reuse (§4.1);
+- local-neighborhood-size pruning (§4.2), built into the buffer;
+- :func:`gmbe_host` — sequential execution (correctness anchor);
+- :func:`gmbe_gpu` — load-aware task-centric execution on the simulated
+  GPU (§4.3, Alg. 4), including the GMBE-WARP / GMBE-BLOCK variants and
+  multi-GPU scaling.
+"""
+
+from .cluster import ClusterSpec, gmbe_cluster
+from .config import DEFAULT_CONFIG, GMBEConfig
+from .host import gmbe_host, run_task_with_node_buffer
+from .kernel import SubtreeTask, gmbe_gpu
+from .node_buffer import INF_DEPTH, NodeBuffer, PushOutcome
+
+__all__ = [
+    "ClusterSpec",
+    "DEFAULT_CONFIG",
+    "GMBEConfig",
+    "INF_DEPTH",
+    "NodeBuffer",
+    "PushOutcome",
+    "SubtreeTask",
+    "gmbe_cluster",
+    "gmbe_gpu",
+    "gmbe_host",
+    "run_task_with_node_buffer",
+]

@@ -1,0 +1,63 @@
+"""GMBE configuration.
+
+Default values follow the paper's §6.1 *Measures*: ``bound_height = 20``,
+``bound_size = 1500``, ``WarpPerSM = 16``, V sorted by ascending degree.
+The Fig. 10 / Fig. 11 sensitivity benchmarks sweep these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["GMBEConfig", "DEFAULT_CONFIG"]
+
+
+@dataclass(frozen=True)
+class GMBEConfig:
+    """Tuning knobs of the GMBE kernel (§4.2–§4.3).
+
+    Attributes
+    ----------
+    bound_height:
+        Split a task when its estimated tree height ``min(|L|, |C|)``
+        exceeds this (and the size bound also trips).
+    bound_size:
+        Split a task when its estimated node count ``min(|L|,|C|)·|C|``
+        exceeds this (and the height bound also trips).
+    warps_per_sm:
+        Persistent-thread warps resident per SM (*WarpPerSM*).
+    prune:
+        Local-neighborhood-size pruning (§4.2); the GMBE-w/o_PRUNE
+        variant of Fig. 8 / Table 2 turns it off.
+    scheduling:
+        ``"task"`` (load-aware task-centric, the paper's GMBE),
+        ``"warp"`` (GMBE-WARP: one enumeration tree per warp), or
+        ``"block"`` (GMBE-BLOCK: one tree per thread block).
+    node_reuse:
+        Memory accounting mode: node-reuse buffers (§4.1) vs the
+        pre-allocated per-subtree layout of §3.1 (GMBE-w/o_REUSE).
+        Enumeration behaviour is identical; only the modeled GPU memory
+        demand differs (Fig. 7).
+    """
+
+    bound_height: int = 20
+    bound_size: int = 1500
+    warps_per_sm: int = 16
+    prune: bool = True
+    scheduling: str = "task"
+    node_reuse: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bound_height <= 0 or self.bound_size <= 0:
+            raise ValueError("bounds must be positive")
+        if self.warps_per_sm <= 0:
+            raise ValueError("warps_per_sm must be positive")
+        if self.scheduling not in ("task", "warp", "block"):
+            raise ValueError(f"unknown scheduling {self.scheduling!r}")
+
+    def with_(self, **changes) -> "GMBEConfig":
+        """Functional update, e.g. ``cfg.with_(prune=False)``."""
+        return replace(self, **changes)
+
+
+DEFAULT_CONFIG = GMBEConfig()

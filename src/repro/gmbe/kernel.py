@@ -1,0 +1,252 @@
+"""GMBE on the simulated GPU — Alg. 4 end to end.
+
+:func:`gmbe_gpu` runs the *actual* enumeration (every set operation is
+executed for real, so the bicliques are exact) while a discrete-event
+persistent-thread simulation decides *when* each piece of work runs and
+*how long* it takes in modeled warp-steps.  The three scheduling schemes
+of the paper are supported:
+
+- ``"task"``  — load-aware task-centric GMBE: oversized tasks
+  (``min(|L|,|C|) > bound_height`` **and** ``min(|L|,|C|)·|C| >
+  bound_size``) are split one level and re-enqueued on the two-level
+  queues; dequeued children pay the Alg. 4 line #16 maximality check.
+- ``"warp"``  — GMBE-WARP: one whole enumeration tree per warp.
+- ``"block"`` — GMBE-BLOCK: one tree per thread block; the block's
+  warps cooperate on the data-parallel portion of each node.
+
+Returned ``sim_time`` is simulated seconds on the given device(s);
+``extras`` carries the scheduler report, per-GPU times, active-SM
+timeline recorders, queue statistics, and the modeled warp execution
+efficiency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..core import sets
+from ..core.bicliques import (
+    BicliqueCounter,
+    BicliqueSink,
+    Counters,
+    EnumerationResult,
+)
+from ..core.expand import expand_node, gamma_matches
+from ..core.localcount import LocalCounter
+from ..core.runner import relabeling_sink
+from ..core.tasks import build_root_task
+from ..graph.bipartite import BipartiteGraph
+from ..graph.preprocess import prepare
+from ..gpusim.device import A100, DeviceSpec
+from ..gpusim.scheduler import ExecOutcome, PersistentThreadScheduler
+from .config import DEFAULT_CONFIG, GMBEConfig
+from .host import run_task_with_node_buffer
+
+__all__ = ["SubtreeTask", "gmbe_gpu"]
+
+
+@dataclass
+class SubtreeTask:
+    """A queued enumeration-tree task (root of one subtree).
+
+    Field names intentionally match :class:`repro.core.tasks.RootTask`
+    so :func:`run_task_with_node_buffer` accepts either.
+    """
+
+    left: np.ndarray
+    right: np.ndarray
+    cands: np.ndarray
+    counts: np.ndarray
+    #: split children must re-verify ``R == Γ(L)`` at dequeue time
+    needs_check: bool = False
+
+    def estimated_height(self) -> int:
+        return min(len(self.left), len(self.cands))
+
+    def estimated_size(self) -> int:
+        return self.estimated_height() * len(self.cands)
+
+
+def _should_split(task, config: GMBEConfig) -> bool:
+    return (
+        config.scheduling == "task"
+        and task.estimated_height() > config.bound_height
+        and task.estimated_size() > config.bound_size
+    )
+
+
+def gmbe_gpu(
+    graph: BipartiteGraph,
+    sink: BicliqueSink | None = None,
+    *,
+    config: GMBEConfig = DEFAULT_CONFIG,
+    device: DeviceSpec = A100,
+    n_gpus: int = 1,
+    relabel: bool = True,
+    local_queue_capacity: int = 64,
+    root_pull_surcharges: list[float] | None = None,
+) -> EnumerationResult:
+    """Enumerate all maximal bicliques with GMBE on simulated GPUs.
+
+    Parameters
+    ----------
+    graph:
+        Input bipartite graph (any labeling; preprocessing per §5).
+    sink:
+        Optional ``sink(L, R)`` receiving every maximal biclique.
+    config:
+        GMBE knobs (bounds, WarpPerSM, pruning, scheduling scheme).
+    device:
+        Simulated GPU model; its ``warps_per_sm`` is overridden by
+        ``config.warps_per_sm``.
+    n_gpus:
+        Device count; the root counter is shared (atomicInc_system, §5)
+        while task queues stay per-device.
+    root_pull_surcharges:
+        Optional per-GPU extra cycles on every shared-counter pull —
+        the hook :func:`repro.gmbe.cluster.gmbe_cluster` uses to model
+        cross-machine atomics in the distributed extension.
+    """
+    if n_gpus <= 0:
+        raise ValueError("n_gpus must be positive")
+    prepared = prepare(graph, order="degree")
+    g = prepared.graph
+    dev = device.with_(warps_per_sm=config.warps_per_sm)
+    counting = BicliqueCounter()
+    inner = None if sink is None else (
+        relabeling_sink(prepared, sink) if relabel else sink
+    )
+
+    def emit(left: np.ndarray, right: np.ndarray) -> None:
+        counting(left, right)
+        if inner is not None:
+            inner(left, right)
+
+    master = Counters()
+    counter = LocalCounter(g)
+    efficiency = dev.warp_efficiency()
+
+    if config.scheduling == "block":
+        units_per_sm = 1
+        k = dev.warps_per_sm
+        f = dev.block_parallel_fraction
+
+        def duration(c: Counters) -> float:
+            data = c.simt_cycles * ((1.0 - f) + f / k)
+            serial = dev.node_overhead_cycles * max(c.nodes_generated, 1)
+            return (data + serial) / efficiency
+
+    else:
+        units_per_sm = dev.warps_per_sm
+
+        def duration(c: Counters) -> float:
+            data = c.simt_cycles
+            serial = dev.node_overhead_cycles * max(c.nodes_generated, 1)
+            return (data + serial) / efficiency
+
+    def root_source() -> Iterator[tuple[float, SubtreeTask | None]]:
+        for v_s in range(g.n_v):
+            c = Counters()
+            task = build_root_task(g, counter, v_s, c)
+            cycles = duration(c)
+            if task is None:
+                master.merge(c)
+                yield cycles, None
+                continue
+            c.maximal += 1
+            master.merge(c)
+            emit(task.left, task.right)
+            yield cycles, SubtreeTask(
+                left=task.left,
+                right=task.right,
+                cands=task.cands,
+                counts=task.counts,
+                needs_check=False,
+            )
+
+    def execute(task: SubtreeTask, _device_id: int) -> ExecOutcome:
+        c = Counters()
+        base = 0.0
+        if task.needs_check:
+            ok = gamma_matches(g, task.left, len(task.right), c)
+            if ok:
+                c.maximal += 1
+                emit(task.left, task.right)
+            else:
+                c.non_maximal += 1
+                master.merge(c)
+                return ExecOutcome(cycles=duration(c))
+            base = duration(c)
+        if _should_split(task, config):
+            children: list[tuple[float, SubtreeTask]] = []
+            elapsed = base
+            remaining = task.cands
+            remaining_counts = task.counts
+            while len(remaining):
+                gen = Counters()
+                v_t = int(remaining[0])
+                exp = expand_node(g, counter, task.left, v_t, remaining, gen)
+                gen.nodes_generated += 1
+                child = SubtreeTask(
+                    left=exp.left,
+                    right=sets.union(task.right, exp.absorbed),
+                    cands=exp.new_candidates,
+                    counts=exp.new_counts,
+                    needs_check=True,
+                )
+                elapsed += duration(gen) + dev.local_queue_cycles
+                children.append((elapsed, child))
+                c.merge(gen)
+                if config.prune:
+                    # §4.2 applies at split nodes too: siblings whose
+                    # local neighborhood size is unchanged by this
+                    # child's L' can only yield non-maximal nodes.
+                    changed = exp.all_counts[1:] != remaining_counts[1:]
+                    c.pruned += int(len(changed) - np.count_nonzero(changed))
+                    remaining = remaining[1:][changed]
+                    remaining_counts = remaining_counts[1:][changed]
+                else:
+                    remaining = remaining[1:]
+                    remaining_counts = remaining_counts[1:]
+            master.merge(c)
+            return ExecOutcome(cycles=elapsed, children=children)
+        run_task_with_node_buffer(
+            g, counter, task, emit, c, prune=config.prune
+        )
+        master.merge(c)
+        return ExecOutcome(cycles=base + duration(c))
+
+    scheduler = PersistentThreadScheduler(
+        devices=[dev] * n_gpus,
+        units_per_sm=units_per_sm,
+        root_source=root_source(),
+        execute=execute,
+        local_queue_capacity=local_queue_capacity,
+        root_pull_surcharges=root_pull_surcharges,
+    )
+    report = scheduler.run()
+    sim_seconds = dev.cycles_to_seconds(report.makespan_cycles)
+    lane_util = (
+        master.set_op_work / (32.0 * master.simt_cycles)
+        if master.simt_cycles
+        else 0.0
+    )
+    return EnumerationResult(
+        n_maximal=counting.count,
+        counters=master,
+        sim_time=sim_seconds,
+        extras={
+            "report": report,
+            "device": dev,
+            "n_gpus": n_gpus,
+            "per_gpu_seconds": [
+                dev.cycles_to_seconds(t) for t in report.per_device_cycles
+            ],
+            "queue_stats": report.queue_stats,
+            "warp_efficiency": lane_util,
+            "units_per_sm": units_per_sm,
+        },
+    )

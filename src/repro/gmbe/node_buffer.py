@@ -1,0 +1,257 @@
+"""The node-reuse ``node_buf`` structure (paper §4.1, Alg. 2, Fig. 5).
+
+One :class:`NodeBuffer` holds an entire subtree traversal in a fixed
+region: the root node's ``L_r``/``R_r``/``C_r`` plus a per-vertex *depth*
+field, per-candidate *local neighborhood size*, and the traversed-vertex
+stack.  ``push``/``pop`` derive every descendant node in place, so the
+modeled GPU footprint is ``3·Δ(V) + 2·Δ2(V)`` words per concurrent
+procedure instead of ``Δ(V)·(Δ(V)+Δ2(V))`` (§3.1) — the 49×–4,819×
+saving of Fig. 7.
+
+Candidate states (one int per candidate in ``C_r``):
+
+- ``INF``   — currently a candidate;
+- ``d ≥ 1`` — joined ``R`` at depth ``d`` (still there at depths ≥ d);
+- ``-d``    — excluded while the node at depth ``d-1`` is active
+  (traversed there, dropped to zero local neighbors, or pruned by the
+  §4.2 rule); restored to candidate when that node pops.
+
+Root vertices of ``L_r ∪ R_r`` carry depth 0; the root's ``R_r`` never
+changes, so only candidates track membership transitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graph.bipartite import BipartiteGraph
+from ..core.bicliques import Counters
+from ..core.expand import gamma_matches
+from ..core.localcount import LocalCounter
+
+__all__ = ["NodeBuffer", "INF_DEPTH", "PushOutcome"]
+
+#: Sentinel depth for "still a candidate" (the paper's ∞).
+INF_DEPTH = np.iinfo(np.int64).max
+
+
+@dataclass
+class _Frame:
+    """Per-depth undo log — what a ``pop`` must revert."""
+
+    traversed_idx: int
+    #: candidate indices whose nls changed, with prior values
+    nls_undo_idx: np.ndarray
+    nls_undo_val: np.ndarray
+    #: candidate indices to exclude at the parent once this node pops
+    pending_prune: np.ndarray
+    #: number of candidates that joined R at this depth
+    joined: int
+    maximal: bool = field(default=False)
+
+
+@dataclass
+class PushOutcome:
+    """What :meth:`NodeBuffer.push` reports about the new node."""
+
+    maximal: bool
+    left_size: int
+    right_size: int
+    n_candidates: int
+    work: int
+
+
+class NodeBuffer:
+    """Reusable enumeration node for one subtree (see module docs).
+
+    Parameters mirror a root task: ``left = L_r``, ``right = R_r``,
+    ``cands = C_r`` with ``counts`` their local neighborhood sizes
+    against ``L_r``.
+    """
+
+    def __init__(
+        self,
+        graph: BipartiteGraph,
+        counter: LocalCounter,
+        left: np.ndarray,
+        right: np.ndarray,
+        cands: np.ndarray,
+        counts: np.ndarray,
+        *,
+        prune: bool = True,
+        counters: Counters | None = None,
+    ) -> None:
+        self._graph = graph
+        self._counter = counter
+        self._prune = prune
+        self.counters = counters if counters is not None else Counters()
+        self.left_root = np.asarray(left, dtype=np.int32)
+        self.right_root = np.asarray(right, dtype=np.int32)
+        self.cands_root = np.asarray(cands, dtype=np.int32)
+        self.depth_l = np.zeros(len(self.left_root), dtype=np.int64)
+        self.cand_state = np.full(len(self.cands_root), INF_DEPTH, dtype=np.int64)
+        self.nls = np.asarray(counts, dtype=np.int64).copy()
+        self._frames: list[_Frame] = []
+        self._right_size = len(self.right_root)
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Depth of the current node (root task = 0)."""
+        return len(self._frames)
+
+    def current_left(self) -> np.ndarray:
+        """``L`` of the current node."""
+        return self.left_root[self.depth_l == self.depth]
+
+    def current_right(self) -> np.ndarray:
+        """``R`` of the current node (sorted)."""
+        joined = self.cands_root[
+            (self.cand_state >= 1) & (self.cand_state <= self.depth)
+        ]
+        return np.sort(np.concatenate([self.right_root, joined]))
+
+    def candidate_indices(self) -> np.ndarray:
+        """Indices (into ``C_r``) of the current node's candidates."""
+        return np.nonzero(self.cand_state == INF_DEPTH)[0]
+
+    def next_candidate(self) -> int | None:
+        """Index of the smallest-id untraversed candidate, or ``None``.
+
+        ``C_r`` is id-sorted, so the first ``INF`` slot is the smallest —
+        Alg. 2 line #6.
+        """
+        if len(self.cand_state) == 0:
+            return None
+        idx = np.argmax(self.cand_state == INF_DEPTH)
+        if self.cand_state[idx] != INF_DEPTH:
+            return None
+        return int(idx)
+
+    # ------------------------------------------------------------------
+    def push(self, cand_idx: int) -> PushOutcome:
+        """Traverse candidate ``cand_idx``, deriving the child in place.
+
+        Performs node generation (Alg. 2 lines #8–13), the §4.2 pruning
+        bookkeeping, and the maximality check (line #14).  The child
+        becomes the current node whether or not it is maximal; callers
+        that see ``maximal == False`` must :meth:`pop` immediately
+        (the paper never descends into non-maximal nodes).
+        """
+        if self.cand_state[cand_idx] != INF_DEPTH:
+            raise ValueError("push target is not a current candidate")
+        graph = self._graph
+        new_depth = self.depth + 1
+        v_prime = int(self.cands_root[cand_idx])
+        cur_left = self.current_left()
+        n_vp = graph.neighbors_v(v_prime)
+        work = len(cur_left) + len(n_vp)
+
+        # L' membership: stamp N(v') and test current L against it.
+        self._counter.set_left(n_vp.astype(np.int64))
+        in_new_left = self._counter.membership(cur_left)
+        new_left = cur_left[in_new_left]
+        self.counters.charge(len(cur_left), len(n_vp))
+        # Candidates before the state update; v' is among them.
+        cand_idxs = self.candidate_indices()
+        self._counter.set_left(new_left)
+        self.counters.charge(len(new_left), 0)  # stamping L'
+        counts, gathered = self._counter.counts(
+            self.cands_root[cand_idxs].astype(np.int64), self.counters
+        )
+        work += gathered + len(new_left)
+        self.counters.nodes_generated += 1
+
+        old_nls = self.nls[cand_idxs]
+        full = counts == len(new_left)
+        dropped = counts == 0
+        unchanged = counts == old_nls
+
+        # Depth updates: L' members advance to the child's depth.
+        left_global = np.nonzero(self.depth_l == self.depth)[0][in_new_left]
+        self.depth_l[left_global] = new_depth
+        # Fully-connected candidates (v' included) join R at this depth.
+        joined_idx = cand_idxs[full]
+        self.cand_state[joined_idx] = new_depth
+        # Zero-local-neighborhood candidates leave C while the *child* is
+        # active (they remain candidates at the parent): marker
+        # -(new_depth + 1) is lifted by the child's own pop.
+        self.cand_state[cand_idxs[dropped]] = -(new_depth + 1)
+        # nls undo log + update for surviving candidates.
+        changed = counts != old_nls
+        undo_idx = cand_idxs[changed]
+        undo_val = old_nls[changed]
+        self.nls[cand_idxs] = counts
+
+        # §4.2 pruning: siblings with unchanged |N_L| will be excluded at
+        # the parent as soon as this child pops (Thm 4.1).
+        if self._prune:
+            prune_mask = unchanged & (cand_idxs != cand_idx)
+            pending = cand_idxs[prune_mask]
+        else:
+            pending = np.empty(0, dtype=np.int64)
+
+        self._right_size += int(len(joined_idx))
+        maximal = gamma_matches(
+            graph, new_left, self._right_size, self.counters
+        )
+        if maximal:
+            self.counters.maximal += 1
+        else:
+            self.counters.non_maximal += 1
+        self._frames.append(
+            _Frame(
+                traversed_idx=cand_idx,
+                nls_undo_idx=undo_idx,
+                nls_undo_val=undo_val,
+                pending_prune=pending,
+                joined=int(len(joined_idx)),
+                maximal=maximal,
+            )
+        )
+        if len(self._frames) > self.counters.peak_stack_depth:
+            self.counters.peak_stack_depth = len(self._frames)
+        n_cands = int(np.count_nonzero(self.cand_state == INF_DEPTH))
+        return PushOutcome(
+            maximal=maximal,
+            left_size=len(new_left),
+            right_size=self._right_size,
+            n_candidates=n_cands,
+            work=work,
+        )
+
+    def pop(self) -> None:
+        """Backtrack to the parent node, undoing the last push."""
+        if not self._frames:
+            raise IndexError("pop from root node")
+        depth = self.depth
+        frame = self._frames.pop()
+        # L members restored.
+        self.depth_l[self.depth_l == depth] = depth - 1
+        # Candidates that joined R here become candidates again...
+        self.cand_state[self.cand_state == depth] = INF_DEPTH
+        # ...and exclusions made while this node was active are lifted.
+        self.cand_state[self.cand_state == -(depth + 1)] = INF_DEPTH
+        # nls reverts to the parent's values.
+        self.nls[frame.nls_undo_idx] = frame.nls_undo_val
+        # The traversed vertex leaves C at the parent; pruned siblings too.
+        self.cand_state[frame.traversed_idx] = -depth
+        if len(frame.pending_prune):
+            still = self.cand_state[frame.pending_prune] == INF_DEPTH
+            pruned = frame.pending_prune[still]
+            self.cand_state[pruned] = -depth
+            self.counters.pruned += int(len(pruned))
+        self._right_size -= frame.joined
+
+    # ------------------------------------------------------------------
+    def memory_words(self) -> int:
+        """Modeled GPU words held by this buffer (§4.1 accounting).
+
+        ``|L_r|`` ids + ``|L_r|`` depths + ``|C_r|`` ids + ``|C_r|``
+        states + ``|C_r|`` nls + traversed stack (≤ ``|L_r|``) —
+        the paper's ``3·Δ(V) + 2·Δ2(V)`` bound with ``|L_r| ≤ Δ(V)`` and
+        ``|C_r| ≤ Δ2(V)``.
+        """
+        return 3 * len(self.left_root) + 3 * len(self.cands_root)

@@ -1,0 +1,33 @@
+"""SIMT GPU simulator substrate: device specs, warp-step cost accounting,
+the memory-demand model, two-level task queues, the persistent-thread
+scheduler, and active-SM timelines."""
+
+from .device import A100, DEVICE_PRESETS, RTX2080TI, V100, DeviceSpec
+from .memory import MemoryDemand, MemoryModel
+from .profiler import KernelProfile, profile_run
+from .trace import chrome_trace_events, write_chrome_trace
+from .queues import QueueStats, TwoLevelTaskQueue
+from .scheduler import ExecOutcome, PersistentThreadScheduler, SimReport
+from .timeline import BusyRecorder, active_sm_curve, active_units_curve
+
+__all__ = [
+    "A100",
+    "BusyRecorder",
+    "DEVICE_PRESETS",
+    "DeviceSpec",
+    "ExecOutcome",
+    "KernelProfile",
+    "MemoryDemand",
+    "MemoryModel",
+    "PersistentThreadScheduler",
+    "QueueStats",
+    "RTX2080TI",
+    "SimReport",
+    "TwoLevelTaskQueue",
+    "V100",
+    "active_sm_curve",
+    "active_units_curve",
+    "chrome_trace_events",
+    "profile_run",
+    "write_chrome_trace",
+]

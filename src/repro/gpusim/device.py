@@ -1,0 +1,98 @@
+"""GPU device models.
+
+A :class:`DeviceSpec` captures what the simulator needs from a GPU:
+SM count, resident warps per SM (the PT model's *WarpPerSM*), memory
+capacity, and a clock that converts modeled warp-steps into simulated
+seconds.  Presets mirror the three boards of the paper's Fig. 12 plus
+the 8×V100 machine of Fig. 13.
+
+The per-warp *efficiency derate* models the occupancy trade-off of
+Fig. 11: register/shared-memory pressure grows with resident warps, so
+per-warp throughput falls once WarpPerSM exceeds the sweet spot.  The
+derate curve is a coarse fit to the paper's observation that 16 warps/SM
+is best on most datasets while 32 can win on enumeration-heavy ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["DeviceSpec", "A100", "V100", "RTX2080TI", "DEVICE_PRESETS"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of one simulated GPU."""
+
+    name: str
+    n_sms: int
+    global_mem_bytes: int
+    clock_hz: float
+    #: resident warps per SM under the persistent-thread model
+    warps_per_sm: int = 16
+    #: peak global-memory bandwidth (bytes/second); per-board datasheet
+    mem_bandwidth: float = 1.0e12
+    #: cycles to dequeue/enqueue on the block-local (shared-memory) queue
+    local_queue_cycles: int = 8
+    #: cycles to dequeue/enqueue on the global-memory queue
+    global_queue_cycles: int = 64
+    #: fixed per-enumeration-node instruction overhead, in warp-steps
+    node_overhead_cycles: int = 24
+    #: fraction of a block-wide op that parallelizes across its warps.
+    #: MBE node processing is mostly warp-granular (small sorted-set ops,
+    #: stack bookkeeping, the serial closure chain), so only the candidate
+    #: classification pass spreads across a block's warps — the reason the
+    #: paper finds block-centric scheduling insufficient (§6.3).
+    block_parallel_fraction: float = 0.45
+
+    def __post_init__(self) -> None:
+        if self.n_sms <= 0 or self.warps_per_sm <= 0:
+            raise ValueError("n_sms and warps_per_sm must be positive")
+        if self.clock_hz <= 0:
+            raise ValueError("clock_hz must be positive")
+        if not 0.0 <= self.block_parallel_fraction <= 1.0:
+            raise ValueError("block_parallel_fraction must be in [0, 1]")
+
+    @property
+    def n_warps(self) -> int:
+        """Total resident warps across the device."""
+        return self.n_sms * self.warps_per_sm
+
+    def warp_efficiency(self) -> float:
+        """Per-warp throughput derate at the current occupancy.
+
+        1.0 up to 16 resident warps per SM, then a gentle decline as
+        register pressure forces spills (Fig. 11's trade-off).
+        """
+        if self.warps_per_sm <= 16:
+            return 1.0
+        return max(0.45, 1.0 - 0.022 * (self.warps_per_sm - 16))
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert warp-steps into simulated seconds on this device."""
+        return cycles / self.clock_hz
+
+    def with_(self, **changes) -> "DeviceSpec":
+        """Functional update, e.g. ``A100.with_(warps_per_sm=32)``."""
+        return replace(self, **changes)
+
+
+#: NVIDIA A100: 108 SMs, 40 GB, 1.555 TB/s — the paper's default platform.
+A100 = DeviceSpec(
+    name="A100", n_sms=108, global_mem_bytes=40 * 1024**3, clock_hz=1.41e9,
+    mem_bandwidth=1.555e12,
+)
+
+#: NVIDIA V100: 80 SMs, 32 GB, 0.9 TB/s.
+V100 = DeviceSpec(
+    name="V100", n_sms=80, global_mem_bytes=32 * 1024**3, clock_hz=1.38e9,
+    mem_bandwidth=0.9e12,
+)
+
+#: NVIDIA GeForce RTX 2080 Ti: 68 SMs, 11 GB, 616 GB/s.
+RTX2080TI = DeviceSpec(
+    name="2080Ti", n_sms=68, global_mem_bytes=11 * 1024**3, clock_hz=1.35e9,
+    mem_bandwidth=0.616e12,
+)
+
+DEVICE_PRESETS = {d.name: d for d in (A100, V100, RTX2080TI)}

@@ -1,0 +1,224 @@
+"""Persistent-thread scheduler simulation.
+
+Implements the execution model of Alg. 4 as a discrete-event simulation:
+a fixed set of *units* (warps, or whole blocks for the block-centric
+variant) repeatedly acquire work — first from their device's two-level
+task queue, then from the shared ``processing_v`` atomic counter — until
+both sources are exhausted.  Executing a task may spawn child tasks
+(the load-aware split), which become available to other units at the
+simulated moment their creation finished.
+
+The scheduler is policy-free about *what* a task is: the GMBE kernel
+supplies two callbacks, one producing root tasks from the atomic
+counter and one executing/splitting a task.  All durations are in
+modeled warp-step cycles; devices convert to seconds afterwards.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from .device import DeviceSpec
+from .queues import TwoLevelTaskQueue
+from .timeline import BusyRecorder
+
+__all__ = ["ExecOutcome", "SimUnit", "SimReport", "PersistentThreadScheduler"]
+
+
+@dataclass
+class ExecOutcome:
+    """What executing one task produced.
+
+    ``children`` are ``(cycles_offset, payload)`` pairs: the child became
+    enqueueable ``cycles_offset`` cycles after the task started (its
+    generation pass finished then).
+    """
+
+    cycles: float
+    children: list[tuple[float, Any]] = field(default_factory=list)
+
+
+@dataclass
+class SimUnit:
+    """One schedulable execution unit (a warp, or a block)."""
+
+    unit_id: int
+    device_id: int
+    sm: int
+    #: resident slot within the SM (0..units_per_sm-1); together with
+    #: ``sm`` it forms the device-local key busy intervals are recorded
+    #: under, so timeline grouping by SM works on any device count.
+    slot: int = 0
+    free_at: float = 0.0
+
+    @property
+    def record_key(self) -> int:
+        return self.sm * 10_000 + self.slot
+
+
+@dataclass
+class SimReport:
+    """Aggregate outcome of a kernel simulation (cycle units)."""
+
+    makespan_cycles: float
+    per_device_cycles: list[float]
+    recorders: list[BusyRecorder]
+    queue_stats: list
+    tasks_executed: int
+    tasks_split: int
+
+
+class PersistentThreadScheduler:
+    """Discrete-event persistent-thread execution across devices.
+
+    Parameters
+    ----------
+    devices:
+        One :class:`DeviceSpec` per simulated GPU (all identical for the
+        paper's multi-GPU runs, but heterogeneity is allowed).
+    units_per_sm:
+        Schedulable units per SM (``warps_per_sm`` for warp/task
+        scheduling, 1 for block-centric).
+    root_source:
+        Iterator of ``(cycles, payload | None)``: one pull of the shared
+        atomic counter.  ``None`` payloads are deduplicated/empty tasks
+        whose construction cost is still charged to the pulling unit.
+    execute:
+        ``execute(payload, device_id) -> ExecOutcome``.
+    local_queue_capacity:
+        Capacity of each SM-local queue before spilling to global.
+    """
+
+    def __init__(
+        self,
+        devices: list[DeviceSpec],
+        units_per_sm: int,
+        root_source: Iterator[tuple[float, Any]],
+        execute: Callable[[Any, int], ExecOutcome],
+        *,
+        local_queue_capacity: int = 64,
+        root_pull_surcharges: list[float] | None = None,
+    ) -> None:
+        if not devices:
+            raise ValueError("need at least one device")
+        if root_pull_surcharges is not None and len(root_pull_surcharges) != len(devices):
+            raise ValueError("one root-pull surcharge per device required")
+        self._devices = devices
+        self._root_source = root_source
+        self._execute = execute
+        #: extra cycles a device pays per shared-counter pull — models the
+        #: network round-trip of a *system-wide* atomicInc when devices
+        #: live on different machines (the paper's distributed extension).
+        self._root_surcharges = root_pull_surcharges or [0.0] * len(devices)
+        self._units: list[SimUnit] = []
+        self._unit_sm_width = units_per_sm
+        # Interleave units across SMs and devices (slot-major order): all
+        # persistent warps start pulling the shared atomic counter at the
+        # same instant, so work must spread over every SM of every device
+        # rather than filling SM 0 first.
+        max_sms = max(dev.n_sms for dev in devices)
+        for slot in range(units_per_sm):
+            for sm in range(max_sms):
+                for dev_id, dev in enumerate(devices):
+                    if sm < dev.n_sms:
+                        self._units.append(
+                            SimUnit(
+                                unit_id=len(self._units),
+                                device_id=dev_id,
+                                sm=sm,
+                                slot=slot,
+                            )
+                        )
+        self._queues = [
+            TwoLevelTaskQueue(dev.n_sms, local_capacity=local_queue_capacity)
+            for dev in devices
+        ]
+        self._recorders = [BusyRecorder() for _ in devices]
+        self._roots_done = False
+        self.tasks_executed = 0
+        self.tasks_split = 0
+
+    # ------------------------------------------------------------------
+    def _pull_root(self) -> tuple[float, Any]:
+        """One atomic-counter pull; loops past deduplicated vertices.
+
+        Returns ``(cycles, payload)`` where payload is ``None`` once the
+        counter is exhausted (cycles may still be non-zero: cost of the
+        final unsuccessful pulls).
+        """
+        total = 0.0
+        while True:
+            try:
+                cycles, payload = next(self._root_source)
+            except StopIteration:
+                self._roots_done = True
+                return total, None
+            total += cycles
+            if payload is not None:
+                return total, payload
+
+    def run(self) -> SimReport:
+        """Simulate until all units retire; returns the report."""
+        heap: list[tuple[float, int]] = [(0.0, u.unit_id) for u in self._units]
+        heapq.heapify(heap)
+        while heap:
+            now, unit_id = heapq.heappop(heap)
+            unit = self._units[unit_id]
+            dev = self._devices[unit.device_id]
+            queue = self._queues[unit.device_id]
+            recorder = self._recorders[unit.device_id]
+
+            start = now
+            acquire_cycles = 0.0
+            got = queue.pop_ready(unit.sm, now)
+            payload = None
+            if got is not None:
+                payload, level = got
+                acquire_cycles += (
+                    dev.local_queue_cycles
+                    if level == "local"
+                    else dev.global_queue_cycles
+                )
+            elif not self._roots_done:
+                root_cycles, payload = self._pull_root()
+                acquire_cycles += root_cycles + self._root_surcharges[unit.device_id]
+                if payload is None and root_cycles > 0:
+                    # charge the wasted pulls, then retry the queues
+                    recorder.record(unit.record_key, start, start + acquire_cycles)
+                    unit.free_at = start + acquire_cycles
+                    heapq.heappush(heap, (unit.free_at, unit_id))
+                    continue
+            if payload is None:
+                waiting = queue.pop_earliest(unit.sm)
+                if waiting is None:
+                    continue  # retire this unit
+                payload, avail, level = waiting
+                acquire_cycles += (
+                    dev.local_queue_cycles
+                    if level == "local"
+                    else dev.global_queue_cycles
+                )
+                start = max(now, avail)
+
+            outcome = self._execute(payload, unit.device_id)
+            self.tasks_executed += 1
+            if outcome.children:
+                self.tasks_split += 1
+            end = start + acquire_cycles + outcome.cycles
+            recorder.record(unit.record_key, start, end)
+            for offset, child in outcome.children:
+                avail_time = start + acquire_cycles + offset
+                level = queue.push(unit.sm, avail_time, child)
+            unit.free_at = end
+            heapq.heappush(heap, (end, unit_id))
+        per_device = [rec.makespan() for rec in self._recorders]
+        return SimReport(
+            makespan_cycles=max(per_device, default=0.0),
+            per_device_cycles=per_device,
+            recorders=self._recorders,
+            queue_stats=[q.stats for q in self._queues],
+            tasks_executed=self.tasks_executed,
+            tasks_split=self.tasks_split,
+        )

@@ -1,0 +1,234 @@
+"""Compressed-sparse-row bipartite graph.
+
+The whole reproduction operates on :class:`BipartiteGraph`, an immutable
+CSR representation of a bipartite graph ``G = (U, V, E)``.  Following the
+paper (§5 *Pre-processing*), the convention throughout the library is that
+``V`` is the *enumeration side*: the set-enumeration tree expands subsets
+of ``V`` while ``L ⊆ U`` shrinks.  :func:`repro.graph.preprocess.prepare`
+enforces the paper's "fewer vertices as V" rule and the degree-ascending
+ordering of ``V``.
+
+Vertices on each side are dense integers ``0..n-1``.  Adjacency lists are
+stored sorted ascending, which every set kernel in
+:mod:`repro.core.sets` relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["BipartiteGraph", "EdgeListError"]
+
+
+class EdgeListError(ValueError):
+    """Raised when an edge list cannot form a valid bipartite graph."""
+
+
+def _build_csr(
+    n_src: int, src: np.ndarray, dst: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Build a CSR (indptr, indices) with sorted, deduplicated rows."""
+    order = np.lexsort((dst, src))
+    src = src[order]
+    dst = dst[order]
+    if len(src) > 0:
+        # Drop duplicate (src, dst) pairs: the paper keeps one unique edge
+        # per vertex pair (Table 1 note on MovieLens).
+        keep = np.empty(len(src), dtype=bool)
+        keep[0] = True
+        np.not_equal(src[1:], src[:-1], out=keep[1:])
+        keep[1:] |= dst[1:] != dst[:-1]
+        src = src[keep]
+        dst = dst[keep]
+    counts = np.bincount(src, minlength=n_src)
+    indptr = np.zeros(n_src + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, dst.astype(np.int32, copy=False)
+
+
+@dataclass(frozen=True)
+class BipartiteGraph:
+    """Immutable CSR bipartite graph with both adjacency directions.
+
+    Attributes
+    ----------
+    n_u, n_v:
+        Number of vertices on the U / V side.
+    u_indptr, u_indices:
+        CSR adjacency of U vertices: neighbors (in V) of ``u`` are
+        ``u_indices[u_indptr[u]:u_indptr[u+1]]``, sorted ascending.
+    v_indptr, v_indices:
+        CSR adjacency of V vertices, symmetric to the above.
+    name:
+        Optional human-readable dataset name.
+    """
+
+    n_u: int
+    n_v: int
+    u_indptr: np.ndarray
+    u_indices: np.ndarray
+    v_indptr: np.ndarray
+    v_indices: np.ndarray
+    name: str = field(default="", compare=False)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_edges(
+        n_u: int,
+        n_v: int,
+        edges: Iterable[tuple[int, int]] | np.ndarray,
+        *,
+        name: str = "",
+    ) -> "BipartiteGraph":
+        """Build a graph from ``(u, v)`` pairs.
+
+        Duplicate edges are collapsed; vertex ids must lie in
+        ``[0, n_u)`` × ``[0, n_v)``.
+        """
+        arr = np.asarray(
+            edges if isinstance(edges, np.ndarray) else list(edges),
+            dtype=np.int64,
+        )
+        if arr.size == 0:
+            arr = arr.reshape(0, 2)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise EdgeListError("edges must be an (m, 2) array of (u, v) pairs")
+        if n_u < 0 or n_v < 0:
+            raise EdgeListError("vertex counts must be non-negative")
+        us, vs = arr[:, 0], arr[:, 1]
+        if arr.shape[0] > 0:
+            if us.min() < 0 or us.max() >= n_u:
+                raise EdgeListError(f"u id out of range [0, {n_u})")
+            if vs.min() < 0 or vs.max() >= n_v:
+                raise EdgeListError(f"v id out of range [0, {n_v})")
+        u_indptr, u_indices = _build_csr(n_u, us, vs)
+        v_indptr, v_indices = _build_csr(n_v, vs, us)
+        return BipartiteGraph(
+            n_u=n_u,
+            n_v=n_v,
+            u_indptr=u_indptr,
+            u_indices=u_indices,
+            v_indptr=v_indptr,
+            v_indices=v_indices,
+            name=name,
+        )
+
+    @staticmethod
+    def from_biadjacency(matrix: np.ndarray, *, name: str = "") -> "BipartiteGraph":
+        """Build from a dense 0/1 biadjacency matrix (rows = U, cols = V)."""
+        m = np.asarray(matrix)
+        if m.ndim != 2:
+            raise EdgeListError("biadjacency matrix must be 2-D")
+        us, vs = np.nonzero(m)
+        return BipartiteGraph.from_edges(
+            m.shape[0], m.shape[1], np.column_stack([us, vs]), name=name
+        )
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def n_edges(self) -> int:
+        """Number of unique edges."""
+        return int(self.u_indices.shape[0])
+
+    def neighbors_u(self, u: int) -> np.ndarray:
+        """Sorted neighbors (in V) of U-vertex ``u`` — a CSR view, not a copy."""
+        return self.u_indices[self.u_indptr[u] : self.u_indptr[u + 1]]
+
+    def neighbors_v(self, v: int) -> np.ndarray:
+        """Sorted neighbors (in U) of V-vertex ``v`` — a CSR view, not a copy."""
+        return self.v_indices[self.v_indptr[v] : self.v_indptr[v + 1]]
+
+    def degree_u(self, u: int) -> int:
+        return int(self.u_indptr[u + 1] - self.u_indptr[u])
+
+    def degree_v(self, v: int) -> int:
+        return int(self.v_indptr[v + 1] - self.v_indptr[v])
+
+    @property
+    def degrees_u(self) -> np.ndarray:
+        return np.diff(self.u_indptr)
+
+    @property
+    def degrees_v(self) -> np.ndarray:
+        return np.diff(self.v_indptr)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        nbrs = self.neighbors_u(u)
+        i = int(np.searchsorted(nbrs, v))
+        return i < len(nbrs) and int(nbrs[i]) == v
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate unique edges as ``(u, v)`` pairs."""
+        for u in range(self.n_u):
+            for v in self.neighbors_u(u):
+                yield u, int(v)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def swapped(self) -> "BipartiteGraph":
+        """Return the graph with the U and V sides exchanged."""
+        return BipartiteGraph(
+            n_u=self.n_v,
+            n_v=self.n_u,
+            u_indptr=self.v_indptr,
+            u_indices=self.v_indices,
+            v_indptr=self.u_indptr,
+            v_indices=self.u_indices,
+            name=self.name,
+        )
+
+    def relabeled(
+        self,
+        u_perm: Sequence[int] | np.ndarray | None = None,
+        v_perm: Sequence[int] | np.ndarray | None = None,
+    ) -> "BipartiteGraph":
+        """Relabel vertices: new id of old U-vertex ``u`` is ``u_perm[u]``.
+
+        Either permutation may be ``None`` (identity).  Adjacency lists are
+        re-sorted under the new labels.
+        """
+        up = (
+            np.arange(self.n_u, dtype=np.int64)
+            if u_perm is None
+            else np.asarray(u_perm, dtype=np.int64)
+        )
+        vp = (
+            np.arange(self.n_v, dtype=np.int64)
+            if v_perm is None
+            else np.asarray(v_perm, dtype=np.int64)
+        )
+        if sorted(up.tolist()) != list(range(self.n_u)):
+            raise EdgeListError("u_perm is not a permutation of 0..n_u-1")
+        if sorted(vp.tolist()) != list(range(self.n_v)):
+            raise EdgeListError("v_perm is not a permutation of 0..n_v-1")
+        us = np.repeat(np.arange(self.n_u, dtype=np.int64), self.degrees_u)
+        vs = self.u_indices.astype(np.int64)
+        return BipartiteGraph.from_edges(
+            self.n_u,
+            self.n_v,
+            np.column_stack([up[us], vp[vs]]),
+            name=self.name,
+        )
+
+    def to_biadjacency(self) -> np.ndarray:
+        """Dense 0/1 biadjacency matrix (rows = U).  Small graphs only."""
+        m = np.zeros((self.n_u, self.n_v), dtype=np.int8)
+        us = np.repeat(np.arange(self.n_u), self.degrees_u)
+        m[us, self.u_indices] = 1
+        return m
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tag = f" {self.name!r}" if self.name else ""
+        return (
+            f"BipartiteGraph({tag} |U|={self.n_u} |V|={self.n_v} "
+            f"|E|={self.n_edges})"
+        )

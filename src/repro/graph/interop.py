@@ -1,0 +1,91 @@
+"""Interop with the scientific-Python ecosystem.
+
+Conversions between :class:`BipartiteGraph` and
+
+- ``scipy.sparse`` biadjacency matrices (the natural exchange format for
+  expression matrices and rating matrices), and
+- ``networkx`` bipartite graphs (node attribute ``bipartite`` ∈ {0, 1},
+  the networkx convention).
+
+Both libraries are optional: imports happen inside the functions so the
+core package keeps numpy as its only hard dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bipartite import BipartiteGraph, EdgeListError
+
+__all__ = [
+    "from_scipy_sparse",
+    "to_scipy_sparse",
+    "from_networkx",
+    "to_networkx",
+]
+
+
+def from_scipy_sparse(matrix, *, name: str = "") -> BipartiteGraph:
+    """Build a graph from any scipy.sparse biadjacency matrix
+    (rows = U, columns = V; nonzero = edge)."""
+    coo = matrix.tocoo()
+    edges = np.column_stack([coo.row.astype(np.int64), coo.col.astype(np.int64)])
+    return BipartiteGraph.from_edges(
+        int(coo.shape[0]), int(coo.shape[1]), edges, name=name
+    )
+
+
+def to_scipy_sparse(graph: BipartiteGraph):
+    """The graph's biadjacency matrix as ``scipy.sparse.csr_matrix``."""
+    from scipy.sparse import csr_matrix
+
+    data = np.ones(graph.n_edges, dtype=np.int8)
+    return csr_matrix(
+        (data, graph.u_indices, graph.u_indptr),
+        shape=(graph.n_u, graph.n_v),
+    )
+
+
+def from_networkx(nx_graph, *, name: str = "") -> BipartiteGraph:
+    """Build a graph from a networkx bipartite graph.
+
+    Nodes must carry the standard ``bipartite`` attribute (0 = U side,
+    1 = V side).  Node labels may be arbitrary hashables; they are
+    compacted to dense integer ids in sorted-by-insertion order, and the
+    mapping is returned on the graph via ``.name`` only — use
+    :func:`to_networkx` for the reverse trip.
+    """
+    u_nodes = [n for n, d in nx_graph.nodes(data=True) if d.get("bipartite") == 0]
+    v_nodes = [n for n, d in nx_graph.nodes(data=True) if d.get("bipartite") == 1]
+    if len(u_nodes) + len(v_nodes) != nx_graph.number_of_nodes():
+        raise EdgeListError(
+            "every node needs a 'bipartite' attribute of 0 or 1"
+        )
+    u_index = {n: i for i, n in enumerate(u_nodes)}
+    v_index = {n: i for i, n in enumerate(v_nodes)}
+    edges = []
+    for a, b in nx_graph.edges():
+        if a in u_index and b in v_index:
+            edges.append((u_index[a], v_index[b]))
+        elif b in u_index and a in v_index:
+            edges.append((u_index[b], v_index[a]))
+        else:
+            raise EdgeListError(f"edge ({a!r}, {b!r}) is not bipartite")
+    return BipartiteGraph.from_edges(
+        len(u_nodes), len(v_nodes), edges, name=name
+    )
+
+
+def to_networkx(graph: BipartiteGraph):
+    """Convert to a networkx Graph with ``bipartite`` attributes.
+
+    U-vertices become nodes ``("u", i)`` and V-vertices ``("v", j)`` so
+    the two sides can never collide.
+    """
+    import networkx as nx
+
+    out = nx.Graph(name=graph.name)
+    out.add_nodes_from((("u", i) for i in range(graph.n_u)), bipartite=0)
+    out.add_nodes_from((("v", j) for j in range(graph.n_v)), bipartite=1)
+    out.add_edges_from((("u", u), ("v", v)) for u, v in graph.edges())
+    return out

@@ -1,0 +1,128 @@
+"""Graph statistics used by the paper: Δ, Δ2, and Table 1 summaries.
+
+Notation (paper §2.1): for a vertex ``u``, ``N2(u)`` is the set of 2-hop
+neighbors (same side, sharing at least one neighbor, excluding ``u``).
+``Δ(X)`` is the maximum degree over side ``X`` and ``Δ2(X)`` the maximum
+2-hop degree.  Table 1 reports all of these per dataset; the node-reuse
+memory bound of §4.1 is ``3·Δ(V) + 2·Δ2(V)`` words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .bipartite import BipartiteGraph
+
+__all__ = [
+    "two_hop_neighbors_u",
+    "two_hop_neighbors_v",
+    "max_degree_u",
+    "max_degree_v",
+    "max_two_hop_degree_u",
+    "max_two_hop_degree_v",
+    "GraphStats",
+    "compute_stats",
+]
+
+
+def two_hop_neighbors_u(graph: BipartiteGraph, u: int) -> np.ndarray:
+    """Sorted ``N2(u)``: U-vertices sharing a V-neighbor with ``u``."""
+    nbrs = graph.neighbors_u(u)
+    if len(nbrs) == 0:
+        return np.empty(0, dtype=np.int32)
+    parts = [graph.neighbors_v(int(v)) for v in nbrs]
+    merged = np.unique(np.concatenate(parts))
+    return merged[merged != u].astype(np.int32, copy=False)
+
+
+def two_hop_neighbors_v(graph: BipartiteGraph, v: int) -> np.ndarray:
+    """Sorted ``N2(v)``: V-vertices sharing a U-neighbor with ``v``."""
+    return two_hop_neighbors_u(graph.swapped(), v)
+
+
+def max_degree_u(graph: BipartiteGraph) -> int:
+    """``Δ(U)``."""
+    return int(graph.degrees_u.max(initial=0))
+
+
+def max_degree_v(graph: BipartiteGraph) -> int:
+    """``Δ(V)``."""
+    return int(graph.degrees_v.max(initial=0))
+
+
+def _max_two_hop_degree(indptr: np.ndarray, indices: np.ndarray,
+                        o_indptr: np.ndarray, o_indices: np.ndarray,
+                        n: int) -> int:
+    best = 0
+    scratch: dict[int, None]
+    for x in range(n):
+        nbrs = indices[indptr[x]:indptr[x + 1]]
+        if len(nbrs) == 0:
+            continue
+        parts = [o_indices[o_indptr[int(y)]:o_indptr[int(y) + 1]] for y in nbrs]
+        merged = np.concatenate(parts)
+        count = len(np.unique(merged))
+        # Exclude x itself; it always appears (each neighbor links back).
+        count -= 1
+        if count > best:
+            best = count
+    return best
+
+
+def max_two_hop_degree_u(graph: BipartiteGraph) -> int:
+    """``Δ2(U)`` — maximum number of 2-hop neighbors over U."""
+    return _max_two_hop_degree(
+        graph.u_indptr, graph.u_indices,
+        graph.v_indptr, graph.v_indices, graph.n_u,
+    )
+
+
+def max_two_hop_degree_v(graph: BipartiteGraph) -> int:
+    """``Δ2(V)`` — maximum number of 2-hop neighbors over V."""
+    return _max_two_hop_degree(
+        graph.v_indptr, graph.v_indices,
+        graph.u_indptr, graph.u_indices, graph.n_v,
+    )
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """One row of the paper's Table 1 (biclique count filled in separately)."""
+
+    name: str
+    n_u: int
+    n_v: int
+    n_edges: int
+    max_deg_u: int
+    max_two_hop_u: int
+    max_deg_v: int
+    max_two_hop_v: int
+
+    def node_buffer_words(self) -> int:
+        """Node-reuse footprint bound per §4.1: ``3·Δ(V) + 2·Δ2(V)`` words."""
+        return 3 * self.max_deg_v + 2 * self.max_two_hop_v
+
+    def naive_tree_words(self) -> int:
+        """Pre-allocated subtree footprint per §3.1:
+        ``Δ(V)·(Δ(V) + Δ2(V))`` words."""
+        return self.max_deg_v * (self.max_deg_v + self.max_two_hop_v)
+
+
+def compute_stats(graph: BipartiteGraph) -> GraphStats:
+    """Compute the Table 1 statistics row for ``graph``.
+
+    Quadratic-ish in the worst case (unions of adjacency lists); intended
+    for the laptop-scale analog datasets, not web-scale graphs.
+    """
+    return GraphStats(
+        name=graph.name,
+        n_u=graph.n_u,
+        n_v=graph.n_v,
+        n_edges=graph.n_edges,
+        max_deg_u=max_degree_u(graph),
+        max_two_hop_u=max_two_hop_degree_u(graph),
+        max_deg_v=max_degree_v(graph),
+        max_two_hop_v=max_two_hop_degree_v(graph),
+    )

@@ -1,0 +1,7 @@
+"""Parallel-execution substrates: the simulated multi-core pool used for
+ParMBE timing and a real thread-pool runner for host-parallel execution."""
+
+from .pool import run_tasks_threaded
+from .simpool import PoolSchedule, schedule_tasks
+
+__all__ = ["PoolSchedule", "run_tasks_threaded", "schedule_tasks"]

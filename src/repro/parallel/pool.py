@@ -1,0 +1,33 @@
+"""Thread-pool task runner for host-parallel ParMBE execution.
+
+Python threads share the GIL, so on CPython the speedup from this runner
+is modest (numpy kernels release the GIL only briefly at these sizes);
+it exists so the parallel decomposition is *actually exercised
+concurrently* — results must be identical and thread-safe — while the
+96-core wall-clock model comes from :mod:`repro.parallel.simpool`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["run_tasks_threaded"]
+
+
+def run_tasks_threaded(
+    fn: Callable[[T], R],
+    items: Sequence[T] | Iterable[T],
+    *,
+    n_workers: int = 4,
+) -> list[R]:
+    """Run ``fn`` over ``items`` on a thread pool, preserving input order."""
+    if n_workers <= 0:
+        raise ValueError("n_workers must be positive")
+    if n_workers == 1:
+        return [fn(item) for item in items]
+    with ThreadPoolExecutor(max_workers=n_workers) as pool:
+        return list(pool.map(fn, items))

@@ -1,0 +1,7 @@
+"""Streaming substrate: dynamic bipartite graphs and incremental
+maintenance of the maximal biclique set under edge updates."""
+
+from .dynamic_graph import DynamicBipartiteGraph
+from .maintainer import BicliqueMaintainer
+
+__all__ = ["BicliqueMaintainer", "DynamicBipartiteGraph"]

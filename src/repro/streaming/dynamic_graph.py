@@ -1,0 +1,126 @@
+"""Mutable bipartite graph for streaming updates.
+
+The CSR :class:`repro.graph.BipartiteGraph` is immutable by design (the
+enumeration kernels rely on frozen sorted arrays).  Streams need cheap
+edge insertion/deletion, so the maintainer works on this adjacency-set
+representation and *snapshots* induced subgraphs into CSR form only for
+the local re-enumerations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..graph.bipartite import BipartiteGraph
+
+__all__ = ["DynamicBipartiteGraph"]
+
+
+class DynamicBipartiteGraph:
+    """Adjacency-set bipartite graph supporting edge updates."""
+
+    def __init__(self, n_u: int = 0, n_v: int = 0) -> None:
+        self._adj_u: list[set[int]] = [set() for _ in range(n_u)]
+        self._adj_v: list[set[int]] = [set() for _ in range(n_v)]
+
+    @staticmethod
+    def from_graph(graph: BipartiteGraph) -> "DynamicBipartiteGraph":
+        g = DynamicBipartiteGraph(graph.n_u, graph.n_v)
+        for u, v in graph.edges():
+            g._adj_u[u].add(v)
+            g._adj_v[v].add(u)
+        return g
+
+    # ------------------------------------------------------------------
+    @property
+    def n_u(self) -> int:
+        return len(self._adj_u)
+
+    @property
+    def n_v(self) -> int:
+        return len(self._adj_v)
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(s) for s in self._adj_u)
+
+    def neighbors_u(self, u: int) -> set[int]:
+        return self._adj_u[u]
+
+    def neighbors_v(self, v: int) -> set[int]:
+        return self._adj_v[v]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return 0 <= u < self.n_u and v in self._adj_u[u]
+
+    # ------------------------------------------------------------------
+    def ensure_vertices(self, u: int, v: int) -> None:
+        """Grow the vertex ranges to include ``u`` and ``v``."""
+        while len(self._adj_u) <= u:
+            self._adj_u.append(set())
+        while len(self._adj_v) <= v:
+            self._adj_v.append(set())
+
+    def insert_edge(self, u: int, v: int) -> bool:
+        """Add edge; returns False if it already existed."""
+        if u < 0 or v < 0:
+            raise ValueError("vertex ids must be non-negative")
+        self.ensure_vertices(u, v)
+        if v in self._adj_u[u]:
+            return False
+        self._adj_u[u].add(v)
+        self._adj_v[v].add(u)
+        return True
+
+    def delete_edge(self, u: int, v: int) -> bool:
+        """Remove edge; returns False if it was absent."""
+        if not self.has_edge(u, v):
+            return False
+        self._adj_u[u].discard(v)
+        self._adj_v[v].discard(u)
+        return True
+
+    # ------------------------------------------------------------------
+    def two_hop_u(self, u: int) -> set[int]:
+        """U-vertices sharing a V-neighbor with ``u`` (excluding ``u``)."""
+        out: set[int] = set()
+        for v in self._adj_u[u]:
+            out |= self._adj_v[v]
+        out.discard(u)
+        return out
+
+    def two_hop_v(self, v: int) -> set[int]:
+        out: set[int] = set()
+        for u in self._adj_v[v]:
+            out |= self._adj_u[u]
+        out.discard(v)
+        return out
+
+    def snapshot(self) -> BipartiteGraph:
+        """Freeze the whole graph into CSR form."""
+        edges = [
+            (u, v) for u, nbrs in enumerate(self._adj_u) for v in nbrs
+        ]
+        return BipartiteGraph.from_edges(self.n_u, self.n_v, edges)
+
+    def induced_subgraph(
+        self, us: Iterable[int], vs: Iterable[int]
+    ) -> tuple[BipartiteGraph, np.ndarray, np.ndarray]:
+        """CSR snapshot of the subgraph induced by ``us`` × ``vs``.
+
+        Returns ``(graph, u_ids, v_ids)`` where ``u_ids[i]`` is the
+        original id of the subgraph's U-vertex ``i`` (ditto ``v_ids``).
+        """
+        u_ids = np.array(sorted(set(us)), dtype=np.int64)
+        v_ids = np.array(sorted(set(vs)), dtype=np.int64)
+        v_pos = {int(v): i for i, v in enumerate(v_ids)}
+        edges = []
+        for i, u in enumerate(u_ids):
+            for v in self._adj_u[int(u)]:
+                j = v_pos.get(v)
+                if j is not None:
+                    edges.append((i, j))
+        sub = BipartiteGraph.from_edges(len(u_ids), len(v_ids), edges)
+        return sub, u_ids, v_ids

@@ -1,0 +1,29 @@
+"""Shared fixtures: the paper's example graph and generator helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import BipartiteGraph
+
+
+@pytest.fixture
+def paper_graph() -> BipartiteGraph:
+    """The paper's Fig. 1 graph G0: 5 U-vertices, 4 V-vertices,
+    6 maximal bicliques (u_i -> index i-1, v_j -> index j-1)."""
+    adjacency = {0: [0, 1], 1: [0, 1, 2, 3], 2: [0, 1, 3], 3: [1, 3, 4]}
+    edges = [(u, v) for v, us in adjacency.items() for u in us]
+    return BipartiteGraph.from_edges(5, 4, edges, name="G0")
+
+
+@pytest.fixture
+def tiny_path() -> BipartiteGraph:
+    """u0-v0-u1-v1 path: maximal bicliques ({u0,u1},{v0}), ({u1},{v0,v1})."""
+    return BipartiteGraph.from_edges(2, 2, [(0, 0), (1, 0), (1, 1)], name="path")
+
+
+def make_random(n_u: int, n_v: int, p: float, seed: int) -> BipartiteGraph:
+    from repro.graph import random_bipartite
+
+    return random_bipartite(n_u, n_v, p, seed=seed)

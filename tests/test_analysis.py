@@ -1,0 +1,152 @@
+"""Tests for the biclique analysis toolkit."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    edge_coverage,
+    greedy_edge_cover,
+    jaccard,
+    overlap_components,
+    participation_counts,
+    summarize,
+)
+from repro.core import Biclique, BicliqueCollector, oombea
+from repro.graph import BipartiteGraph, complete_bipartite, random_bipartite
+
+
+@pytest.fixture
+def paper_bicliques(paper_graph):
+    col = BicliqueCollector()
+    oombea(paper_graph, col)
+    return col.bicliques
+
+
+class TestSummarize:
+    def test_empty(self):
+        s = summarize([])
+        assert s.n_bicliques == 0 and s.max_edges == 0
+
+    def test_paper_graph(self, paper_bicliques):
+        s = summarize(paper_bicliques)
+        assert s.n_bicliques == 6
+        assert s.max_left == 4 and s.max_right == 4
+        assert s.max_edges == 6  # {u1,u2}x{v1,v2,v3} or {u2,u4}x{v2,v3,v4}
+        assert sum(s.shape_histogram.values()) == 6
+
+    def test_means(self):
+        bs = [Biclique.make([0], [0]), Biclique.make([0, 1, 2], [0, 1, 2])]
+        s = summarize(bs)
+        assert s.mean_left == 2.0 and s.mean_right == 2.0
+
+
+class TestParticipation:
+    def test_paper_graph(self, paper_graph, paper_bicliques):
+        u_counts, v_counts = participation_counts(
+            paper_bicliques, paper_graph.n_u, paper_graph.n_v
+        )
+        # u2 (index 1) is in every maximal biclique of G0
+        assert u_counts[1] == 6
+        assert u_counts.argmax() == 1
+        assert v_counts.sum() == sum(len(b.right) for b in paper_bicliques)
+
+
+class TestEdgeCoverage:
+    def test_all_maximal_cover_everything(self, paper_graph, paper_bicliques):
+        assert edge_coverage(paper_bicliques, paper_graph) == 1.0
+
+    def test_partial(self, paper_graph, paper_bicliques):
+        one = [max(paper_bicliques, key=lambda b: b.n_edges)]
+        cov = edge_coverage(one, paper_graph)
+        assert 0 < cov < 1
+
+    def test_empty_graph(self):
+        g = BipartiteGraph.from_edges(2, 2, [])
+        assert edge_coverage([], g) == 1.0
+
+
+class TestGreedyCover:
+    def test_selects_biggest_first(self, paper_graph, paper_bicliques):
+        res = greedy_edge_cover(paper_bicliques, paper_graph, k=1)
+        assert len(res.selected) == 1
+        assert res.marginal_gains[0] == max(b.n_edges for b in paper_bicliques)
+
+    def test_full_coverage_eventually(self, paper_graph, paper_bicliques):
+        res = greedy_edge_cover(paper_bicliques, paper_graph, k=10)
+        assert res.coverage == 1.0
+        # marginal gains are non-increasing (submodular greedy)
+        assert all(
+            res.marginal_gains[i] >= res.marginal_gains[i + 1]
+            for i in range(len(res.marginal_gains) - 1)
+        )
+
+    def test_min_gain_stops_early(self, paper_graph, paper_bicliques):
+        res = greedy_edge_cover(paper_bicliques, paper_graph, k=10, min_gain=3)
+        assert all(g >= 3 for g in res.marginal_gains)
+
+    def test_k_zero(self, paper_graph, paper_bicliques):
+        res = greedy_edge_cover(paper_bicliques, paper_graph, k=0)
+        assert res.selected == [] and res.coverage == 0.0
+
+    def test_negative_k(self, paper_graph, paper_bicliques):
+        with pytest.raises(ValueError):
+            greedy_edge_cover(paper_bicliques, paper_graph, k=-1)
+
+    def test_matches_bruteforce_greedy(self):
+        g = random_bipartite(10, 8, 0.4, seed=5)
+        col = BicliqueCollector()
+        oombea(g, col)
+        res = greedy_edge_cover(col.bicliques, g, k=3)
+        # simple reference greedy
+        covered: set = set()
+        for expect_gain in res.marginal_gains:
+            best = max(
+                sum(
+                    1
+                    for u in b.left
+                    for v in b.right
+                    if (u, v) not in covered
+                )
+                for b in col.bicliques
+            )
+            assert expect_gain == best
+            # apply the same pick the lazy greedy made
+            pick = res.selected[res.marginal_gains.index(expect_gain)]
+            covered |= {(u, v) for u in pick.left for v in pick.right}
+
+
+class TestOverlap:
+    def test_jaccard_identity(self):
+        b = Biclique.make([0, 1], [2])
+        assert jaccard(b, b) == 1.0
+
+    def test_jaccard_disjoint(self):
+        assert jaccard(Biclique.make([0], [0]), Biclique.make([1], [1])) == 0.0
+
+    def test_sides_not_conflated(self):
+        # u0 and v0 are different vertices even with the same id
+        a = Biclique.make([0], [1])
+        b = Biclique.make([1], [0])
+        assert jaccard(a, b) == 0.0
+
+    def test_components_merge_planted_ring(self):
+        # one dense block fragments into overlapping maximal bicliques
+        g = complete_bipartite(5, 5)
+        edges = [e for e in g.edges() if e != (0, 0)]  # poke one hole
+        g2 = BipartiteGraph.from_edges(5, 5, edges)
+        col = BicliqueCollector()
+        oombea(g2, col)
+        comps = overlap_components(col.bicliques, min_jaccard=0.3)
+        assert comps.n_components == 1
+        us, vs = comps.merged_vertex_sets()[0]
+        assert us == set(range(5)) and vs == set(range(5))
+
+    def test_distinct_communities_stay_apart(self):
+        from repro.graph import planted_bicliques
+
+        g = planted_bicliques(40, 30, [(6, 5), (6, 5)], noise_p=0.0, seed=9)
+        col = BicliqueCollector()
+        oombea(g, col)
+        big = [b for b in col.bicliques if b.n_edges >= 30]
+        comps = overlap_components(big, min_jaccard=0.2)
+        assert comps.n_components == len(big) == 2

@@ -1,0 +1,65 @@
+"""Tests for the high-level convenience API."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from scipy.sparse import csr_matrix
+
+from repro import as_bipartite_graph, enumerate_maximal_bicliques
+from repro.core import Biclique, reference_mbe
+from repro.graph import BipartiteGraph
+
+MATRIX = np.array([[1, 1, 0], [1, 1, 1], [0, 1, 1]], dtype=np.int8)
+
+
+class TestCoercion:
+    def test_graph_passthrough(self, paper_graph):
+        assert as_bipartite_graph(paper_graph) is paper_graph
+
+    def test_numpy(self):
+        g = as_bipartite_graph(MATRIX)
+        assert (g.n_u, g.n_v, g.n_edges) == (3, 3, 7)
+
+    def test_scipy(self):
+        g = as_bipartite_graph(csr_matrix(MATRIX))
+        assert g.n_edges == 7
+
+    def test_networkx(self):
+        nxg = nx.Graph()
+        nxg.add_node("u0", bipartite=0)
+        nxg.add_node("v0", bipartite=1)
+        nxg.add_edge("u0", "v0")
+        assert as_bipartite_graph(nxg).n_edges == 1
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            as_bipartite_graph([1, 2, 3])
+
+
+class TestEnumerate:
+    def test_matches_oracle_all_algorithms(self):
+        g = BipartiteGraph.from_biadjacency(MATRIX)
+        ref = sorted(reference_mbe(g))
+        for algo in ("gmbe", "gmbe-host", "mbea", "imbea", "pmbe", "oombea", "parmbe"):
+            assert enumerate_maximal_bicliques(MATRIX, algorithm=algo) == ref
+
+    def test_size_filter(self):
+        out = enumerate_maximal_bicliques(MATRIX, min_left=2, min_right=2)
+        assert out == [Biclique.make([0, 1], [0, 1]), Biclique.make([1, 2], [1, 2])]
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            enumerate_maximal_bicliques(MATRIX, algorithm="magic")
+
+    def test_custom_config(self):
+        from repro.gmbe import GMBEConfig
+
+        out = enumerate_maximal_bicliques(
+            MATRIX, config=GMBEConfig(prune=False, bound_height=1, bound_size=1)
+        )
+        assert len(out) == 4
+
+    def test_deterministic_order(self):
+        a = enumerate_maximal_bicliques(MATRIX)
+        b = enumerate_maximal_bicliques(MATRIX, algorithm="mbea")
+        assert a == b == sorted(a)

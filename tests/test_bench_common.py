@@ -1,0 +1,83 @@
+"""Tests for the benchmark plumbing (dispatch, memoization, devices)."""
+
+import pytest
+
+from repro.bench import clear_cache, run_algorithm
+from repro.bench.common import DEVICE_SCALE, scale_device
+from repro.gpusim import A100, V100
+from repro.graph import random_bipartite
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestDispatch:
+    @pytest.mark.parametrize(
+        "algo", ["MBEA", "iMBEA", "PMBE", "ooMBEA", "ParMBE", "GMBE", "GMBE-HOST"]
+    )
+    def test_all_algorithms_run(self, algo):
+        g = random_bipartite(15, 10, 0.3, seed=1)
+        run = run_algorithm(algo, g)
+        assert run.n_maximal > 0
+        assert run.sim_seconds > 0
+        assert run.wall_seconds >= 0
+
+    def test_unknown_algorithm(self):
+        g = random_bipartite(5, 5, 0.5, seed=0)
+        with pytest.raises(ValueError):
+            run_algorithm("quantum", g)
+
+    def test_all_algorithms_agree(self):
+        g = random_bipartite(25, 18, 0.25, seed=2)
+        counts = {
+            algo: run_algorithm(algo, g).n_maximal
+            for algo in ("MBEA", "ooMBEA", "ParMBE", "GMBE")
+        }
+        assert len(set(counts.values())) == 1, counts
+
+    def test_device_by_name(self):
+        g = random_bipartite(10, 8, 0.4, seed=3)
+        run = run_algorithm("GMBE", g, device="V100")
+        assert run.result.extras["device"].name == "V100"
+
+
+class TestMemoization:
+    def test_cache_hit_returns_same_object(self):
+        g = random_bipartite(12, 9, 0.3, seed=4)
+        a = run_algorithm("ooMBEA", g, cache_key="k1")
+        b = run_algorithm("ooMBEA", g, cache_key="k1")
+        assert a is b
+
+    def test_no_cache_without_key(self):
+        g = random_bipartite(12, 9, 0.3, seed=4)
+        a = run_algorithm("ooMBEA", g)
+        b = run_algorithm("ooMBEA", g)
+        assert a is not b
+
+    def test_config_distinguishes_entries(self):
+        from repro.gmbe import GMBEConfig
+
+        g = random_bipartite(12, 9, 0.3, seed=4)
+        a = run_algorithm("GMBE", g, cache_key="k", config=GMBEConfig())
+        b = run_algorithm(
+            "GMBE", g, cache_key="k", config=GMBEConfig(prune=False)
+        )
+        assert a is not b
+
+
+class TestScaleDevice:
+    def test_scales_sms(self):
+        d = scale_device(A100, 8)
+        assert d.n_sms == round(108 / 8)
+        assert d.name == "A100/8"
+        assert d.warps_per_sm == A100.warps_per_sm
+
+    def test_factor_one_is_identity(self):
+        assert scale_device(V100, 1) is V100
+
+    def test_default_scale_sane(self):
+        assert DEVICE_SCALE >= 1

@@ -1,0 +1,110 @@
+"""Unit tests for the CSR bipartite graph."""
+
+import numpy as np
+import pytest
+
+from repro.graph import BipartiteGraph, EdgeListError
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = BipartiteGraph.from_edges(3, 2, [(0, 0), (1, 1), (2, 0)])
+        assert g.n_u == 3 and g.n_v == 2 and g.n_edges == 3
+        assert g.neighbors_u(0).tolist() == [0]
+        assert g.neighbors_v(0).tolist() == [0, 2]
+
+    def test_duplicate_edges_collapsed(self):
+        g = BipartiteGraph.from_edges(2, 2, [(0, 1), (0, 1), (1, 0), (0, 1)])
+        assert g.n_edges == 2
+        assert g.neighbors_u(0).tolist() == [1]
+
+    def test_adjacency_sorted(self):
+        g = BipartiteGraph.from_edges(1, 5, [(0, 4), (0, 1), (0, 3), (0, 0)])
+        nbrs = g.neighbors_u(0)
+        assert nbrs.tolist() == sorted(nbrs.tolist())
+
+    def test_empty_graph(self):
+        g = BipartiteGraph.from_edges(0, 0, [])
+        assert g.n_edges == 0
+
+    def test_vertices_without_edges(self):
+        g = BipartiteGraph.from_edges(4, 4, [(0, 0)])
+        assert g.degree_u(3) == 0
+        assert g.neighbors_v(3).tolist() == []
+
+    def test_out_of_range_u_rejected(self):
+        with pytest.raises(EdgeListError):
+            BipartiteGraph.from_edges(2, 2, [(2, 0)])
+
+    def test_out_of_range_v_rejected(self):
+        with pytest.raises(EdgeListError):
+            BipartiteGraph.from_edges(2, 2, [(0, -1)])
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(EdgeListError):
+            BipartiteGraph.from_edges(2, 2, np.zeros((3, 3), dtype=np.int64))
+
+    def test_from_biadjacency(self):
+        m = np.array([[1, 0, 1], [0, 1, 0]])
+        g = BipartiteGraph.from_biadjacency(m)
+        assert g.n_edges == 3
+        assert np.array_equal(g.to_biadjacency(), m)
+
+    def test_biadjacency_roundtrip_random(self):
+        rng = np.random.default_rng(5)
+        m = (rng.random((7, 9)) < 0.4).astype(np.int8)
+        g = BipartiteGraph.from_biadjacency(m)
+        assert np.array_equal(g.to_biadjacency(), m)
+
+
+class TestQueries:
+    def test_degrees(self, paper_graph):
+        assert paper_graph.degrees_u.tolist() == [3, 4, 1, 3, 1]
+        assert paper_graph.degrees_v.tolist() == [2, 4, 3, 3]
+
+    def test_has_edge(self, paper_graph):
+        assert paper_graph.has_edge(0, 0)
+        assert not paper_graph.has_edge(4, 0)
+
+    def test_edges_iteration(self, paper_graph):
+        edges = set(paper_graph.edges())
+        assert len(edges) == paper_graph.n_edges
+        for u, v in edges:
+            assert paper_graph.has_edge(u, v)
+
+    def test_symmetry_of_csr_directions(self, paper_graph):
+        for u in range(paper_graph.n_u):
+            for v in paper_graph.neighbors_u(u):
+                assert u in paper_graph.neighbors_v(int(v)).tolist()
+
+
+class TestTransforms:
+    def test_swapped_involution(self, paper_graph):
+        g2 = paper_graph.swapped().swapped()
+        assert np.array_equal(g2.u_indptr, paper_graph.u_indptr)
+        assert np.array_equal(g2.u_indices, paper_graph.u_indices)
+
+    def test_swapped_exchanges_sides(self, paper_graph):
+        s = paper_graph.swapped()
+        assert s.n_u == paper_graph.n_v
+        assert s.neighbors_u(0).tolist() == paper_graph.neighbors_v(0).tolist()
+
+    def test_relabeled_identity(self, paper_graph):
+        g2 = paper_graph.relabeled()
+        assert np.array_equal(g2.u_indices, paper_graph.u_indices)
+
+    def test_relabeled_preserves_structure(self, paper_graph):
+        perm = np.array([3, 2, 1, 0])
+        g2 = paper_graph.relabeled(v_perm=perm)
+        for u in range(paper_graph.n_u):
+            old = sorted(perm[paper_graph.neighbors_u(u)].tolist())
+            assert g2.neighbors_u(u).tolist() == old
+
+    def test_relabeled_rejects_non_permutation(self, paper_graph):
+        with pytest.raises(EdgeListError):
+            paper_graph.relabeled(v_perm=[0, 0, 1, 2])
+
+    def test_relabeled_u_side(self, paper_graph):
+        perm = np.array([4, 3, 2, 1, 0])
+        g2 = paper_graph.relabeled(u_perm=perm)
+        assert g2.degree_u(4) == paper_graph.degree_u(0)

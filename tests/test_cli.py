@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph import write_edge_list
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "Mti"])
+        assert args.algo == "gmbe" and args.device == "A100" and args.gpus == 1
+
+    def test_bench_experiment_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "fig99"])
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "Mti" in out and "GH" in out and "BookCrossing" in out
+
+    def test_stats_on_dataset(self, capsys):
+        assert main(["stats", "YG"]) == 0
+        out = capsys.readouterr().out
+        assert "node_buf" in out
+
+    def test_stats_on_file(self, tmp_path, paper_graph, capsys):
+        path = tmp_path / "g.tsv"
+        write_edge_list(paper_graph, path)
+        assert main(["stats", str(path)]) == 0
+
+    def test_run_gmbe_on_file(self, tmp_path, paper_graph, capsys):
+        path = tmp_path / "g.tsv"
+        write_edge_list(paper_graph, path)
+        assert main(["run", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "6 maximal bicliques" in out
+        assert "simulated time" in out
+
+    def test_run_cpu_algo_with_output(self, tmp_path, paper_graph, capsys):
+        gpath = tmp_path / "g.tsv"
+        opath = tmp_path / "out.txt"
+        write_edge_list(paper_graph, gpath)
+        rc = main(["run", str(gpath), "--algo", "oombea", "--output", str(opath)])
+        assert rc == 0
+        assert len(opath.read_text().strip().splitlines()) == 6
+
+    def test_run_variants(self, tmp_path, paper_graph, capsys):
+        gpath = tmp_path / "g.tsv"
+        write_edge_list(paper_graph, gpath)
+        for extra in (
+            ["--scheduling", "warp"],
+            ["--no-prune"],
+            ["--gpus", "2"],
+            ["--nodes", "2"],
+            ["--algo", "gmbe-host"],
+            ["--algo", "parmbe"],
+        ):
+            assert main(["run", str(gpath), *extra]) == 0
+            assert "6 maximal bicliques" in capsys.readouterr().out
+
+    def test_bench_tiny(self, capsys):
+        rc = main(
+            ["bench", "table2", "--scale", "0.1", "--codes", "Mti"]
+        )
+        assert rc == 0
+        assert "Table 2" in capsys.readouterr().out

@@ -1,0 +1,81 @@
+"""Tests for the distributed multi-machine extension."""
+
+import pytest
+
+from repro.core import BicliqueCollector, reference_mbe
+from repro.gmbe import ClusterSpec, gmbe_cluster, gmbe_gpu
+from repro.graph import power_law_bipartite, random_bipartite
+
+
+class TestClusterSpec:
+    def test_defaults(self):
+        c = ClusterSpec()
+        assert c.n_gpus == 2
+        assert len(c.surcharges()) == 2
+
+    def test_surcharges_local_vs_remote(self):
+        c = ClusterSpec(n_nodes=3, gpus_per_node=2)
+        s = c.surcharges()
+        assert len(s) == 6
+        assert s[0] == s[1] == c.local_pull_cycles
+        assert all(x == c.remote_pull_cycles for x in s[2:])
+
+    def test_batching_amortizes(self):
+        c1 = ClusterSpec(claim_batch=1)
+        c8 = ClusterSpec(claim_batch=8)
+        assert c8.surcharges()[1] == pytest.approx(c1.surcharges()[1] / 8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(n_nodes=0)
+        with pytest.raises(ValueError):
+            ClusterSpec(claim_batch=0)
+
+
+class TestClusterExecution:
+    def test_results_match_oracle(self):
+        for seed in range(3):
+            g = random_bipartite(12, 9, 0.35, seed=seed)
+            col = BicliqueCollector()
+            gmbe_cluster(g, col, cluster=ClusterSpec(n_nodes=2, gpus_per_node=2))
+            assert col.as_set() == reference_mbe(g)
+
+    def test_results_match_single_gpu(self):
+        g = power_law_bipartite(250, 130, 1200, seed=21)
+        single = gmbe_gpu(g)
+        multi = gmbe_cluster(g, cluster=ClusterSpec(n_nodes=4, gpus_per_node=2))
+        assert single.n_maximal == multi.n_maximal
+
+    def test_per_node_times_reported(self):
+        g = power_law_bipartite(150, 80, 700, seed=22)
+        res = gmbe_cluster(g, cluster=ClusterSpec(n_nodes=3, gpus_per_node=1))
+        assert len(res.extras["per_node_seconds"]) == 3
+        assert res.extras["cluster"].n_nodes == 3
+
+    def test_network_cost_slows_remote_heavy_cluster(self):
+        """Same GPU count: all-local beats mostly-remote when the RTT is
+        large and tasks are cheap."""
+        g = power_law_bipartite(300, 160, 1500, seed=23)
+        local = gmbe_cluster(
+            g, cluster=ClusterSpec(n_nodes=1, gpus_per_node=4,
+                                   remote_pull_cycles=500_000)
+        )
+        remote = gmbe_cluster(
+            g, cluster=ClusterSpec(n_nodes=4, gpus_per_node=1,
+                                   remote_pull_cycles=500_000)
+        )
+        assert local.sim_time <= remote.sim_time
+        assert local.n_maximal == remote.n_maximal
+
+    def test_batched_claims_recover_scaling(self):
+        g = power_law_bipartite(300, 160, 1500, seed=24)
+        slow = gmbe_cluster(
+            g, cluster=ClusterSpec(n_nodes=4, remote_pull_cycles=200_000,
+                                   claim_batch=1)
+        )
+        batched = gmbe_cluster(
+            g, cluster=ClusterSpec(n_nodes=4, remote_pull_cycles=200_000,
+                                   claim_batch=32)
+        )
+        assert batched.sim_time < slow.sim_time
+        assert batched.n_maximal == slow.n_maximal

@@ -1,0 +1,49 @@
+"""Tests for GMBEConfig validation and updates."""
+
+import pytest
+
+from repro.gmbe import DEFAULT_CONFIG, GMBEConfig
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        """§6.1: bound_height=20, bound_size=1500, WarpPerSM=16."""
+        assert DEFAULT_CONFIG.bound_height == 20
+        assert DEFAULT_CONFIG.bound_size == 1500
+        assert DEFAULT_CONFIG.warps_per_sm == 16
+        assert DEFAULT_CONFIG.prune is True
+        assert DEFAULT_CONFIG.scheduling == "task"
+        assert DEFAULT_CONFIG.node_reuse is True
+
+
+class TestValidation:
+    def test_bounds_positive(self):
+        with pytest.raises(ValueError):
+            GMBEConfig(bound_height=0)
+        with pytest.raises(ValueError):
+            GMBEConfig(bound_size=-1)
+
+    def test_warps_positive(self):
+        with pytest.raises(ValueError):
+            GMBEConfig(warps_per_sm=0)
+
+    def test_scheduling_values(self):
+        with pytest.raises(ValueError):
+            GMBEConfig(scheduling="grid")
+        for ok in ("task", "warp", "block"):
+            assert GMBEConfig(scheduling=ok).scheduling == ok
+
+
+class TestWith:
+    def test_functional_update(self):
+        cfg = DEFAULT_CONFIG.with_(prune=False, warps_per_sm=8)
+        assert cfg.prune is False and cfg.warps_per_sm == 8
+        assert DEFAULT_CONFIG.prune is True  # original untouched
+
+    def test_update_validates(self):
+        with pytest.raises(ValueError):
+            DEFAULT_CONFIG.with_(scheduling="bogus")
+
+    def test_hashable_for_cache_keys(self):
+        assert hash(GMBEConfig()) == hash(GMBEConfig())
+        assert GMBEConfig() != GMBEConfig(prune=False)

@@ -1,0 +1,127 @@
+"""Tests for size-constrained enumeration and maximum-biclique search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BicliqueCollector,
+    constrained_mbe,
+    maximum_biclique,
+    oombea,
+)
+from repro.graph import (
+    BipartiteGraph,
+    complete_bipartite,
+    planted_bicliques,
+    random_bipartite,
+)
+
+
+def filtered_reference(g, p, q):
+    col = BicliqueCollector()
+    oombea(g, col)
+    return {b for b in col.as_set() if len(b.left) >= p and len(b.right) >= q}
+
+
+class TestConstrainedMBE:
+    @pytest.mark.parametrize("p,q", [(1, 1), (2, 2), (3, 2), (2, 4), (5, 5)])
+    def test_matches_filtered_enumeration(self, p, q):
+        for seed in range(3):
+            g = random_bipartite(18, 14, 0.3, seed=seed)
+            col = BicliqueCollector()
+            constrained_mbe(g, p, q, col)
+            assert col.as_set() == filtered_reference(g, p, q), (seed, p, q)
+
+    def test_swapped_orientation(self):
+        """Bounds apply in the caller's orientation even when the §5
+        side-swap flips L and R internally."""
+        g = random_bipartite(8, 15, 0.35, seed=7)  # will be swapped
+        col = BicliqueCollector()
+        constrained_mbe(g, 3, 2, col)
+        assert col.as_set() == filtered_reference(g, 3, 2)
+
+    def test_pruning_reduces_nodes(self):
+        g = planted_bicliques(
+            80, 50, [(10, 8), (9, 6)], noise_p=0.04, overlap=0.3, seed=5
+        )
+        loose = constrained_mbe(g, 1, 1)
+        tight = constrained_mbe(g, 6, 5)
+        assert tight.counters.nodes_generated < loose.counters.nodes_generated
+
+    def test_invalid_bounds(self, paper_graph):
+        with pytest.raises(ValueError):
+            constrained_mbe(paper_graph, 0, 1)
+
+    def test_counts_match_result(self):
+        g = random_bipartite(20, 15, 0.3, seed=9)
+        col = BicliqueCollector()
+        res = constrained_mbe(g, 2, 2, col)
+        assert res.n_maximal == col.count
+
+    @given(st.integers(0, 10_000), st.integers(1, 4), st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_property_random(self, seed, p, q):
+        rng = np.random.default_rng(seed)
+        m = (rng.random((rng.integers(2, 12), rng.integers(2, 10))) < 0.4)
+        g = BipartiteGraph.from_biadjacency(m.astype(np.int8))
+        col = BicliqueCollector()
+        constrained_mbe(g, p, q, col)
+        assert col.as_set() == filtered_reference(g, p, q)
+
+
+class TestMaximumBiclique:
+    def test_complete_graph(self):
+        best, res = maximum_biclique(complete_bipartite(4, 9))
+        assert best.n_edges == 36
+        assert res.n_maximal == 1
+
+    def test_matches_enumeration_max(self):
+        for seed in range(5):
+            g = random_bipartite(16, 12, 0.35, seed=seed)
+            col = BicliqueCollector()
+            oombea(g, col)
+            want = max(b.n_edges for b in col.as_set())
+            best, _ = maximum_biclique(g)
+            assert best.n_edges == want
+
+    def test_objectives_differ(self):
+        # A star maximizes vertices but a block maximizes balance.
+        g = planted_bicliques(40, 30, [(6, 6)], noise_p=0.0, seed=3)
+        star_u = 39
+        edges = list(g.edges()) + [(star_u, v) for v in range(30)]
+        g2 = BipartiteGraph.from_edges(40, 30, edges)
+        by_balance, _ = maximum_biclique(g2, objective="balanced")
+        assert min(len(by_balance.left), len(by_balance.right)) >= 6
+
+    def test_bounds_infeasible(self):
+        best, res = maximum_biclique(
+            random_bipartite(6, 6, 0.3, seed=1), min_left=7, min_right=7
+        )
+        assert best is None and res.n_maximal == 0
+
+    def test_bound_pruning_effective(self):
+        g = planted_bicliques(
+            100, 60, [(14, 10)], noise_p=0.05, seed=8
+        )
+        _, res = maximum_biclique(g)
+        col = BicliqueCollector()
+        full = oombea(g, col)
+        assert res.counters.nodes_generated < full.counters.nodes_generated
+
+    def test_unknown_objective(self, paper_graph):
+        with pytest.raises(ValueError):
+            maximum_biclique(paper_graph, objective="area51")
+
+    def test_result_is_valid_biclique(self):
+        from repro.core import verify_biclique
+
+        g = random_bipartite(20, 16, 0.3, seed=11)
+        best, _ = maximum_biclique(g)
+        is_bc, is_max = verify_biclique(g, best.left, best.right)
+        assert is_bc and is_max
+
+    def test_empty_graph(self):
+        best, res = maximum_biclique(BipartiteGraph.from_edges(3, 3, []))
+        assert best is None

@@ -1,0 +1,92 @@
+"""Tests for bipartite (α, β)-core decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    BipartiteGraph,
+    alpha_beta_core,
+    complete_bipartite,
+    core_subgraph,
+    planted_bicliques,
+    random_bipartite,
+)
+
+
+def brute_core(g: BipartiteGraph, alpha: int, beta: int):
+    """Reference peeling with sets."""
+    us = set(range(g.n_u))
+    vs = set(range(g.n_v))
+    changed = True
+    while changed:
+        changed = False
+        for u in list(us):
+            if sum(1 for v in g.neighbors_u(u) if int(v) in vs) < alpha:
+                us.discard(u)
+                changed = True
+        for v in list(vs):
+            if sum(1 for u in g.neighbors_v(v) if int(u) in us) < beta:
+                vs.discard(v)
+                changed = True
+    return us, vs
+
+
+class TestAlphaBetaCore:
+    def test_zero_thresholds_keep_all(self, paper_graph):
+        u_mask, v_mask = alpha_beta_core(paper_graph, 0, 0)
+        assert u_mask.all() and v_mask.all()
+
+    def test_complete_graph_survives(self):
+        g = complete_bipartite(4, 5)
+        u_mask, v_mask = alpha_beta_core(g, 5, 4)
+        assert u_mask.all() and v_mask.all()
+        u_mask, v_mask = alpha_beta_core(g, 6, 1)
+        assert not u_mask.any()
+        assert not v_mask.any()  # cascade: all V lose support
+
+    def test_matches_bruteforce(self):
+        for seed in range(6):
+            g = random_bipartite(15, 12, 0.3, seed=seed)
+            for a, b in ((1, 1), (2, 2), (3, 2), (2, 4)):
+                u_mask, v_mask = alpha_beta_core(g, a, b)
+                us, vs = brute_core(g, a, b)
+                assert set(np.nonzero(u_mask)[0].tolist()) == us, (seed, a, b)
+                assert set(np.nonzero(v_mask)[0].tolist()) == vs, (seed, a, b)
+
+    def test_core_is_maximal_subgraph(self):
+        g = random_bipartite(20, 16, 0.25, seed=9)
+        core, u_ids, v_ids = core_subgraph(g, 2, 2)
+        assert (core.degrees_u >= 2).all()
+        assert (core.degrees_v >= 2).all()
+
+    def test_cascading_peel(self):
+        # u0-v0, u1-v0, u1-v1: u0 (degree 1) peels; u1, v0, v1 survive (2,1)
+        g = BipartiteGraph.from_edges(2, 2, [(0, 0), (1, 0), (1, 1)])
+        u_mask, v_mask = alpha_beta_core(g, 2, 1)
+        assert u_mask.tolist() == [False, True]
+        assert v_mask.tolist() == [True, True]
+        # raising beta to 2 collapses everything: v1 (degree 1) peels,
+        # u1 drops to 1 < 2, then v0 loses u1 ... chain reaction
+        u_mask, v_mask = alpha_beta_core(g, 2, 2)
+        assert not u_mask.any() and not v_mask.any()
+
+
+class TestCoreSubgraph:
+    def test_id_maps(self, paper_graph):
+        core, u_ids, v_ids = core_subgraph(paper_graph, 2, 2)
+        for i in range(core.n_u):
+            for j in core.neighbors_u(i):
+                assert paper_graph.has_edge(int(u_ids[i]), int(v_ids[int(j)]))
+
+    def test_empty_core(self):
+        g = BipartiteGraph.from_edges(3, 3, [(0, 0)])
+        core, u_ids, v_ids = core_subgraph(g, 5, 5)
+        assert core.n_u == 0 and core.n_v == 0
+
+    def test_planted_block_survives_tight_core(self):
+        g = planted_bicliques(80, 60, [(10, 8)], noise_p=0.02, seed=3)
+        core, u_ids, v_ids = core_subgraph(g, 8, 10)
+        # the 10x8 block satisfies (8,10) degrees, so the core is nonempty
+        assert core.n_u >= 10 and core.n_v >= 8
+        # and much smaller than the input (noise peeled away)
+        assert core.n_u < g.n_u / 2

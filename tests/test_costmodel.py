@@ -1,0 +1,60 @@
+"""Tests for the cross-platform cost model."""
+
+import pytest
+
+from repro.bench.costmodel import XEON_5318Y, CPUModel
+from repro.core.bicliques import Counters
+
+
+class TestCPUModel:
+    def test_serial_seconds(self):
+        m = CPUModel("t", ops_per_second=1e6, node_overhead_s=1e-3)
+        c = Counters(nodes_generated=10, set_op_work=2_000_000)
+        assert m.serial_seconds(c) == pytest.approx(2.0 + 0.01)
+
+    def test_task_seconds(self):
+        m = CPUModel("t", ops_per_second=1e6, node_overhead_s=0.0)
+        assert m.task_seconds(500_000, 0) == pytest.approx(0.5)
+
+    def test_parallel_not_slower_with_more_cores(self):
+        m = XEON_5318Y
+        works = [1e6 * (i % 7 + 1) for i in range(50)]
+        nodes = [10] * 50
+        t1 = m.parallel_seconds(works, nodes, 1)
+        t16 = m.parallel_seconds(works, nodes, 16)
+        t96 = m.parallel_seconds(works, nodes, 96)
+        assert t96 <= t16 <= t1
+
+    def test_parallel_schedule_structure(self):
+        m = XEON_5318Y
+        sched = m.parallel_schedule([1e6, 2e6], [1, 1], 2)
+        assert sched.n_workers == 2
+        assert len(sched.intervals) == 2
+
+    def test_more_work_takes_longer(self):
+        m = XEON_5318Y
+        c1 = Counters(set_op_work=1_000_000)
+        c2 = Counters(set_op_work=5_000_000)
+        assert m.serial_seconds(c2) > m.serial_seconds(c1)
+
+
+class TestCountersBasics:
+    def test_charge(self):
+        c = Counters()
+        c.charge(10, 30)
+        assert c.set_op_work == 40
+        assert c.simt_cycles == (40 + 31) // 32 + 1
+
+    def test_nonmaximal_ratio(self):
+        c = Counters(maximal=10, non_maximal=25)
+        assert c.nonmaximal_ratio() == 2.5
+        assert Counters().nonmaximal_ratio() == 0.0
+
+    def test_merge(self):
+        a = Counters(nodes_generated=1, maximal=2, set_op_work=10, peak_stack_depth=3)
+        b = Counters(nodes_generated=4, non_maximal=1, simt_cycles=7, peak_stack_depth=5)
+        a.merge(b)
+        assert a.nodes_generated == 5
+        assert a.maximal == 2 and a.non_maximal == 1
+        assert a.simt_cycles == 7
+        assert a.peak_stack_depth == 5

@@ -1,0 +1,98 @@
+"""Tests for (p,q)-biclique counting."""
+
+from itertools import combinations
+from math import comb
+
+import numpy as np
+import pytest
+
+from repro.core import sets
+from repro.core.counting import (
+    codegree_histogram,
+    count_bicliques_pq,
+    count_butterflies,
+)
+from repro.graph import BipartiteGraph, complete_bipartite, crown_graph, random_bipartite
+
+
+def brute_count_pq(g: BipartiteGraph, p: int, q: int) -> int:
+    total = 0
+    for us in combinations(range(g.n_u), p):
+        common = g.neighbors_u(us[0])
+        for u in us[1:]:
+            common = sets.intersect(common, g.neighbors_u(u))
+        total += comb(len(common), q)
+    return total
+
+
+class TestButterflies:
+    def test_complete_graph_formula(self):
+        # K_{m,n} has C(m,2)*C(n,2) butterflies
+        for m, n in ((3, 3), (4, 5), (2, 6)):
+            g = complete_bipartite(m, n)
+            assert count_butterflies(g) == comb(m, 2) * comb(n, 2)
+
+    def test_single_butterfly(self):
+        g = BipartiteGraph.from_edges(2, 2, [(0, 0), (0, 1), (1, 0), (1, 1)])
+        assert count_butterflies(g) == 1
+
+    def test_no_butterflies_in_tree(self):
+        g = BipartiteGraph.from_edges(3, 2, [(0, 0), (1, 0), (2, 1)])
+        assert count_butterflies(g) == 0
+
+    def test_matches_bruteforce_random(self):
+        for seed in range(5):
+            g = random_bipartite(10, 9, 0.4, seed=seed)
+            assert count_butterflies(g) == brute_count_pq(g, 2, 2)
+
+    def test_side_symmetry(self):
+        g = random_bipartite(8, 12, 0.35, seed=3)
+        assert count_butterflies(g) == count_butterflies(g.swapped())
+
+
+class TestCountPQ:
+    def test_edges_case(self):
+        g = random_bipartite(7, 7, 0.5, seed=1)
+        assert count_bicliques_pq(g, 1, 1) == g.n_edges
+
+    def test_p1_counts_stars(self):
+        g = random_bipartite(7, 7, 0.5, seed=2)
+        want = sum(comb(int(d), 3) for d in g.degrees_u)
+        assert count_bicliques_pq(g, 1, 3) == want
+
+    def test_q1_counts_costars(self):
+        g = random_bipartite(7, 7, 0.5, seed=2)
+        assert count_bicliques_pq(g, 3, 1) == brute_count_pq(g, 3, 1)
+
+    @pytest.mark.parametrize("p,q", [(2, 2), (2, 3), (3, 2), (3, 3), (4, 2)])
+    def test_matches_bruteforce(self, p, q):
+        for seed in range(3):
+            g = random_bipartite(9, 8, 0.45, seed=seed)
+            assert count_bicliques_pq(g, p, q) == brute_count_pq(g, p, q), (
+                seed, p, q,
+            )
+
+    def test_crown(self):
+        # crown S_4^0: complete K44 minus perfect matching
+        g = crown_graph(4)
+        assert count_bicliques_pq(g, 2, 2) == brute_count_pq(g, 2, 2)
+
+    def test_invalid_pq(self, paper_graph):
+        with pytest.raises(ValueError):
+            count_bicliques_pq(paper_graph, 0, 2)
+
+    def test_butterflies_equal_22(self, paper_graph):
+        assert count_bicliques_pq(paper_graph, 2, 2) == count_butterflies(
+            paper_graph
+        )
+
+
+class TestHistogram:
+    def test_complete(self):
+        g = complete_bipartite(3, 4)
+        hist = codegree_histogram(g)
+        assert hist == {4: 3}  # C(3,2) U-pairs each sharing all 4
+
+    def test_empty(self):
+        g = BipartiteGraph.from_edges(3, 3, [])
+        assert codegree_histogram(g) == {}

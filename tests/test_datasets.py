@@ -1,0 +1,76 @@
+"""Tests for the dataset registry and the paper's published statistics."""
+
+import pytest
+
+from repro.datasets import (
+    DATASET_ORDER,
+    DATASETS,
+    LARGE_DATASETS,
+    PAPER_MAX_BICLIQUES,
+    PAPER_TABLE1,
+    load,
+)
+
+
+class TestRegistry:
+    def test_twelve_datasets_in_order(self):
+        assert len(DATASET_ORDER) == 12
+        assert DATASET_ORDER[0] == "Mti" and DATASET_ORDER[-1] == "GH"
+        assert set(DATASET_ORDER) == set(DATASETS)
+
+    def test_large_flags(self):
+        assert LARGE_DATASETS == ["SO", "Pa", "IM", "EE", "BX", "GH"]
+
+    def test_load_deterministic(self):
+        g1 = load("Mti", cache=False)
+        g2 = load("Mti", cache=False)
+        assert set(g1.edges()) == set(g2.edges())
+
+    def test_cache_returns_same_object(self):
+        assert load("Mti") is load("Mti")
+
+    def test_scale_shrinks(self):
+        full = load("WA")
+        small = load("WA", scale=0.25)
+        assert small.n_u < full.n_u and small.n_edges < full.n_edges
+
+    def test_unknown_code(self):
+        with pytest.raises(KeyError):
+            load("nope")
+
+    def test_names_set(self):
+        for code in DATASET_ORDER:
+            assert load(code, scale=0.1, cache=False).name == code
+
+
+class TestBicliqueCountOrdering:
+    @pytest.mark.slow
+    def test_counts_ascend_at_small_scale(self):
+        """At reduced scale the exact ladder may wobble, but the coarse
+        order (small < large group) must hold."""
+        from repro.gmbe import gmbe_host
+
+        counts = {
+            code: gmbe_host(load(code, scale=0.25)).n_maximal
+            for code in DATASET_ORDER
+        }
+        small = max(counts[c] for c in DATASET_ORDER[:3])
+        big = min(counts[c] for c in ("EE", "BX", "GH"))
+        assert big > small
+
+
+class TestPaperStats:
+    def test_all_rows_present(self):
+        assert set(PAPER_TABLE1) == set(DATASET_ORDER)
+        assert set(PAPER_MAX_BICLIQUES) == set(DATASET_ORDER)
+
+    def test_counts_ascending_in_order(self):
+        values = [PAPER_MAX_BICLIQUES[c] for c in DATASET_ORDER]
+        assert values == sorted(values)
+
+    def test_bookcrossing_row(self):
+        bx = PAPER_TABLE1["BX"]
+        assert (bx.max_deg_v, bx.max_two_hop_v) == (13601, 53915)
+
+    def test_github_count(self):
+        assert PAPER_MAX_BICLIQUES["GH"] == 55_346_398

@@ -1,0 +1,48 @@
+"""Tests for GPU device specs."""
+
+import pytest
+
+from repro.gpusim import A100, DEVICE_PRESETS, RTX2080TI, V100, DeviceSpec
+
+
+class TestPresets:
+    def test_paper_sm_counts(self):
+        assert A100.n_sms == 108
+        assert V100.n_sms == 80
+        assert RTX2080TI.n_sms == 68
+
+    def test_paper_memory_capacities(self):
+        assert A100.global_mem_bytes == 40 * 1024**3
+        assert V100.global_mem_bytes == 32 * 1024**3
+        assert RTX2080TI.global_mem_bytes == 11 * 1024**3
+
+    def test_registry(self):
+        assert set(DEVICE_PRESETS) == {"A100", "V100", "2080Ti"}
+
+    def test_n_warps(self):
+        assert A100.n_warps == 108 * 16
+
+
+class TestBehaviour:
+    def test_with_updates(self):
+        d = A100.with_(warps_per_sm=32)
+        assert d.warps_per_sm == 32 and d.n_sms == 108
+        assert A100.warps_per_sm == 16  # original untouched
+
+    def test_warp_efficiency_flat_then_declines(self):
+        assert A100.with_(warps_per_sm=8).warp_efficiency() == 1.0
+        assert A100.with_(warps_per_sm=16).warp_efficiency() == 1.0
+        e24 = A100.with_(warps_per_sm=24).warp_efficiency()
+        e32 = A100.with_(warps_per_sm=32).warp_efficiency()
+        assert 1.0 > e24 > e32 >= 0.45
+
+    def test_cycles_to_seconds(self):
+        assert A100.cycles_to_seconds(A100.clock_hz) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("bad", 0, 1, 1e9)
+        with pytest.raises(ValueError):
+            DeviceSpec("bad", 4, 1, -1.0)
+        with pytest.raises(ValueError):
+            DeviceSpec("bad", 4, 1, 1e9, block_parallel_fraction=1.5)

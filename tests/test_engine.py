@@ -1,0 +1,97 @@
+"""Tests for the shared enumeration engine and its option knobs."""
+
+import numpy as np
+import pytest
+
+from repro.core import BicliqueCollector, reference_mbe
+from repro.core.bicliques import Counters
+from repro.core.engine import EngineOptions, run_engine
+from repro.graph import crown_graph, random_bipartite
+from repro.graph.preprocess import prepare
+
+ALL_OPTIONS = [
+    EngineOptions("id", False, False),
+    EngineOptions("id", True, False),
+    EngineOptions("id", True, True),
+    EngineOptions("count_asc", False, False),
+    EngineOptions("count_asc", True, False),
+    EngineOptions("count_asc", True, True),
+    EngineOptions("count_desc", True, False),
+    EngineOptions("count_desc", True, True),
+]
+
+
+@pytest.mark.parametrize("options", ALL_OPTIONS)
+def test_all_option_combos_match_oracle(options):
+    for seed in range(3):
+        g = random_bipartite(11, 9, 0.35, seed=seed)
+        ref = reference_mbe(g)
+        prepared = prepare(g).graph
+        ref_prepared = reference_mbe(prepared)
+        col = BicliqueCollector()
+        run_engine(prepared, col, options)
+        assert col.as_set() == ref_prepared
+        assert len(ref_prepared) == len(ref)
+
+
+def test_crown_all_options():
+    g = crown_graph(7)
+    ref = reference_mbe(g)
+    for options in ALL_OPTIONS:
+        col = BicliqueCollector()
+        run_engine(g, col, options)
+        assert col.as_set() == ref
+
+
+def test_prune_reduces_nodes():
+    g = prepare(random_bipartite(40, 28, 0.25, seed=3)).graph
+    c_off = run_engine(g, BicliqueCollector(), EngineOptions("id", True, False))
+    c_on = run_engine(g, BicliqueCollector(), EngineOptions("id", True, True))
+    assert c_on.nodes_generated <= c_off.nodes_generated
+    assert c_on.pruned > 0
+    assert c_on.maximal == c_off.maximal
+
+
+def test_prune_reduces_nonmaximal_ratio():
+    g = prepare(random_bipartite(50, 35, 0.22, seed=7)).graph
+    c_off = run_engine(g, BicliqueCollector(), EngineOptions("count_asc", True, False))
+    c_on = run_engine(g, BicliqueCollector(), EngineOptions("count_asc", True, True))
+    assert c_on.nonmaximal_ratio() <= c_off.nonmaximal_ratio()
+
+
+def test_absorb_reduces_or_equal_nodes():
+    g = prepare(random_bipartite(30, 22, 0.35, seed=5)).graph
+    plain = run_engine(g, BicliqueCollector(), EngineOptions("id", False, False))
+    absorb = run_engine(g, BicliqueCollector(), EngineOptions("id", True, False))
+    assert absorb.nodes_generated <= plain.nodes_generated
+
+
+def test_counters_consistency():
+    g = prepare(random_bipartite(20, 15, 0.3, seed=1)).graph
+    col = BicliqueCollector()
+    c = run_engine(g, col, EngineOptions("id", True, True))
+    assert c.maximal == col.count
+    assert c.checks == c.maximal + c.non_maximal
+    assert c.nodes_generated == c.checks
+    assert c.peak_stack_depth >= 1
+
+
+def test_empty_graph_cases():
+    from repro.graph import BipartiteGraph
+
+    for g in (
+        BipartiteGraph.from_edges(0, 0, []),
+        BipartiteGraph.from_edges(3, 3, []),
+    ):
+        c = run_engine(g, BicliqueCollector(), EngineOptions())
+        assert c.maximal == 0
+
+
+def test_isolated_vertices_ignored():
+    from repro.graph import BipartiteGraph
+
+    g = BipartiteGraph.from_edges(4, 4, [(0, 0), (1, 0)])
+    col = BicliqueCollector()
+    run_engine(g, col, EngineOptions())
+    assert col.count == 1
+    assert col.bicliques[0].left == (0, 1)

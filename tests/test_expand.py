@@ -1,0 +1,114 @@
+"""Tests for node expansion and the Γ maximality check."""
+
+import numpy as np
+
+from repro.core import sets
+from repro.core.bicliques import Counters
+from repro.core.expand import expand_node, gamma, gamma_matches
+from repro.core.localcount import LocalCounter
+from repro.graph import random_bipartite
+
+
+class TestGamma:
+    def test_paper_example(self, paper_graph):
+        # Γ({u1, u2}) = {v1, v2, v3}
+        assert gamma(paper_graph, np.array([0, 1])).tolist() == [0, 1, 2]
+
+    def test_empty_left_gives_all_v(self, paper_graph):
+        assert gamma(paper_graph, np.array([], dtype=np.int32)).tolist() == [0, 1, 2, 3]
+
+    def test_singleton(self, paper_graph):
+        assert gamma(paper_graph, np.array([4])).tolist() == [3]
+
+    def test_counters_charged(self, paper_graph):
+        c = Counters()
+        gamma(paper_graph, np.array([0, 1, 3]), c)
+        assert c.set_op_work > 0
+
+
+class TestGammaMatches:
+    def test_true_case(self, paper_graph):
+        assert gamma_matches(paper_graph, np.array([0, 1]), 3)
+
+    def test_false_case(self, paper_graph):
+        assert not gamma_matches(paper_graph, np.array([0, 1]), 2)
+
+    def test_early_abort_equals_full(self, paper_graph):
+        for left in ([0], [0, 1], [1, 3], [0, 1, 2, 3]):
+            arr = np.array(left)
+            for rs in range(0, 5):
+                expected = len(gamma(paper_graph, arr)) == rs
+                assert gamma_matches(paper_graph, arr, rs) == expected
+
+    def test_random_agreement(self):
+        g = random_bipartite(14, 10, 0.4, seed=2)
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            left = np.sort(rng.choice(14, size=rng.integers(1, 6), replace=False))
+            gm = gamma(g, left)
+            for rs in (0, len(gm) - 1, len(gm), len(gm) + 1):
+                if rs < 0:
+                    continue
+                assert gamma_matches(g, left, rs) == (len(gm) == rs)
+
+
+class TestExpandNode:
+    def test_paper_node_p(self, paper_graph):
+        """Traversing v1 from the root: L'={u1,u2}, absorbs v1,v2,v3,
+        candidate v4 remains (Example 2.1)."""
+        lc = LocalCounter(paper_graph)
+        left = np.arange(5, dtype=np.int32)
+        cands = np.arange(4, dtype=np.int32)
+        exp = expand_node(paper_graph, lc, left, 0, cands)
+        assert exp.left.tolist() == [0, 1]
+        assert exp.absorbed.tolist() == [0, 1, 2]
+        assert exp.new_candidates.tolist() == [3]
+        assert exp.new_counts.tolist() == [1]
+
+    def test_paper_node_s1_non_maximal(self, paper_graph):
+        """Root traverses v3 after v1, v2 removed: R' misses v2 so the
+        node is non-maximal (Example 2.1's s1)."""
+        lc = LocalCounter(paper_graph)
+        left = np.arange(5, dtype=np.int32)
+        cands = np.array([2, 3], dtype=np.int32)  # v3, v4 remain
+        exp = expand_node(paper_graph, lc, left, 2, cands)
+        assert exp.left.tolist() == [0, 1, 3]
+        r_size = len(exp.absorbed)
+        assert not gamma_matches(paper_graph, exp.left, r_size)
+
+    def test_empty_left_result(self):
+        g = random_bipartite(4, 4, 0.0, seed=0)
+        g2 = g  # no edges: any expansion gives empty left
+        lc = LocalCounter(g2)
+        exp = expand_node(
+            g2, lc, np.arange(4, dtype=np.int32), 0, np.arange(4, dtype=np.int32)
+        )
+        assert len(exp.left) == 0
+        assert len(exp.absorbed) == 0
+        assert exp.all_counts.tolist() == [0, 0, 0, 0]
+
+    def test_all_counts_alignment(self, paper_graph):
+        lc = LocalCounter(paper_graph)
+        left = np.arange(5, dtype=np.int32)
+        cands = np.array([1, 2, 3], dtype=np.int32)
+        exp = expand_node(paper_graph, lc, left, 1, cands)
+        # all_counts aligned with input candidate order
+        for i, v in enumerate(cands):
+            expected = sets.intersect_size(
+                paper_graph.neighbors_v(int(v)), exp.left
+            )
+            assert exp.all_counts[i] == expected
+
+    def test_counters_accumulate(self, paper_graph):
+        lc = LocalCounter(paper_graph)
+        c = Counters()
+        expand_node(
+            paper_graph,
+            lc,
+            np.arange(5, dtype=np.int32),
+            1,
+            np.arange(4, dtype=np.int32),
+            c,
+        )
+        assert c.set_op_work > 0
+        assert c.simt_cycles > 0

@@ -1,0 +1,123 @@
+"""Smoke tests for the per-figure experiment drivers at tiny scale.
+
+These verify driver mechanics (structures, invariants, printers); the
+full-scale shape claims live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.bench import (
+    clear_cache,
+    experiment_fig6,
+    experiment_fig7,
+    experiment_fig8,
+    experiment_fig9,
+    experiment_fig10,
+    experiment_fig11,
+    experiment_fig12,
+    experiment_fig13,
+    experiment_table1,
+    experiment_table2,
+    print_fig6,
+    print_fig7,
+    print_fig8,
+    print_fig9,
+    print_fig10,
+    print_fig11,
+    print_fig12,
+    print_fig13,
+    print_table1,
+    print_table2,
+)
+
+SCALE = 0.12
+CODES = ["Mti", "YG"]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def isolated_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestTable1:
+    def test_rows(self):
+        rows = experiment_table1(scale=SCALE, codes=CODES)
+        assert [r.code for r in rows] == CODES
+        assert all(r.n_maximal > 0 for r in rows)
+        assert print_table1(rows)
+
+
+class TestFig6:
+    def test_structure(self):
+        res = experiment_fig6(
+            scale=SCALE, codes=CODES, algorithms=["ooMBEA", "ParMBE", "GMBE"]
+        )
+        for code in CODES:
+            assert set(res.seconds[code]) == {"ooMBEA", "ParMBE", "GMBE"}
+            assert res.speedup_vs_best_cpu(code) > 0
+        assert print_fig6(res)
+
+
+class TestFig7:
+    def test_paper_source(self):
+        rows = experiment_fig7(codes=["BX"])
+        assert rows[0].naive_bytes > rows[0].reuse_bytes
+        assert print_fig7(rows)
+
+    def test_analog_source(self):
+        rows = experiment_fig7(source="analog", scale=SCALE, codes=CODES)
+        assert len(rows) == 2
+
+    def test_bad_source(self):
+        with pytest.raises(ValueError):
+            experiment_fig7(source="nope")
+
+
+class TestFig8:
+    def test_variants(self):
+        res = experiment_fig8(scale=SCALE, codes=["YG"])
+        per = res.seconds["YG"]
+        assert set(per) == {"GMBE", "GMBE-w/o_PRUNE", "GMBE-WARP", "GMBE-BLOCK"}
+        assert res.speedup("YG", "GMBE-WARP") > 0
+        assert print_fig8(res)
+
+
+class TestFig9:
+    def test_curves(self):
+        curves = experiment_fig9(scale=SCALE, codes=["YG"], n_samples=30)
+        assert len(curves) == 3
+        for c in curves:
+            assert len(c.times_s) == len(c.active_sms) == 30
+            assert 0.0 <= c.tail_idle_fraction() <= 1.0
+        assert print_fig9(curves)
+
+
+class TestSweeps:
+    def test_fig10(self):
+        res = experiment_fig10(scale=SCALE, codes=["YG"], grid=[(20, 1500), (40, 3500)])
+        assert len(res.seconds["YG"]) == 2
+        assert res.best_config("YG") in {(20, 1500), (40, 3500)}
+
+    def test_fig10_printer_full_grid(self):
+        res = experiment_fig10(scale=SCALE, codes=["YG"])
+        assert print_fig10(res)
+        assert isinstance(res.default_within_factor("YG"), bool)
+
+    def test_fig11(self):
+        res = experiment_fig11(scale=SCALE, codes=["YG"], grid=[8, 16])
+        assert set(res.seconds["YG"]) == {8, 16}
+        assert res.best_warps("YG") in (8, 16)
+
+    def test_fig12(self):
+        res = experiment_fig12(scale=SCALE, codes=["YG"])
+        assert set(res.seconds["YG"]) == {"A100", "V100", "2080Ti"}
+        assert print_fig12(res)
+
+    def test_fig13(self):
+        rows = experiment_fig13(scale=SCALE, codes=["YG"], gpu_counts=[1, 2])
+        assert [r.n_gpus for r in rows] == [1, 2]
+        assert all(r.total_s > 0 for r in rows)
+        assert all(len(r.per_gpu_s) == r.n_gpus for r in rows)
+        assert print_fig13(rows)

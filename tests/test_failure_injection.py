@@ -1,0 +1,77 @@
+"""Failure-injection tests: errors must propagate cleanly, not corrupt state."""
+
+import numpy as np
+import pytest
+
+from repro.core import BicliqueCollector, oombea
+from repro.gmbe import GMBEConfig, gmbe_gpu, gmbe_host
+from repro.graph import random_bipartite
+
+
+class Boom(RuntimeError):
+    pass
+
+
+class ExplodingSink:
+    """Raises after ``fuse`` bicliques."""
+
+    def __init__(self, fuse: int) -> None:
+        self.fuse = fuse
+        self.seen = 0
+
+    def __call__(self, left, right) -> None:
+        self.seen += 1
+        if self.seen >= self.fuse:
+            raise Boom(f"sink exploded after {self.seen}")
+
+
+@pytest.fixture
+def graph():
+    return random_bipartite(30, 20, 0.3, seed=42)
+
+
+class TestSinkFailures:
+    def test_host_propagates_sink_error(self, graph):
+        with pytest.raises(Boom):
+            gmbe_host(graph, ExplodingSink(5))
+
+    def test_gpu_propagates_sink_error(self, graph):
+        with pytest.raises(Boom):
+            gmbe_gpu(graph, ExplodingSink(5))
+
+    def test_baseline_propagates_sink_error(self, graph):
+        with pytest.raises(Boom):
+            oombea(graph, ExplodingSink(5))
+
+    def test_clean_rerun_after_failure(self, graph):
+        """A failed run must not poison later runs (no shared state)."""
+        expected = gmbe_host(graph).n_maximal
+        with pytest.raises(Boom):
+            gmbe_host(graph, ExplodingSink(3))
+        col = BicliqueCollector()
+        assert gmbe_host(graph, col).n_maximal == expected
+        assert col.count == expected
+
+    def test_partial_output_before_failure(self, graph):
+        sink = ExplodingSink(7)
+        with pytest.raises(Boom):
+            gmbe_gpu(graph, sink)
+        assert sink.seen == 7
+
+
+class TestBadInputs:
+    def test_non_integer_biadjacency_values_tolerated(self):
+        # Nonzero floats are edges; from_biadjacency uses nonzero().
+        from repro.graph import BipartiteGraph
+
+        m = np.array([[0.5, 0.0], [0.0, 2.0]])
+        g = BipartiteGraph.from_biadjacency(m)
+        assert g.n_edges == 2
+
+    def test_kernel_rejects_zero_gpus(self, graph):
+        with pytest.raises(ValueError):
+            gmbe_gpu(graph, n_gpus=0)
+
+    def test_config_rejects_bad_combo_early(self):
+        with pytest.raises(ValueError):
+            GMBEConfig(scheduling="task", bound_height=-5)

@@ -1,0 +1,121 @@
+"""Tests for SVG plotting and figure rendering."""
+
+import pytest
+
+from repro.bench import clear_cache
+from repro.bench.figures import (
+    render_fig6,
+    render_fig7,
+    render_fig9,
+    render_fig13,
+)
+from repro.bench.svgplot import SvgCanvas, grouped_bar_chart, line_chart
+
+
+class TestSvgCanvas:
+    def test_render_shell(self):
+        c = SvgCanvas(100, 50)
+        c.line(0, 0, 10, 10)
+        c.rect(1, 1, 5, 5)
+        c.text(10, 10, "hi & <bye>")
+        svg = c.render()
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert "&amp;" in svg and "&lt;bye&gt;" in svg
+
+    def test_polyline(self):
+        c = SvgCanvas(10, 10)
+        c.polyline([(0, 0), (5, 5)])
+        assert "polyline" in c.render()
+
+
+class TestCharts:
+    def test_grouped_bars_linear(self):
+        svg = grouped_bar_chart(["a", "b"], {"s1": [1, 2], "s2": [3, 0]})
+        assert svg.count("<rect") >= 5  # 4 bars + background + legend
+        assert "s1" in svg and "s2" in svg
+
+    def test_grouped_bars_log(self):
+        svg = grouped_bar_chart(
+            ["a", "b", "c"], {"x": [0.001, 1.0, 1000.0]}, log=True
+        )
+        assert "1e" in svg  # log ticks
+
+    def test_log_with_zero_values_safe(self):
+        svg = grouped_bar_chart(["a"], {"x": [0.0]}, log=True)
+        assert "<svg" in svg
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart([], {})
+        with pytest.raises(ValueError):
+            line_chart({})
+
+    def test_line_chart(self):
+        svg = line_chart(
+            {"warp": ([0, 1, 2], [10, 5, 1]), "task": ([0, 1, 2], [10, 10, 2])},
+            title="t", xlabel="x", ylabel="y",
+        )
+        assert svg.count("<polyline") >= 2
+        assert "warp" in svg
+
+
+class TestRenderers:
+    @pytest.fixture(autouse=True)
+    def fresh(self):
+        clear_cache()
+        yield
+        clear_cache()
+
+    def test_fig7_render(self, tmp_path):
+        from repro.bench import experiment_fig7
+
+        rows = experiment_fig7(codes=["Mti", "BX"])
+        path = render_fig7(rows, tmp_path / "fig7.svg")
+        text = (tmp_path / "fig7.svg").read_text()
+        assert "memory demand" in text
+
+    def test_fig6_render_tiny(self, tmp_path):
+        from repro.bench import experiment_fig6
+
+        res = experiment_fig6(
+            scale=0.1, codes=["Mti"], algorithms=["ooMBEA", "GMBE"]
+        )
+        render_fig6(res, tmp_path / "fig6.svg")
+        assert (tmp_path / "fig6.svg").exists()
+
+    def test_fig8_10_11_12_render_tiny(self, tmp_path):
+        from repro.bench import (
+            experiment_fig8,
+            experiment_fig10,
+            experiment_fig11,
+            experiment_fig12,
+        )
+        from repro.bench.figures import (
+            render_fig8,
+            render_fig10,
+            render_fig11,
+            render_fig12,
+        )
+
+        kw = dict(scale=0.1, codes=["Mti"])
+        render_fig8(experiment_fig8(**kw), tmp_path / "f8.svg")
+        render_fig10(
+            experiment_fig10(**kw, grid=[(20, 1500), (40, 3500)]),
+            tmp_path / "f10.svg",
+        )
+        render_fig11(experiment_fig11(**kw, grid=[8, 16]), tmp_path / "f11.svg")
+        render_fig12(experiment_fig12(**kw), tmp_path / "f12.svg")
+        for f in ("f8", "f10", "f11", "f12"):
+            assert (tmp_path / f"{f}.svg").read_text().startswith("<svg")
+
+    def test_fig9_and_13_render_tiny(self, tmp_path):
+        from repro.bench import experiment_fig9, experiment_fig13
+
+        curves = experiment_fig9(scale=0.1, codes=["Mti"], n_samples=20)
+        paths = render_fig9(curves, tmp_path / "fig9")
+        assert len(paths) == 1 and paths[0].endswith("fig9_Mti.svg")
+
+        rows = experiment_fig13(scale=0.1, codes=["Mti"], gpu_counts=[1, 2])
+        paths = render_fig13(rows, tmp_path / "fig13")
+        assert (tmp_path / "fig13_Mti.svg").exists()

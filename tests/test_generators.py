@@ -1,0 +1,114 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    block_overlap_bipartite,
+    complete_bipartite,
+    crown_graph,
+    planted_bicliques,
+    power_law_bipartite,
+    random_bipartite,
+)
+
+
+class TestComplete:
+    def test_sizes(self):
+        g = complete_bipartite(3, 5)
+        assert g.n_edges == 15
+        assert g.degrees_u.tolist() == [5, 5, 5]
+
+    def test_single_maximal_biclique(self):
+        from repro.core import reference_mbe
+
+        g = complete_bipartite(3, 4)
+        assert len(reference_mbe(g)) == 1
+
+
+class TestCrown:
+    def test_structure(self):
+        g = crown_graph(4)
+        assert g.n_edges == 4 * 3
+        for i in range(4):
+            assert not g.has_edge(i, i)
+
+    def test_known_count(self):
+        """Crown S_n^0 has 2^n - 2 maximal bicliques for n >= 2."""
+        from repro.core import reference_mbe
+
+        for n in (3, 4, 5):
+            assert len(reference_mbe(crown_graph(n))) == 2**n - 2
+
+
+class TestRandom:
+    def test_deterministic(self):
+        g1 = random_bipartite(20, 15, 0.2, seed=7)
+        g2 = random_bipartite(20, 15, 0.2, seed=7)
+        assert set(g1.edges()) == set(g2.edges())
+
+    def test_seed_changes_graph(self):
+        g1 = random_bipartite(20, 15, 0.2, seed=7)
+        g2 = random_bipartite(20, 15, 0.2, seed=8)
+        assert set(g1.edges()) != set(g2.edges())
+
+    def test_density_roughly_p(self):
+        g = random_bipartite(100, 100, 0.3, seed=1)
+        assert 0.25 < g.n_edges / 10000 < 0.35
+
+    def test_extreme_p(self):
+        assert random_bipartite(5, 5, 0.0, seed=0).n_edges == 0
+        assert random_bipartite(5, 5, 1.0, seed=0).n_edges == 25
+
+
+class TestPowerLaw:
+    def test_deterministic(self):
+        g1 = power_law_bipartite(200, 100, 800, seed=3)
+        g2 = power_law_bipartite(200, 100, 800, seed=3)
+        assert set(g1.edges()) == set(g2.edges())
+
+    def test_edge_count_near_target(self):
+        g = power_law_bipartite(500, 300, 3000, seed=1)
+        assert 0.5 * 3000 <= g.n_edges <= 3000
+
+    def test_has_skew(self):
+        g = power_law_bipartite(800, 400, 5000, exponent_v=1.8, seed=2)
+        degs = g.degrees_v
+        assert degs.max() > 4 * max(1.0, degs.mean())
+
+
+class TestPlanted:
+    def test_blocks_are_bicliques(self):
+        g = planted_bicliques(30, 20, [(5, 4), (6, 3)], seed=1)
+        from repro.core import verify_biclique, reference_mbe
+
+        # Each planted block appears inside some maximal biclique.
+        found = reference_mbe(g)
+        sizes = {(len(b.left), len(b.right)) for b in found}
+        assert any(a >= 5 and b >= 4 for a, b in sizes)
+
+    def test_block_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            planted_bicliques(4, 4, [(5, 2)])
+
+    def test_overlap_shares_u_vertices(self):
+        g = planted_bicliques(40, 30, [(8, 5), (8, 5)], overlap=0.5, seed=2)
+        assert g.n_edges <= 2 * 8 * 5  # shared U rows overlap in edges? sanity
+
+    def test_noise_adds_edges(self):
+        g0 = planted_bicliques(30, 20, [(4, 4)], noise_p=0.0, seed=3)
+        g1 = planted_bicliques(30, 20, [(4, 4)], noise_p=0.2, seed=3)
+        assert g1.n_edges > g0.n_edges
+
+
+class TestBlockOverlap:
+    def test_deterministic(self):
+        kw = dict(memberships_u=2.0, memberships_v=1.5, intra_p=0.4, seed=9)
+        g1 = block_overlap_bipartite(100, 50, 8, **kw)
+        g2 = block_overlap_bipartite(100, 50, 8, **kw)
+        assert set(g1.edges()) == set(g2.edges())
+
+    def test_density_grows_with_p(self):
+        lo = block_overlap_bipartite(100, 50, 8, intra_p=0.1, seed=1)
+        hi = block_overlap_bipartite(100, 50, 8, intra_p=0.8, seed=1)
+        assert hi.n_edges > lo.n_edges

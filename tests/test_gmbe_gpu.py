@@ -1,0 +1,129 @@
+"""Tests for GMBE on the simulated GPU (Alg. 4 execution)."""
+
+import numpy as np
+import pytest
+
+from repro.core import BicliqueCollector, reference_mbe
+from repro.gmbe import GMBEConfig, gmbe_gpu, gmbe_host
+from repro.gpusim import A100, RTX2080TI, V100
+from repro.graph import crown_graph, power_law_bipartite, random_bipartite
+
+SPLIT_HARD = GMBEConfig(bound_height=2, bound_size=4)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("scheduling", ["task", "warp", "block"])
+    def test_modes_vs_oracle(self, scheduling):
+        cfg = GMBEConfig(scheduling=scheduling, bound_height=2, bound_size=4)
+        for seed in range(3):
+            g = random_bipartite(12, 10, 0.3, seed=seed)
+            col = BicliqueCollector()
+            gmbe_gpu(g, col, config=cfg)
+            assert col.as_set() == reference_mbe(g), (scheduling, seed)
+
+    def test_paper_graph(self, paper_graph):
+        col = BicliqueCollector()
+        res = gmbe_gpu(paper_graph, col)
+        assert res.n_maximal == 6
+        assert col.as_set() == reference_mbe(paper_graph)
+
+    def test_split_equals_nosplit(self):
+        """Aggressive splitting must not change the biclique set."""
+        g = power_law_bipartite(250, 130, 1200, seed=5)
+        hard = gmbe_gpu(g, config=SPLIT_HARD)
+        soft = gmbe_gpu(g, config=GMBEConfig(bound_height=10**6, bound_size=10**9))
+        assert hard.n_maximal == soft.n_maximal
+
+    def test_matches_host(self):
+        g = power_law_bipartite(300, 150, 1500, seed=6)
+        assert gmbe_gpu(g).n_maximal == gmbe_host(g).n_maximal
+
+    def test_multi_gpu_counts_invariant(self):
+        g = crown_graph(9)
+        ref = reference_mbe(g)
+        for n in (1, 2, 4, 8):
+            col = BicliqueCollector()
+            gmbe_gpu(g, col, n_gpus=n, config=SPLIT_HARD)
+            assert col.as_set() == ref, n
+
+    def test_device_invariance(self):
+        g = power_law_bipartite(200, 100, 900, seed=7)
+        counts = {
+            dev.name: gmbe_gpu(g, device=dev).n_maximal
+            for dev in (A100, V100, RTX2080TI)
+        }
+        assert len(set(counts.values())) == 1
+
+    def test_warps_per_sm_invariance(self):
+        g = power_law_bipartite(200, 100, 900, seed=8)
+        counts = {
+            w: gmbe_gpu(g, config=GMBEConfig(warps_per_sm=w)).n_maximal
+            for w in (8, 16, 32)
+        }
+        assert len(set(counts.values())) == 1
+
+    def test_invalid_n_gpus(self, paper_graph):
+        with pytest.raises(ValueError):
+            gmbe_gpu(paper_graph, n_gpus=0)
+
+
+class TestSimulationOutputs:
+    @pytest.fixture(scope="class")
+    def run(self):
+        g = power_law_bipartite(400, 200, 2000, seed=9)
+        return gmbe_gpu(g, config=GMBEConfig(bound_height=4, bound_size=40))
+
+    def test_sim_time_positive(self, run):
+        assert run.sim_time > 0
+
+    def test_report_structure(self, run):
+        rep = run.extras["report"]
+        assert rep.tasks_executed > 0
+        assert rep.makespan_cycles > 0
+        assert len(rep.per_device_cycles) == 1
+
+    def test_splits_happened(self, run):
+        assert run.extras["report"].tasks_split > 0
+
+    def test_queue_stats_nonzero_when_splitting(self, run):
+        stats = run.extras["queue_stats"][0]
+        assert stats.local_enqueues + stats.global_enqueues > 0
+        assert stats.local_dequeues + stats.global_dequeues > 0
+
+    def test_warp_efficiency_in_range(self, run):
+        assert 0.0 < run.extras["warp_efficiency"] <= 1.0
+
+    def test_recorder_intervals_well_formed(self, run):
+        rec = run.extras["report"].recorders[0]
+        for spans in rec.intervals.values():
+            for s, e in spans:
+                assert e >= s >= 0.0
+
+    def test_per_gpu_seconds(self, run):
+        per = run.extras["per_gpu_seconds"]
+        assert len(per) == 1
+        assert per[0] == pytest.approx(run.sim_time)
+
+
+class TestSchedulingPerformance:
+    def test_task_centric_not_slower_than_warp_on_skewed(self):
+        """The Fig. 8/9 claim: task splitting rebalances skewed trees."""
+        from repro.graph import block_overlap_bipartite
+
+        g = block_overlap_bipartite(
+            500, 170, 12, memberships_u=1.8, memberships_v=1.5, intra_p=0.35, seed=10
+        )
+        task = gmbe_gpu(g, config=GMBEConfig(scheduling="task"))
+        warp = gmbe_gpu(g, config=GMBEConfig(scheduling="warp"))
+        assert task.n_maximal == warp.n_maximal
+        assert task.sim_time <= warp.sim_time * 1.05
+
+    def test_multi_gpu_speedup_on_wide_work(self):
+        from repro.graph import block_overlap_bipartite
+
+        g = block_overlap_bipartite(
+            600, 200, 14, memberships_u=1.8, memberships_v=1.5, intra_p=0.32, seed=11
+        )
+        t1 = gmbe_gpu(g, n_gpus=1).sim_time
+        t4 = gmbe_gpu(g, n_gpus=4).sim_time
+        assert t4 <= t1  # more devices never slower under the shared counter

@@ -1,0 +1,103 @@
+"""Tests for sequential GMBE (node-reuse iteration + pruning)."""
+
+import pytest
+
+from repro.core import BicliqueCollector, oombea, reference_mbe, verify_biclique
+from repro.gmbe import GMBEConfig, gmbe_host
+from repro.graph import (
+    BipartiteGraph,
+    crown_graph,
+    planted_bicliques,
+    power_law_bipartite,
+    random_bipartite,
+)
+
+
+class TestCorrectness:
+    def test_paper_graph(self, paper_graph):
+        col = BicliqueCollector()
+        res = gmbe_host(paper_graph, col)
+        assert res.n_maximal == 6
+        assert col.as_set() == reference_mbe(paper_graph)
+
+    @pytest.mark.parametrize("prune", [True, False])
+    def test_random_graphs(self, prune):
+        cfg = GMBEConfig(prune=prune)
+        for seed in range(5):
+            g = random_bipartite(13, 10, 0.3, seed=seed)
+            col = BicliqueCollector()
+            gmbe_host(g, col, config=cfg)
+            assert col.as_set() == reference_mbe(g), f"seed={seed}"
+
+    def test_crown(self):
+        g = crown_graph(8)
+        col = BicliqueCollector()
+        gmbe_host(g, col)
+        assert col.as_set() == reference_mbe(g)
+
+    def test_planted(self):
+        g = planted_bicliques(50, 35, [(9, 6), (8, 5)], noise_p=0.04, overlap=0.5, seed=1)
+        assert gmbe_host(g).n_maximal == oombea(g).n_maximal
+
+    def test_matches_baselines_on_larger_graph(self):
+        g = power_law_bipartite(400, 200, 1800, seed=9)
+        assert gmbe_host(g).n_maximal == oombea(g).n_maximal
+
+    def test_outputs_verified(self):
+        g = random_bipartite(22, 16, 0.3, seed=11)
+        col = BicliqueCollector()
+        gmbe_host(g, col)
+        for b in col.bicliques:
+            assert verify_biclique(g, b.left, b.right) == (True, True)
+
+    def test_no_duplicates(self):
+        g = power_law_bipartite(250, 130, 1100, seed=12)
+        col = BicliqueCollector()
+        res = gmbe_host(g, col)
+        assert len(col.as_set()) == len(col.bicliques) == res.n_maximal
+
+    def test_empty_and_edgeless(self):
+        assert gmbe_host(BipartiteGraph.from_edges(0, 0, [])).n_maximal == 0
+        assert gmbe_host(BipartiteGraph.from_edges(4, 3, [])).n_maximal == 0
+
+
+class TestPruning:
+    def test_prune_preserves_count_reduces_checks(self):
+        g = power_law_bipartite(300, 160, 1400, seed=2)
+        on = gmbe_host(g, config=GMBEConfig(prune=True))
+        off = gmbe_host(g, config=GMBEConfig(prune=False))
+        assert on.n_maximal == off.n_maximal
+        assert on.counters.non_maximal < off.counters.non_maximal
+        assert on.counters.pruned > 0
+        assert off.counters.pruned == 0
+
+    def test_table2_ratio_improves(self):
+        """The paper's Table 2: δ/α drops by ~48–93% with pruning."""
+        g = power_law_bipartite(400, 200, 2000, seed=3)
+        on = gmbe_host(g, config=GMBEConfig(prune=True))
+        off = gmbe_host(g, config=GMBEConfig(prune=False))
+        assert on.counters.nonmaximal_ratio() < 0.6 * off.counters.nonmaximal_ratio()
+
+    def test_maximal_counts_equal_bicliques(self):
+        g = random_bipartite(30, 20, 0.3, seed=4)
+        res = gmbe_host(g)
+        assert res.counters.maximal == res.n_maximal
+
+
+class TestNodeReuseVariant:
+    def test_without_reuse_identical_results(self):
+        for seed in range(3):
+            g = random_bipartite(15, 11, 0.35, seed=seed)
+            col_a = BicliqueCollector()
+            col_b = BicliqueCollector()
+            a = gmbe_host(g, col_a, config=GMBEConfig(node_reuse=True))
+            b = gmbe_host(g, col_b, config=GMBEConfig(node_reuse=False))
+            assert col_a.as_set() == col_b.as_set()
+            assert a.counters.nodes_generated == b.counters.nodes_generated
+
+    def test_without_reuse_respects_prune_flag(self):
+        g = power_law_bipartite(200, 110, 900, seed=7)
+        on = gmbe_host(g, config=GMBEConfig(node_reuse=False, prune=True))
+        off = gmbe_host(g, config=GMBEConfig(node_reuse=False, prune=False))
+        assert on.n_maximal == off.n_maximal
+        assert on.counters.non_maximal <= off.counters.non_maximal

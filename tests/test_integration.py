@@ -1,0 +1,95 @@
+"""End-to-end integration: the full pipeline a downstream user runs.
+
+Generate a realistic workload → enumerate on the simulated GPU →
+post-process (stats, cover, overlap) → certify with the independent
+verifier → profile and export a trace.  One scenario, every layer.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import enumerate_maximal_bicliques, verify_enumeration
+from repro.analysis import (
+    edge_coverage,
+    greedy_edge_cover,
+    overlap_components,
+    participation_counts,
+    summarize,
+)
+from repro.bench.common import scale_device
+from repro.core import BicliqueCollector
+from repro.gmbe import GMBEConfig, gmbe_gpu
+from repro.gpusim import A100, profile_run, write_chrome_trace
+from repro.graph import planted_bicliques
+
+
+@pytest.fixture(scope="module")
+def workload():
+    graph = planted_bicliques(
+        300, 200, [(10, 7), (8, 8)], noise_p=0.01, overlap=0.4, seed=17,
+        name="integration",
+    )
+    collector = BicliqueCollector()
+    result = gmbe_gpu(
+        graph,
+        collector,
+        device=scale_device(A100),
+        config=GMBEConfig(bound_height=6, bound_size=80),
+    )
+    return graph, collector, result
+
+
+class TestPipeline:
+    def test_enumeration_certified(self, workload):
+        graph, collector, _ = workload
+        report = verify_enumeration(graph, collector.bicliques, deep_check=False)
+        assert report.ok, report.summary()
+
+    def test_facade_agrees(self, workload):
+        graph, collector, _ = workload
+        via_facade = enumerate_maximal_bicliques(graph, algorithm="oombea")
+        assert set(via_facade) == collector.as_set()
+
+    def test_stats_reflect_planted_blocks(self, workload):
+        graph, collector, _ = workload
+        stats = summarize(collector.bicliques)
+        assert stats.n_bicliques == collector.count
+        assert stats.max_edges >= 10 * 7
+
+    def test_cover_explains_graph(self, workload):
+        graph, collector, _ = workload
+        cover = greedy_edge_cover(collector.bicliques, graph, k=50)
+        assert cover.coverage > 0.5
+        assert edge_coverage(cover.selected, graph) == pytest.approx(
+            cover.coverage
+        )
+
+    def test_participation_hubs_exist(self, workload):
+        graph, collector, _ = workload
+        u_counts, v_counts = participation_counts(
+            collector.bicliques, graph.n_u, graph.n_v
+        )
+        assert u_counts.max() > 1  # overlap region vertices
+
+    def test_overlap_clusters_blocks(self, workload):
+        graph, collector, _ = workload
+        big = [b for b in collector.bicliques if b.n_edges >= 40]
+        comps = overlap_components(big, min_jaccard=0.15)
+        assert 1 <= comps.n_components <= len(big)
+
+    def test_profile_and_trace(self, workload, tmp_path):
+        _, _, result = workload
+        profile = profile_run(result)
+        assert 0 < profile.warp_execution_efficiency <= 1
+        path = tmp_path / "trace.json"
+        n = write_chrome_trace(result, path)
+        assert n > 0
+        assert json.loads(path.read_text())["traceEvents"]
+
+    def test_simulation_metadata_consistent(self, workload):
+        _, collector, result = workload
+        assert result.n_maximal == collector.count
+        assert result.sim_time > 0
+        assert result.counters.maximal == result.n_maximal

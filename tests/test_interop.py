@@ -1,0 +1,76 @@
+"""Tests for scipy.sparse / networkx interop."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from scipy.sparse import csr_matrix
+
+from repro.graph import (
+    EdgeListError,
+    from_networkx,
+    from_scipy_sparse,
+    to_networkx,
+    to_scipy_sparse,
+)
+
+
+class TestScipy:
+    def test_roundtrip(self, paper_graph):
+        m = to_scipy_sparse(paper_graph)
+        g2 = from_scipy_sparse(m, name="round")
+        assert set(g2.edges()) == set(paper_graph.edges())
+        assert g2.name == "round"
+
+    def test_from_coo_with_duplicates(self):
+        m = csr_matrix(np.array([[1, 0], [2, 1]]))  # value 2 still one edge
+        g = from_scipy_sparse(m)
+        assert g.n_edges == 3
+
+    def test_shape_preserved_with_isolated_columns(self):
+        m = csr_matrix(np.array([[1, 0, 0]]))
+        g = from_scipy_sparse(m)
+        assert (g.n_u, g.n_v) == (1, 3)
+
+    def test_matrix_matches_biadjacency(self, paper_graph):
+        m = to_scipy_sparse(paper_graph).toarray()
+        assert np.array_equal(m, paper_graph.to_biadjacency())
+
+
+class TestNetworkx:
+    def test_roundtrip(self, paper_graph):
+        nxg = to_networkx(paper_graph)
+        assert nxg.number_of_nodes() == 9
+        assert nxg.number_of_edges() == paper_graph.n_edges
+        g2 = from_networkx(nxg)
+        assert set(g2.edges()) == set(paper_graph.edges())
+
+    def test_bipartite_attribute_set(self, paper_graph):
+        nxg = to_networkx(paper_graph)
+        sides = nx.get_node_attributes(nxg, "bipartite")
+        assert sum(v == 0 for v in sides.values()) == paper_graph.n_u
+
+    def test_is_bipartite(self, paper_graph):
+        assert nx.is_bipartite(to_networkx(paper_graph))
+
+    def test_missing_attribute_rejected(self):
+        g = nx.Graph()
+        g.add_edge("a", "b")
+        with pytest.raises(EdgeListError):
+            from_networkx(g)
+
+    def test_arbitrary_labels(self):
+        g = nx.Graph()
+        g.add_node("alice", bipartite=0)
+        g.add_node("bob", bipartite=0)
+        g.add_node("book", bipartite=1)
+        g.add_edge("alice", "book")
+        g.add_edge("book", "bob")  # reversed orientation is fine
+        out = from_networkx(g)
+        assert (out.n_u, out.n_v, out.n_edges) == (2, 1, 2)
+
+    def test_mbe_through_networkx_pipeline(self, paper_graph):
+        """networkx in -> enumerate -> same six bicliques."""
+        from repro.gmbe import gmbe_host
+
+        g = from_networkx(to_networkx(paper_graph))
+        assert gmbe_host(g).n_maximal == 6

@@ -1,0 +1,131 @@
+"""Tests for edge-list IO (KONECT/SNAP-style text formats)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    BipartiteGraph,
+    EdgeListError,
+    read_edge_list,
+    reads_edge_list,
+    write_edge_list,
+)
+
+
+class TestParse:
+    def test_basic_zero_indexed(self):
+        g = reads_edge_list("0 0\n0 1\n1 0\n")
+        assert (g.n_u, g.n_v, g.n_edges) == (2, 2, 3)
+
+    def test_konect_one_indexed_autodetect(self):
+        g = reads_edge_list("1 1\n1 2\n2 1\n")
+        assert (g.n_u, g.n_v, g.n_edges) == (2, 2, 3)
+        assert g.has_edge(0, 0)
+
+    def test_explicit_indexing_override(self):
+        g = reads_edge_list("1 1\n2 2\n", one_indexed=False)
+        # ids 1,2 are compacted to dense 0,1 per side
+        assert (g.n_u, g.n_v) == (2, 2)
+
+    def test_comments_and_blank_lines(self):
+        text = "% konect header\n# snap header\n\n0 0\n0 1\n"
+        g = reads_edge_list(text)
+        assert g.n_edges == 2
+
+    def test_extra_columns_ignored(self):
+        g = reads_edge_list("0 0 5 1234567\n0 1 2 1234568\n")
+        assert g.n_edges == 2
+
+    def test_sparse_ids_compacted(self):
+        g = reads_edge_list("0 0\n100 7\n")
+        assert (g.n_u, g.n_v) == (2, 2)
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(EdgeListError, match="line 1"):
+            reads_edge_list("justoneword\n")
+
+    def test_non_integer_raises(self):
+        with pytest.raises(EdgeListError, match="non-integer"):
+            reads_edge_list("a b\n")
+
+    def test_empty_input(self):
+        g = reads_edge_list("% nothing\n")
+        assert g.n_edges == 0
+
+
+class TestMatrixMarket:
+    def test_roundtrip(self, tmp_path, paper_graph):
+        from repro.graph import read_matrix_market, write_matrix_market
+
+        path = tmp_path / "g.mtx"
+        write_matrix_market(paper_graph, path)
+        g2 = read_matrix_market(path)
+        assert (g2.n_u, g2.n_v) == (paper_graph.n_u, paper_graph.n_v)
+        assert set(g2.edges()) == set(paper_graph.edges())
+
+    def test_isolated_vertices_survive(self, tmp_path):
+        from repro.graph import read_matrix_market
+
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n5 7 1\n1 1\n"
+        )
+        g = read_matrix_market(path)
+        assert (g.n_u, g.n_v, g.n_edges) == (5, 7, 1)
+
+    def test_real_values_with_zero_skipped(self, tmp_path):
+        from repro.graph import read_matrix_market
+
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 2\n1 1 3.5\n2 2 0.0\n"
+        )
+        g = read_matrix_market(path)
+        assert g.n_edges == 1
+
+    def test_missing_header_rejected(self, tmp_path):
+        from repro.graph import EdgeListError, read_matrix_market
+
+        path = tmp_path / "g.mtx"
+        path.write_text("1 1 0\n")
+        with pytest.raises(EdgeListError):
+            read_matrix_market(path)
+
+    def test_dense_format_rejected(self, tmp_path):
+        from repro.graph import EdgeListError, read_matrix_market
+
+        path = tmp_path / "g.mtx"
+        path.write_text("%%MatrixMarket matrix array real general\n2 2\n")
+        with pytest.raises(EdgeListError):
+            read_matrix_market(path)
+
+    def test_scipy_mmread_compatible(self, tmp_path, paper_graph):
+        """Our writer output parses with scipy.io.mmread."""
+        from scipy.io import mmread
+
+        from repro.graph import write_matrix_market
+
+        path = tmp_path / "g.mtx"
+        write_matrix_market(paper_graph, path)
+        m = mmread(str(path))
+        assert m.shape == (paper_graph.n_u, paper_graph.n_v)
+        assert m.nnz == paper_graph.n_edges
+
+
+class TestRoundTrip:
+    def test_file_roundtrip(self, tmp_path, paper_graph):
+        path = tmp_path / "g0.tsv"
+        write_edge_list(paper_graph, path)
+        g2 = read_edge_list(path)
+        assert set(g2.edges()) == set(paper_graph.edges())
+
+    def test_name_from_filename(self, tmp_path, paper_graph):
+        path = tmp_path / "mygraph.tsv"
+        write_edge_list(paper_graph, path)
+        assert read_edge_list(path).name == "mygraph"
+
+    def test_name_override(self, tmp_path, paper_graph):
+        path = tmp_path / "x.tsv"
+        write_edge_list(paper_graph, path)
+        assert read_edge_list(path, name="other").name == "other"

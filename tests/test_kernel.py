@@ -1,0 +1,90 @@
+"""Unit tests for the simulated-GPU kernel internals (splitting, checks)."""
+
+import numpy as np
+import pytest
+
+from repro.core import BicliqueCollector
+from repro.gmbe import GMBEConfig, SubtreeTask, gmbe_gpu, gmbe_host
+from repro.gmbe.kernel import _should_split
+from repro.graph import block_overlap_bipartite, power_law_bipartite
+
+
+class TestShouldSplit:
+    def make_task(self, n_left, n_cands):
+        return SubtreeTask(
+            left=np.arange(n_left, dtype=np.int32),
+            right=np.array([0], dtype=np.int32),
+            cands=np.arange(n_cands, dtype=np.int32),
+            counts=np.ones(n_cands, dtype=np.int64),
+        )
+
+    def test_both_bounds_must_trip(self):
+        cfg = GMBEConfig(bound_height=10, bound_size=200, scheduling="task")
+        # height 5 <= 10: no split even though size estimate is big
+        assert not _should_split(self.make_task(5, 1000), cfg)
+        # height 11 > 10 but size 11*11 = 121 <= 200: no split either
+        assert not _should_split(self.make_task(50, 11), cfg)
+
+    def test_splits_when_both_exceed(self):
+        cfg = GMBEConfig(bound_height=10, bound_size=100, scheduling="task")
+        assert _should_split(self.make_task(50, 40), cfg)
+
+    def test_never_splits_for_warp_block(self):
+        for scheme in ("warp", "block"):
+            cfg = GMBEConfig(bound_height=1, bound_size=1, scheduling=scheme)
+            assert not _should_split(self.make_task(100, 100), cfg)
+
+
+class TestSplitEquivalence:
+    @pytest.mark.parametrize("prune", [True, False])
+    def test_aggressive_split_same_set(self, prune):
+        g = power_law_bipartite(200, 110, 1000, seed=13)
+        ref = BicliqueCollector()
+        gmbe_host(g, ref, config=GMBEConfig(prune=prune))
+        got = BicliqueCollector()
+        gmbe_gpu(
+            g,
+            got,
+            config=GMBEConfig(bound_height=1, bound_size=1, prune=prune),
+        )
+        assert got.as_set() == ref.as_set()
+
+    def test_split_prune_reduces_checks(self):
+        g = block_overlap_bipartite(
+            300, 110, 10, memberships_u=1.8, memberships_v=1.5,
+            intra_p=0.35, seed=3,
+        )
+        cfg = GMBEConfig(bound_height=3, bound_size=20)
+        on = gmbe_gpu(g, config=cfg)
+        off = gmbe_gpu(g, config=cfg.with_(prune=False))
+        assert on.n_maximal == off.n_maximal
+        assert on.counters.non_maximal < off.counters.non_maximal
+
+    def test_dequeued_children_counted_in_tasks(self):
+        g = power_law_bipartite(300, 150, 1600, seed=14)
+        hard = gmbe_gpu(g, config=GMBEConfig(bound_height=2, bound_size=4))
+        soft = gmbe_gpu(g, config=GMBEConfig(bound_height=10**6, bound_size=10**9))
+        assert (
+            hard.extras["report"].tasks_executed
+            > soft.extras["report"].tasks_executed
+        )
+
+
+class TestDurationModels:
+    def test_block_mode_single_unit_per_sm(self):
+        g = power_law_bipartite(100, 60, 500, seed=15)
+        res = gmbe_gpu(g, config=GMBEConfig(scheduling="block"))
+        assert res.extras["units_per_sm"] == 1
+
+    def test_task_mode_warp_units(self):
+        g = power_law_bipartite(100, 60, 500, seed=15)
+        res = gmbe_gpu(g, config=GMBEConfig(warps_per_sm=8))
+        assert res.extras["units_per_sm"] == 8
+
+    def test_occupancy_derate_slows_per_warp(self):
+        """With warps in excess of tasks, higher WarpPerSM cannot help,
+        and past 16 the derate makes each warp strictly slower."""
+        g = power_law_bipartite(120, 70, 600, seed=16)
+        t16 = gmbe_gpu(g, config=GMBEConfig(warps_per_sm=16)).sim_time
+        t32 = gmbe_gpu(g, config=GMBEConfig(warps_per_sm=32)).sim_time
+        assert t32 >= t16

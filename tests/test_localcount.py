@@ -1,0 +1,110 @@
+"""Tests for the vectorized local-neighborhood counter."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bicliques import Counters
+from repro.core.localcount import LocalCounter, ragged_gather
+from repro.graph import BipartiteGraph, random_bipartite
+
+
+class TestRaggedGather:
+    def test_basic(self):
+        indptr = np.array([0, 2, 2, 5])
+        indices = np.array([10, 11, 20, 21, 22])
+        flat, lengths = ragged_gather(indptr, indices, np.array([0, 2]))
+        assert flat.tolist() == [10, 11, 20, 21, 22]
+        assert lengths.tolist() == [2, 3]
+
+    def test_zero_length_rows(self):
+        indptr = np.array([0, 2, 2, 5])
+        indices = np.array([10, 11, 20, 21, 22])
+        flat, lengths = ragged_gather(indptr, indices, np.array([1, 0, 1]))
+        assert flat.tolist() == [10, 11]
+        assert lengths.tolist() == [0, 2, 0]
+
+    def test_empty_rows_arg(self):
+        indptr = np.array([0, 2])
+        indices = np.array([1, 2])
+        flat, lengths = ragged_gather(indptr, indices, np.array([], dtype=np.int64))
+        assert len(flat) == 0 and len(lengths) == 0
+
+    def test_repeated_rows(self):
+        indptr = np.array([0, 2])
+        indices = np.array([7, 9])
+        flat, _ = ragged_gather(indptr, indices, np.array([0, 0, 0]))
+        assert flat.tolist() == [7, 9, 7, 9, 7, 9]
+
+
+class TestLocalCounter:
+    def brute(self, g: BipartiteGraph, left, cands):
+        ls = set(left.tolist())
+        return [
+            len(ls & set(g.neighbors_v(int(v)).tolist())) for v in cands
+        ]
+
+    def test_paper_example(self, paper_graph):
+        lc = LocalCounter(paper_graph)
+        # node r of Fig. 5: L = {u1,u2,u3,u4}, candidates v3, v4
+        left = np.array([0, 1, 2, 3])
+        lc.set_left(left)
+        counts, work = lc.counts(np.array([2, 3]))
+        assert counts.tolist() == [3, 2]
+        assert work == paper_graph.degree_v(2) + paper_graph.degree_v(3)
+
+    def test_counts_match_bruteforce_random(self):
+        g = random_bipartite(25, 18, 0.3, seed=5)
+        lc = LocalCounter(g)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            left = rng.choice(25, size=rng.integers(0, 12), replace=False)
+            left = np.sort(left)
+            cands = np.sort(rng.choice(18, size=rng.integers(1, 10), replace=False))
+            lc.set_left(left)
+            counts, _ = lc.counts(cands)
+            assert counts.tolist() == self.brute(g, left, cands)
+
+    def test_version_isolation(self, paper_graph):
+        lc = LocalCounter(paper_graph)
+        lc.set_left(np.array([0, 1, 2, 3, 4]))
+        lc.set_left(np.array([0]))  # new version must forget the old L
+        counts, _ = lc.counts(np.array([1]))  # N(v2) ∩ {u1} = {u1}
+        assert counts.tolist() == [1]
+
+    def test_empty_left(self, paper_graph):
+        lc = LocalCounter(paper_graph)
+        lc.set_left(np.array([], dtype=np.int64))
+        counts, _ = lc.counts(np.array([0, 1]))
+        assert counts.tolist() == [0, 0]
+
+    def test_empty_candidates(self, paper_graph):
+        lc = LocalCounter(paper_graph)
+        lc.set_left(np.array([0]))
+        counts, work = lc.counts(np.array([], dtype=np.int64))
+        assert len(counts) == 0 and work == 0
+
+    def test_membership(self, paper_graph):
+        lc = LocalCounter(paper_graph)
+        lc.set_left(np.array([1, 3]))
+        mask = lc.membership(np.array([0, 1, 2, 3, 4]))
+        assert mask.tolist() == [False, True, False, True, False]
+
+    def test_counters_charged(self, paper_graph):
+        lc = LocalCounter(paper_graph)
+        lc.set_left(np.array([0, 1]))
+        c = Counters()
+        _, work = lc.counts(np.array([0, 1, 2]), c)
+        assert c.set_op_work == work > 0
+        assert c.simt_cycles > 0
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30)
+    def test_ragged_charge_matches_exact_ceil(self, n):
+        """charge_ragged's closed form equals sum(ceil(l/32))."""
+        rng = np.random.default_rng(n)
+        lengths = rng.integers(0, 100, size=rng.integers(1, 20))
+        c = Counters()
+        c.charge_ragged(lengths)
+        expected = int(np.ceil(lengths / 32).sum()) + 1
+        assert c.simt_cycles == expected

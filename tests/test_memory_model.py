@@ -1,0 +1,63 @@
+"""Tests for the Fig. 7 memory-demand model."""
+
+import pytest
+
+from repro.gpusim import A100, V100, MemoryModel
+from repro.graph.stats import GraphStats
+
+
+@pytest.fixture
+def bx_stats():
+    """BookCrossing's real Table 1 row — drives the paper's arithmetic."""
+    return GraphStats("BX", 340523, 105278, 1149739, 2502, 151645, 13601, 53915)
+
+
+class TestPaperArithmetic:
+    def test_naive_per_subtree_3_67_gb(self, bx_stats):
+        # The paper's arithmetic uses decimal GB: 13601*(13601+53915)*4 B.
+        m = MemoryModel(bx_stats)
+        assert m.naive_subtree_bytes() / 1e9 == pytest.approx(3.67, abs=0.01)
+
+    def test_node_buffer_595_kb(self, bx_stats):
+        # (3*13601 + 2*53915) * 4 B = 595 decimal KB.
+        m = MemoryModel(bx_stats)
+        assert m.node_buffer_bytes() / 1e3 == pytest.approx(595, abs=1)
+
+    def test_saving_factor_thousands(self, bx_stats):
+        """§4.1 claims a 6,178x saving per procedure on BookCrossing."""
+        m = MemoryModel(bx_stats)
+        factor = m.naive_subtree_bytes() / m.node_buffer_bytes()
+        assert factor == pytest.approx(6178, rel=0.02)
+
+    def test_naive_exceeds_a100_on_bx(self, bx_stats):
+        m = MemoryModel(bx_stats)
+        assert not m.demand_without_reuse(A100).fits(A100)
+
+    def test_reuse_fits_a100_on_bx(self, bx_stats):
+        m = MemoryModel(bx_stats)
+        assert m.demand_with_reuse(A100).fits(A100)
+
+    def test_over_10k_procedures_fit(self, bx_stats):
+        """§4.1: 'an A100 of 40 GB is adequate to run over 10k
+        procedures on BookCrossing'."""
+        m = MemoryModel(bx_stats)
+        assert m.max_concurrent_procedures(A100) > 10_000
+
+
+class TestModelStructure:
+    def test_total_bytes(self, bx_stats):
+        m = MemoryModel(bx_stats)
+        d = m.demand_with_reuse(A100)
+        assert d.total_bytes == d.graph_bytes + d.per_procedure_bytes * d.n_procedures
+
+    def test_reuse_smaller_than_naive(self, bx_stats):
+        m = MemoryModel(bx_stats)
+        assert (
+            m.demand_with_reuse(V100).total_bytes
+            < m.demand_without_reuse(V100).total_bytes
+        )
+
+    def test_graph_bytes_scale_with_edges(self):
+        small = MemoryModel(GraphStats("s", 10, 10, 20, 3, 5, 3, 5))
+        big = MemoryModel(GraphStats("b", 10, 10, 80, 3, 5, 3, 5))
+        assert big.graph_bytes() > small.graph_bytes()

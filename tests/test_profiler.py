@@ -1,0 +1,82 @@
+"""Tests for the kernel profiler and chrome-trace export."""
+
+import json
+
+import pytest
+
+from repro.bench.common import scale_device
+from repro.gmbe import GMBEConfig, gmbe_gpu
+from repro.gpusim import A100, chrome_trace_events, profile_run, write_chrome_trace
+from repro.graph import power_law_bipartite
+
+
+@pytest.fixture(scope="module")
+def run():
+    g = power_law_bipartite(300, 160, 1500, seed=31)
+    return gmbe_gpu(
+        g,
+        device=scale_device(A100),
+        config=GMBEConfig(bound_height=4, bound_size=40),
+    )
+
+
+class TestProfile:
+    def test_metrics_in_range(self, run):
+        p = profile_run(run)
+        assert 0.0 < p.warp_execution_efficiency <= 1.0
+        assert 0.0 <= p.memory_utilization <= 1.0
+        assert 0.0 < p.achieved_occupancy <= 1.0
+        assert 0.0 < p.sm_efficiency <= 1.0
+        assert p.sim_seconds == pytest.approx(run.sim_time)
+
+    def test_counts_match_report(self, run):
+        p = profile_run(run)
+        rep = run.extras["report"]
+        assert p.tasks_executed == rep.tasks_executed
+        assert p.tasks_split == rep.tasks_split
+        assert p.queue_ops > 0  # splitting happened
+
+    def test_report_text(self, run):
+        text = profile_run(run).report()
+        assert "Warp execution efficiency" in text
+        assert "us" in text
+
+    def test_rejects_non_gpu_results(self):
+        from repro.core import oombea
+
+        g = power_law_bipartite(50, 30, 200, seed=1)
+        with pytest.raises(ValueError):
+            profile_run(oombea(g))
+
+    def test_divergent_workload_lowers_efficiency(self):
+        """Hub-skewed candidates (many short rows) waste lanes vs a
+        dense uniform graph."""
+        from repro.graph import complete_bipartite, random_bipartite
+
+        dense = gmbe_gpu(complete_bipartite(64, 40))
+        sparse = gmbe_gpu(random_bipartite(200, 150, 0.02, seed=3))
+        assert (
+            profile_run(sparse).warp_execution_efficiency
+            < profile_run(dense).warp_execution_efficiency
+        )
+
+
+class TestTrace:
+    def test_events_structure(self, run):
+        events = chrome_trace_events(run)
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(xs) >= run.extras["report"].tasks_executed
+        for e in xs[:20]:
+            assert e["dur"] > 0 and e["ts"] >= 0
+
+    def test_write_valid_json(self, run, tmp_path):
+        path = tmp_path / "trace.json"
+        n = write_chrome_trace(run, path)
+        data = json.loads(path.read_text())
+        assert len(data["traceEvents"]) == n
+
+    def test_rejects_non_gpu_results(self):
+        from repro.core import EnumerationResult
+
+        with pytest.raises(ValueError):
+            chrome_trace_events(EnumerationResult(n_maximal=0))

@@ -1,0 +1,103 @@
+"""Hypothesis property tests on the core enumeration invariants.
+
+The big three, on arbitrary small bipartite graphs:
+
+1. every reported pair is a biclique, maximal, and reported once;
+2. all seven algorithm configurations report the identical set;
+3. execution knobs that must not affect results (device, WarpPerSM,
+   scheduling scheme, GPU count, split bounds) never change the count.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BicliqueCollector,
+    imbea,
+    mbea,
+    oombea,
+    parmbe,
+    pmbe,
+    reference_mbe,
+    verify_biclique,
+)
+from repro.gmbe import GMBEConfig, gmbe_gpu, gmbe_host
+from repro.graph import BipartiteGraph
+
+MAX_U, MAX_V = 8, 7
+
+
+@st.composite
+def bipartite_graphs(draw):
+    n_u = draw(st.integers(1, MAX_U))
+    n_v = draw(st.integers(1, MAX_V))
+    edges = draw(
+        st.sets(
+            st.tuples(st.integers(0, n_u - 1), st.integers(0, n_v - 1)),
+            max_size=n_u * n_v,
+        )
+    )
+    return BipartiteGraph.from_edges(n_u, n_v, list(edges))
+
+
+@given(bipartite_graphs())
+@settings(max_examples=60, deadline=None)
+def test_outputs_are_maximal_bicliques_without_duplicates(g):
+    col = BicliqueCollector()
+    res = gmbe_host(g, col)
+    assert len(col.bicliques) == len(col.as_set()) == res.n_maximal
+    for b in col.bicliques:
+        is_bc, is_max = verify_biclique(g, b.left, b.right)
+        assert is_bc and is_max
+
+
+@given(bipartite_graphs())
+@settings(max_examples=40, deadline=None)
+def test_all_algorithms_agree_with_oracle(g):
+    ref = reference_mbe(g)
+    for algo in (mbea, imbea, pmbe, oombea, parmbe, gmbe_host, gmbe_gpu):
+        col = BicliqueCollector()
+        algo(g, col)
+        assert col.as_set() == ref, algo.__name__
+
+
+@given(
+    bipartite_graphs(),
+    st.sampled_from(["task", "warp", "block"]),
+    st.integers(1, 3),
+    st.sampled_from([8, 16, 32]),
+    st.booleans(),
+)
+@settings(max_examples=40, deadline=None)
+def test_execution_knobs_never_change_results(g, scheduling, n_gpus, warps, prune):
+    ref_count = gmbe_host(g).n_maximal
+    cfg = GMBEConfig(
+        scheduling=scheduling,
+        warps_per_sm=warps,
+        prune=prune,
+        bound_height=2,
+        bound_size=4,
+    )
+    res = gmbe_gpu(g, config=cfg, n_gpus=n_gpus)
+    assert res.n_maximal == ref_count
+
+
+@given(bipartite_graphs())
+@settings(max_examples=30, deadline=None)
+def test_counters_accounting_consistent(g):
+    res = gmbe_host(g)
+    c = res.counters
+    assert c.maximal == res.n_maximal
+    assert c.checks <= c.nodes_generated + res.n_maximal  # root tasks check-free
+    assert c.set_op_work >= 0 and c.simt_cycles >= 0
+
+
+@given(bipartite_graphs())
+@settings(max_examples=30, deadline=None)
+def test_enumeration_invariant_under_relabeling(g):
+    rng = np.random.default_rng(0)
+    u_perm = rng.permutation(g.n_u)
+    v_perm = rng.permutation(g.n_v)
+    g2 = g.relabeled(u_perm=u_perm, v_perm=v_perm)
+    assert gmbe_host(g).n_maximal == gmbe_host(g2).n_maximal

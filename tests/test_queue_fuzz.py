@@ -1,0 +1,106 @@
+"""Randomized differential tests for the two-level queue and scheduler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import (
+    DeviceSpec,
+    ExecOutcome,
+    PersistentThreadScheduler,
+    TwoLevelTaskQueue,
+)
+
+
+@given(st.integers(0, 10_000), st.integers(0, 2))
+@settings(max_examples=40, deadline=None)
+def test_queue_never_loses_or_duplicates_items(seed, capacity_case):
+    """Whatever the capacity/spill behaviour, the multiset of payloads
+    pushed equals the multiset popped."""
+    rng = np.random.default_rng(seed)
+    capacity = [0, 4, 1000][capacity_case]
+    q = TwoLevelTaskQueue(3, local_capacity=capacity)
+    pushed = []
+    popped = []
+    now = 0.0
+    for step in range(60):
+        op = rng.random()
+        sm = int(rng.integers(0, 3))
+        now += float(rng.random())
+        if op < 0.55:
+            payload = step
+            q.push(sm, now + float(rng.random() * 2 - 1), payload)
+            pushed.append(payload)
+        elif op < 0.8:
+            got = q.pop_ready(sm, now)
+            if got is not None:
+                popped.append(got[0])
+        else:
+            got = q.pop_earliest(sm)
+            if got is not None:
+                popped.append(got[0])
+    while True:
+        got = q.pop_earliest(0)
+        if got is None:
+            break
+        popped.append(got[0])
+    assert sorted(pushed) == sorted(popped)
+    assert len(q) == 0
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_pop_ready_respects_availability(seed):
+    rng = np.random.default_rng(seed)
+    q = TwoLevelTaskQueue(1, local_capacity=2)  # force some spills
+    avails = {}
+    for i in range(20):
+        a = float(rng.random() * 10)
+        avails[i] = a
+        q.push(0, a, i)
+    now = 5.0
+    while True:
+        got = q.pop_ready(0, now)
+        if got is None:
+            break
+        assert avails[got[0]] <= now
+
+
+class TestSchedulerDeterminism:
+    def _run(self, seed):
+        rng = np.random.default_rng(seed)
+        dev = DeviceSpec("t", n_sms=2, global_mem_bytes=1 << 20, clock_hz=1e9,
+                         warps_per_sm=2, local_queue_cycles=1, global_queue_cycles=2)
+        costs = rng.integers(1, 50, size=20).tolist()
+
+        def roots():
+            for i, c in enumerate(costs):
+                yield float(c) * 0.1, ("root", i)
+
+        def execute(task, dev_id):
+            kind, i = task
+            if kind == "root" and costs[i] > 40:
+                return ExecOutcome(
+                    cycles=5.0,
+                    children=[(5.0, ("child", i * 100 + k)) for k in range(3)],
+                )
+            return ExecOutcome(cycles=float(costs[i % len(costs)]))
+
+        sched = PersistentThreadScheduler([dev], 2, roots(), execute)
+        return sched.run()
+
+    @pytest.mark.parametrize("seed", [1, 7, 42])
+    def test_repeatable(self, seed):
+        a = self._run(seed)
+        b = self._run(seed)
+        assert a.makespan_cycles == b.makespan_cycles
+        assert a.tasks_executed == b.tasks_executed
+        assert [r.intervals for r in a.recorders] == [
+            r.intervals for r in b.recorders
+        ]
+
+    def test_all_work_executed(self):
+        report = self._run(3)
+        # every root executes; splitting roots add 3 children each
+        assert report.tasks_executed >= 20

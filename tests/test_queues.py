@@ -1,0 +1,78 @@
+"""Tests for the two-level task-queue model."""
+
+import pytest
+
+from repro.gpusim import TwoLevelTaskQueue
+
+
+class TestPushPop:
+    def test_local_first(self):
+        q = TwoLevelTaskQueue(2)
+        q.push(0, 0.0, "a")
+        got = q.pop_ready(0, 1.0)
+        assert got == ("a", "local")
+
+    def test_not_ready_before_avail(self):
+        q = TwoLevelTaskQueue(1)
+        q.push(0, 5.0, "later")
+        assert q.pop_ready(0, 1.0) is None
+        assert q.pop_ready(0, 5.0) == ("later", "local")
+
+    def test_fifo_by_avail_time(self):
+        q = TwoLevelTaskQueue(1)
+        q.push(0, 3.0, "b")
+        q.push(0, 1.0, "a")
+        assert q.pop_ready(0, 10.0)[0] == "a"
+        assert q.pop_ready(0, 10.0)[0] == "b"
+
+    def test_spill_to_global_when_full(self):
+        q = TwoLevelTaskQueue(1, local_capacity=2)
+        assert q.push(0, 0.0, "a") == "local"
+        assert q.push(0, 0.0, "b") == "local"
+        assert q.push(0, 0.0, "c") == "global"
+        assert q.stats.spills == 1
+
+    def test_other_sm_reads_global(self):
+        q = TwoLevelTaskQueue(2, local_capacity=0)
+        q.push(0, 0.0, "x")  # forced global
+        assert q.pop_ready(1, 1.0) == ("x", "global")
+
+    def test_pop_earliest_waits(self):
+        q = TwoLevelTaskQueue(1)
+        q.push(0, 9.0, "future")
+        payload, avail, level = q.pop_earliest(0)
+        assert payload == "future" and avail == 9.0 and level == "local"
+
+    def test_pop_earliest_steals_from_sibling(self):
+        q = TwoLevelTaskQueue(2)
+        q.push(0, 2.0, "sibling-task")
+        got = q.pop_earliest(1)
+        assert got is not None and got[0] == "sibling-task"
+
+    def test_pop_earliest_empty(self):
+        q = TwoLevelTaskQueue(2)
+        assert q.pop_earliest(0) is None
+
+    def test_len(self):
+        q = TwoLevelTaskQueue(2, local_capacity=1)
+        q.push(0, 0.0, 1)
+        q.push(0, 0.0, 2)
+        q.push(1, 0.0, 3)
+        assert len(q) == 3
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            TwoLevelTaskQueue(1, local_capacity=-1)
+
+
+class TestStats:
+    def test_op_counts(self):
+        q = TwoLevelTaskQueue(1, local_capacity=1)
+        q.push(0, 0.0, "a")
+        q.push(0, 0.0, "b")  # spills
+        q.pop_ready(0, 1.0)
+        q.pop_ready(0, 1.0)
+        s = q.stats
+        assert s.local_enqueues == 1 and s.global_enqueues == 1
+        assert s.local_dequeues + s.global_dequeues == 2
+        assert s.total_ops == 4

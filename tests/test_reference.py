@@ -1,0 +1,111 @@
+"""Tests for the brute-force reference oracle itself."""
+
+import pytest
+
+from repro.core import Biclique, reference_mbe, verify_biclique
+from repro.graph import (
+    BipartiteGraph,
+    complete_bipartite,
+    crown_graph,
+    random_bipartite,
+)
+
+
+class TestKnownGraphs:
+    def test_paper_graph_has_six(self, paper_graph):
+        found = reference_mbe(paper_graph)
+        assert len(found) == 6
+        # Fig. 1's bicliques, in 0-based indices:
+        expected = {
+            Biclique.make([0, 1], [0, 1, 2]),        # {u1,u2} x {v1,v2,v3}
+            Biclique.make([1], [0, 1, 2, 3]),        # {u2} x {v1..v4}
+            Biclique.make([0, 1, 2, 3], [1]),        # {u1..u4} x {v2}
+            Biclique.make([0, 1, 3], [1, 2]),        # {u1,u2,u4} x {v2,v3}
+            Biclique.make([1, 3], [1, 2, 3]),        # {u2,u4} x {v2,v3,v4}
+            Biclique.make([1, 3, 4], [3]),           # {u2,u4,u5} x {v4}
+        }
+        assert found == expected
+
+    def test_complete(self):
+        assert len(reference_mbe(complete_bipartite(4, 6))) == 1
+
+    def test_perfect_matching(self):
+        g = BipartiteGraph.from_edges(4, 4, [(i, i) for i in range(4)])
+        found = reference_mbe(g)
+        assert len(found) == 4
+        assert all(len(b.left) == len(b.right) == 1 for b in found)
+
+    def test_star(self):
+        g = BipartiteGraph.from_edges(5, 1, [(u, 0) for u in range(5)])
+        assert reference_mbe(g) == {Biclique.make(range(5), [0])}
+
+    def test_crown_counts(self):
+        for n in (2, 3, 4):
+            assert len(reference_mbe(crown_graph(n))) == 2**n - 2
+
+    def test_empty_graph(self):
+        g = BipartiteGraph.from_edges(3, 3, [])
+        assert reference_mbe(g) == set()
+
+    def test_path(self, tiny_path):
+        assert reference_mbe(tiny_path) == {
+            Biclique.make([0, 1], [0]),
+            Biclique.make([1], [0, 1]),
+        }
+
+    def test_side_limit_enforced(self):
+        g = BipartiteGraph.from_edges(30, 30, [(i, i) for i in range(30)])
+        with pytest.raises(ValueError):
+            reference_mbe(g)
+
+    def test_swaps_to_smaller_side(self):
+        # |V| = 25 > limit but |U| = 3 is fine after the internal swap.
+        g = complete_bipartite(3, 25)
+        assert len(reference_mbe(g)) == 1
+
+
+class TestOracleOutputsAreValid:
+    def test_all_outputs_maximal_bicliques(self):
+        for seed in range(3):
+            g = random_bipartite(10, 8, 0.35, seed=seed)
+            for b in reference_mbe(g):
+                is_bc, is_max = verify_biclique(g, b.left, b.right)
+                assert is_bc and is_max
+
+    def test_no_maximal_biclique_missed(self):
+        """Every closed pair found by scanning all L-subsets is reported."""
+        from itertools import combinations
+
+        import numpy as np
+
+        from repro.core import sets
+
+        g = random_bipartite(7, 7, 0.4, seed=9)
+        found = reference_mbe(g)
+        for k in range(1, 8):
+            for combo in combinations(range(7), k):
+                l_arr = np.array(combo)
+                r = g.neighbors_u(int(l_arr[0]))
+                for u in l_arr[1:]:
+                    r = sets.intersect(r, g.neighbors_u(int(u)))
+                if len(r) == 0:
+                    continue
+                l_closed = g.neighbors_v(int(r[0]))
+                for v in r[1:]:
+                    l_closed = sets.intersect(l_closed, g.neighbors_v(int(v)))
+                if np.array_equal(l_closed, l_arr):
+                    assert Biclique.make(l_arr, r) in found
+
+
+class TestVerifyBiclique:
+    def test_valid_maximal(self, paper_graph):
+        assert verify_biclique(paper_graph, [0, 1], [0, 1, 2]) == (True, True)
+
+    def test_valid_non_maximal(self, paper_graph):
+        assert verify_biclique(paper_graph, [0], [0, 1]) == (True, False)
+
+    def test_not_biclique(self, paper_graph):
+        assert verify_biclique(paper_graph, [0, 4], [0])[0] is False
+
+    def test_empty_sides_rejected(self, paper_graph):
+        assert verify_biclique(paper_graph, [], [0])[0] is False

@@ -1,0 +1,46 @@
+"""Tests for the combined report generator."""
+
+import pytest
+
+from repro.bench import EXPERIMENTS, clear_cache, generate_report
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestGenerateReport:
+    def test_covers_every_experiment(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "table2", "fig6", "fig7", "fig8",
+            "fig9", "fig10", "fig11", "fig12", "fig13",
+        }
+
+    def test_subset_report(self):
+        lines = []
+        text = generate_report(
+            scale=0.1, only=["table2", "fig7"], progress=lines.append
+        )
+        assert "Table 2" in text
+        assert "Fig. 7" in text
+        assert len(lines) == 2
+        assert lines[0].startswith("table2: done")
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError):
+            generate_report(only=["fig99"])
+
+    def test_cli_bench_all(self, capsys, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "results.txt"
+        rc = main(
+            ["bench", "all", "--scale", "0.1", "--report", str(path)]
+        )
+        assert rc == 0
+        text = path.read_text()
+        for header in ("Table 1", "Fig. 6", "Fig. 13", "Table 2"):
+            assert header in text

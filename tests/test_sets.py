@@ -1,0 +1,108 @@
+"""Unit and property tests for the sorted-set kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import sets
+
+sorted_arrays = st.lists(
+    st.integers(min_value=0, max_value=60), max_size=40
+).map(lambda xs: np.array(sorted(set(xs)), dtype=np.int32))
+
+
+def as_set(a: np.ndarray) -> set[int]:
+    return set(a.tolist())
+
+
+class TestIntersect:
+    def test_basic(self):
+        a = np.array([1, 3, 5], dtype=np.int32)
+        b = np.array([3, 4, 5, 6], dtype=np.int32)
+        assert sets.intersect(a, b).tolist() == [3, 5]
+
+    def test_empty_operands(self):
+        a = np.array([1, 2], dtype=np.int32)
+        assert sets.intersect(a, sets.EMPTY).tolist() == []
+        assert sets.intersect(sets.EMPTY, a).tolist() == []
+
+    def test_disjoint(self):
+        a = np.array([1, 2], dtype=np.int32)
+        b = np.array([3, 4], dtype=np.int32)
+        assert sets.intersect(a, b).tolist() == []
+
+    @given(sorted_arrays, sorted_arrays)
+    @settings(max_examples=80)
+    def test_matches_python_sets(self, a, b):
+        got = as_set(sets.intersect(a, b))
+        assert got == as_set(a) & as_set(b)
+
+    @given(sorted_arrays, sorted_arrays)
+    @settings(max_examples=40)
+    def test_output_sorted_unique(self, a, b):
+        out = sets.intersect(a, b).tolist()
+        assert out == sorted(set(out))
+
+
+class TestIntersectSize:
+    @given(sorted_arrays, sorted_arrays)
+    @settings(max_examples=60)
+    def test_matches_intersect(self, a, b):
+        assert sets.intersect_size(a, b) == len(sets.intersect(a, b))
+
+
+class TestSubset:
+    def test_empty_is_subset(self):
+        assert sets.is_subset(sets.EMPTY, np.array([1], dtype=np.int32))
+
+    def test_longer_not_subset(self):
+        a = np.array([1, 2, 3], dtype=np.int32)
+        assert not sets.is_subset(a, a[:2])
+
+    @given(sorted_arrays, sorted_arrays)
+    @settings(max_examples=80)
+    def test_matches_python(self, a, b):
+        assert sets.is_subset(a, b) == (as_set(a) <= as_set(b))
+
+
+class TestSetdiffUnion:
+    @given(sorted_arrays, sorted_arrays)
+    @settings(max_examples=60)
+    def test_setdiff(self, a, b):
+        assert as_set(sets.setdiff(a, b)) == as_set(a) - as_set(b)
+
+    @given(sorted_arrays, sorted_arrays)
+    @settings(max_examples=60)
+    def test_union(self, a, b):
+        assert as_set(sets.union(a, b)) == as_set(a) | as_set(b)
+
+    @given(sorted_arrays, sorted_arrays)
+    @settings(max_examples=30)
+    def test_union_sorted(self, a, b):
+        out = sets.union(a, b).tolist()
+        assert out == sorted(out)
+
+
+class TestScalarOps:
+    @given(sorted_arrays, st.integers(0, 60))
+    @settings(max_examples=60)
+    def test_contains(self, a, x):
+        assert sets.contains(a, x) == (x in as_set(a))
+
+    @given(sorted_arrays, st.integers(0, 60))
+    @settings(max_examples=60)
+    def test_insert(self, a, x):
+        out = sets.insert_sorted(a, x)
+        assert as_set(out) == as_set(a) | {x}
+        assert out.tolist() == sorted(set(out.tolist()))
+
+    @given(sorted_arrays, st.integers(0, 60))
+    @settings(max_examples=60)
+    def test_remove(self, a, x):
+        out = sets.remove_sorted(a, x)
+        assert as_set(out) == as_set(a) - {x}
+
+    def test_insert_existing_is_noop(self):
+        a = np.array([1, 2, 3], dtype=np.int32)
+        assert sets.insert_sorted(a, 2) is a

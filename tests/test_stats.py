@@ -1,0 +1,70 @@
+"""Tests for graph statistics (Δ, Δ2, Table 1 rows, memory bounds)."""
+
+import numpy as np
+
+from repro.graph import (
+    BipartiteGraph,
+    complete_bipartite,
+    compute_stats,
+    max_degree_u,
+    max_degree_v,
+    max_two_hop_degree_u,
+    max_two_hop_degree_v,
+    two_hop_neighbors_u,
+    two_hop_neighbors_v,
+)
+
+
+class TestTwoHop:
+    def test_paper_graph(self, paper_graph):
+        # u1 (index 0) connects to v1,v2,v3 whose neighbors cover u1..u4.
+        assert two_hop_neighbors_u(paper_graph, 0).tolist() == [1, 2, 3]
+        # v1 (index 0): N={u1,u2}; their neighborhoods cover v1..v4.
+        assert two_hop_neighbors_v(paper_graph, 0).tolist() == [1, 2, 3]
+
+    def test_isolated_vertex(self):
+        g = BipartiteGraph.from_edges(2, 2, [(0, 0)])
+        assert two_hop_neighbors_u(g, 1).tolist() == []
+
+    def test_excludes_self(self, paper_graph):
+        for u in range(paper_graph.n_u):
+            assert u not in two_hop_neighbors_u(paper_graph, u).tolist()
+
+    def test_complete_graph(self):
+        g = complete_bipartite(4, 3)
+        for u in range(4):
+            assert two_hop_neighbors_u(g, u).tolist() == [x for x in range(4) if x != u]
+
+
+class TestMaxDegrees:
+    def test_paper_graph(self, paper_graph):
+        assert max_degree_u(paper_graph) == 4  # u2
+        assert max_degree_v(paper_graph) == 4  # v2
+        assert max_two_hop_degree_u(paper_graph) == 4
+        assert max_two_hop_degree_v(paper_graph) == 3
+
+    def test_empty(self):
+        g = BipartiteGraph.from_edges(3, 3, [])
+        assert max_degree_u(g) == 0
+        assert max_two_hop_degree_v(g) == 0
+
+
+class TestGraphStats:
+    def test_row_fields(self, paper_graph):
+        s = compute_stats(paper_graph)
+        assert (s.n_u, s.n_v, s.n_edges) == (5, 4, 12)
+        assert s.max_deg_v == 4 and s.max_two_hop_v == 3
+
+    def test_memory_bounds_formulas(self, paper_graph):
+        s = compute_stats(paper_graph)
+        assert s.node_buffer_words() == 3 * 4 + 2 * 3
+        assert s.naive_tree_words() == 4 * (4 + 3)
+
+    def test_bookcrossing_arithmetic_from_paper(self):
+        """§3.1/§4.1 arithmetic: with Δ(V)=13601, Δ2(V)=53915 the naive
+        layout needs 3.67 GB and node reuse ~595 KB (sizeof int = 4)."""
+        from repro.graph.stats import GraphStats
+
+        s = GraphStats("BX", 340523, 105278, 1149739, 2502, 151645, 13601, 53915)
+        assert abs(s.naive_tree_words() * 4 / 1024**3 - 3.67) < 0.25
+        assert abs(s.node_buffer_words() * 4 / 1024 - 595) < 20

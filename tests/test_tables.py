@@ -1,0 +1,52 @@
+"""Tests for the table/series formatting helpers."""
+
+from repro.bench.tables import format_series, format_si, format_table, log_bucket
+
+
+class TestFormatSi:
+    def test_plain(self):
+        assert format_si(0) == "0"
+        assert format_si(12.3) == "12.3"
+
+    def test_kilo_mega_giga(self):
+        assert format_si(1500) == "1.5k"
+        assert format_si(2_500_000) == "2.5M"
+        assert format_si(3_200_000_000) == "3.2G"
+
+    def test_small_values_scientific(self):
+        assert "e" in format_si(1.2e-6)
+
+    def test_negative(self):
+        assert format_si(-2000) == "-2k"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bbb"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a  ")
+        assert all(len(line) >= len("a    bbb") - 2 for line in lines)
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_empty_rows(self):
+        out = format_table(["x", "y"], [])
+        assert len(out.splitlines()) == 2
+
+
+class TestFormatSeries:
+    def test_pairs(self):
+        out = format_series("s", ["a", "b"], [1.0, 2.0])
+        assert out.startswith("s: ")
+        assert "a=1" in out and "b=2" in out
+
+
+class TestLogBucket:
+    def test_buckets(self):
+        assert log_bucket(0) == "0"
+        assert log_bucket(5) == "1e0"
+        assert log_bucket(123) == "1e2"
+        assert log_bucket(0.05) == "1e-2"

@@ -1,0 +1,80 @@
+"""Tests for per-vertex root-task construction (Alg. 3/4)."""
+
+import numpy as np
+
+from repro.core.bicliques import Counters
+from repro.core.expand import gamma
+from repro.core.localcount import LocalCounter
+from repro.core.tasks import build_root_task
+from repro.graph import random_bipartite
+from repro.graph.preprocess import prepare
+
+
+class TestBuildRootTask:
+    def test_closure_property(self):
+        """Task right side is exactly Γ(N(v_s)) — maximal by construction."""
+        g = prepare(random_bipartite(15, 10, 0.35, seed=1)).graph
+        lc = LocalCounter(g)
+        for v_s in range(g.n_v):
+            task = build_root_task(g, lc, v_s)
+            if task is None:
+                continue
+            assert task.right.tolist() == gamma(g, task.left).tolist()
+            assert np.array_equal(task.left, g.neighbors_v(v_s))
+
+    def test_dedup_each_vertex_owns_its_closure(self):
+        g = prepare(random_bipartite(15, 10, 0.35, seed=2)).graph
+        lc = LocalCounter(g)
+        for v_s in range(g.n_v):
+            task = build_root_task(g, lc, v_s)
+            if task is not None:
+                assert int(task.right[0]) == v_s  # v_s is the smallest in R
+
+    def test_every_closure_owned_exactly_once(self):
+        g = prepare(random_bipartite(18, 12, 0.3, seed=3)).graph
+        lc = LocalCounter(g)
+        seen = set()
+        for v_s in range(g.n_v):
+            task = build_root_task(g, lc, v_s)
+            if task is not None:
+                key = tuple(task.right.tolist())
+                assert key not in seen
+                seen.add(key)
+
+    def test_candidates_later_order_partial(self):
+        g = prepare(random_bipartite(15, 10, 0.4, seed=4)).graph
+        lc = LocalCounter(g)
+        for v_s in range(g.n_v):
+            task = build_root_task(g, lc, v_s)
+            if task is None:
+                continue
+            for i, vc in enumerate(task.cands):
+                assert int(vc) > v_s
+                nl = len(np.intersect1d(g.neighbors_v(int(vc)), task.left))
+                assert 0 < nl < len(task.left)
+                assert task.counts[i] == nl
+
+    def test_isolated_vertex_gives_none(self):
+        from repro.graph import BipartiteGraph
+
+        g = BipartiteGraph.from_edges(3, 3, [(0, 0)])
+        lc = LocalCounter(g)
+        assert build_root_task(g, lc, 1) is None
+
+    def test_estimates(self):
+        g = prepare(random_bipartite(20, 14, 0.4, seed=5)).graph
+        lc = LocalCounter(g)
+        for v_s in range(g.n_v):
+            task = build_root_task(g, lc, v_s)
+            if task is None:
+                continue
+            h = task.estimated_height()
+            assert h == min(len(task.left), len(task.cands))
+            assert task.estimated_size() == h * len(task.cands)
+
+    def test_counters_charged(self):
+        g = prepare(random_bipartite(10, 8, 0.5, seed=6)).graph
+        lc = LocalCounter(g)
+        c = Counters()
+        build_root_task(g, lc, 0, c)
+        assert c.set_op_work > 0

@@ -1,0 +1,60 @@
+"""Tests for busy-interval recording and active-SM curves."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import BusyRecorder, active_sm_curve, active_units_curve
+
+
+class TestRecorder:
+    def test_record_and_makespan(self):
+        r = BusyRecorder()
+        r.record(0, 0.0, 5.0)
+        r.record(1, 2.0, 9.0)
+        assert r.makespan() == 9.0
+        assert r.unit_end(0) == 5.0
+
+    def test_bad_interval_rejected(self):
+        r = BusyRecorder()
+        with pytest.raises(ValueError):
+            r.record(0, 5.0, 2.0)
+
+    def test_empty_makespan(self):
+        assert BusyRecorder().makespan() == 0.0
+
+
+class TestCurves:
+    def test_single_unit_curve(self):
+        r = BusyRecorder()
+        r.record(0, 0.0, 10.0)
+        times, counts = active_units_curve(r, lambda u: u, n_samples=11)
+        assert counts.tolist() == [1] * 11
+
+    def test_two_groups_staggered(self):
+        r = BusyRecorder()
+        r.record(0, 0.0, 4.0)
+        r.record(1, 6.0, 10.0)
+        times, counts = active_units_curve(r, lambda u: u, n_samples=11)
+        # active at t=0..4 (one), idle at 5, active at 6..10 (one)
+        assert counts[0] == 1 and counts[5] == 0 and counts[-1] == 1
+
+    def test_warps_grouped_per_sm(self):
+        r = BusyRecorder()
+        # scheduler keys are sm * 10_000 + slot
+        r.record(0, 0.0, 2.0)        # SM 0, slot 0
+        r.record(1, 1.0, 5.0)        # SM 0, slot 1
+        r.record(10_000, 0.0, 5.0)   # SM 1, slot 0
+        times, counts = active_sm_curve(r, n_samples=6)
+        assert counts.max() == 2
+
+    def test_gap_within_group_merged_only_if_overlapping(self):
+        r = BusyRecorder()
+        r.record(0, 0.0, 2.0)
+        r.record(0, 4.0, 6.0)
+        times, counts = active_units_curve(r, lambda u: 0, n_samples=7)
+        assert counts[3] == 0  # idle at t=3
+
+    def test_empty_recorder_curve(self):
+        r = BusyRecorder()
+        times, counts = active_units_curve(r, lambda u: u)
+        assert counts.sum() == 0
