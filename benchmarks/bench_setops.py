@@ -1,0 +1,129 @@
+"""Microbenchmark: sorted-merge vs. packed-bitset set kernels.
+
+Times the enumeration hot path in isolation — batched local-neighborhood
+counting ``|N(v) ∩ L'|`` over many candidate rows — for both backends
+across an edge-density sweep, and emits ``BENCH_setops.json`` next to
+this file for the perf trajectory.  ``check_regression.py`` gates future
+PRs against the committed snapshot.
+
+Run directly (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_setops.py
+
+The bitset backend packs L' into uint64 words and counts via a single
+vectorized AND + popcount pass; the sorted backend is the stamp-based
+:class:`repro.core.localcount.LocalCounter` gather.  On dense inputs the
+word-parallel pass should win by well over 2×.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import bitset
+from repro.core.bitset import BitsetUniverse
+from repro.core.localcount import LocalCounter
+from repro.graph import random_bipartite
+
+OUT_PATH = Path(__file__).resolve().parent / "BENCH_setops.json"
+
+DENSITIES = (0.05, 0.1, 0.2, 0.4, 0.6, 0.8)
+DENSE_THRESHOLD = 0.4  # cases gated by check_regression.py
+N_U = 256
+N_V = 512
+LEFT_FRACTION = 0.75
+REPEATS = 9
+
+
+def _time_best(fn, repeats: int = REPEATS) -> float:
+    """Best-of-N wall time in milliseconds (min filters scheduler noise)."""
+    best = math.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best * 1e3
+
+
+def run_case(density: float, seed: int = 0) -> dict:
+    g = random_bipartite(N_U, N_V, density, seed=seed)
+    rng = np.random.default_rng(seed)
+    left = np.sort(
+        rng.choice(N_U, size=int(N_U * LEFT_FRACTION), replace=False)
+    ).astype(np.int32)
+    cands = np.arange(N_V, dtype=np.int64)
+
+    lc = LocalCounter(g)
+    lc.set_left(left)
+
+    uni = BitsetUniverse.build(
+        g, np.arange(N_U, dtype=np.int32), np.arange(N_V, dtype=np.int32)
+    )
+    mask = uni.mask_of_left_subset(left)
+    rows = uni.rows[uni.row_index(cands.astype(np.int32))]
+
+    sorted_ms = _time_best(lambda: lc.counts(cands))
+    bitset_ms = _time_best(lambda: bitset.count_rows_vs_mask(rows, mask))
+
+    # Both kernels must agree exactly — a wrong fast kernel is worthless.
+    expect, _ = lc.counts(cands)
+    got = bitset.count_rows_vs_mask(rows, mask)
+    assert got.tolist() == expect.tolist(), density
+
+    return {
+        "density": density,
+        "n_u": N_U,
+        "n_v": N_V,
+        "n_left": int(len(left)),
+        "n_rows": int(len(cands)),
+        "words_per_row": int(uni.n_words),
+        "sorted_ms": sorted_ms,
+        "bitset_ms": bitset_ms,
+        "speedup": sorted_ms / bitset_ms,
+    }
+
+
+def dense_geomean_speedup(cases: list[dict]) -> float:
+    dense = [c["speedup"] for c in cases if c["density"] >= DENSE_THRESHOLD]
+    return math.exp(sum(math.log(s) for s in dense) / len(dense))
+
+
+def run() -> dict:
+    cases = [run_case(d) for d in DENSITIES]
+    return {
+        "bench": "setops",
+        "config": {
+            "n_u": N_U,
+            "n_v": N_V,
+            "left_fraction": LEFT_FRACTION,
+            "repeats": REPEATS,
+            "dense_threshold": DENSE_THRESHOLD,
+        },
+        "cases": cases,
+        "dense_geomean_speedup": dense_geomean_speedup(cases),
+    }
+
+
+def main() -> None:
+    result = run()
+    OUT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"{'density':>8} {'sorted_ms':>10} {'bitset_ms':>10} {'speedup':>8}")
+    for c in result["cases"]:
+        print(
+            f"{c['density']:>8.2f} {c['sorted_ms']:>10.4f} "
+            f"{c['bitset_ms']:>10.4f} {c['speedup']:>7.1f}x"
+        )
+    print(
+        f"\ndense (>= {DENSE_THRESHOLD}) geomean speedup: "
+        f"{result['dense_geomean_speedup']:.1f}x"
+    )
+    print(f"wrote {OUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Perf regression gate for the set-kernel microbenchmark.
+
+Re-runs :mod:`bench_setops` in-process and compares the dense-case
+geomean bitset speedup against the committed ``BENCH_setops.json``
+snapshot.  Exits non-zero when the fresh speedup drops more than 20%
+below the snapshot, or below the 2× acceptance floor — either means a
+change has eaten the word-parallel advantage the adaptive backend is
+built on.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py            # gate
+    PYTHONPATH=src python benchmarks/check_regression.py --update   # re-baseline
+
+The gate compares *speedup ratios*, not wall-clock milliseconds, so it
+is stable across machines of different absolute speed.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import bench_setops  # noqa: E402
+
+REGRESSION_TOLERANCE = 0.20  # fail if fresh < (1 - tol) * snapshot
+ABSOLUTE_FLOOR = 2.0  # acceptance criterion: dense bitset wins >= 2x
+
+
+def main(argv: list[str]) -> int:
+    update = "--update" in argv
+    fresh = bench_setops.run()
+    fresh_speedup = fresh["dense_geomean_speedup"]
+    print(f"fresh dense geomean speedup:    {fresh_speedup:.2f}x")
+
+    if update or not bench_setops.OUT_PATH.exists():
+        bench_setops.OUT_PATH.write_text(json.dumps(fresh, indent=2) + "\n")
+        print(f"snapshot written to {bench_setops.OUT_PATH}")
+        return 0
+
+    snapshot = json.loads(bench_setops.OUT_PATH.read_text())
+    base_speedup = snapshot["dense_geomean_speedup"]
+    floor = base_speedup * (1.0 - REGRESSION_TOLERANCE)
+    print(f"snapshot dense geomean speedup: {base_speedup:.2f}x")
+    print(f"regression floor (-20%):        {floor:.2f}x")
+
+    ok = True
+    if fresh_speedup < floor:
+        print(
+            f"FAIL: speedup regressed >20% "
+            f"({fresh_speedup:.2f}x < {floor:.2f}x)"
+        )
+        ok = False
+    if fresh_speedup < ABSOLUTE_FLOOR:
+        print(
+            f"FAIL: dense speedup below the {ABSOLUTE_FLOOR:.0f}x "
+            f"acceptance floor ({fresh_speedup:.2f}x)"
+        )
+        ok = False
+    if ok:
+        print("OK: no set-kernel perf regression")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -6,9 +6,17 @@ times come from a common currency:
 
 - **scalar work units** — ``Counters.set_op_work``, the summed lengths of
   all sorted-set operations an algorithm performed (identical inner
-  loops across algorithms);
+  loops across algorithms).  Packed-bitset operations
+  (:mod:`repro.core.bitset`) contribute *words* instead of elements:
+  one 64-bit word is one vector lane of work, covering
+  :data:`BITSET_WORD_VERTICES` vertex slots — which is exactly the
+  dense-task advantage the adaptive backend exploits, and why a bitset
+  run reports less modeled work for the same enumeration;
 - **warp steps** — ``Counters.simt_cycles``, the 32-lane version with
-  divergence (per-row ceilings); used only by the GPU simulator.
+  divergence (per-row ceilings).  Bitset passes charge coalesced
+  whole-warp steps (``Counters.charge_bitset``): every row is the same
+  number of words, so there is no ragged-row lane waste — word-parallel
+  AND/popcount, not galloping merges.  Used only by the GPU simulator.
 
 :class:`CPUModel` converts scalar work into serial seconds and, through
 :func:`repro.parallel.simpool.schedule_tasks`, ParMBE's 96-core
@@ -29,7 +37,13 @@ from typing import Sequence
 from ..core.bicliques import Counters
 from ..parallel.simpool import PoolSchedule, schedule_tasks
 
-__all__ = ["CPUModel", "XEON_5318Y"]
+__all__ = ["BITSET_WORD_VERTICES", "CPUModel", "XEON_5318Y"]
+
+#: Vertex slots carried by one packed-bitset work unit (a uint64 word).
+#: A CPU/GPU lane moves one word per op just like one element per op, so
+#: ``ops_per_second`` applies to both currencies unchanged; the bitset
+#: speedup shows up as *fewer units*, not faster units.
+BITSET_WORD_VERTICES = 64
 
 
 @dataclass(frozen=True)

@@ -12,6 +12,7 @@ from .bicliques import (
     EnumerationResult,
     verify_biclique,
 )
+from .bitset import BitsetUniverse, resolve_backend
 from .constrained import constrained_mbe
 from .counting import codegree_histogram, count_bicliques_pq, count_butterflies
 from .engine import EngineOptions, run_engine, run_subtree
@@ -28,6 +29,8 @@ from .tasks import RootTask, build_root_task
 __all__ = [
     "Biclique",
     "BicliqueCollector",
+    "BitsetUniverse",
+    "resolve_backend",
     "BicliqueCounter",
     "BicliqueSink",
     "BicliqueWriter",

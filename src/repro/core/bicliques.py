@@ -112,9 +112,10 @@ class Counters:
     ``maximal``/``non_maximal`` split the outcomes of the maximality check
     (Alg. 2 line #14): their ratio ``non_maximal / maximal`` is the δ/α of
     the paper's Table 2.  ``set_op_work`` accumulates ``|a| + |b|`` over
-    every sorted-set operation — the scalar work the cost model converts
-    to simulated time.  ``pruned`` counts candidates removed by the
-    local-neighborhood-size rule (§4.2).
+    every sorted-set operation — and packed *words* over every bitset
+    operation (:meth:`charge_bitset`) — the scalar work the cost model
+    converts to simulated time.  ``pruned`` counts candidates removed by
+    the local-neighborhood-size rule (§4.2).
     """
 
     nodes_generated: int = 0
@@ -146,6 +147,19 @@ class Counters:
         # sum(ceil(l/32)) == (sum(l) + sum(-l mod 32)) / 32; the remainder
         # term needs the per-row values, so keep one vector op only.
         self.simt_cycles += int((-lengths % 32).sum() + total) // 32 + 1
+
+    def charge_bitset(self, n_rows: int, n_words: int) -> None:
+        """Record a batched packed-bitset pass (word-wide AND + popcount).
+
+        Every row is exactly ``n_words`` 64-bit words, so a warp streams
+        32 words per step with *no* per-row divergence — the cuMBE/GBC
+        bitmap advantage the simulator must reflect.  ``set_op_work`` is
+        charged in words (the cost model's currency is vector lanes of
+        useful work; one word carries 64 vertex slots).
+        """
+        total = int(n_rows) * int(n_words)
+        self.set_op_work += total
+        self.simt_cycles += (total + 31) // 32 + 1
 
     @property
     def checks(self) -> int:

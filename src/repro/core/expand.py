@@ -10,6 +10,13 @@ and Algorithm 4 (GMBE's kernel):
 - *maximality check*: ``R' == Γ(L')`` (line #14), realized as a chained
   sorted intersection with early abort once ``|Γ|`` provably exceeds or
   matches can no longer hold.
+
+Both primitives accept either set representation.  In sorted mode they
+run the galloping-merge kernels of :mod:`repro.core.sets`; when a
+:class:`repro.core.bitset.BitsetUniverse` is supplied (dense root tasks,
+see :func:`repro.core.bitset.resolve_backend`) the same quantities come
+from word-wide AND/popcount over the task's packed rows — identical
+integers, different machine model, charged word-parallel.
 """
 
 from __future__ import annotations
@@ -19,8 +26,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graph.bipartite import BipartiteGraph
-from . import sets
+from . import bitset, sets
 from .bicliques import Counters
+from .bitset import BitsetUniverse
 from .localcount import LocalCounter
 
 __all__ = ["Expansion", "expand_node", "gamma", "gamma_matches"]
@@ -54,6 +62,55 @@ class Expansion:
     #: ``candidates`` argument — what the local-neighborhood-size pruning
     #: rule (§4.2) compares against the parent's counts.
     all_counts: np.ndarray | None = None
+    #: Packed ``L'`` over the task universe when the expansion ran in
+    #: bitset mode; ``None`` in sorted mode.
+    left_mask: np.ndarray | None = None
+
+
+def _expand_node_bitset(
+    universe: BitsetUniverse,
+    left: np.ndarray,
+    v_prime: int,
+    candidates: np.ndarray,
+    counters: Counters | None,
+    left_mask: np.ndarray | None,
+) -> Expansion:
+    """Bitset-mode body of :func:`expand_node` (same fields, same ints)."""
+    if left_mask is None:
+        left_mask = universe.mask_of_left_subset(left)
+    nw = universe.n_words
+    new_mask = left_mask & universe.row(v_prime)
+    if counters is not None:
+        counters.charge_bitset(1, nw)
+    n_left = bitset.popcount(new_mask)
+    work = nw
+    if n_left == 0:
+        empty = candidates[:0]
+        return Expansion(
+            universe.left[:0],
+            empty,
+            empty,
+            np.empty(0, dtype=np.int64),
+            work,
+            all_counts=np.zeros(len(candidates), dtype=np.int64),
+            left_mask=new_mask,
+        )
+    cand_rows = universe.row_index(candidates)
+    counts = bitset.count_rows_vs_mask(universe.rows[cand_rows], new_mask)
+    if counters is not None:
+        counters.charge_bitset(len(candidates), nw)
+    work += len(candidates) * nw
+    full = counts == n_left
+    partial = (counts > 0) & ~full
+    return Expansion(
+        left=universe.left_ids(new_mask),
+        absorbed=candidates[full],
+        new_candidates=candidates[partial],
+        new_counts=counts[partial],
+        work=work,
+        all_counts=counts,
+        left_mask=new_mask,
+    )
 
 
 def expand_node(
@@ -63,12 +120,24 @@ def expand_node(
     v_prime: int,
     candidates: np.ndarray,
     counters: Counters | None = None,
+    *,
+    universe: BitsetUniverse | None = None,
+    left_mask: np.ndarray | None = None,
 ) -> Expansion:
     """Generate the child node reached by traversing ``v_prime``.
 
     ``candidates`` must contain the candidates to classify (conventionally
     still including ``v_prime``; it will then land in ``absorbed``).
+
+    When ``universe`` is given the expansion runs on packed bitsets
+    (``left``/``candidates`` must lie inside the universe; ``left_mask``
+    optionally supplies the already-packed ``L`` to skip re-packing).
+    The returned sets and counts are bit-identical to sorted mode.
     """
+    if universe is not None:
+        return _expand_node_bitset(
+            universe, left, v_prime, candidates, counters, left_mask
+        )
     n_vp = graph.neighbors_v(v_prime)
     new_left = sets.intersect(left, n_vp)
     work = len(left) + len(n_vp)
@@ -103,13 +172,30 @@ def expand_node(
 
 
 def gamma(
-    graph: BipartiteGraph, left: np.ndarray, counters: Counters | None = None
+    graph: BipartiteGraph,
+    left: np.ndarray,
+    counters: Counters | None = None,
+    *,
+    universe: BitsetUniverse | None = None,
+    left_mask: np.ndarray | None = None,
 ) -> np.ndarray:
     """``Γ(L)`` — the common V-neighborhood of all vertices in ``left``."""
+    if universe is not None:
+        # Every v ∈ Γ(L') with L' ⊆ L_r nonempty has a neighbor in L_r,
+        # so the scan over the packed scope rows is exhaustive.
+        if left_mask is None:
+            left_mask = universe.mask_of_left_subset(left)
+        size = bitset.popcount(left_mask)
+        if size == 0:
+            return np.arange(graph.n_v, dtype=np.int32)
+        counts = bitset.count_rows_vs_mask(universe.rows, left_mask)
+        if counters is not None:
+            counters.charge_bitset(len(universe.scope), universe.n_words)
+        return universe.scope[counts == size]
     if len(left) == 0:
         return np.arange(graph.n_v, dtype=np.int32)
     # Start from the smallest adjacency list to keep intermediates tight.
-    degs = graph.u_indptr[np.asarray(left) + 1] - graph.u_indptr[np.asarray(left)]
+    degs = graph.degrees_u[np.asarray(left)]
     order = np.argsort(degs, kind="stable")
     acc = graph.neighbors_u(int(left[order[0]]))
     for i in order[1:]:
@@ -127,18 +213,33 @@ def gamma_matches(
     left: np.ndarray,
     right_size: int,
     counters: Counters | None = None,
+    *,
+    universe: BitsetUniverse | None = None,
+    left_mask: np.ndarray | None = None,
 ) -> bool:
     """Whether ``|Γ(left)| == right_size`` — the Alg. 2 maximality check.
 
     ``R' ⊆ Γ(L')`` always holds for nodes built by :func:`expand_node`, so
-    equality of sizes is equality of sets.  Aborts the intersection chain
-    as soon as ``|Γ|`` drops below ``right_size``.
+    equality of sizes is equality of sets.  In sorted mode the chain
+    aborts as soon as ``|Γ|`` drops below ``right_size``; in bitset mode
+    (``universe`` given) it is a single batched popcount over the task's
+    packed scope rows.
     """
+    if universe is not None:
+        if left_mask is None:
+            left_mask = universe.mask_of_left_subset(left)
+        size = bitset.popcount(left_mask)
+        if size == 0:
+            return right_size == graph.n_v
+        counts = bitset.count_rows_vs_mask(universe.rows, left_mask)
+        if counters is not None:
+            counters.charge_bitset(len(universe.scope), universe.n_words)
+        return int(np.count_nonzero(counts == size)) == right_size
     if len(left) == 0:
         return right_size == graph.n_v
     # Seed the chain from the smallest adjacency list (cheapest pivot),
     # then sweep the rest in natural order with early abort.
-    degs = graph.u_indptr[left + 1] - graph.u_indptr[left]
+    degs = graph.degrees_u[left]
     first = int(np.argmin(degs))
     acc = graph.neighbors_u(int(left[first]))
     if len(acc) < right_size:

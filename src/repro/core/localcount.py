@@ -93,6 +93,27 @@ class LocalCounter:
         counts = csum[ends] - csum[ends - lengths]
         return counts, int(len(flat))
 
+    def counts_vs_mask(
+        self, universe, cand_rows: np.ndarray, mask: np.ndarray, counters=None
+    ) -> tuple[np.ndarray, int]:
+        """Bitset-mode :meth:`counts`: ``|N(v_c) ∩ L'|`` per candidate row.
+
+        ``universe`` is the task's :class:`repro.core.bitset.BitsetUniverse`,
+        ``cand_rows`` the candidates' row indices into it, and ``mask`` the
+        packed ``L'``.  Returns the same integers as :meth:`counts` on the
+        equivalent sorted inputs; the work term and the ``counters`` charge
+        are in packed words (word-parallel AND + popcount, no ragged
+        divergence).
+        """
+        from . import bitset
+
+        if len(cand_rows) == 0:
+            return np.empty(0, dtype=np.int64), 0
+        counts = bitset.count_rows_vs_mask(universe.rows[cand_rows], mask)
+        if counters is not None:
+            counters.charge_bitset(len(cand_rows), universe.n_words)
+        return counts, int(len(cand_rows)) * universe.n_words
+
     def membership(self, vertices: np.ndarray) -> np.ndarray:
         """Boolean mask: which of ``vertices`` (U side) are in ``L``."""
         return self._stamp[vertices] == self._version

@@ -42,11 +42,16 @@ def _membership_mask(a: np.ndarray, b: np.ndarray) -> np.ndarray:
 
 
 def intersect(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Sorted intersection ``a ∩ b``."""
+    """Sorted intersection ``a ∩ b``.
+
+    The result carries the smaller operand's dtype (as the non-empty
+    case always did) — never the module-level int32 ``EMPTY``, so int64
+    inputs keep producing int64 outputs.
+    """
     if len(a) > len(b):
         a, b = b, a
     if len(a) == 0:
-        return EMPTY
+        return a[:0]
     return a[_membership_mask(a, b)]
 
 

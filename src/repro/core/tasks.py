@@ -16,6 +16,7 @@ import numpy as np
 
 from ..graph.bipartite import BipartiteGraph
 from .bicliques import Counters
+from .bitset import BitsetUniverse, resolve_backend
 from .localcount import LocalCounter, ragged_gather
 
 __all__ = ["RootTask", "build_root_task"]
@@ -28,6 +29,9 @@ class RootTask:
     ``(left, right)`` is itself a maximal biclique (the closure of
     ``{v_s}``), reported by the executor exactly when the task survives
     deduplication.  ``work`` is the scalar cost of building the task.
+    ``universe`` is the packed-bitset view of the induced subgraph when
+    the backend heuristic chose bitset mode for this task (``backend``
+    records the resolved choice).
     """
 
     v_s: int
@@ -36,6 +40,8 @@ class RootTask:
     cands: np.ndarray
     counts: np.ndarray
     work: int
+    backend: str = "sorted"
+    universe: BitsetUniverse | None = None
 
     def estimated_height(self) -> int:
         """Tree-height estimate ``min(|L|, |C|)`` from §4.3."""
@@ -51,6 +57,8 @@ def build_root_task(
     counter: LocalCounter,
     v_s: int,
     counters: Counters | None = None,
+    *,
+    backend: str = "sorted",
 ) -> RootTask | None:
     """Build the root task for ``v_s``; ``None`` if empty or deduplicated.
 
@@ -58,6 +66,13 @@ def build_root_task(
     per Alg. 3: every 2-hop neighbor fully connected to ``L_s`` joins
     ``R_s`` regardless of order, so ``R_s == Γ(L_s)`` by construction and
     the survival test is simply ``min(R_s) == v_s``.
+
+    ``backend`` is ``"sorted"``, ``"bitset"``, or ``"auto"`` (per-task
+    density heuristic, :func:`repro.core.bitset.resolve_backend`).  In
+    bitset mode the task carries a :class:`BitsetUniverse` over
+    ``L_s`` whose scope is every 2-hop vertex with a neighbor in ``L_s``
+    plus ``v_s`` itself — closed under all maximality checks the subtree
+    can perform, since ``Γ(L') ⊆ scope`` for any nonempty ``L' ⊆ L_s``.
     """
     left = graph.neighbors_v(v_s)
     if len(left) == 0:
@@ -83,11 +98,38 @@ def build_root_task(
         [absorbed[absorbed < v_s], [np.int32(v_s)], absorbed[absorbed >= v_s]]
     ).astype(np.int32)
     later_partial = (counts > 0) & ~full & (two_hop > v_s)
+    cands = two_hop[later_partial].astype(np.int32)
+    resolved = backend
+    universe = None
+    if backend == "auto" and len(cands) == 0:
+        # No subtree to expand — nothing amortizes a universe build, so
+        # skip even the scope/degree bookkeeping of the heuristic.
+        resolved = "sorted"
+    elif backend != "sorted":
+        partial_scope = two_hop[counts > 0]
+        scope = np.insert(
+            partial_scope, np.searchsorted(partial_scope, v_s), v_s
+        ).astype(np.int32)
+        resolved = resolve_backend(
+            backend,
+            len(left),
+            len(cands),
+            len(scope),
+            int(graph.degrees_v[scope].sum()),
+        )
+        if resolved == "bitset":
+            universe = BitsetUniverse.build(graph, left, scope)
+            if counters is not None:
+                # Building the packed rows is one word-parallel pass over
+                # the scoped adjacency, amortized across the subtree.
+                counters.charge_bitset(len(scope), universe.n_words)
     return RootTask(
         v_s=v_s,
         left=left,
         right=right,
-        cands=two_hop[later_partial].astype(np.int32),
+        cands=cands,
         counts=counts[later_partial],
         work=work,
+        backend=resolved,
+        universe=universe,
     )

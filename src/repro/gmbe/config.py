@@ -38,6 +38,16 @@ class GMBEConfig:
         pre-allocated per-subtree layout of §3.1 (GMBE-w/o_REUSE).
         Enumeration behaviour is identical; only the modeled GPU memory
         demand differs (Fig. 7).
+    set_backend:
+        Set-representation backend for the enumeration hot path:
+        ``"sorted"`` (galloping merges over sorted arrays),
+        ``"bitset"`` (packed uint64 bitmaps over the task's induced
+        subgraph, the cuMBE/GBC dense-task optimization), or ``"auto"``
+        (per-root-task density heuristic,
+        :func:`repro.core.bitset.resolve_backend`).  The enumerated
+        biclique set, maximality outcomes, and pruning counts are
+        bit-identical across all three; only the modeled work units
+        differ (word-parallel vs merge charging).
     """
 
     bound_height: int = 20
@@ -46,6 +56,7 @@ class GMBEConfig:
     prune: bool = True
     scheduling: str = "task"
     node_reuse: bool = True
+    set_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.bound_height <= 0 or self.bound_size <= 0:
@@ -54,6 +65,8 @@ class GMBEConfig:
             raise ValueError("warps_per_sm must be positive")
         if self.scheduling not in ("task", "warp", "block"):
             raise ValueError(f"unknown scheduling {self.scheduling!r}")
+        if self.set_backend not in ("sorted", "bitset", "auto"):
+            raise ValueError(f"unknown set_backend {self.set_backend!r}")
 
     def with_(self, **changes) -> "GMBEConfig":
         """Functional update, e.g. ``cfg.with_(prune=False)``."""

@@ -51,6 +51,7 @@ def run_task_with_node_buffer(
         task.counts,
         prune=prune,
         counters=counters,
+        universe=getattr(task, "universe", None),
     )
     while True:
         idx = buf.next_candidate()
@@ -91,10 +92,15 @@ def gmbe_host(
 
     counter = LocalCounter(g)
     counters = Counters()
+    backend_tally = {"sorted": 0, "bitset": 0}
+    # The w/o_REUSE ablation walks freshly allocated frames through the
+    # sorted engine, so only node-reuse runs resolve a bitset backend.
+    backend = config.set_backend if config.node_reuse else "sorted"
     for v_s in range(g.n_v):
-        task = build_root_task(g, counter, v_s, counters)
+        task = build_root_task(g, counter, v_s, counters, backend=backend)
         if task is None:
             continue
+        backend_tally[task.backend] += 1
         counters.maximal += 1
         emit(task.left, task.right)
         if config.node_reuse:
@@ -111,4 +117,8 @@ def gmbe_host(
                 emit, counters,
                 EngineOptions("id", False, config.prune),
             )
-    return EnumerationResult(n_maximal=counting.count, counters=counters)
+    return EnumerationResult(
+        n_maximal=counting.count,
+        counters=counters,
+        extras={"set_backend_tasks": backend_tally},
+    )

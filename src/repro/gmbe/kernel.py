@@ -62,6 +62,9 @@ class SubtreeTask:
     counts: np.ndarray
     #: split children must re-verify ``R == Γ(L)`` at dequeue time
     needs_check: bool = False
+    #: packed-bitset universe of the owning root task (split children
+    #: share their root's universe; ``left``/``cands`` stay subsets)
+    universe: object | None = None
 
     def estimated_height(self) -> int:
         return min(len(self.left), len(self.cands))
@@ -147,15 +150,20 @@ def gmbe_gpu(
             serial = dev.node_overhead_cycles * max(c.nodes_generated, 1)
             return (data + serial) / efficiency
 
+    backend_tally = {"sorted": 0, "bitset": 0}
+
     def root_source() -> Iterator[tuple[float, SubtreeTask | None]]:
         for v_s in range(g.n_v):
             c = Counters()
-            task = build_root_task(g, counter, v_s, c)
+            task = build_root_task(
+                g, counter, v_s, c, backend=config.set_backend
+            )
             cycles = duration(c)
             if task is None:
                 master.merge(c)
                 yield cycles, None
                 continue
+            backend_tally[task.backend] += 1
             c.maximal += 1
             master.merge(c)
             emit(task.left, task.right)
@@ -165,13 +173,16 @@ def gmbe_gpu(
                 cands=task.cands,
                 counts=task.counts,
                 needs_check=False,
+                universe=task.universe,
             )
 
     def execute(task: SubtreeTask, _device_id: int) -> ExecOutcome:
         c = Counters()
         base = 0.0
         if task.needs_check:
-            ok = gamma_matches(g, task.left, len(task.right), c)
+            ok = gamma_matches(
+                g, task.left, len(task.right), c, universe=task.universe
+            )
             if ok:
                 c.maximal += 1
                 emit(task.left, task.right)
@@ -185,10 +196,24 @@ def gmbe_gpu(
             elapsed = base
             remaining = task.cands
             remaining_counts = task.counts
+            left_mask = (
+                task.universe.mask_of_left_subset(task.left)
+                if task.universe is not None
+                else None
+            )
             while len(remaining):
                 gen = Counters()
                 v_t = int(remaining[0])
-                exp = expand_node(g, counter, task.left, v_t, remaining, gen)
+                exp = expand_node(
+                    g,
+                    counter,
+                    task.left,
+                    v_t,
+                    remaining,
+                    gen,
+                    universe=task.universe,
+                    left_mask=left_mask,
+                )
                 gen.nodes_generated += 1
                 child = SubtreeTask(
                     left=exp.left,
@@ -196,6 +221,7 @@ def gmbe_gpu(
                     cands=exp.new_candidates,
                     counts=exp.new_counts,
                     needs_check=True,
+                    universe=task.universe,
                 )
                 elapsed += duration(gen) + dev.local_queue_cycles
                 children.append((elapsed, child))
@@ -248,5 +274,6 @@ def gmbe_gpu(
             "queue_stats": report.queue_stats,
             "warp_efficiency": lane_util,
             "units_per_sm": units_per_sm,
+            "set_backend_tasks": backend_tally,
         },
     )

@@ -27,7 +27,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..graph.bipartite import BipartiteGraph
+from ..core import bitset
 from ..core.bicliques import Counters
+from ..core.bitset import BitsetUniverse
 from ..core.expand import gamma_matches
 from ..core.localcount import LocalCounter
 
@@ -69,6 +71,17 @@ class NodeBuffer:
     Parameters mirror a root task: ``left = L_r``, ``right = R_r``,
     ``cands = C_r`` with ``counts`` their local neighborhood sizes
     against ``L_r``.
+
+    When ``universe`` is given (a :class:`repro.core.bitset.BitsetUniverse`
+    covering ``left`` and every candidate/check vertex) the buffer runs
+    the set kernels on packed bitsets: ``L`` lives as a word mask per
+    depth, the counting pass is one batched AND+popcount over the
+    candidates' packed rows, and the maximality check scans the whole
+    scope.  All structural state (depths, candidate states, nls) and
+    every enumeration outcome are identical to sorted mode; only the
+    modeled work units differ.  The universe's packed rows are per-task
+    adjacency (like the graph itself), so they are *not* part of the
+    §4.1 per-node :meth:`memory_words` accounting.
     """
 
     def __init__(
@@ -82,6 +95,7 @@ class NodeBuffer:
         *,
         prune: bool = True,
         counters: Counters | None = None,
+        universe: BitsetUniverse | None = None,
     ) -> None:
         self._graph = graph
         self._counter = counter
@@ -95,6 +109,15 @@ class NodeBuffer:
         self.nls = np.asarray(counts, dtype=np.int64).copy()
         self._frames: list[_Frame] = []
         self._right_size = len(self.right_root)
+        self._universe = universe
+        if universe is not None:
+            # left/cands may be a subset of the universe (split children
+            # share their root's universe), so map through positions.
+            self._left_pos = universe.left_positions(self.left_root)
+            self._cand_rows = universe.row_index(self.cands_root)
+            self._mask_stack = [
+                bitset.from_sorted(self._left_pos, universe.n_bits)
+            ]
 
     # ------------------------------------------------------------------
     @property
@@ -145,32 +168,49 @@ class NodeBuffer:
         graph = self._graph
         new_depth = self.depth + 1
         v_prime = int(self.cands_root[cand_idx])
-        cur_left = self.current_left()
-        n_vp = graph.neighbors_v(v_prime)
-        work = len(cur_left) + len(n_vp)
-
-        # L' membership: stamp N(v') and test current L against it.
-        self._counter.set_left(n_vp.astype(np.int64))
-        in_new_left = self._counter.membership(cur_left)
-        new_left = cur_left[in_new_left]
-        self.counters.charge(len(cur_left), len(n_vp))
+        cur_left_idx = np.nonzero(self.depth_l == self.depth)[0]
         # Candidates before the state update; v' is among them.
         cand_idxs = self.candidate_indices()
-        self._counter.set_left(new_left)
-        self.counters.charge(len(new_left), 0)  # stamping L'
-        counts, gathered = self._counter.counts(
-            self.cands_root[cand_idxs].astype(np.int64), self.counters
-        )
-        work += gathered + len(new_left)
+        new_mask = None
+        if self._universe is not None:
+            # Packed path: L' = L & row(v'), then one batched popcount
+            # pass over the candidates' rows — no ragged gather.
+            u = self._universe
+            new_mask = self._mask_stack[-1] & u.rows[self._cand_rows[cand_idx]]
+            self.counters.charge_bitset(1, u.n_words)
+            in_new_left = bitset.test_bits(new_mask, self._left_pos[cur_left_idx])
+            n_new_left = int(np.count_nonzero(in_new_left))
+            new_left = None
+            counts, gathered = self._counter.counts_vs_mask(
+                u, self._cand_rows[cand_idxs], new_mask, self.counters
+            )
+            work = u.n_words + gathered
+            self._mask_stack.append(new_mask)
+        else:
+            cur_left = self.left_root[cur_left_idx]
+            n_vp = graph.neighbors_v(v_prime)
+            work = len(cur_left) + len(n_vp)
+            # L' membership: stamp N(v') and test current L against it.
+            self._counter.set_left(n_vp.astype(np.int64))
+            in_new_left = self._counter.membership(cur_left)
+            new_left = cur_left[in_new_left]
+            n_new_left = len(new_left)
+            self.counters.charge(len(cur_left), len(n_vp))
+            self._counter.set_left(new_left)
+            self.counters.charge(n_new_left, 0)  # stamping L'
+            counts, gathered = self._counter.counts(
+                self.cands_root[cand_idxs].astype(np.int64), self.counters
+            )
+            work += gathered + n_new_left
         self.counters.nodes_generated += 1
 
         old_nls = self.nls[cand_idxs]
-        full = counts == len(new_left)
+        full = counts == n_new_left
         dropped = counts == 0
         unchanged = counts == old_nls
 
         # Depth updates: L' members advance to the child's depth.
-        left_global = np.nonzero(self.depth_l == self.depth)[0][in_new_left]
+        left_global = cur_left_idx[in_new_left]
         self.depth_l[left_global] = new_depth
         # Fully-connected candidates (v' included) join R at this depth.
         joined_idx = cand_idxs[full]
@@ -195,7 +235,12 @@ class NodeBuffer:
 
         self._right_size += int(len(joined_idx))
         maximal = gamma_matches(
-            graph, new_left, self._right_size, self.counters
+            graph,
+            new_left,
+            self._right_size,
+            self.counters,
+            universe=self._universe,
+            left_mask=new_mask,
         )
         if maximal:
             self.counters.maximal += 1
@@ -216,7 +261,7 @@ class NodeBuffer:
         n_cands = int(np.count_nonzero(self.cand_state == INF_DEPTH))
         return PushOutcome(
             maximal=maximal,
-            left_size=len(new_left),
+            left_size=n_new_left,
             right_size=self._right_size,
             n_candidates=n_cands,
             work=work,
@@ -228,6 +273,8 @@ class NodeBuffer:
             raise IndexError("pop from root node")
         depth = self.depth
         frame = self._frames.pop()
+        if self._universe is not None:
+            self._mask_stack.pop()
         # L members restored.
         self.depth_l[self.depth_l == depth] = depth - 1
         # Candidates that joined R here become candidates again...

@@ -16,6 +16,7 @@ stored sorted ascending, which every set kernel in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
@@ -151,12 +152,15 @@ class BipartiteGraph:
     def degree_v(self, v: int) -> int:
         return int(self.v_indptr[v + 1] - self.v_indptr[v])
 
-    @property
+    @cached_property
     def degrees_u(self) -> np.ndarray:
+        """All U-side degrees, computed once and cached (the enumeration
+        hot path indexes this on every Γ pivot selection)."""
         return np.diff(self.u_indptr)
 
-    @property
+    @cached_property
     def degrees_v(self) -> np.ndarray:
+        """All V-side degrees, computed once and cached."""
         return np.diff(self.v_indptr)
 
     def has_edge(self, u: int, v: int) -> bool:

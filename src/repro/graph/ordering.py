@@ -27,11 +27,18 @@ __all__ = ["degeneracy_order", "order_vertices", "ORDERINGS"]
 
 def _two_hop_sets(graph: BipartiteGraph) -> list[set[int]]:
     """``N2(v)`` as Python sets for all V-vertices (laptop-scale)."""
+    from ..core.localcount import ragged_gather
+
+    degrees = graph.degrees_v  # cached on the graph; isolates skip the gather
     out: list[set[int]] = []
     for v in range(graph.n_v):
-        s: set[int] = set()
-        for u in graph.neighbors_v(v):
-            s.update(int(x) for x in graph.neighbors_u(int(u)))
+        if degrees[v] == 0:
+            out.append(set())
+            continue
+        flat, _ = ragged_gather(
+            graph.u_indptr, graph.u_indices, graph.neighbors_v(v).astype(np.int64)
+        )
+        s = set(np.unique(flat).tolist())
         s.discard(v)
         out.append(s)
     return out

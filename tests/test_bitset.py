@@ -1,0 +1,148 @@
+"""Unit and property tests for the packed-bitset kernels and universes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bitset
+from repro.core.bicliques import Counters
+from repro.core.bitset import BitsetUniverse, resolve_backend
+from repro.core.localcount import LocalCounter
+from repro.graph import random_bipartite
+
+positions = st.lists(
+    st.integers(min_value=0, max_value=200), max_size=60
+).map(lambda xs: np.array(sorted(set(xs)), dtype=np.int64))
+
+
+class TestPackUnpack:
+    @given(positions)
+    @settings(max_examples=60)
+    def test_roundtrip(self, pos):
+        words = bitset.from_sorted(pos, 201)
+        assert bitset.to_sorted(words).tolist() == pos.tolist()
+
+    @given(positions)
+    @settings(max_examples=60)
+    def test_popcount(self, pos):
+        assert bitset.popcount(bitset.from_sorted(pos, 201)) == len(pos)
+
+    def test_empty(self):
+        words = bitset.from_sorted(np.empty(0, dtype=np.int64), 0)
+        assert len(words) == 1  # always at least one word
+        assert bitset.popcount(words) == 0
+        assert bitset.to_sorted(words).tolist() == []
+
+    def test_word_boundaries(self):
+        for n in (63, 64, 65, 127, 128, 129):
+            pos = np.array([0, n - 1], dtype=np.int64)
+            words = bitset.from_sorted(pos, n)
+            assert len(words) == bitset.n_words(n)
+            assert bitset.to_sorted(words).tolist() == [0, n - 1]
+
+    @given(positions)
+    @settings(max_examples=40)
+    def test_test_bits(self, pos):
+        words = bitset.from_sorted(pos, 201)
+        probe = np.arange(201, dtype=np.int64)
+        got = bitset.test_bits(words, probe)
+        assert np.nonzero(got)[0].tolist() == pos.tolist()
+
+
+class TestWordOps:
+    @given(positions, positions)
+    @settings(max_examples=60)
+    def test_and_or_andnot_match_python_sets(self, a, b):
+        wa = bitset.from_sorted(a, 201)
+        wb = bitset.from_sorted(b, 201)
+        sa, sb = set(a.tolist()), set(b.tolist())
+        assert set(bitset.to_sorted(bitset.and_(wa, wb)).tolist()) == sa & sb
+        assert set(bitset.to_sorted(bitset.or_(wa, wb)).tolist()) == sa | sb
+        assert set(bitset.to_sorted(bitset.andnot(wa, wb)).tolist()) == sa - sb
+
+    @given(positions, positions)
+    @settings(max_examples=40)
+    def test_count_rows_vs_mask(self, a, b):
+        wa = bitset.from_sorted(a, 201)
+        wb = bitset.from_sorted(b, 201)
+        rows = np.vstack([wa, wb])
+        counts = bitset.count_rows_vs_mask(rows, wa)
+        assert counts.tolist() == [
+            len(a),
+            len(set(a.tolist()) & set(b.tolist())),
+        ]
+
+
+class TestUniverse:
+    def test_rows_match_adjacency(self, paper_graph):
+        left = np.array([0, 1, 2, 3, 4], dtype=np.int32)
+        scope = np.array([0, 1, 2, 3], dtype=np.int32)
+        uni = BitsetUniverse.build(paper_graph, left, scope)
+        for j, v in enumerate(scope):
+            got = uni.left[bitset.to_sorted(uni.rows[j])]
+            assert got.tolist() == paper_graph.neighbors_v(int(v)).tolist()
+
+    def test_subset_positions(self, paper_graph):
+        left = np.array([0, 1, 3], dtype=np.int32)
+        scope = np.array([0, 1, 3], dtype=np.int32)
+        uni = BitsetUniverse.build(paper_graph, left, scope)
+        mask = uni.mask_of_left_subset(np.array([1, 3], dtype=np.int32))
+        assert uni.left_ids(mask).tolist() == [1, 3]
+        # row of v2 (=1): neighbors within {u1,u2,u4} = all three
+        assert bitset.popcount(uni.row(1) & mask) == 2
+
+    def test_random_rows(self):
+        g = random_bipartite(40, 30, 0.3, seed=3)
+        rng = np.random.default_rng(0)
+        left = np.sort(rng.choice(40, size=17, replace=False)).astype(np.int32)
+        scope = np.sort(rng.choice(30, size=11, replace=False)).astype(np.int32)
+        uni = BitsetUniverse.build(g, left, scope)
+        for j, v in enumerate(scope):
+            expect = sorted(
+                set(g.neighbors_v(int(v)).tolist()) & set(left.tolist())
+            )
+            assert uni.left[bitset.to_sorted(uni.rows[j])].tolist() == expect
+
+    def test_counts_vs_mask_matches_localcounter(self):
+        g = random_bipartite(50, 35, 0.25, seed=4)
+        lc = LocalCounter(g)
+        rng = np.random.default_rng(1)
+        left = np.sort(rng.choice(50, size=20, replace=False)).astype(np.int32)
+        scope = np.arange(35, dtype=np.int32)
+        uni = BitsetUniverse.build(g, left, scope)
+        sub = np.sort(rng.choice(left, size=9, replace=False))
+        cands = np.sort(rng.choice(35, size=12, replace=False)).astype(np.int64)
+        lc.set_left(sub)
+        expect, _ = lc.counts(cands)
+        mask = uni.mask_of_left_subset(sub)
+        c = Counters()
+        got, work = lc.counts_vs_mask(uni, uni.row_index(cands), mask, c)
+        assert got.tolist() == expect.tolist()
+        assert work == 12 * uni.n_words
+        assert c.set_op_work == work
+        assert c.simt_cycles > 0
+
+
+class TestResolveBackend:
+    def test_explicit_settings_pass_through(self):
+        assert resolve_backend("sorted", 100, 10, 10, 10**6) == "sorted"
+        assert resolve_backend("bitset", 100, 10, 10, 1) == "bitset"
+
+    def test_auto_dense_picks_bitset(self):
+        # 100 left bits -> 2 words/row; average degree 50 >> 2
+        assert resolve_backend("auto", 100, 20, 40, 40 * 50) == "bitset"
+
+    def test_auto_sparse_picks_sorted(self):
+        # 10k left bits -> 157 words/row; average degree 3
+        assert resolve_backend("auto", 10_000, 20, 40, 40 * 3) == "sorted"
+
+    def test_auto_trivial_task_stays_sorted(self):
+        assert resolve_backend("auto", 100, 0, 40, 40 * 50) == "sorted"
+        assert resolve_backend("auto", 0, 5, 40, 10) == "sorted"
+
+    def test_rejected_elsewhere(self):
+        from repro.gmbe import GMBEConfig
+
+        with pytest.raises(ValueError):
+            GMBEConfig(set_backend="nonsense")

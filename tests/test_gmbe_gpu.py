@@ -67,6 +67,82 @@ class TestCorrectness:
             gmbe_gpu(paper_graph, n_gpus=0)
 
 
+class TestSetBackendEquivalence:
+    """sorted / bitset / auto must enumerate the identical biclique set
+    with identical structural counters (maximality outcomes, pruning,
+    nodes generated) — only the modeled work units may differ."""
+
+    BACKENDS = ("sorted", "bitset", "auto")
+
+    @staticmethod
+    def _structural(res):
+        c = res.counters
+        return (
+            res.n_maximal,
+            c.maximal,
+            c.non_maximal,
+            c.pruned,
+            c.nodes_generated,
+        )
+
+    def test_gpu_backends_identical(self):
+        for seed in range(4):
+            g = random_bipartite(16, 13, 0.3, seed=seed)
+            sets_seen, structs = [], []
+            for be in self.BACKENDS:
+                col = BicliqueCollector()
+                res = gmbe_gpu(
+                    g,
+                    col,
+                    config=GMBEConfig(
+                        set_backend=be, bound_height=2, bound_size=4
+                    ),
+                )
+                sets_seen.append(col.as_set())
+                structs.append(self._structural(res))
+            assert sets_seen[0] == sets_seen[1] == sets_seen[2], seed
+            assert sets_seen[0] == reference_mbe(g), seed
+            assert structs[0] == structs[1] == structs[2], seed
+
+    def test_host_backends_identical(self):
+        for seed in range(4):
+            g = power_law_bipartite(120, 70, 700, seed=seed)
+            sets_seen, structs = [], []
+            for be in self.BACKENDS:
+                col = BicliqueCollector()
+                res = gmbe_host(g, col, config=GMBEConfig(set_backend=be))
+                sets_seen.append(col.as_set())
+                structs.append(self._structural(res))
+            assert sets_seen[0] == sets_seen[1] == sets_seen[2], seed
+            assert structs[0] == structs[1] == structs[2], seed
+
+    def test_no_prune_backends_identical(self):
+        g = random_bipartite(14, 11, 0.35, seed=9)
+        results = []
+        for be in self.BACKENDS:
+            col = BicliqueCollector()
+            res = gmbe_gpu(
+                g, col, config=GMBEConfig(set_backend=be, prune=False)
+            )
+            results.append((col.as_set(), self._structural(res)))
+        assert results[0] == results[1] == results[2]
+
+    def test_auto_tally_reported(self):
+        g = power_law_bipartite(200, 100, 900, seed=7)
+        res = gmbe_gpu(g, config=GMBEConfig(set_backend="auto"))
+        tally = res.extras["set_backend_tasks"]
+        assert set(tally) == {"sorted", "bitset"}
+        assert tally["sorted"] + tally["bitset"] > 0
+
+    def test_bitset_reduces_modeled_work_on_dense(self):
+        g = random_bipartite(60, 40, 0.5, seed=14)
+        srt = gmbe_gpu(g, config=GMBEConfig(set_backend="sorted"))
+        bit = gmbe_gpu(g, config=GMBEConfig(set_backend="bitset"))
+        assert bit.n_maximal == srt.n_maximal
+        assert bit.counters.simt_cycles < srt.counters.simt_cycles
+        assert bit.sim_time < srt.sim_time
+
+
 class TestSimulationOutputs:
     @pytest.fixture(scope="class")
     def run(self):

@@ -9,6 +9,7 @@ The big three, on arbitrary small bipartite graphs:
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -24,6 +25,8 @@ from repro.core import (
 )
 from repro.gmbe import GMBEConfig, gmbe_gpu, gmbe_host
 from repro.graph import BipartiteGraph
+
+pytestmark = pytest.mark.slow  # deselect with -m "not slow"
 
 MAX_U, MAX_V = 8, 7
 

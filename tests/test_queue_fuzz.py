@@ -12,6 +12,8 @@ from repro.gpusim import (
     TwoLevelTaskQueue,
 )
 
+pytestmark = pytest.mark.slow  # deselect with -m "not slow"
+
 
 @given(st.integers(0, 10_000), st.integers(0, 2))
 @settings(max_examples=40, deadline=None)

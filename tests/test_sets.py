@@ -45,6 +45,32 @@ class TestIntersect:
         assert out == sorted(set(out))
 
 
+class TestDtypePreservation:
+    """Regression: empty results must carry the input dtype, not the
+    module-level int32 ``EMPTY``."""
+
+    @pytest.mark.parametrize("dtype", [np.int32, np.int64])
+    def test_intersect_empty_result_dtype(self, dtype):
+        a = np.array([1, 2], dtype=dtype)
+        b = np.array([3, 4], dtype=dtype)
+        assert sets.intersect(a, b).dtype == dtype
+        assert sets.intersect(a, a[:0]).dtype == dtype
+        assert sets.intersect(a[:0], a).dtype == dtype
+
+    @pytest.mark.parametrize("dtype", [np.int32, np.int64])
+    def test_setdiff_empty_operand_dtype(self, dtype):
+        a = np.array([1, 2], dtype=dtype)
+        assert sets.setdiff(a, a).dtype == dtype
+        assert sets.setdiff(a[:0], a).dtype == dtype
+        assert sets.setdiff(a, a[:0]).dtype == dtype
+
+    def test_int64_inputs_stay_int64(self):
+        a = np.array([10, 20], dtype=np.int64)
+        b = np.array([30], dtype=np.int64)
+        out = sets.intersect(a, b)
+        assert out.dtype == np.int64 and len(out) == 0
+
+
 class TestIntersectSize:
     @given(sorted_arrays, sorted_arrays)
     @settings(max_examples=60)
