@@ -1,67 +1,175 @@
-"""Perf regression gate for the set-kernel microbenchmark.
+"""Perf regression gates for the committed benchmark snapshots.
 
-Re-runs :mod:`bench_setops` in-process and compares the dense-case
-geomean bitset speedup against the committed ``BENCH_setops.json``
-snapshot.  Exits non-zero when the fresh speedup drops more than 20%
-below the snapshot, or below the 2× acceptance floor — either means a
-change has eaten the word-parallel advantage the adaptive backend is
-built on.
+Two gates, both comparing *speedup ratios* rather than wall-clock
+milliseconds so they are stable across machines of different absolute
+speed:
+
+``setops``
+    Re-runs :mod:`bench_setops` and compares the dense-case geomean
+    bitset speedup against ``BENCH_setops.json``.  A drop of more than
+    20% below the snapshot — or below the 2x acceptance floor — means a
+    change has eaten the word-parallel advantage the adaptive backend is
+    built on.
+
+``service``
+    Re-runs :mod:`bench_service_throughput` and compares the cache-hit
+    speedup (cold enumeration latency / cached latency) against
+    ``BENCH_service.json``.  The ratio is huge (thousands), so the gate
+    only has to catch the failure mode that matters: the result cache
+    silently stopping to hit.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/check_regression.py            # gate
-    PYTHONPATH=src python benchmarks/check_regression.py --update   # re-baseline
+    PYTHONPATH=src python benchmarks/check_regression.py                 # both gates
+    PYTHONPATH=src python benchmarks/check_regression.py --only setops   # one gate
+    PYTHONPATH=src python benchmarks/check_regression.py --update        # re-baseline
 
-The gate compares *speedup ratios*, not wall-clock milliseconds, so it
-is stable across machines of different absolute speed.
+A missing, unreadable, or incomplete snapshot is a configuration error,
+not a perf regression: the gate reports what is wrong with the file and
+how to regenerate it, and exits non-zero without running the benchmark.
 """
 
 from __future__ import annotations
 
 import json
 import sys
+from dataclasses import dataclass
 from pathlib import Path
+from typing import Callable
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
+import bench_service_throughput  # noqa: E402
 import bench_setops  # noqa: E402
 
-REGRESSION_TOLERANCE = 0.20  # fail if fresh < (1 - tol) * snapshot
-ABSOLUTE_FLOOR = 2.0  # acceptance criterion: dense bitset wins >= 2x
+
+class SnapshotError(RuntimeError):
+    """A benchmark snapshot is missing, unreadable, or incomplete."""
+
+
+@dataclass(frozen=True)
+class Gate:
+    name: str
+    path: Path
+    metric: str
+    run: Callable[[], dict]
+    tolerance: float  # fail if fresh < (1 - tolerance) * snapshot
+    floor: float  # absolute acceptance floor on the ratio
+
+
+GATES = (
+    Gate(
+        name="setops",
+        path=bench_setops.OUT_PATH,
+        metric="dense_geomean_speedup",
+        run=bench_setops.run,
+        tolerance=0.20,
+        floor=2.0,
+    ),
+    Gate(
+        name="service",
+        path=bench_service_throughput.OUT_PATH,
+        metric="cache_hit_speedup",
+        run=bench_service_throughput.run,
+        tolerance=0.50,
+        floor=2.0,
+    ),
+)
+
+
+def load_snapshot(path: Path, metric: str) -> float:
+    """Read a committed snapshot and return its gated metric.
+
+    Raises :class:`SnapshotError` with an actionable message instead of
+    leaking FileNotFoundError / JSONDecodeError / KeyError tracebacks.
+    """
+    if not path.exists():
+        raise SnapshotError(
+            f"snapshot {path} does not exist; run "
+            f"'PYTHONPATH=src python {Path(__file__).name} --update' "
+            f"to create it"
+        )
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise SnapshotError(f"snapshot {path} is unreadable: {exc}") from exc
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SnapshotError(
+            f"snapshot {path} is not valid JSON ({exc}); delete it and "
+            f"re-baseline with --update"
+        ) from exc
+    if not isinstance(data, dict) or metric not in data:
+        raise SnapshotError(
+            f"snapshot {path} has no '{metric}' field; it was written by "
+            f"an incompatible benchmark version — re-baseline with --update"
+        )
+    value = data[metric]
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise SnapshotError(
+            f"snapshot {path}: '{metric}' must be a number, got {value!r}"
+        )
+    return float(value)
+
+
+def check_gate(gate: Gate, update: bool) -> bool:
+    print(f"=== {gate.name} gate ===")
+    if update:
+        fresh = gate.run()
+        gate.path.write_text(json.dumps(fresh, indent=2) + "\n")
+        print(f"snapshot written to {gate.path}")
+        return True
+
+    # Validate the snapshot before paying for the benchmark run.
+    base = load_snapshot(gate.path, gate.metric)
+    fresh = gate.run()[gate.metric]
+    floor = base * (1.0 - gate.tolerance)
+    print(f"fresh {gate.metric}:    {fresh:.2f}x")
+    print(f"snapshot {gate.metric}: {base:.2f}x")
+    print(f"regression floor (-{gate.tolerance:.0%}): {floor:.2f}x")
+
+    ok = True
+    if fresh < floor:
+        print(
+            f"FAIL: {gate.name} regressed >{gate.tolerance:.0%} "
+            f"({fresh:.2f}x < {floor:.2f}x)"
+        )
+        ok = False
+    if fresh < gate.floor:
+        print(
+            f"FAIL: {gate.name} below the {gate.floor:.0f}x "
+            f"acceptance floor ({fresh:.2f}x)"
+        )
+        ok = False
+    if ok:
+        print(f"OK: no {gate.name} perf regression")
+    return ok
 
 
 def main(argv: list[str]) -> int:
     update = "--update" in argv
-    fresh = bench_setops.run()
-    fresh_speedup = fresh["dense_geomean_speedup"]
-    print(f"fresh dense geomean speedup:    {fresh_speedup:.2f}x")
+    only = None
+    if "--only" in argv:
+        try:
+            only = argv[argv.index("--only") + 1]
+        except IndexError:
+            print("error: --only requires a gate name", file=sys.stderr)
+            return 2
+        if only not in {g.name for g in GATES}:
+            names = ", ".join(g.name for g in GATES)
+            print(f"error: unknown gate '{only}' (choose from: {names})",
+                  file=sys.stderr)
+            return 2
 
-    if update or not bench_setops.OUT_PATH.exists():
-        bench_setops.OUT_PATH.write_text(json.dumps(fresh, indent=2) + "\n")
-        print(f"snapshot written to {bench_setops.OUT_PATH}")
-        return 0
-
-    snapshot = json.loads(bench_setops.OUT_PATH.read_text())
-    base_speedup = snapshot["dense_geomean_speedup"]
-    floor = base_speedup * (1.0 - REGRESSION_TOLERANCE)
-    print(f"snapshot dense geomean speedup: {base_speedup:.2f}x")
-    print(f"regression floor (-20%):        {floor:.2f}x")
-
+    selected = [g for g in GATES if only is None or g.name == only]
     ok = True
-    if fresh_speedup < floor:
-        print(
-            f"FAIL: speedup regressed >20% "
-            f"({fresh_speedup:.2f}x < {floor:.2f}x)"
-        )
-        ok = False
-    if fresh_speedup < ABSOLUTE_FLOOR:
-        print(
-            f"FAIL: dense speedup below the {ABSOLUTE_FLOOR:.0f}x "
-            f"acceptance floor ({fresh_speedup:.2f}x)"
-        )
-        ok = False
-    if ok:
-        print("OK: no set-kernel perf regression")
+    for gate in selected:
+        try:
+            ok &= check_gate(gate, update)
+        except SnapshotError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            ok = False
     return 0 if ok else 1
 
 

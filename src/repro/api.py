@@ -10,6 +10,8 @@ fraud/bicluster applications).
 
 from __future__ import annotations
 
+import numbers
+
 import numpy as np
 
 from .core import (
@@ -24,7 +26,11 @@ from .core import (
 from .gmbe import GMBEConfig, gmbe_gpu, gmbe_host
 from .graph import BipartiteGraph
 
-__all__ = ["enumerate_maximal_bicliques", "as_bipartite_graph"]
+__all__ = [
+    "enumerate_maximal_bicliques",
+    "as_bipartite_graph",
+    "validate_size_filters",
+]
 
 _ALGORITHMS = {
     "gmbe": None,
@@ -62,6 +68,30 @@ def as_bipartite_graph(data) -> BipartiteGraph:
     )
 
 
+def _validate_size_filter(name: str, value) -> int:
+    # bool is an int subclass; min_left=True is a caller bug, not a 1.
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        raise ValueError(
+            f"{name} must be a non-negative integer, got {value!r}"
+        )
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {int(value)}")
+    return int(value)
+
+
+def validate_size_filters(min_left, min_right) -> tuple[int, int]:
+    """Validate ``min_left``/``min_right`` size-filter arguments.
+
+    Negative or non-integral values (including bools) raise
+    :class:`ValueError` naming the offending value instead of silently
+    filtering wrong — numpy integers are accepted and coerced.
+    """
+    return (
+        _validate_size_filter("min_left", min_left),
+        _validate_size_filter("min_right", min_right),
+    )
+
+
 def enumerate_maximal_bicliques(
     data,
     *,
@@ -96,6 +126,7 @@ def enumerate_maximal_bicliques(
         raise ValueError(
             f"unknown algorithm {algorithm!r}; choose from {sorted(_ALGORITHMS)}"
         )
+    min_left, min_right = validate_size_filters(min_left, min_right)
     graph = as_bipartite_graph(data)
     collector = BicliqueCollector()
     if algorithm == "gmbe":

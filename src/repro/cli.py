@@ -8,6 +8,7 @@ Subcommands::
     gmbe bench  <experiment> [options] regenerate a paper table/figure
     gmbe figures [--out DIR]           render every figure as SVG
     gmbe verify <graph> <bicliques>    certify an enumeration output
+    gmbe serve  [--jobs FILE]          run a batch through the service layer
 
 ``<graph>`` is either a dataset code (e.g. ``EE``) or a path to an
 edge-list file.  ``<experiment>`` is one of table1, table2, fig6..fig13.
@@ -101,6 +102,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--out", default="fig", help="output directory")
     p_fig.add_argument("--scale", type=float, default=1.0)
     p_fig.add_argument("--sweep-scale", type=float, default=0.5)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the batching/caching enumeration service over a job batch",
+    )
+    p_srv.add_argument(
+        "--jobs",
+        help="JSON-lines job file ({'graph': code-or-path, 'algorithm': ..., "
+        "'min_left': ..., ...} per line); default: a demo session on --graph",
+    )
+    p_srv.add_argument("--graph", default="Mti",
+                       help="dataset code or edge-list path for the demo session")
+    p_srv.add_argument("--algo", choices=sorted(_ALGOS), default="gmbe-host",
+                       help="demo-session algorithm")
+    p_srv.add_argument("--workers", type=int, default=4)
+    p_srv.add_argument("--queue-depth", type=int, default=64)
+    p_srv.add_argument("--cache-mb", type=float, default=64.0)
+    p_srv.add_argument("--timeout", type=float, default=120.0,
+                       help="per-attempt timeout in seconds")
+    p_srv.add_argument("--retries", type=int, default=2,
+                       help="retry attempts after a failed execution")
+    p_srv.add_argument("--metrics-out",
+                       help="also write the metrics snapshot JSON here")
 
     p_ver = sub.add_parser("verify", help="certify an enumeration output")
     p_ver.add_argument("graph", help="dataset code or edge-list path")
@@ -220,6 +244,65 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import json
+
+    from .service import ResiliencePolicy, ResultCache, ServiceClient
+
+    batch = bool(args.jobs)
+    if batch:
+        with open(args.jobs, "r", encoding="utf-8") as fh:
+            specs = [json.loads(line) for line in fh if line.strip()]
+    else:
+        # Demo session: the README's multi-query walkthrough — a cold
+        # query, its cache-hit repeat, and a size-filtered variant.
+        specs = [
+            {"graph": args.graph, "algorithm": args.algo},
+            {"graph": args.graph, "algorithm": args.algo},
+            {"graph": args.graph, "algorithm": args.algo,
+             "min_left": 2, "min_right": 2},
+        ]
+    graphs: dict[str, BipartiteGraph] = {}
+    jobs = []
+    for spec in specs:
+        spec = dict(spec)
+        gspec = spec.pop("graph", None)
+        if not isinstance(gspec, str):
+            raise SystemExit("each job spec needs a 'graph' code or path")
+        if gspec not in graphs:
+            graphs[gspec] = _load_graph(gspec)
+        jobs.append({"graph": graphs[gspec], **spec})
+
+    client = ServiceClient(
+        n_workers=args.workers,
+        queue_depth=args.queue_depth,
+        cache=ResultCache(max_bytes=int(args.cache_mb * (1 << 20))),
+        policy=ResiliencePolicy(
+            timeout=args.timeout, max_attempts=args.retries + 1
+        ),
+    )
+    try:
+        if batch:
+            # Concurrent submission: duplicates coalesce, repeats hit cache.
+            results = client.submit_many(jobs)
+        else:
+            # Sequential demo so the repeated query lands as a cache hit.
+            results = [client.submit(job) for job in jobs]
+        for res in results:
+            print(res.describe())
+        snapshot = client.metrics_snapshot()
+    finally:
+        client.close()
+    print("--- service metrics ---")
+    text = json.dumps(snapshot, indent=2)
+    print(text)
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"metrics written to {args.metrics_out}")
+    return 0 if all(r.ok for r in results) else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -231,6 +314,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "figures":
         from .bench.figures import render_all
 

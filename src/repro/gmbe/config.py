@@ -7,7 +7,7 @@ The Fig. 10 / Fig. 11 sensitivity benchmarks sweep these.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 
 __all__ = ["GMBEConfig", "DEFAULT_CONFIG"]
 
@@ -71,6 +71,15 @@ class GMBEConfig:
     def with_(self, **changes) -> "GMBEConfig":
         """Functional update, e.g. ``cfg.with_(prune=False)``."""
         return replace(self, **changes)
+
+    def signature(self) -> tuple[tuple[str, object], ...]:
+        """Stable, hashable field snapshot in field-name order.
+
+        :mod:`repro.service` folds this into its content-addressed cache
+        key so two jobs share a result only when *every* knob matches —
+        stable across processes, unlike ``hash(self)``.
+        """
+        return tuple(sorted(asdict(self).items()))
 
 
 DEFAULT_CONFIG = GMBEConfig()

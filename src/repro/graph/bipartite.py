@@ -15,6 +15,7 @@ stored sorted ascending, which every set kernel in
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from functools import cached_property
 from typing import Iterable, Iterator, Sequence
@@ -162,6 +163,20 @@ class BipartiteGraph:
     def degrees_v(self) -> np.ndarray:
         """All V-side degrees, computed once and cached."""
         return np.diff(self.v_indptr)
+
+    @cached_property
+    def fingerprint(self) -> str:
+        """Content hash of the graph structure (``name`` excluded).
+
+        Two graphs with identical vertex counts and edge sets share a
+        fingerprint regardless of how they were constructed; this is the
+        graph identity :mod:`repro.service` keys its result cache on.
+        """
+        h = hashlib.sha256()
+        h.update(np.asarray([self.n_u, self.n_v], dtype=np.int64).tobytes())
+        h.update(np.ascontiguousarray(self.u_indptr, dtype=np.int64).tobytes())
+        h.update(np.ascontiguousarray(self.u_indices, dtype=np.int64).tobytes())
+        return h.hexdigest()
 
     def has_edge(self, u: int, v: int) -> bool:
         nbrs = self.neighbors_u(u)

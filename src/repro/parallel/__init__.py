@@ -1,7 +1,9 @@
 """Parallel-execution substrates: the simulated multi-core pool used for
-ParMBE timing and a real thread-pool runner for host-parallel execution."""
+ParMBE timing, a real thread-pool runner for host-parallel execution, and
+the persistent worker pool backing the enumeration service."""
 
 from .pool import run_tasks_threaded
 from .simpool import PoolSchedule, schedule_tasks
+from .workers import WorkerPool
 
-__all__ = ["PoolSchedule", "run_tasks_threaded", "schedule_tasks"]
+__all__ = ["PoolSchedule", "WorkerPool", "run_tasks_threaded", "schedule_tasks"]

@@ -1,0 +1,82 @@
+"""Persistent worker pool for the enumeration service.
+
+:func:`run_tasks_threaded` (the batch runner) owns its pool for the
+duration of one call; a *service* needs workers that outlive any single
+job, accept work one future at a time, and report how busy they are so
+the broker can size its admission queue.  :class:`WorkerPool` is that
+substrate — a thin, instrumented wrapper over a named
+:class:`~concurrent.futures.ThreadPoolExecutor`.
+
+Python threads share the GIL, so same caveat as :mod:`repro.parallel.pool`:
+the point is real concurrent execution and isolation (a job raising in a
+worker never takes the pool down), not CPU-parallel speedup.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, TypeVar
+
+R = TypeVar("R")
+
+__all__ = ["WorkerPool"]
+
+
+class WorkerPool:
+    """Named thread pool with live busy-count accounting."""
+
+    def __init__(
+        self, n_workers: int = 4, *, thread_name_prefix: str = "repro-worker"
+    ) -> None:
+        if n_workers <= 0:
+            raise ValueError("n_workers must be positive")
+        self.n_workers = n_workers
+        self._executor = ThreadPoolExecutor(
+            max_workers=n_workers, thread_name_prefix=thread_name_prefix
+        )
+        self._lock = threading.Lock()
+        self._active = 0
+        self._completed = 0
+
+    # ------------------------------------------------------------------
+    def submit(self, fn: Callable[..., R], /, *args, **kwargs) -> "Future[R]":
+        """Schedule ``fn(*args, **kwargs)``; returns its future.
+
+        The wrapper only tracks activity — exceptions flow through the
+        future untouched, so a raising job is isolated to its caller.
+        """
+
+        def _tracked() -> R:
+            with self._lock:
+                self._active += 1
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                with self._lock:
+                    self._active -= 1
+                    self._completed += 1
+
+        return self._executor.submit(_tracked)
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> int:
+        """Jobs currently executing on a worker thread."""
+        with self._lock:
+            return self._active
+
+    @property
+    def completed(self) -> int:
+        """Jobs that have finished (successfully or not) since start."""
+        with self._lock:
+            return self._completed
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -1,0 +1,42 @@
+"""Enumeration-as-a-service layer: batching, caching, fault tolerance.
+
+The ROADMAP's serving stack over the one-shot API — an asyncio
+:class:`EnumerationBroker` (admission control, duplicate-query
+coalescing, priority dispatch onto a :class:`repro.parallel.WorkerPool`),
+a content-addressed :class:`ResultCache` invalidated by streaming edge
+updates, per-job :class:`ResiliencePolicy` (timeout / retry / cancel),
+:class:`ServiceMetrics` observability, and the synchronous
+:class:`ServiceClient` facade.  ``gmbe serve`` drives it from the CLI.
+"""
+
+from .broker import AdmissionError, EnumerationBroker, default_runner
+from .cache import CacheStats, ResultCache, graph_fingerprint
+from .client import ServiceClient
+from .jobs import Job, JobResult, JobStatus, SERVICE_ALGORITHMS
+from .metrics import Histogram, ServiceMetrics
+from .resilience import (
+    ExecutionOutcome,
+    JobTimeoutError,
+    ResiliencePolicy,
+    execute_with_retry,
+)
+
+__all__ = [
+    "AdmissionError",
+    "CacheStats",
+    "EnumerationBroker",
+    "ExecutionOutcome",
+    "Histogram",
+    "Job",
+    "JobResult",
+    "JobStatus",
+    "JobTimeoutError",
+    "ResiliencePolicy",
+    "ResultCache",
+    "SERVICE_ALGORITHMS",
+    "ServiceClient",
+    "ServiceMetrics",
+    "default_runner",
+    "execute_with_retry",
+    "graph_fingerprint",
+]

@@ -1,0 +1,415 @@
+"""Asyncio enumeration broker: admission, coalescing, dispatch.
+
+One :class:`EnumerationBroker` owns the full serving pipeline::
+
+    submit → cache lookup → coalesce with in-flight twin → bounded
+    priority queue → dispatcher → worker pool → resilience wrapper →
+    cache fill → fan-out to every waiter
+
+Design decisions worth knowing:
+
+- **Admission is explicit backpressure.**  The queue is bounded; a full
+  queue raises :class:`AdmissionError` *at submission* instead of
+  buffering unboundedly — the caller decides whether to shed or retry.
+- **Coalescing is key-exact.**  Two jobs with the same cache key (graph
+  fingerprint, algorithm, config signature, size filters) in flight at
+  once execute **once**; every waiter receives the result, the
+  duplicates marked ``coalesced``.
+- **Snapshots are point-in-time.**  A job against a registered dynamic
+  graph runs on the snapshot taken at submission.  A later edge update
+  invalidates the cache entries for that graph (and changes the
+  fingerprint), so no *future* job can hit a stale result — but an
+  already-submitted job still answers for the moment it was admitted.
+- **Faults stay inside the job.**  A worker raising mid-enumeration
+  burns one attempt of that job only; dispatchers and the pool survive
+  arbitrary job exceptions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from ..api import as_bipartite_graph, enumerate_maximal_bicliques
+from ..gmbe import GMBEConfig
+from ..graph import BipartiteGraph
+from ..parallel import WorkerPool
+from ..streaming import DynamicBipartiteGraph
+from .cache import ResultCache
+from .jobs import Job, JobResult, JobStatus
+from .metrics import ServiceMetrics
+from .resilience import ResiliencePolicy, execute_with_retry
+
+__all__ = ["AdmissionError", "EnumerationBroker", "default_runner"]
+
+
+class AdmissionError(RuntimeError):
+    """The admission queue is full; the job was rejected, not queued."""
+
+
+def default_runner(job: Job, graph: BipartiteGraph, config: GMBEConfig):
+    """Execute one job exactly like the one-shot API would."""
+    return enumerate_maximal_bicliques(
+        graph,
+        algorithm=job.algorithm,
+        min_left=job.min_left,
+        min_right=job.min_right,
+        config=config,
+    )
+
+
+@dataclass
+class _Entry:
+    job: Job
+    graph: BipartiteGraph
+    config: GMBEConfig
+    key: tuple
+    tag: str | None
+    future: asyncio.Future
+    submitted_at: float
+    deadline_at: float | None
+    cancelled: bool = False
+
+
+def _swallow(cf) -> None:
+    # An attempt abandoned by wait_for may still finish (threads can't be
+    # interrupted); consume its outcome so nothing leaks a warning.
+    try:
+        if not cf.cancelled():
+            cf.exception()
+    except Exception:
+        pass
+
+
+class EnumerationBroker:
+    """The service front door; see module docstring for the pipeline."""
+
+    def __init__(
+        self,
+        *,
+        n_workers: int = 4,
+        queue_depth: int = 64,
+        cache: ResultCache | None = None,
+        policy: ResiliencePolicy | None = None,
+        metrics: ServiceMetrics | None = None,
+        base_config: GMBEConfig | None = None,
+        runner: Callable[[Job, BipartiteGraph, GMBEConfig], list] | None = None,
+    ) -> None:
+        if n_workers <= 0:
+            raise ValueError("n_workers must be positive")
+        if queue_depth <= 0:
+            raise ValueError("queue_depth must be positive")
+        self.n_workers = n_workers
+        self.queue_depth = queue_depth
+        self.cache = cache if cache is not None else ResultCache()
+        self.policy = policy or ResiliencePolicy()
+        self.metrics = metrics or ServiceMetrics()
+        self.base_config = base_config or GMBEConfig()
+        self._runner = runner or default_runner
+        self._graphs: dict[str, DynamicBipartiteGraph] = {}
+        self._inflight: dict[tuple, asyncio.Future] = {}
+        self._jobs: dict[int, _Entry] = {}
+        self._seq = itertools.count()
+        self._queue: asyncio.PriorityQueue | None = None
+        self._pool: WorkerPool | None = None
+        self._dispatchers: list[asyncio.Task] = []
+        self._loop: asyncio.AbstractEventLoop | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        if self._queue is not None:
+            raise RuntimeError("broker already started")
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.PriorityQueue(maxsize=self.queue_depth)
+        self._pool = WorkerPool(self.n_workers)
+        self._dispatchers = [
+            asyncio.create_task(self._dispatch_loop(), name=f"dispatch-{i}")
+            for i in range(self.n_workers)
+        ]
+
+    async def stop(self) -> None:
+        for task in self._dispatchers:
+            task.cancel()
+        if self._dispatchers:
+            await asyncio.gather(*self._dispatchers, return_exceptions=True)
+        self._dispatchers = []
+        # Resolve whatever never ran so no caller hangs forever.
+        for entry in list(self._jobs.values()):
+            if not entry.future.done():
+                self.metrics.cancelled += 1
+                entry.future.set_result(
+                    self._result(entry, JobStatus.CANCELLED,
+                                 error="broker stopped")
+                )
+        self._jobs.clear()
+        self._inflight.clear()
+        if self._pool is not None:
+            # wait=False: a still-running enumeration thread must not
+            # block shutdown; its result is already unreachable.
+            self._pool.shutdown(wait=False)
+            self._pool = None
+        self._queue = None
+
+    # ------------------------------------------------------------------
+    # Graph registry
+    # ------------------------------------------------------------------
+    def register_graph(self, name: str, graph) -> DynamicBipartiteGraph:
+        """Register a (dynamic) graph under ``name`` and watch it.
+
+        Jobs may then reference it via ``Job(graph_name=name)``; edge
+        updates to the returned :class:`DynamicBipartiteGraph` drop the
+        cache entries for this graph — and only this graph.
+        """
+        if name in self._graphs:
+            raise ValueError(f"graph {name!r} already registered")
+        if isinstance(graph, DynamicBipartiteGraph):
+            dyn = graph
+        else:
+            dyn = DynamicBipartiteGraph.from_graph(as_bipartite_graph(graph))
+        self._graphs[name] = dyn
+        self.cache.watch(dyn, tag=name)
+        return dyn
+
+    def _resolve_graph(self, job: Job) -> tuple[BipartiteGraph, str | None]:
+        if job.graph_name is not None:
+            dyn = self._graphs.get(job.graph_name)
+            if dyn is None:
+                raise ValueError(
+                    f"unknown graph {job.graph_name!r}; registered: "
+                    f"{sorted(self._graphs)}"
+                )
+            return dyn.snapshot(), job.graph_name
+        return as_bipartite_graph(job.graph), None
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit_nowait(self, job: Job) -> asyncio.Future:
+        """Admit ``job``; the returned future resolves to its JobResult.
+
+        Raises :class:`AdmissionError` when the queue is full and
+        :class:`ValueError` for unresolvable jobs (unknown graph name).
+        Cache hits and coalesced twins resolve without touching the
+        queue.
+        """
+        if self._queue is None or self._loop is None:
+            raise RuntimeError("broker is not started")
+        loop = self._loop
+        t0 = loop.time()
+        self.metrics.submitted += 1
+        job.id = next(self._seq)
+        graph, tag = self._resolve_graph(job)
+        config = job.resolve_config(self.base_config)
+        key = ResultCache.make_key(
+            graph, job.algorithm, config, job.min_left, job.min_right
+        )
+
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.metrics.cache_hits += 1
+            latency = (loop.time() - t0) * 1e3
+            self.metrics.cache_hit_latency_ms.record(latency)
+            fut = loop.create_future()
+            fut.set_result(
+                JobResult(
+                    job_id=job.id,
+                    status=JobStatus.COMPLETED,
+                    algorithm=job.algorithm,
+                    bicliques=cached,
+                    cache_hit=True,
+                    latency_ms=latency,
+                )
+            )
+            return fut
+        self.metrics.cache_misses += 1
+
+        primary = self._inflight.get(key)
+        if primary is not None:
+            self.metrics.coalesced += 1
+            waiter = loop.create_future()
+            job_id = job.id
+
+            def _fan_out(f: asyncio.Future) -> None:
+                if waiter.cancelled():
+                    return
+                if f.cancelled():
+                    waiter.cancel()
+                    return
+                exc = f.exception()
+                if exc is not None:
+                    waiter.set_exception(exc)
+                    return
+                res: JobResult = f.result()
+                waiter.set_result(
+                    replace(
+                        res,
+                        job_id=job_id,
+                        coalesced=True,
+                        cache_hit=False,
+                        latency_ms=(loop.time() - t0) * 1e3,
+                    )
+                )
+
+            primary.add_done_callback(_fan_out)
+            return waiter
+
+        fut = loop.create_future()
+        deadline_at = None if job.deadline is None else t0 + job.deadline
+        entry = _Entry(
+            job=job,
+            graph=graph,
+            config=config,
+            key=key,
+            tag=tag,
+            future=fut,
+            submitted_at=t0,
+            deadline_at=deadline_at,
+        )
+        try:
+            self._queue.put_nowait((job.priority, next(self._seq), entry))
+        except asyncio.QueueFull:
+            self.metrics.rejected += 1
+            raise AdmissionError(
+                f"admission queue full (depth {self.queue_depth}); "
+                f"job {job.id} rejected"
+            ) from None
+        self._inflight[key] = fut
+        self._jobs[job.id] = entry
+        self.metrics.queue_depth.record(self._queue.qsize())
+        return fut
+
+    async def submit(self, job: Job) -> JobResult:
+        """Admit ``job`` and wait for its terminal result."""
+        return await self.submit_nowait(job)
+
+    def cancel(self, job_id: int) -> bool:
+        """Request cancellation; True if the job was still pending.
+
+        Queued jobs resolve as ``cancelled`` without running; a job
+        already executing stops retrying at the next attempt boundary
+        (a busy worker thread itself cannot be interrupted).
+        """
+        entry = self._jobs.get(job_id)
+        if entry is None or entry.future.done():
+            return False
+        entry.cancelled = True
+        return True
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        assert self._queue is not None
+        while True:
+            _, _, entry = await self._queue.get()
+            try:
+                await self._run_entry(entry)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # defensive: never kill a dispatcher
+                if not entry.future.done():
+                    self.metrics.failed += 1
+                    entry.future.set_result(
+                        self._result(
+                            entry, JobStatus.FAILED,
+                            error=f"dispatch error: {exc}",
+                        )
+                    )
+            finally:
+                self._queue.task_done()
+
+    async def _run_entry(self, entry: _Entry) -> None:
+        assert self._loop is not None and self._pool is not None
+        loop = self._loop
+        if entry.cancelled:
+            self.metrics.cancelled += 1
+            self._finish(entry, self._result(entry, JobStatus.CANCELLED,
+                                             error="cancelled while queued"))
+            return
+        if entry.deadline_at is not None and loop.time() >= entry.deadline_at:
+            self.metrics.expired += 1
+            self._finish(entry, self._result(entry, JobStatus.EXPIRED,
+                                             error="deadline passed in queue"))
+            return
+
+        pool = self._pool
+
+        def _attempt():
+            cf = pool.submit(self._runner, entry.job, entry.graph, entry.config)
+            cf.add_done_callback(_swallow)
+            return asyncio.wrap_future(cf)
+
+        outcome = await execute_with_retry(
+            _attempt,
+            self.policy,
+            deadline=entry.deadline_at,
+            should_cancel=lambda: entry.cancelled,
+        )
+        self.metrics.retries += outcome.retries
+        if outcome.status == "completed":
+            bicliques = tuple(outcome.value)
+            self.cache.put(entry.key, bicliques, tag=entry.tag)
+            self.metrics.completed += 1
+            latency = (loop.time() - entry.submitted_at) * 1e3
+            self.metrics.latency_ms.record(latency)
+            result = JobResult(
+                job_id=entry.job.id,
+                status=JobStatus.COMPLETED,
+                algorithm=entry.job.algorithm,
+                bicliques=bicliques,
+                attempts=outcome.attempts,
+                latency_ms=latency,
+            )
+        else:
+            status = {
+                "timeout": JobStatus.TIMEOUT,
+                "cancelled": JobStatus.CANCELLED,
+            }.get(outcome.status, JobStatus.FAILED)
+            if status == JobStatus.TIMEOUT:
+                self.metrics.timeouts += 1
+            elif status == JobStatus.CANCELLED:
+                self.metrics.cancelled += 1
+            else:
+                self.metrics.failed += 1
+            result = self._result(
+                entry, status, error=outcome.error, attempts=outcome.attempts
+            )
+        self._finish(entry, result)
+
+    def _result(
+        self, entry: _Entry, status: str, *, error: str | None = None,
+        attempts: int = 0,
+    ) -> JobResult:
+        latency = 0.0
+        if self._loop is not None:
+            latency = (self._loop.time() - entry.submitted_at) * 1e3
+        return JobResult(
+            job_id=entry.job.id,
+            status=status,
+            algorithm=entry.job.algorithm,
+            error=error,
+            attempts=attempts,
+            latency_ms=latency,
+        )
+
+    def _finish(self, entry: _Entry, result: JobResult) -> None:
+        # Order matters: the cache is already filled (on success) before
+        # the in-flight slot clears, so a submit landing in between
+        # either coalesces or hits — it can never duplicate the work.
+        self._inflight.pop(entry.key, None)
+        self._jobs.pop(entry.job.id, None)
+        if not entry.future.done():
+            entry.future.set_result(result)
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_size(self) -> int:
+        return 0 if self._queue is None else self._queue.qsize()
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._inflight)

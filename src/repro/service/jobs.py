@@ -1,0 +1,151 @@
+"""Job and result value types for the enumeration service.
+
+A :class:`Job` is one enumeration query: a graph (given directly, or by
+the name of a graph registered with the broker), an algorithm, size
+filters, optional per-job :class:`~repro.gmbe.GMBEConfig` overrides, a
+priority, and an optional deadline.  A :class:`JobResult` is everything
+the service knows about how the query went: the bicliques, of course,
+but also whether they came from cache, how many execution attempts were
+needed, and the end-to-end latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..api import validate_size_filters
+from ..gmbe import GMBEConfig
+
+__all__ = ["Job", "JobResult", "JobStatus", "SERVICE_ALGORITHMS"]
+
+#: Algorithms a job may request — mirrors :data:`repro.api._ALGORITHMS`.
+SERVICE_ALGORITHMS = (
+    "gmbe",
+    "gmbe-host",
+    "mbea",
+    "imbea",
+    "pmbe",
+    "oombea",
+    "parmbe",
+)
+
+
+class JobStatus:
+    """Terminal states of a service job (plain strings for JSON ease)."""
+
+    COMPLETED = "completed"
+    FAILED = "failed"
+    TIMEOUT = "timeout"
+    REJECTED = "rejected"
+    EXPIRED = "expired"
+    CANCELLED = "cancelled"
+
+
+@dataclass
+class Job:
+    """One enumeration query submitted to the service.
+
+    Attributes
+    ----------
+    graph:
+        Anything :func:`repro.api.as_bipartite_graph` accepts.  Mutually
+        exclusive with ``graph_name``.
+    graph_name:
+        Name of a :class:`~repro.streaming.DynamicBipartiteGraph`
+        registered with the broker; the job runs against a snapshot
+        taken at dispatch time, and cache entries are invalidated when
+        that graph mutates.
+    algorithm:
+        One of :data:`SERVICE_ALGORITHMS`.
+    min_left, min_right:
+        Size filters, validated exactly like the one-shot API.
+    config:
+        Optional full :class:`GMBEConfig` replacing the broker's base
+        config for this job.
+    config_overrides:
+        Field-level overrides applied on top of ``config`` (or the
+        broker's base config) via :meth:`GMBEConfig.with_`.
+    priority:
+        Lower runs first; ties dispatch FIFO.
+    deadline:
+        Optional seconds-from-submission budget.  A job still queued
+        when its deadline passes is dropped with status ``expired``
+        (it never wastes a worker); the deadline also caps per-attempt
+        timeouts for running jobs.
+    id:
+        Assigned by the broker at admission.
+    """
+
+    graph: Any = None
+    graph_name: str | None = None
+    algorithm: str = "gmbe"
+    min_left: int = 1
+    min_right: int = 1
+    config: GMBEConfig | None = None
+    config_overrides: Mapping[str, Any] = field(default_factory=dict)
+    priority: int = 0
+    deadline: float | None = None
+    id: int | None = None
+
+    def __post_init__(self) -> None:
+        if (self.graph is None) == (self.graph_name is None):
+            raise ValueError("provide exactly one of graph or graph_name")
+        if self.algorithm not in SERVICE_ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {self.algorithm!r}; "
+                f"choose from {sorted(SERVICE_ALGORITHMS)}"
+            )
+        self.min_left, self.min_right = validate_size_filters(
+            self.min_left, self.min_right
+        )
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {self.deadline}")
+        # Fail on bogus overrides at submission, not inside a worker.
+        self.resolve_config(self.config or GMBEConfig())
+
+    def resolve_config(self, base: GMBEConfig) -> GMBEConfig:
+        """Effective config: job config (or ``base``) + field overrides."""
+        cfg = self.config or base
+        if self.config_overrides:
+            cfg = cfg.with_(**dict(self.config_overrides))
+        return cfg
+
+
+@dataclass
+class JobResult:
+    """Terminal outcome of one job."""
+
+    job_id: int
+    status: str
+    algorithm: str
+    bicliques: tuple = ()
+    error: str | None = None
+    attempts: int = 0
+    cache_hit: bool = False
+    coalesced: bool = False
+    latency_ms: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == JobStatus.COMPLETED
+
+    @property
+    def count(self) -> int:
+        return len(self.bicliques)
+
+    def describe(self) -> str:
+        """One human line, the ``gmbe serve`` per-job output."""
+        if self.ok:
+            src = "hit" if self.cache_hit else (
+                "coalesced" if self.coalesced else "miss"
+            )
+            return (
+                f"job {self.job_id}: ok {self.count} bicliques "
+                f"{self.latency_ms:.2f}ms (algo={self.algorithm} "
+                f"cache={src} attempts={self.attempts})"
+            )
+        return (
+            f"job {self.job_id}: {self.status} after {self.attempts} "
+            f"attempt(s): {self.error or 'no detail'}"
+        )

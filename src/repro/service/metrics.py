@@ -1,0 +1,115 @@
+"""Service observability: counters and latency/queue-depth histograms.
+
+Everything here is plain Python with a JSON-serializable
+:meth:`ServiceMetrics.snapshot` — the service-side analog of the GPU
+simulator's profiler: cheap enough to always be on, rich enough to
+answer "is the cache working?" and "where does latency come from?"
+without attaching a debugger to a live broker.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["Histogram", "ServiceMetrics"]
+
+
+class Histogram:
+    """Windowed sample recorder with percentile queries.
+
+    Keeps the most recent ``window`` observations (a bounded deque, so a
+    long-lived service never grows without bound) plus running count/sum
+    over the full lifetime.  Percentiles use the nearest-rank method on
+    the current window.
+    """
+
+    def __init__(self, window: int = 4096) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self._samples: deque[float] = deque(maxlen=window)
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        self._samples.append(value)
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile of the current window (0 if empty)."""
+        if not self._samples:
+            return 0.0
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        ordered = sorted(self._samples)
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+@dataclass
+class ServiceMetrics:
+    """Counters + histograms one broker maintains."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    timeouts: int = 0
+    expired: int = 0
+    cancelled: int = 0
+    retries: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    coalesced: int = 0
+    #: End-to-end latency of jobs that ran on a worker (ms).
+    latency_ms: Histogram = field(default_factory=Histogram)
+    #: Latency of jobs answered straight from cache (ms).
+    cache_hit_latency_ms: Histogram = field(default_factory=Histogram)
+    #: Queue depth observed at each admission.
+    queue_depth: Histogram = field(default_factory=Histogram)
+
+    def snapshot(self) -> dict:
+        """JSON-serializable state dump (counters + histogram summaries)."""
+        return {
+            "counters": {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "rejected": self.rejected,
+                "timeouts": self.timeouts,
+                "expired": self.expired,
+                "cancelled": self.cancelled,
+                "retries": self.retries,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "coalesced": self.coalesced,
+            },
+            "latency_ms": self.latency_ms.snapshot(),
+            "cache_hit_latency_ms": self.cache_hit_latency_ms.snapshot(),
+            "queue_depth": self.queue_depth.snapshot(),
+        }
+
+    def to_json(self, **kwargs) -> str:
+        kwargs.setdefault("indent", 2)
+        return json.dumps(self.snapshot(), **kwargs)

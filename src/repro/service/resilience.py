@@ -1,0 +1,155 @@
+"""Per-job fault handling: timeout, cancellation, retry with backoff.
+
+The broker hands each admitted job to :func:`execute_with_retry`, which
+drives a fresh execution attempt per round:
+
+- each attempt runs under :func:`asyncio.wait_for` with the policy
+  timeout, further clamped by the job's absolute deadline;
+- a raising attempt (the :class:`Boom`-style faults exercised in
+  ``tests/test_failure_injection.py`` — any ``Exception``) is retried up
+  to ``max_attempts`` times with exponential backoff;
+- cancellation is cooperative: a ``should_cancel`` probe is consulted
+  between attempts, so a cancelled job stops retrying immediately.
+
+Crucially the failure surface is the *attempt*, never the broker: the
+worst a job can do is exhaust its attempts and resolve as failed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Awaitable, Callable
+
+__all__ = ["ExecutionOutcome", "JobTimeoutError", "ResiliencePolicy",
+           "execute_with_retry"]
+
+
+class JobTimeoutError(Exception):
+    """An execution attempt exceeded its time budget."""
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Fault-handling knobs applied to every job of a broker.
+
+    Attributes
+    ----------
+    timeout:
+        Per-*attempt* wall-clock budget in seconds (``None`` = unbounded).
+    max_attempts:
+        Total execution attempts (1 = no retries).
+    backoff_base:
+        Sleep before retry ``k`` is ``backoff_base * multiplier**(k-1)``,
+        capped at ``backoff_max``.
+    retryable:
+        Exception types worth retrying; anything else fails immediately.
+        Timeouts are always retryable (the attempt may have been unlucky
+        on a loaded pool).
+    """
+
+    timeout: float | None = 30.0
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_multiplier: float = 2.0
+    backoff_max: float = 2.0
+    retryable: tuple[type[BaseException], ...] = (Exception,)
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive or None")
+        if self.max_attempts <= 0:
+            raise ValueError("max_attempts must be positive")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff values must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+
+    def backoff_for(self, retry_index: int) -> float:
+        """Sleep before the ``retry_index``-th retry (1-based)."""
+        delay = self.backoff_base * self.backoff_multiplier ** (retry_index - 1)
+        return min(delay, self.backoff_max)
+
+
+@dataclass
+class ExecutionOutcome:
+    """What happened across all attempts of one job."""
+
+    status: str  # "completed" | "failed" | "timeout" | "cancelled"
+    value: object = None
+    error: str | None = None
+    attempts: int = 0
+    retries: int = 0
+
+
+async def execute_with_retry(
+    attempt: Callable[[], Awaitable],
+    policy: ResiliencePolicy,
+    *,
+    deadline: float | None = None,
+    should_cancel: Callable[[], bool] | None = None,
+) -> ExecutionOutcome:
+    """Run ``attempt()`` under the policy; never raises job errors.
+
+    ``attempt`` must build a *fresh* awaitable per call.  ``deadline`` is
+    an absolute :func:`asyncio.get_running_loop().time` instant further
+    capping each attempt.  Loop cancellation (broker shutdown) is the one
+    thing re-raised — it belongs to the caller, not the job.
+    """
+    loop = asyncio.get_running_loop()
+    attempts = 0
+    last_error: str | None = None
+    timed_out = False
+    while attempts < policy.max_attempts:
+        if should_cancel is not None and should_cancel():
+            return ExecutionOutcome(
+                status="cancelled",
+                error="cancelled before attempt",
+                attempts=attempts,
+                retries=max(0, attempts - 1),
+            )
+        budget = policy.timeout
+        if deadline is not None:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                return ExecutionOutcome(
+                    status="timeout",
+                    error=last_error or "deadline exhausted",
+                    attempts=attempts,
+                    retries=max(0, attempts - 1),
+                )
+            budget = remaining if budget is None else min(budget, remaining)
+        attempts += 1
+        try:
+            value = await asyncio.wait_for(attempt(), timeout=budget)
+            return ExecutionOutcome(
+                status="completed",
+                value=value,
+                attempts=attempts,
+                retries=attempts - 1,
+            )
+        except asyncio.CancelledError:
+            raise  # broker shutdown, not a job fault
+        except asyncio.TimeoutError:
+            timed_out = True
+            last_error = f"attempt {attempts} timed out after {budget:.3g}s"
+        except policy.retryable as exc:
+            timed_out = False
+            last_error = f"{type(exc).__name__}: {exc}"
+        except BaseException as exc:
+            return ExecutionOutcome(
+                status="failed",
+                error=f"{type(exc).__name__}: {exc}",
+                attempts=attempts,
+                retries=attempts - 1,
+            )
+        if attempts < policy.max_attempts:
+            delay = policy.backoff_for(attempts)
+            if delay > 0:
+                await asyncio.sleep(delay)
+    return ExecutionOutcome(
+        status="timeout" if timed_out else "failed",
+        error=last_error,
+        attempts=attempts,
+        retries=attempts - 1,
+    )

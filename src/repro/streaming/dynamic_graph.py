@@ -9,7 +9,7 @@ the local re-enumerations.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Callable, Iterable
 
 import numpy as np
 
@@ -24,6 +24,31 @@ class DynamicBipartiteGraph:
     def __init__(self, n_u: int = 0, n_v: int = 0) -> None:
         self._adj_u: list[set[int]] = [set() for _ in range(n_u)]
         self._adj_v: list[set[int]] = [set() for _ in range(n_v)]
+        self._listeners: list[Callable[[str, int, int], None]] = []
+
+    # ------------------------------------------------------------------
+    # Update listeners (cache invalidation, audit logs, ...)
+    # ------------------------------------------------------------------
+    def add_update_listener(self, fn: Callable[[str, int, int], None]) -> None:
+        """Call ``fn(op, u, v)`` after every successful edge mutation.
+
+        ``op`` is ``"insert"`` or ``"delete"``.  No-op mutations (inserting
+        an existing edge, deleting an absent one) do not fire.  The
+        service-layer result cache subscribes here so stale entries for a
+        mutated graph are dropped eagerly.
+        """
+        self._listeners.append(fn)
+
+    def remove_update_listener(self, fn: Callable[[str, int, int], None]) -> None:
+        """Detach a listener previously registered; missing fn is a no-op."""
+        try:
+            self._listeners.remove(fn)
+        except ValueError:
+            pass
+
+    def _notify(self, op: str, u: int, v: int) -> None:
+        for fn in tuple(self._listeners):
+            fn(op, u, v)
 
     @staticmethod
     def from_graph(graph: BipartiteGraph) -> "DynamicBipartiteGraph":
@@ -72,6 +97,7 @@ class DynamicBipartiteGraph:
             return False
         self._adj_u[u].add(v)
         self._adj_v[v].add(u)
+        self._notify("insert", u, v)
         return True
 
     def delete_edge(self, u: int, v: int) -> bool:
@@ -80,6 +106,7 @@ class DynamicBipartiteGraph:
             return False
         self._adj_u[u].discard(v)
         self._adj_v[v].discard(u)
+        self._notify("delete", u, v)
         return True
 
     # ------------------------------------------------------------------

@@ -63,3 +63,32 @@ class TestEnumerate:
         a = enumerate_maximal_bicliques(MATRIX)
         b = enumerate_maximal_bicliques(MATRIX, algorithm="mbea")
         assert a == b == sorted(a)
+
+
+class TestSizeFilterValidation:
+    def test_negative_values_rejected_with_value_in_message(self):
+        with pytest.raises(ValueError, match="min_left.*-3"):
+            enumerate_maximal_bicliques(MATRIX, min_left=-3)
+        with pytest.raises(ValueError, match="min_right.*-1"):
+            enumerate_maximal_bicliques(MATRIX, min_right=-1)
+
+    def test_non_integral_values_rejected(self):
+        with pytest.raises(ValueError, match="min_left.*1.5"):
+            enumerate_maximal_bicliques(MATRIX, min_left=1.5)
+        with pytest.raises(ValueError, match="min_right.*'2'"):
+            enumerate_maximal_bicliques(MATRIX, min_right="2")
+
+    def test_bool_rejected_despite_being_int_subclass(self):
+        with pytest.raises(ValueError, match="min_left.*True"):
+            enumerate_maximal_bicliques(MATRIX, min_left=True)
+
+    def test_numpy_integers_accepted(self):
+        out = enumerate_maximal_bicliques(
+            MATRIX, min_left=np.int64(2), min_right=np.int32(2)
+        )
+        assert out == enumerate_maximal_bicliques(MATRIX, min_left=2, min_right=2)
+
+    def test_zero_is_a_valid_no_op_filter(self):
+        assert enumerate_maximal_bicliques(
+            MATRIX, min_left=0, min_right=0
+        ) == enumerate_maximal_bicliques(MATRIX)

@@ -72,3 +72,50 @@ class TestCommands:
         )
         assert rc == 0
         assert "Table 2" in capsys.readouterr().out
+
+
+class TestServe:
+    def test_demo_session_shows_cache_hit(self, tmp_path, paper_graph, capsys):
+        from repro.graph import write_edge_list
+
+        gpath = tmp_path / "g.tsv"
+        write_edge_list(paper_graph, gpath)
+        rc = main(["serve", "--graph", str(gpath), "--algo", "oombea",
+                   "--workers", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "cache=miss" in out and "cache=hit" in out
+        assert "service metrics" in out
+
+    def test_jobs_file_batch(self, tmp_path, paper_graph, capsys):
+        import json
+
+        from repro.graph import write_edge_list
+
+        gpath = tmp_path / "g.tsv"
+        write_edge_list(paper_graph, gpath)
+        jobs_path = tmp_path / "jobs.jsonl"
+        specs = [
+            {"graph": str(gpath), "algorithm": "oombea"},
+            {"graph": str(gpath), "algorithm": "oombea"},
+            {"graph": str(gpath), "algorithm": "oombea",
+             "min_left": 2, "min_right": 2},
+        ]
+        jobs_path.write_text("\n".join(json.dumps(s) for s in specs) + "\n")
+        metrics_path = tmp_path / "metrics.json"
+        rc = main(["serve", "--jobs", str(jobs_path), "--algo", "oombea",
+                   "--metrics-out", str(metrics_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.count("ok") >= 3
+        snapshot = json.loads(metrics_path.read_text())
+        assert snapshot["counters"]["submitted"] == 3
+        # the duplicate either coalesced with its in-flight twin or hit
+        counters = snapshot["counters"]
+        assert counters["coalesced"] + counters["cache_hits"] >= 1
+
+    def test_jobs_file_requires_graph_field(self, tmp_path):
+        jobs_path = tmp_path / "jobs.jsonl"
+        jobs_path.write_text('{"algorithm": "oombea"}\n')
+        with pytest.raises(SystemExit):
+            main(["serve", "--jobs", str(jobs_path)])

@@ -1,0 +1,759 @@
+"""Tests for the enumeration service layer (`repro.service`).
+
+Extends the fault patterns of ``tests/test_failure_injection.py`` to the
+serving stack: cache hit/miss/eviction/invalidation-on-update,
+queue-full rejection, duplicate-query coalescing, injected worker faults
+recovering via retry, timeouts, deadlines, cancellation, priorities —
+and the acceptance bar that service results are bit-identical to direct
+:func:`repro.api.enumerate_maximal_bicliques` calls.
+"""
+
+import asyncio
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import enumerate_maximal_bicliques
+from repro.gmbe import GMBEConfig
+from repro.graph import BipartiteGraph, random_bipartite
+from repro.parallel import WorkerPool
+from repro.service import (
+    AdmissionError,
+    EnumerationBroker,
+    Histogram,
+    Job,
+    JobStatus,
+    ResiliencePolicy,
+    ResultCache,
+    ServiceClient,
+    default_runner,
+    execute_with_retry,
+    graph_fingerprint,
+)
+from repro.streaming import DynamicBipartiteGraph
+
+
+class Boom(RuntimeError):
+    pass
+
+
+MATRIX = np.array([[1, 1, 0], [1, 1, 1], [0, 1, 1]], dtype=np.int8)
+
+FAST_POLICY = ResiliencePolicy(timeout=30.0, max_attempts=3, backoff_base=0.001)
+
+
+def run_broker(coro_fn, **broker_kwargs):
+    """Run ``await coro_fn(broker)`` against a started broker."""
+    broker_kwargs.setdefault("policy", FAST_POLICY)
+
+    async def go():
+        broker = EnumerationBroker(**broker_kwargs)
+        await broker.start()
+        try:
+            return await coro_fn(broker)
+        finally:
+            await broker.stop()
+
+    return asyncio.run(go())
+
+
+class GatedRunner:
+    """Runner whose first matching job blocks until released."""
+
+    def __init__(self, block_priority=None):
+        self.started = threading.Event()
+        self.release = threading.Event()
+        self.order = []
+        self.block_priority = block_priority
+
+    def __call__(self, job, graph, config):
+        if job.priority == self.block_priority and not self.started.is_set():
+            self.started.set()
+            assert self.release.wait(10)
+        self.order.append(job.min_left)
+        return default_runner(job, graph, config)
+
+
+# ----------------------------------------------------------------------
+# Graph fingerprints
+# ----------------------------------------------------------------------
+class TestFingerprint:
+    def test_same_content_same_fingerprint(self, paper_graph):
+        rebuilt = BipartiteGraph.from_edges(
+            paper_graph.n_u, paper_graph.n_v, list(paper_graph.edges()),
+            name="other-name",
+        )
+        assert rebuilt.fingerprint == paper_graph.fingerprint
+
+    def test_differs_on_edges_and_shape(self, paper_graph):
+        minus = [e for e in paper_graph.edges()][:-1]
+        other = BipartiteGraph.from_edges(paper_graph.n_u, paper_graph.n_v, minus)
+        assert other.fingerprint != paper_graph.fingerprint
+        wider = BipartiteGraph.from_edges(
+            paper_graph.n_u, paper_graph.n_v + 1, list(paper_graph.edges())
+        )
+        assert wider.fingerprint != paper_graph.fingerprint
+
+    def test_fingerprint_accepts_any_coercible_input(self):
+        assert graph_fingerprint(MATRIX) == graph_fingerprint(
+            BipartiteGraph.from_biadjacency(MATRIX)
+        )
+
+
+# ----------------------------------------------------------------------
+# Result cache
+# ----------------------------------------------------------------------
+class TestResultCache:
+    def _key(self, graph, **kw):
+        return ResultCache.make_key(
+            graph,
+            kw.get("algorithm", "gmbe"),
+            kw.get("config", GMBEConfig()),
+            kw.get("min_left", 1),
+            kw.get("min_right", 1),
+        )
+
+    def test_roundtrip_and_lru_hit(self, paper_graph):
+        cache = ResultCache()
+        key = self._key(paper_graph)
+        assert cache.get(key) is None
+        assert cache.put(key, [("sentinel",)])
+        assert cache.get(key) == (("sentinel",),)
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_key_varies_with_query_identity(self, paper_graph):
+        base = self._key(paper_graph)
+        assert self._key(paper_graph, algorithm="mbea") != base
+        assert self._key(paper_graph, min_left=2) != base
+        assert self._key(paper_graph, min_right=2) != base
+        assert self._key(paper_graph, config=GMBEConfig(prune=False)) != base
+
+    def test_byte_budget_evicts_lru(self, paper_graph, tiny_path):
+        # Each empty-biclique entry costs the fixed overhead; budget two.
+        cache = ResultCache(max_bytes=400)
+        k1 = self._key(paper_graph, min_left=1)
+        k2 = self._key(paper_graph, min_left=2)
+        k3 = self._key(paper_graph, min_left=3)
+        cache.put(k1, [])
+        cache.put(k2, [])
+        cache.get(k1)  # refresh k1 so k2 is the LRU victim
+        cache.put(k3, [])
+        assert k1 in cache and k3 in cache and k2 not in cache
+        assert cache.stats.evictions == 1
+        assert cache.current_bytes <= cache.max_bytes
+
+    def test_oversized_entry_not_stored(self, paper_graph):
+        cache = ResultCache(max_bytes=64)
+        key = self._key(paper_graph)
+        assert not cache.put(key, [])
+        assert len(cache) == 0
+
+    def test_invalidate_tag_is_selective(self, paper_graph, tiny_path):
+        cache = ResultCache()
+        ka = self._key(paper_graph)
+        kb = self._key(tiny_path)
+        cache.put(ka, [], tag="a")
+        cache.put(kb, [], tag="b")
+        assert cache.invalidate_tag("a") == 1
+        assert ka not in cache and kb in cache
+        assert cache.stats.invalidations == 1
+
+    def test_watch_drops_entries_on_real_mutation_only(self, paper_graph):
+        cache = ResultCache()
+        dyn = DynamicBipartiteGraph.from_graph(paper_graph)
+        cache.watch(dyn, tag="g")
+        key = self._key(dyn.snapshot())
+        cache.put(key, [], tag="g")
+        # duplicate insert is a no-op mutation: nothing dropped
+        assert dyn.has_edge(0, 2)
+        assert not dyn.insert_edge(0, 2)
+        assert cache.stats.invalidations == 0 and key in cache
+        # a real mutation drops the watched tag's entries
+        assert dyn.insert_edge(4, 0)
+        assert cache.stats.invalidations == 1 and key not in cache
+
+    def test_unwatch_all(self, paper_graph):
+        cache = ResultCache()
+        dyn = DynamicBipartiteGraph.from_graph(paper_graph)
+        cache.watch(dyn, tag="g")
+        cache.unwatch_all()
+        cache.put(self._key(paper_graph), [], tag="g")
+        assert dyn.insert_edge(4, 0)
+        assert len(cache) == 1
+
+
+# ----------------------------------------------------------------------
+# Job validation
+# ----------------------------------------------------------------------
+class TestJobValidation:
+    def test_requires_exactly_one_graph_source(self):
+        with pytest.raises(ValueError):
+            Job()
+        with pytest.raises(ValueError):
+            Job(graph=MATRIX, graph_name="g")
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            Job(graph=MATRIX, algorithm="magic")
+
+    def test_rejects_bad_size_filters(self):
+        with pytest.raises(ValueError, match="-2"):
+            Job(graph=MATRIX, min_left=-2)
+        with pytest.raises(ValueError, match="1.5"):
+            Job(graph=MATRIX, min_right=1.5)
+
+    def test_rejects_bad_deadline(self):
+        with pytest.raises(ValueError):
+            Job(graph=MATRIX, deadline=0)
+
+    def test_bad_config_override_fails_at_construction(self):
+        with pytest.raises(ValueError):
+            Job(graph=MATRIX, config_overrides={"scheduling": "psychic"})
+        with pytest.raises(TypeError):
+            Job(graph=MATRIX, config_overrides={"no_such_knob": 1})
+
+    def test_resolve_config_layers_overrides(self):
+        job = Job(graph=MATRIX, config_overrides={"prune": False})
+        cfg = job.resolve_config(GMBEConfig(bound_height=7))
+        assert cfg.bound_height == 7 and cfg.prune is False
+
+
+# ----------------------------------------------------------------------
+# Bit-identical results (acceptance criterion)
+# ----------------------------------------------------------------------
+class TestServiceMatchesDirectAPI:
+    @pytest.mark.parametrize(
+        "algorithm",
+        ["gmbe", "gmbe-host", "mbea", "imbea", "pmbe", "oombea", "parmbe"],
+    )
+    def test_every_algorithm_bit_identical(self, algorithm):
+        graph = random_bipartite(20, 15, 0.3, seed=7)
+        direct = enumerate_maximal_bicliques(graph, algorithm=algorithm)
+
+        async def go(broker):
+            return await broker.submit(Job(graph=graph, algorithm=algorithm))
+
+        result = run_broker(go, n_workers=2)
+        assert result.ok
+        assert list(result.bicliques) == direct
+
+    def test_size_filters_and_config_flow_through(self, paper_graph):
+        direct = enumerate_maximal_bicliques(
+            paper_graph, algorithm="gmbe-host", min_left=2, min_right=2,
+            config=GMBEConfig(prune=False),
+        )
+
+        async def go(broker):
+            return await broker.submit(
+                Job(
+                    graph=paper_graph,
+                    algorithm="gmbe-host",
+                    min_left=2,
+                    min_right=2,
+                    config_overrides={"prune": False},
+                )
+            )
+
+        result = run_broker(go, n_workers=1)
+        assert list(result.bicliques) == direct
+
+
+# ----------------------------------------------------------------------
+# Caching through the broker
+# ----------------------------------------------------------------------
+class TestBrokerCaching:
+    def test_second_identical_query_hits(self, paper_graph):
+        async def go(broker):
+            a = await broker.submit(Job(graph=paper_graph, algorithm="oombea"))
+            b = await broker.submit(Job(graph=paper_graph, algorithm="oombea"))
+            return a, b, broker.metrics
+
+        a, b, metrics = run_broker(go, n_workers=1)
+        assert not a.cache_hit and b.cache_hit
+        assert a.bicliques == b.bicliques
+        assert b.attempts == 0
+        assert metrics.cache_hits == 1 and metrics.cache_misses == 1
+        assert metrics.cache_hit_latency_ms.count == 1
+
+    def test_different_filters_do_not_share_entries(self, paper_graph):
+        async def go(broker):
+            await broker.submit(Job(graph=paper_graph, algorithm="oombea"))
+            c = await broker.submit(
+                Job(graph=paper_graph, algorithm="oombea", min_left=2)
+            )
+            return c
+
+        c = run_broker(go, n_workers=1)
+        assert not c.cache_hit
+        assert all(len(b.left) >= 2 for b in c.bicliques)
+
+    def test_failed_jobs_are_not_cached(self, paper_graph):
+        calls = {"n": 0}
+
+        def runner(job, graph, config):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise Boom("first call dies")
+            return default_runner(job, graph, config)
+
+        async def go(broker):
+            bad = await broker.submit(Job(graph=paper_graph, algorithm="oombea"))
+            good = await broker.submit(Job(graph=paper_graph, algorithm="oombea"))
+            return bad, good
+
+        policy = ResiliencePolicy(timeout=30, max_attempts=1)
+        bad, good = run_broker(go, n_workers=1, runner=runner, policy=policy)
+        assert bad.status == JobStatus.FAILED
+        assert good.ok and not good.cache_hit and calls["n"] == 2
+
+
+# ----------------------------------------------------------------------
+# Coalescing
+# ----------------------------------------------------------------------
+class TestCoalescing:
+    def test_duplicate_inflight_queries_execute_once(self, paper_graph):
+        calls = {"n": 0}
+
+        def runner(job, graph, config):
+            calls["n"] += 1
+            time.sleep(0.15)
+            return default_runner(job, graph, config)
+
+        async def go(broker):
+            f1 = broker.submit_nowait(Job(graph=paper_graph, algorithm="oombea"))
+            f2 = broker.submit_nowait(Job(graph=paper_graph, algorithm="oombea"))
+            f3 = broker.submit_nowait(
+                Job(graph=paper_graph, algorithm="oombea", min_left=2)
+            )
+            return await asyncio.gather(f1, f2, f3), broker.metrics
+
+        (r1, r2, r3), metrics = run_broker(go, n_workers=2, runner=runner)
+        assert calls["n"] == 2  # duplicate coalesced, distinct key ran
+        assert r1.ok and r2.ok and r3.ok
+        assert not r1.coalesced and r2.coalesced
+        assert r1.bicliques == r2.bicliques
+        assert r1.job_id != r2.job_id
+        assert metrics.coalesced == 1
+
+    def test_coalesced_waiters_see_the_failure(self, paper_graph):
+        def runner(job, graph, config):
+            time.sleep(0.1)
+            raise Boom("shared execution dies")
+
+        async def go(broker):
+            f1 = broker.submit_nowait(Job(graph=paper_graph, algorithm="oombea"))
+            f2 = broker.submit_nowait(Job(graph=paper_graph, algorithm="oombea"))
+            return await asyncio.gather(f1, f2)
+
+        policy = ResiliencePolicy(timeout=30, max_attempts=1)
+        r1, r2 = run_broker(go, n_workers=1, runner=runner, policy=policy)
+        assert r1.status == JobStatus.FAILED
+        assert r2.status == JobStatus.FAILED and r2.coalesced
+        assert "Boom" in r1.error
+
+
+# ----------------------------------------------------------------------
+# Admission control
+# ----------------------------------------------------------------------
+class TestAdmission:
+    def test_queue_full_rejects_explicitly(self, paper_graph):
+        gate = GatedRunner(block_priority=0)
+
+        async def go(broker):
+            blocker = broker.submit_nowait(
+                Job(graph=paper_graph, algorithm="oombea", priority=0)
+            )
+            await asyncio.to_thread(gate.started.wait, 5)
+            queued = broker.submit_nowait(
+                Job(graph=paper_graph, algorithm="oombea", min_left=2,
+                    priority=1)
+            )
+            with pytest.raises(AdmissionError):
+                broker.submit_nowait(
+                    Job(graph=paper_graph, algorithm="oombea", min_left=3,
+                        priority=1)
+                )
+            gate.release.set()
+            return await asyncio.gather(blocker, queued), broker.metrics
+
+        (r_block, r_queued), metrics = run_broker(
+            go, n_workers=1, queue_depth=1, runner=gate
+        )
+        assert r_block.ok and r_queued.ok
+        assert metrics.rejected == 1
+        assert metrics.submitted == 3
+
+    def test_broker_keeps_serving_after_rejection(self, paper_graph):
+        gate = GatedRunner(block_priority=0)
+
+        async def go(broker):
+            blocker = broker.submit_nowait(
+                Job(graph=paper_graph, algorithm="oombea", priority=0)
+            )
+            await asyncio.to_thread(gate.started.wait, 5)
+            queued = broker.submit_nowait(
+                Job(graph=paper_graph, algorithm="oombea", min_left=2)
+            )
+            with pytest.raises(AdmissionError):
+                broker.submit_nowait(
+                    Job(graph=paper_graph, algorithm="oombea", min_left=3)
+                )
+            gate.release.set()
+            await asyncio.gather(blocker, queued)
+            # Queue drained: the formerly rejected query now admits fine.
+            retry = await broker.submit(
+                Job(graph=paper_graph, algorithm="oombea", min_left=3)
+            )
+            return retry
+
+        retry = run_broker(go, n_workers=1, queue_depth=1, runner=gate)
+        assert retry.ok
+
+
+# ----------------------------------------------------------------------
+# Fault tolerance (extends test_failure_injection patterns)
+# ----------------------------------------------------------------------
+class TestFaultTolerance:
+    def test_injected_fault_recovers_via_retry(self, paper_graph):
+        direct = enumerate_maximal_bicliques(paper_graph, algorithm="oombea")
+        calls = {"n": 0}
+
+        def runner(job, graph, config):
+            calls["n"] += 1
+            if calls["n"] <= 2:
+                raise Boom(f"injected fault #{calls['n']}")
+            return default_runner(job, graph, config)
+
+        async def go(broker):
+            return await broker.submit(Job(graph=paper_graph, algorithm="oombea"))
+
+        result = run_broker(go, n_workers=1, runner=runner)
+        assert result.ok
+        assert result.attempts == 3 and calls["n"] == 3
+        assert list(result.bicliques) == direct
+
+    def test_permanent_fault_fails_only_its_job(self, paper_graph, tiny_path):
+        def runner(job, graph, config):
+            if job.min_left == 3:
+                raise Boom("this job always dies")
+            return default_runner(job, graph, config)
+
+        async def go(broker):
+            dead = await broker.submit(
+                Job(graph=paper_graph, algorithm="oombea", min_left=3)
+            )
+            alive = await broker.submit(
+                Job(graph=tiny_path, algorithm="oombea")
+            )
+            return dead, alive, broker.metrics
+
+        dead, alive, metrics = run_broker(go, n_workers=1, runner=runner)
+        assert dead.status == JobStatus.FAILED
+        assert "Boom" in dead.error and "always dies" in dead.error
+        assert dead.attempts == FAST_POLICY.max_attempts
+        assert alive.ok  # the broker survived the poisoned job
+        assert metrics.failed == 1 and metrics.completed == 1
+        assert metrics.retries == FAST_POLICY.max_attempts - 1
+
+    def test_timeout_resolves_without_blocking_broker(self, paper_graph):
+        def runner(job, graph, config):
+            time.sleep(0.5)
+            return default_runner(job, graph, config)
+
+        async def go(broker):
+            t0 = time.perf_counter()
+            res = await broker.submit(Job(graph=paper_graph, algorithm="oombea"))
+            return res, time.perf_counter() - t0, broker.metrics
+
+        policy = ResiliencePolicy(timeout=0.05, max_attempts=1)
+        res, elapsed, metrics = run_broker(
+            go, n_workers=1, runner=runner, policy=policy
+        )
+        assert res.status == JobStatus.TIMEOUT
+        assert elapsed < 0.4  # resolved well before the worker finished
+        assert metrics.timeouts == 1
+
+    def test_cancel_queued_job(self, paper_graph):
+        gate = GatedRunner(block_priority=0)
+
+        async def go(broker):
+            blocker = broker.submit_nowait(
+                Job(graph=paper_graph, algorithm="oombea", priority=0)
+            )
+            await asyncio.to_thread(gate.started.wait, 5)
+            target = Job(graph=paper_graph, algorithm="oombea", min_left=2,
+                         priority=1)
+            fut = broker.submit_nowait(target)
+            assert broker.cancel(target.id)
+            assert not broker.cancel(999999)
+            gate.release.set()
+            return await asyncio.gather(blocker, fut), broker.metrics
+
+        (r_block, r_cancel), metrics = run_broker(go, n_workers=1, runner=gate)
+        assert r_block.ok
+        assert r_cancel.status == JobStatus.CANCELLED
+        assert metrics.cancelled == 1
+        assert gate.order == [1]  # the cancelled job never ran
+
+    def test_deadline_expires_in_queue(self, paper_graph):
+        gate = GatedRunner(block_priority=0)
+
+        async def go(broker):
+            blocker = broker.submit_nowait(
+                Job(graph=paper_graph, algorithm="oombea", priority=0)
+            )
+            await asyncio.to_thread(gate.started.wait, 5)
+            fut = broker.submit_nowait(
+                Job(graph=paper_graph, algorithm="oombea", min_left=2,
+                    priority=1, deadline=0.05)
+            )
+            await asyncio.sleep(0.1)
+            gate.release.set()
+            return await asyncio.gather(blocker, fut), broker.metrics
+
+        (r_block, r_dead), metrics = run_broker(go, n_workers=1, runner=gate)
+        assert r_block.ok
+        assert r_dead.status == JobStatus.EXPIRED
+        assert metrics.expired == 1
+
+
+# ----------------------------------------------------------------------
+# Priority dispatch
+# ----------------------------------------------------------------------
+class TestPriority:
+    def test_lower_priority_value_dispatches_first(self, paper_graph):
+        gate = GatedRunner(block_priority=0)
+
+        async def go(broker):
+            blocker = broker.submit_nowait(
+                Job(graph=paper_graph, algorithm="oombea", priority=0)
+            )
+            await asyncio.to_thread(gate.started.wait, 5)
+            low = broker.submit_nowait(
+                Job(graph=paper_graph, algorithm="oombea", min_left=5,
+                    priority=10)
+            )
+            high = broker.submit_nowait(
+                Job(graph=paper_graph, algorithm="oombea", min_left=2,
+                    priority=1)
+            )
+            gate.release.set()
+            return await asyncio.gather(blocker, low, high)
+
+        run_broker(go, n_workers=1, queue_depth=8, runner=gate)
+        assert gate.order == [1, 2, 5]  # blocker, then high, then low
+
+
+# ----------------------------------------------------------------------
+# Invalidation on streaming updates (acceptance criterion)
+# ----------------------------------------------------------------------
+class TestInvalidationOnUpdate:
+    def test_cache_hit_after_edge_update_is_impossible(self, paper_graph):
+        async def go(broker):
+            dyn = broker.register_graph("g", paper_graph)
+            first = await broker.submit(Job(graph_name="g", algorithm="oombea"))
+            warm = await broker.submit(Job(graph_name="g", algorithm="oombea"))
+            assert warm.cache_hit
+            assert dyn.insert_edge(4, 0)
+            after = await broker.submit(Job(graph_name="g", algorithm="oombea"))
+            expected = enumerate_maximal_bicliques(
+                dyn.snapshot(), algorithm="oombea"
+            )
+            return first, after, expected, broker.cache
+
+        first, after, expected, cache = run_broker(go, n_workers=1)
+        assert not after.cache_hit
+        assert list(after.bicliques) == expected
+        assert after.bicliques != first.bicliques
+        assert cache.stats.invalidations >= 1
+
+    def test_update_drops_only_the_mutated_graphs_entries(
+        self, paper_graph, tiny_path
+    ):
+        async def go(broker):
+            dyn_a = broker.register_graph("a", paper_graph)
+            broker.register_graph("b", tiny_path)
+            await broker.submit(Job(graph_name="a", algorithm="oombea"))
+            await broker.submit(Job(graph_name="b", algorithm="oombea"))
+            dyn_a.insert_edge(0, 3)
+            b_again = await broker.submit(Job(graph_name="b", algorithm="oombea"))
+            a_again = await broker.submit(Job(graph_name="a", algorithm="oombea"))
+            return a_again, b_again
+
+        a_again, b_again = run_broker(go, n_workers=1)
+        assert b_again.cache_hit  # untouched graph keeps its entries
+        assert not a_again.cache_hit
+
+    def test_unknown_graph_name_rejected(self):
+        async def go(broker):
+            with pytest.raises(ValueError, match="nope"):
+                broker.submit_nowait(Job(graph_name="nope"))
+            return True
+
+        assert run_broker(go, n_workers=1)
+
+    def test_duplicate_registration_rejected(self, paper_graph):
+        async def go(broker):
+            broker.register_graph("g", paper_graph)
+            with pytest.raises(ValueError):
+                broker.register_graph("g", paper_graph)
+            return True
+
+        assert run_broker(go, n_workers=1)
+
+
+# ----------------------------------------------------------------------
+# Resilience primitives
+# ----------------------------------------------------------------------
+class TestResiliencePrimitives:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            ResiliencePolicy(timeout=0)
+        with pytest.raises(ValueError):
+            ResiliencePolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            ResiliencePolicy(backoff_multiplier=0.5)
+
+    def test_backoff_schedule_caps(self):
+        p = ResiliencePolicy(backoff_base=0.1, backoff_multiplier=10,
+                             backoff_max=0.5)
+        assert p.backoff_for(1) == pytest.approx(0.1)
+        assert p.backoff_for(2) == pytest.approx(0.5)  # capped
+
+    def test_non_retryable_fails_immediately(self):
+        # BaseException outside the retryable set (but not the loop's own
+        # SystemExit/KeyboardInterrupt, which asyncio always re-raises).
+        class Fatal(BaseException):
+            pass
+
+        calls = {"n": 0}
+
+        async def attempt():
+            calls["n"] += 1
+            raise Fatal("not a job fault")
+
+        async def go():
+            policy = ResiliencePolicy(max_attempts=3, backoff_base=0)
+            return await execute_with_retry(lambda: attempt(), policy)
+
+        outcome = asyncio.run(go())
+        assert outcome.status == "failed" and calls["n"] == 1
+
+    def test_exhausted_deadline_short_circuits(self):
+        async def attempt():  # pragma: no cover - must not run
+            raise AssertionError("attempt ran past its deadline")
+
+        async def go():
+            loop = asyncio.get_running_loop()
+            policy = ResiliencePolicy(max_attempts=3)
+            return await execute_with_retry(
+                lambda: attempt(), policy, deadline=loop.time() - 1
+            )
+
+        outcome = asyncio.run(go())
+        assert outcome.status == "timeout" and outcome.attempts == 0
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_histogram_percentiles(self):
+        h = Histogram()
+        for v in range(1, 101):
+            h.record(v)
+        assert h.percentile(50) == 50
+        assert h.percentile(95) == 95
+        assert h.percentile(99) == 99
+        assert h.mean == pytest.approx(50.5)
+        assert h.max == 100
+
+    def test_histogram_window_bound(self):
+        h = Histogram(window=10)
+        for v in range(100):
+            h.record(v)
+        assert h.count == 100  # lifetime count survives the window
+        assert h.percentile(50) >= 90  # but percentiles use recent samples
+
+    def test_histogram_rejects_bad_percentile(self):
+        h = Histogram()
+        h.record(1)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_snapshot_is_json_serializable(self, paper_graph):
+        async def go(broker):
+            await broker.submit(Job(graph=paper_graph, algorithm="oombea"))
+            await broker.submit(Job(graph=paper_graph, algorithm="oombea"))
+            return broker.metrics.to_json()
+
+        text = run_broker(go, n_workers=1)
+        data = json.loads(text)
+        assert data["counters"]["completed"] == 1
+        assert data["counters"]["cache_hits"] == 1
+        assert data["latency_ms"]["count"] == 1
+
+
+# ----------------------------------------------------------------------
+# Worker pool
+# ----------------------------------------------------------------------
+class TestWorkerPool:
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+
+    def test_submit_and_error_isolation(self):
+        with WorkerPool(2) as pool:
+            ok = pool.submit(lambda: 42)
+            bad = pool.submit(lambda: (_ for _ in ()).throw(Boom("job fault")))
+            assert ok.result(timeout=5) == 42
+            with pytest.raises(Boom):
+                bad.result(timeout=5)
+            # the pool survives a raising job
+            assert pool.submit(lambda: "still alive").result(timeout=5)
+            assert pool.completed == 3
+            assert pool.active == 0
+
+
+# ----------------------------------------------------------------------
+# Synchronous client facade
+# ----------------------------------------------------------------------
+class TestServiceClient:
+    def test_submit_kwargs_job_and_mapping(self, paper_graph):
+        direct = enumerate_maximal_bicliques(paper_graph, algorithm="oombea")
+        with ServiceClient(n_workers=2, policy=FAST_POLICY) as client:
+            a = client.submit(graph=paper_graph, algorithm="oombea")
+            b = client.submit(Job(graph=paper_graph, algorithm="oombea"))
+            c = client.submit({"graph": paper_graph, "algorithm": "oombea"})
+            assert list(a.bicliques) == direct
+            assert b.cache_hit and c.cache_hit
+            with pytest.raises(TypeError):
+                client.submit(Job(graph=paper_graph), algorithm="oombea")
+
+    def test_submit_many_and_metrics(self, paper_graph, tiny_path):
+        with ServiceClient(n_workers=2, policy=FAST_POLICY) as client:
+            results = client.submit_many(
+                [
+                    {"graph": paper_graph, "algorithm": "oombea"},
+                    {"graph": paper_graph, "algorithm": "oombea"},
+                    {"graph": tiny_path, "algorithm": "oombea"},
+                ]
+            )
+            assert all(r.ok for r in results)
+            snap = client.metrics_snapshot()
+            assert snap["counters"]["submitted"] == 3
+        with pytest.raises(RuntimeError):
+            client.submit(graph=paper_graph)  # closed client refuses work
+
+    def test_register_graph_roundtrip(self, paper_graph):
+        with ServiceClient(n_workers=1, policy=FAST_POLICY) as client:
+            dyn = client.register_graph("g", paper_graph)
+            first = client.submit(graph_name="g", algorithm="oombea")
+            warm = client.submit(graph_name="g", algorithm="oombea")
+            assert first.ok and warm.cache_hit
+            assert dyn.insert_edge(4, 0)
+            cold = client.submit(graph_name="g", algorithm="oombea")
+            assert not cold.cache_hit

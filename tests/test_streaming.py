@@ -37,6 +37,26 @@ class TestDynamicGraph:
         d = DynamicBipartiteGraph.from_graph(paper_graph)
         assert d.two_hop_u(0) == {1, 2, 3}
 
+    def test_update_listeners_fire_on_real_mutations_only(self):
+        d = DynamicBipartiteGraph(2, 2)
+        events = []
+        d.add_update_listener(lambda op, u, v: events.append((op, u, v)))
+        d.insert_edge(0, 1)
+        d.insert_edge(0, 1)  # duplicate: no event
+        d.delete_edge(0, 1)
+        d.delete_edge(0, 1)  # absent: no event
+        assert events == [("insert", 0, 1), ("delete", 0, 1)]
+
+    def test_remove_update_listener(self):
+        d = DynamicBipartiteGraph(2, 2)
+        events = []
+        fn = lambda op, u, v: events.append(op)  # noqa: E731
+        d.add_update_listener(fn)
+        d.remove_update_listener(fn)
+        d.remove_update_listener(fn)  # double-remove is a no-op
+        d.insert_edge(0, 0)
+        assert events == []
+
     def test_induced_subgraph_mapping(self, paper_graph):
         d = DynamicBipartiteGraph.from_graph(paper_graph)
         sub, u_ids, v_ids = d.induced_subgraph([1, 3], [1, 3])
