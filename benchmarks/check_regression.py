@@ -18,6 +18,12 @@ speed:
     only has to catch the failure mode that matters: the result cache
     silently stopping to hit.
 
+``faults``
+    Re-runs :mod:`bench_faults` and gates the fault-machinery overhead:
+    a zero-fault run with lineage tracking + the emission ledger armed
+    must keep a plain/robust wall-clock throughput ratio of at least
+    0.95 — i.e. always-on crash tolerance may cost at most 5%.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py                 # both gates
@@ -39,6 +45,7 @@ from typing import Callable
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
+import bench_faults  # noqa: E402
 import bench_service_throughput  # noqa: E402
 import bench_setops  # noqa: E402
 
@@ -73,6 +80,14 @@ GATES = (
         run=bench_service_throughput.run,
         tolerance=0.50,
         floor=2.0,
+    ),
+    Gate(
+        name="faults",
+        path=bench_faults.OUT_PATH,
+        metric="fault_overhead_ratio",
+        run=bench_faults.run,
+        tolerance=0.05,
+        floor=0.95,
     ),
 )
 

@@ -99,6 +99,10 @@ def enumerate_maximal_bicliques(
     min_left: int = 1,
     min_right: int = 1,
     config: GMBEConfig | None = None,
+    fault_plan=None,
+    checkpoint_path=None,
+    checkpoint_every: int = 256,
+    resume: bool = False,
 ) -> list[Biclique]:
     """Enumerate all maximal bicliques of ``data``.
 
@@ -116,6 +120,11 @@ def enumerate_maximal_bicliques(
         (filtering happens after enumeration; maximality is global).
     config:
         Optional :class:`GMBEConfig` for the GMBE variants.
+    fault_plan, checkpoint_path, checkpoint_every, resume:
+        Robustness passthrough (``algorithm="gmbe"`` only): inject a
+        seeded :class:`~repro.gpusim.FaultPlan`, and/or snapshot the
+        enumeration frontier to ``checkpoint_path`` so an interrupted
+        run can be resumed bit-identically (see DESIGN.md §9).
 
     Returns
     -------
@@ -129,8 +138,23 @@ def enumerate_maximal_bicliques(
     min_left, min_right = validate_size_filters(min_left, min_right)
     graph = as_bipartite_graph(data)
     collector = BicliqueCollector()
+    if (
+        fault_plan is not None or checkpoint_path is not None or resume
+    ) and algorithm != "gmbe":
+        raise ValueError(
+            "fault injection and checkpoint/resume are only supported "
+            f'by algorithm="gmbe", not {algorithm!r}'
+        )
     if algorithm == "gmbe":
-        gmbe_gpu(graph, collector, config=config or GMBEConfig())
+        gmbe_gpu(
+            graph,
+            collector,
+            config=config or GMBEConfig(),
+            fault_plan=fault_plan,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            resume=resume,
+        )
     elif algorithm == "gmbe-host":
         gmbe_host(graph, collector, config=config or GMBEConfig())
     else:

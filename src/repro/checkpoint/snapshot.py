@@ -1,0 +1,293 @@
+"""Versioned enumeration snapshots: format, validation, atomic I/O.
+
+A :class:`Snapshot` captures everything a resumed run needs to finish
+an interrupted enumeration bit-identically:
+
+- identity guards: format version, graph fingerprint, config
+  signature, device name, GPU count — a resume against the wrong
+  graph/config/topology fails with an actionable error instead of
+  silently producing a different biclique set;
+- the frontier: ``root_cursor`` (next V vertex to pull from the shared
+  atomic counter) and one :class:`TaskRecord` per pending subtree task
+  (lineage, L/R/candidate arrays, retry count);
+- the output so far: one :class:`EmissionRecord` per emitted biclique,
+  keyed by ``(lineage, seq)`` — replayed into the sink on resume — plus
+  the set of lineages that already executed, which seeds the ledger's
+  per-task dedup so nothing is emitted twice;
+- continuity state: work counters, elapsed simulated cycles, and the
+  fault plan's ``(seed, cursor)`` so injected faults continue from
+  where they stopped.
+
+Files are JSON (arrays as int lists), written atomically via a temp
+file + ``os.replace`` so a crash mid-write never corrupts the previous
+good snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "EmissionRecord",
+    "Snapshot",
+    "TaskRecord",
+    "load_checkpoint",
+    "save_checkpoint",
+]
+
+#: Bump on any incompatible change to the snapshot schema.
+CHECKPOINT_VERSION = 1
+
+_KIND = "gmbe-checkpoint"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint is missing, corrupt, or incompatible with this run."""
+
+
+@dataclass
+class TaskRecord:
+    """One pending subtree task, serialized (prepared-graph ids)."""
+
+    lineage: tuple
+    left: list
+    right: list
+    cands: list
+    counts: list
+    needs_check: bool
+    retries: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "lineage": list(self.lineage),
+            "left": [int(x) for x in self.left],
+            "right": [int(x) for x in self.right],
+            "cands": [int(x) for x in self.cands],
+            "counts": [int(x) for x in self.counts],
+            "needs_check": bool(self.needs_check),
+            "retries": int(self.retries),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TaskRecord":
+        try:
+            return cls(
+                lineage=tuple(data["lineage"]),
+                left=data["left"],
+                right=data["right"],
+                cands=data["cands"],
+                counts=data["counts"],
+                needs_check=bool(data["needs_check"]),
+                retries=int(data.get("retries", 0)),
+            )
+        except (KeyError, TypeError) as exc:
+            raise CheckpointError(f"malformed task record: {exc}") from exc
+
+
+@dataclass
+class EmissionRecord:
+    """One already-emitted biclique with its exactly-once ledger key."""
+
+    lineage: tuple
+    seq: int
+    left: list
+    right: list
+
+    def to_dict(self) -> list:
+        # Compact row form: emissions dominate snapshot size.
+        return [
+            list(self.lineage),
+            int(self.seq),
+            [int(x) for x in self.left],
+            [int(x) for x in self.right],
+        ]
+
+    @classmethod
+    def from_row(cls, row) -> "EmissionRecord":
+        try:
+            lineage, seq, left, right = row
+            return cls(tuple(lineage), int(seq), left, right)
+        except (TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed emission record: {exc}") from exc
+
+
+@dataclass
+class Snapshot:
+    """Full resumable state of one interrupted enumeration."""
+
+    graph_fingerprint: str
+    config_signature: list
+    device_name: str
+    n_gpus: int
+    root_cursor: int
+    n_roots: int
+    tasks: list = field(default_factory=list)       # list[TaskRecord]
+    emissions: list = field(default_factory=list)   # list[EmissionRecord]
+    #: lineages whose execute() already delivered emissions — seeds the
+    #: ledger's per-task dedup on resume.  Kept separate from
+    #: ``emissions`` because a root's seq-0 biclique is emitted at pull
+    #: time, before its task executes.
+    executed: list = field(default_factory=list)    # list[tuple]
+    counters: dict = field(default_factory=dict)
+    fault_plan: dict | None = None
+    elapsed_cycles: float = 0.0
+    tasks_executed: int = 0
+    tasks_split: int = 0
+    version: int = CHECKPOINT_VERSION
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "kind": _KIND,
+            "version": self.version,
+            "graph_fingerprint": self.graph_fingerprint,
+            "config_signature": [[k, v] for k, v in self.config_signature],
+            "device_name": self.device_name,
+            "n_gpus": self.n_gpus,
+            "root_cursor": self.root_cursor,
+            "n_roots": self.n_roots,
+            "tasks": [t.to_dict() for t in self.tasks],
+            "emissions": [e.to_dict() for e in self.emissions],
+            "executed": [list(lin) for lin in self.executed],
+            "counters": self.counters,
+            "fault_plan": self.fault_plan,
+            "elapsed_cycles": self.elapsed_cycles,
+            "tasks_executed": self.tasks_executed,
+            "tasks_split": self.tasks_split,
+        })
+
+    @classmethod
+    def from_json(cls, text: str, *, source: str = "<string>") -> "Snapshot":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(
+                f"checkpoint {source} is corrupt or truncated (not valid "
+                f"JSON: {exc}); delete it and restart without --resume"
+            ) from exc
+        if not isinstance(data, dict) or data.get("kind") != _KIND:
+            raise CheckpointError(
+                f"checkpoint {source} is not a GMBE checkpoint (missing "
+                f"'kind': '{_KIND}'); was it written by this tool?"
+            )
+        version = data.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {source} has format version {version!r}, this "
+                f"build reads version {CHECKPOINT_VERSION}; re-run the "
+                f"enumeration from scratch to produce a fresh checkpoint"
+            )
+        required = (
+            "graph_fingerprint", "config_signature", "device_name",
+            "n_gpus", "root_cursor", "n_roots",
+        )
+        missing = [k for k in required if k not in data]
+        if missing:
+            raise CheckpointError(
+                f"checkpoint {source} is incomplete (missing fields: "
+                f"{', '.join(missing)}); it was likely truncated mid-write "
+                f"— delete it and restart without --resume"
+            )
+        try:
+            return cls(
+                graph_fingerprint=str(data["graph_fingerprint"]),
+                config_signature=[
+                    (str(k), v) for k, v in data["config_signature"]
+                ],
+                device_name=str(data["device_name"]),
+                n_gpus=int(data["n_gpus"]),
+                root_cursor=int(data["root_cursor"]),
+                n_roots=int(data["n_roots"]),
+                tasks=[TaskRecord.from_dict(t) for t in data.get("tasks", ())],
+                emissions=[
+                    EmissionRecord.from_row(r)
+                    for r in data.get("emissions", ())
+                ],
+                executed=[
+                    tuple(int(i) for i in lin)
+                    for lin in data.get("executed", ())
+                ],
+                counters=dict(data.get("counters", {})),
+                fault_plan=data.get("fault_plan"),
+                elapsed_cycles=float(data.get("elapsed_cycles", 0.0)),
+                tasks_executed=int(data.get("tasks_executed", 0)),
+                tasks_split=int(data.get("tasks_split", 0)),
+                version=int(version),
+            )
+        except (TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"checkpoint {source} has malformed fields ({exc}); delete "
+                f"it and restart without --resume"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    def validate_against(
+        self, *, graph_fingerprint: str, config_signature, device_name: str,
+        n_gpus: int,
+    ) -> None:
+        """Guard a resume: the run must match the snapshot's identity."""
+        if self.graph_fingerprint != graph_fingerprint:
+            raise CheckpointError(
+                "checkpoint was written for a different graph (fingerprint "
+                f"{self.graph_fingerprint[:12]}… != {graph_fingerprint[:12]}…)"
+                "; resuming would silently merge results of two inputs"
+            )
+        ours = {str(k): _plain(v) for k, v in config_signature}
+        theirs = {str(k): _plain(v) for k, v in self.config_signature}
+        if ours != theirs:
+            diff = sorted(
+                k for k in set(ours) | set(theirs)
+                if ours.get(k) != theirs.get(k)
+            )
+            raise CheckpointError(
+                "checkpoint was written under a different GMBEConfig "
+                f"(differing knobs: {', '.join(diff) or 'field set'}); "
+                "resume with the original config or restart from scratch"
+            )
+        if self.device_name != device_name or self.n_gpus != n_gpus:
+            raise CheckpointError(
+                f"checkpoint was written for {self.n_gpus}x "
+                f"{self.device_name}, this run uses {n_gpus}x {device_name}; "
+                "timing continuity would be meaningless — restart or match "
+                "the original topology"
+            )
+
+
+def _plain(value):
+    """JSON-normalize a signature value (tuples→lists, numpy→python)."""
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def save_checkpoint(path, snapshot: Snapshot) -> None:
+    """Atomically write ``snapshot`` to ``path`` (temp file + replace)."""
+    path = os.fspath(path)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(snapshot.to_json())
+        fh.write("\n")
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path) -> Snapshot:
+    """Read and validate a snapshot; :class:`CheckpointError` on trouble."""
+    path = os.fspath(path)
+    if not os.path.exists(path):
+        raise CheckpointError(
+            f"checkpoint {path} does not exist; run without --resume to "
+            f"start fresh (a checkpoint is created as the run progresses)"
+        )
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as exc:
+        raise CheckpointError(f"checkpoint {path} is unreadable: {exc}") from exc
+    return Snapshot.from_json(text, source=path)

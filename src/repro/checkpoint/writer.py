@@ -1,0 +1,51 @@
+"""Periodic checkpoint writing driven by the scheduler's task cadence.
+
+The kernel installs :meth:`CheckpointWriter.maybe_write` as the
+scheduler's ``on_task_done`` hook: every ``every_tasks`` completed
+tasks it materializes a fresh :class:`~repro.checkpoint.Snapshot` (via
+the builder callback the kernel supplies) and atomically replaces the
+file on disk.  On successful completion :meth:`finalize_success`
+removes the file — there is nothing left to resume.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+from .snapshot import Snapshot, save_checkpoint
+
+__all__ = ["CheckpointWriter"]
+
+
+class CheckpointWriter:
+    """Owns one checkpoint file and its write cadence."""
+
+    def __init__(self, path, *, every_tasks: int = 256) -> None:
+        if every_tasks <= 0:
+            raise ValueError("every_tasks must be positive")
+        self.path = os.fspath(path)
+        self.every_tasks = every_tasks
+        self.writes = 0
+        self._last_written_at = 0
+
+    def maybe_write(
+        self, tasks_done: int, build: Callable[[], Snapshot]
+    ) -> bool:
+        """Write a snapshot if the cadence is due; True if written."""
+        if tasks_done - self._last_written_at < self.every_tasks:
+            return False
+        self.write(build())
+        self._last_written_at = tasks_done
+        return True
+
+    def write(self, snapshot: Snapshot) -> None:
+        save_checkpoint(self.path, snapshot)
+        self.writes += 1
+
+    def finalize_success(self) -> None:
+        """Remove the checkpoint after a completed run (nothing to resume)."""
+        try:
+            os.remove(self.path)
+        except FileNotFoundError:
+            pass

@@ -9,6 +9,7 @@ Subcommands::
     gmbe figures [--out DIR]           render every figure as SVG
     gmbe verify <graph> <bicliques>    certify an enumeration output
     gmbe serve  [--jobs FILE]          run a batch through the service layer
+    gmbe faults replay <graph> <log>   re-run a recorded fault log
 
 ``<graph>`` is either a dataset code (e.g. ``EE``) or a path to an
 edge-list file.  ``<experiment>`` is one of table1, table2, fig6..fig13.
@@ -88,6 +89,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--output", help="write bicliques to this file (default: count only)"
     )
+    p_run.add_argument("--max-task-retries", type=int, default=3,
+                       help="failure budget per task lineage under faults")
+    rob = p_run.add_argument_group(
+        "robustness (gmbe only)",
+        "deterministic fault injection and checkpoint/resume; "
+        "see DESIGN.md §9",
+    )
+    rob.add_argument("--checkpoint", metavar="PATH",
+                     help="snapshot the enumeration frontier to PATH")
+    rob.add_argument("--resume", action="store_true",
+                     help="continue from the --checkpoint snapshot")
+    rob.add_argument("--checkpoint-every", type=int, default=256,
+                     metavar="N", help="snapshot every N completed tasks")
+    rob.add_argument("--halt-after-tasks", type=int, default=None,
+                     metavar="N",
+                     help="stop after N tasks (writes a final snapshot)")
+    rob.add_argument("--fault-seed", type=int, default=None,
+                     help="enable fault injection with this FaultPlan seed")
+    rob.add_argument("--fault-sm-crash", type=float, default=0.0,
+                     metavar="P", help="per-task SM-crash probability")
+    rob.add_argument("--fault-warp-hang", type=float, default=0.0,
+                     metavar="P", help="per-task warp-hang probability")
+    rob.add_argument("--fault-queue-drop", type=float, default=0.0,
+                     metavar="P", help="per-enqueue silent-drop probability")
+    rob.add_argument("--fault-mem-pressure", type=float, default=0.0,
+                     metavar="P", help="per-task memory-pressure probability")
+    rob.add_argument("--fault-log", metavar="PATH",
+                     help="write the injected-fault log JSON to PATH")
 
     p_bench = sub.add_parser("bench", help="regenerate a paper table/figure")
     p_bench.add_argument("experiment", choices=_EXPERIMENTS)
@@ -125,6 +154,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="retry attempts after a failed execution")
     p_srv.add_argument("--metrics-out",
                        help="also write the metrics snapshot JSON here")
+
+    p_flt = sub.add_parser(
+        "faults", help="fault-injection tooling (replay a recorded log)"
+    )
+    flt_sub = p_flt.add_subparsers(dest="faults_command", required=True)
+    p_replay = flt_sub.add_parser(
+        "replay",
+        help="re-run an enumeration firing exactly the faults of a log",
+    )
+    p_replay.add_argument("graph", help="dataset code or edge-list path")
+    p_replay.add_argument("log", help="fault-log JSON (--fault-log output)")
+    p_replay.add_argument(
+        "--device", choices=sorted(DEVICE_PRESETS), default="A100"
+    )
+    p_replay.add_argument("--gpus", type=int, default=1)
+    p_replay.add_argument("--no-prune", action="store_true")
+    p_replay.add_argument(
+        "--scheduling", choices=["task", "warp", "block"], default="task"
+    )
+    p_replay.add_argument("--warps-per-sm", type=int, default=16)
+    p_replay.add_argument("--max-task-retries", type=int, default=3)
+    p_replay.add_argument(
+        "--output", help="write the replayed bicliques to this file"
+    )
 
     p_ver = sub.add_parser("verify", help="certify an enumeration output")
     p_ver.add_argument("graph", help="dataset code or edge-list path")
@@ -166,13 +219,65 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _fault_plan_from_args(args):
+    """Build the FaultPlan requested on the command line (or None)."""
+    probs = (
+        args.fault_sm_crash, args.fault_warp_hang,
+        args.fault_queue_drop, args.fault_mem_pressure,
+    )
+    if args.fault_seed is None and not any(probs):
+        return None
+    from .gpusim.faults import FaultPlan
+
+    return FaultPlan(
+        args.fault_seed or 0,
+        p_sm_crash=args.fault_sm_crash,
+        p_warp_hang=args.fault_warp_hang,
+        p_queue_drop=args.fault_queue_drop,
+        p_mem_pressure=args.fault_mem_pressure,
+    )
+
+
+def _print_robustness(res) -> None:
+    """Report fault/recovery/checkpoint info from a robust run."""
+    extras = res.extras
+    log = extras.get("fault_log")
+    if log is not None and len(log):
+        tally = ", ".join(
+            f"{kind}={n}" for kind, n in sorted(log.counts().items())
+        )
+        print(f"injected faults: {tally}")
+    if extras.get("tasks_requeued"):
+        print(f"tasks requeued: {extras['tasks_requeued']} "
+              f"(lost: {extras.get('tasks_lost', 0)})")
+    if extras.get("halted"):
+        print(f"halted after {extras.get('tasks_executed_total', '?')} tasks"
+              " (checkpoint written; use --resume to continue)")
+    if extras.get("resumed"):
+        print("resumed from checkpoint")
+
+
 def _cmd_run(args) -> int:
     g = _load_graph(args.graph)
     config = GMBEConfig(
         prune=not args.no_prune,
         scheduling=args.scheduling,
         warps_per_sm=args.warps_per_sm,
+        max_task_retries=args.max_task_retries,
     )
+    fault_plan = _fault_plan_from_args(args)
+    robust = (
+        fault_plan is not None
+        or args.checkpoint is not None
+        or args.halt_after_tasks is not None
+        or args.resume
+    )
+    if robust and args.algo != "gmbe":
+        raise SystemExit(
+            "fault injection and checkpoint/resume require --algo gmbe"
+        )
+    if args.resume and args.checkpoint is None:
+        raise SystemExit("--resume requires --checkpoint PATH")
     sink = None
     out_fh = None
     if args.output:
@@ -198,6 +303,11 @@ def _cmd_run(args) -> int:
                 config=config,
                 device=DEVICE_PRESETS[args.device],
                 n_gpus=args.gpus,
+                fault_plan=fault_plan,
+                checkpoint_path=args.checkpoint,
+                checkpoint_every=args.checkpoint_every,
+                resume=args.resume,
+                halt_after_tasks=args.halt_after_tasks,
             )
         elif args.algo == "gmbe-host":
             res = gmbe_host(g, sink, config=config)
@@ -216,6 +326,59 @@ def _cmd_run(args) -> int:
     c = res.counters
     print(f"nodes={c.nodes_generated} non-maximal={c.non_maximal} "
           f"pruned={c.pruned}")
+    if robust:
+        _print_robustness(res)
+        if args.fault_log:
+            log = res.extras.get("fault_log")
+            if log is not None:
+                log.save(args.fault_log)
+                print(f"fault log written to {args.fault_log}")
+    if args.output:
+        print(f"bicliques written to {args.output}")
+    return 0
+
+
+def _cmd_faults(args) -> int:
+    if args.faults_command != "replay":  # pragma: no cover
+        return 1
+    from .gpusim.faults import FaultLog, replay_plan
+
+    g = _load_graph(args.graph)
+    try:
+        log = FaultLog.load(args.log)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot load fault log {args.log}: {exc}")
+    config = GMBEConfig(
+        prune=not args.no_prune,
+        scheduling=args.scheduling,
+        warps_per_sm=args.warps_per_sm,
+        max_task_retries=args.max_task_retries,
+    )
+    sink = None
+    out_fh = None
+    if args.output:
+        out_fh = open(args.output, "w", encoding="utf-8")
+        sink = BicliqueWriter(out_fh)
+    try:
+        res = gmbe_gpu(
+            g, sink,
+            config=config,
+            device=DEVICE_PRESETS[args.device],
+            n_gpus=args.gpus,
+            fault_plan=replay_plan(log),
+        )
+    finally:
+        if out_fh is not None:
+            out_fh.close()
+    replayed = res.extras["fault_log"]
+    print(f"replayed {len(log)} logged faults; re-fired {len(replayed)}")
+    for ev in replayed:
+        where = f"dev{ev.device}/sm{ev.sm}" if ev.device >= 0 else "host"
+        print(f"  cursor={ev.cursor:<8} t={ev.time:<14.1f} {ev.kind:<12} "
+              f"site={ev.site:<8} {where} lineage={ev.lineage}")
+    print(f"{res.n_maximal} maximal bicliques "
+          f"(requeued={res.extras['tasks_requeued']}, "
+          f"lost={res.extras['tasks_lost']})")
     if args.output:
         print(f"bicliques written to {args.output}")
     return 0
@@ -316,6 +479,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_bench(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "faults":
+        return _cmd_faults(args)
     if args.command == "figures":
         from .bench.figures import render_all
 

@@ -48,6 +48,12 @@ class GMBEConfig:
         biclique set, maximality outcomes, and pruning counts are
         bit-identical across all three; only the modeled work units
         differ (word-parallel vs merge charging).
+    max_task_retries:
+        Failure budget per task lineage under fault injection (§9 of
+        DESIGN.md): a warp-hang / SM-crash / dropped-enqueue failure
+        re-enqueues the task on a surviving SM up to this many times
+        before the subtree is abandoned (and counted in
+        ``SimReport.tasks_lost``).  Irrelevant to fault-free runs.
     """
 
     bound_height: int = 20
@@ -57,12 +63,15 @@ class GMBEConfig:
     scheduling: str = "task"
     node_reuse: bool = True
     set_backend: str = "auto"
+    max_task_retries: int = 3
 
     def __post_init__(self) -> None:
         if self.bound_height <= 0 or self.bound_size <= 0:
             raise ValueError("bounds must be positive")
         if self.warps_per_sm <= 0:
             raise ValueError("warps_per_sm must be positive")
+        if self.max_task_retries < 0:
+            raise ValueError("max_task_retries must be non-negative")
         if self.scheduling not in ("task", "warp", "block"):
             raise ValueError(f"unknown scheduling {self.scheduling!r}")
         if self.set_backend not in ("sorted", "bitset", "auto"):

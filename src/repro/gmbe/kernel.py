@@ -14,6 +14,13 @@ of the paper are supported:
 - ``"block"`` — GMBE-BLOCK: one tree per thread block; the block's
   warps cooperate on the data-parallel portion of each node.
 
+Robustness (DESIGN.md §9).  With a fault plan or a checkpoint path the
+kernel switches into lineage-tracked mode: every task carries a stable
+lineage id (root vertex × split path), every emission is keyed by
+``(lineage, seq)`` in an exactly-once ledger (so a re-executed crashed
+task cannot double-report a biclique), and the enumeration frontier is
+periodically snapshotted so a killed run resumes bit-identically.
+
 Returned ``sim_time`` is simulated seconds on the given device(s);
 ``extras`` carries the scheduler report, per-GPU times, active-SM
 timeline recorders, queue statistics, and the modeled warp execution
@@ -22,6 +29,7 @@ efficiency.
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -38,9 +46,17 @@ from ..core.expand import expand_node, gamma_matches
 from ..core.localcount import LocalCounter
 from ..core.runner import relabeling_sink
 from ..core.tasks import build_root_task
+from ..checkpoint import (
+    CheckpointWriter,
+    EmissionRecord,
+    Snapshot,
+    TaskRecord,
+    load_checkpoint,
+)
 from ..graph.bipartite import BipartiteGraph
 from ..graph.preprocess import prepare
 from ..gpusim.device import A100, DeviceSpec
+from ..gpusim.faults import FaultPlan
 from ..gpusim.scheduler import ExecOutcome, PersistentThreadScheduler
 from .config import DEFAULT_CONFIG, GMBEConfig
 from .host import run_task_with_node_buffer
@@ -65,6 +81,9 @@ class SubtreeTask:
     #: packed-bitset universe of the owning root task (split children
     #: share their root's universe; ``left``/``cands`` stay subsets)
     universe: object | None = None
+    #: stable identity across retries/requeues: ``(root_v,)`` for a
+    #: root task, ``parent_lineage + (child_index,)`` for a split child
+    lineage: tuple = ()
 
     def estimated_height(self) -> int:
         return min(len(self.left), len(self.cands))
@@ -73,12 +92,75 @@ class SubtreeTask:
         return self.estimated_height() * len(self.cands)
 
 
+def _discard_sink(left, right) -> None:
+    """Sink for re-executed tasks: emissions are known duplicates."""
+
+
 def _should_split(task, config: GMBEConfig) -> bool:
     return (
         config.scheduling == "task"
         and task.estimated_height() > config.bound_height
         and task.estimated_size() > config.bound_size
     )
+
+
+class _EmissionLedger:
+    """Exactly-once emission gate at task granularity.
+
+    ``seq 0`` is a task's own node biclique (reported at root-pull time
+    for roots, at the dequeue maximality check for split children);
+    subtree emissions take 1..N in deterministic traversal order.  The
+    simulator delivers a crashed task's emissions atomically — execute
+    runs to completion before the fault lands — so a retry re-produces
+    the *entire* identical sequence.  Duplicates are therefore
+    suppressed per task: one ``executed`` membership test at dequeue
+    instead of a set operation per emission (the fault-overhead gate
+    budget is 5%, see ``benchmarks/bench_faults.py``).  The ``executed``
+    set is checkpointed explicitly: it cannot be derived from the
+    records because a root's seq-0 emission happens at pull time, before
+    its task ever executes.  The retained records double as the
+    checkpoint's result replay.
+    """
+
+    __slots__ = ("sink", "executed", "records")
+
+    def __init__(self, sink, *, keep_records: bool) -> None:
+        self.sink = sink
+        #: lineages whose execute() has already delivered emissions
+        self.executed: set = set()
+        #: retained only when a checkpoint is being written — the
+        #: copies are the dominant robust-mode cost otherwise
+        self.records: list[EmissionRecord] | None = (
+            [] if keep_records else None
+        )
+
+    def mark_executed(self, lineage: tuple) -> bool:
+        """Record that ``lineage`` is executing; True if it already did
+        (the caller must then suppress every emission of this run)."""
+        if lineage in self.executed:
+            return True
+        self.executed.add(lineage)
+        return False
+
+    def emit(self, lineage: tuple, seq: int, left, right) -> None:
+        if self.records is not None:
+            # copy: callers hand out views into reused node buffers
+            self.records.append(
+                EmissionRecord(lineage, seq, left.copy(), right.copy())
+            )
+        self.sink(left, right)
+
+    def preload(self, records, executed) -> None:
+        """Seed from checkpoint state, replaying each record into the
+        sink so a resumed run reports the complete biclique set."""
+        self.executed.update(executed)
+        for rec in records:
+            if self.records is not None:
+                self.records.append(rec)
+            self.sink(
+                np.asarray(rec.left, dtype=np.int32),
+                np.asarray(rec.right, dtype=np.int32),
+            )
 
 
 def gmbe_gpu(
@@ -91,6 +173,11 @@ def gmbe_gpu(
     relabel: bool = True,
     local_queue_capacity: int = 64,
     root_pull_surcharges: list[float] | None = None,
+    fault_plan=None,
+    checkpoint_path=None,
+    checkpoint_every: int = 256,
+    resume: bool = False,
+    halt_after_tasks: int | None = None,
 ) -> EnumerationResult:
     """Enumerate all maximal bicliques with GMBE on simulated GPUs.
 
@@ -112,9 +199,30 @@ def gmbe_gpu(
         Optional per-GPU extra cycles on every shared-counter pull —
         the hook :func:`repro.gmbe.cluster.gmbe_cluster` uses to model
         cross-machine atomics in the distributed extension.
+    fault_plan:
+        Optional :class:`~repro.gpusim.faults.FaultPlan` (or replay
+        plan).  Attaching one enables lineage tracking and the
+        exactly-once emission ledger; the final biclique set is
+        bit-identical to a fault-free run as long as no lineage exceeds
+        ``config.max_task_retries`` failures.
+    checkpoint_path:
+        Write a resumable :class:`~repro.checkpoint.Snapshot` here every
+        ``checkpoint_every`` completed tasks (and at a halt); the file
+        is removed when the run finishes cleanly.
+    resume:
+        Load ``checkpoint_path`` and continue the interrupted run: the
+        snapshot's emissions are replayed into ``sink``, its pending
+        tasks re-enqueued, the root cursor and fault-plan cursor
+        restored.  The resumed result equals an uninterrupted run.
+    halt_after_tasks:
+        Stop after this many completed tasks (the kill switch the
+        checkpoint tests and ``--halt-after-tasks`` use); the final
+        frontier is snapshotted if a checkpoint path is set.
     """
     if n_gpus <= 0:
         raise ValueError("n_gpus must be positive")
+    if resume and checkpoint_path is None:
+        raise ValueError("resume=True requires checkpoint_path")
     prepared = prepare(graph, order="degree")
     g = prepared.graph
     dev = device.with_(warps_per_sm=config.warps_per_sm)
@@ -128,7 +236,79 @@ def gmbe_gpu(
         if inner is not None:
             inner(left, right)
 
+    robust = (
+        fault_plan is not None
+        or checkpoint_path is not None
+        or halt_after_tasks is not None
+    )
+
+    # ------------------------------------------------------------------
+    # Resume: load + validate the snapshot before any work happens.
+    # ------------------------------------------------------------------
+    snapshot = None
+    if resume:
+        snapshot = load_checkpoint(checkpoint_path)
+        snapshot.validate_against(
+            graph_fingerprint=graph.fingerprint,
+            config_signature=config.signature(),
+            device_name=dev.name,
+            n_gpus=n_gpus,
+        )
+        if snapshot.fault_plan is not None:
+            state = snapshot.fault_plan
+            if state.get("type") == "ReplayFaultPlan":
+                if fault_plan is None:
+                    raise ValueError(
+                        "checkpoint was recorded under a replayed fault "
+                        "log; pass the same replay plan to resume"
+                    )
+                fault_plan.cursor = int(state.get("cursor", 0))
+            else:
+                fault_plan = FaultPlan.from_state(state)
+
+    ledger = (
+        _EmissionLedger(emit, keep_records=checkpoint_path is not None)
+        if robust
+        else None
+    )
+    #: without records to retain, the ledger does no per-emission work
+    #: (dedup is per task via ``mark_executed``) — emit straight to the
+    #: sink so zero-fault robust runs pay nothing per biclique
+    keep_records = ledger is not None and ledger.records is not None
+    #: hot-path alias for the per-task dedup set (None when not robust)
+    executed_set = ledger.executed if ledger is not None else None
     master = Counters()
+    base_elapsed = 0.0
+    base_tasks_executed = 0
+    base_tasks_split = 0
+    start_root = 0
+    initial_tasks: list[tuple[SubtreeTask, int]] = []
+    if snapshot is not None:
+        for name, value in snapshot.counters.items():
+            if hasattr(master, name):
+                setattr(master, name, value)
+        ledger.preload(snapshot.emissions, snapshot.executed)
+        base_elapsed = snapshot.elapsed_cycles
+        base_tasks_executed = snapshot.tasks_executed
+        base_tasks_split = snapshot.tasks_split
+        start_root = snapshot.root_cursor
+        for rec in snapshot.tasks:
+            # Restored tasks run on the sorted backend (universe=None):
+            # the enumerated bicliques are bit-identical across
+            # backends, so only modeled work units shift.
+            initial_tasks.append((
+                SubtreeTask(
+                    left=np.asarray(rec.left, dtype=np.int32),
+                    right=np.asarray(rec.right, dtype=np.int32),
+                    cands=np.asarray(rec.cands, dtype=np.int32),
+                    counts=np.asarray(rec.counts, dtype=np.int64),
+                    needs_check=rec.needs_check,
+                    universe=None,
+                    lineage=rec.lineage,
+                ),
+                rec.retries,
+            ))
+
     counter = LocalCounter(g)
     efficiency = dev.warp_efficiency()
 
@@ -151,9 +331,13 @@ def gmbe_gpu(
             return (data + serial) / efficiency
 
     backend_tally = {"sorted": 0, "bitset": 0}
+    #: next V vertex the shared atomic counter will hand out — part of
+    #: the checkpointed frontier.
+    root_cursor = [start_root]
 
     def root_source() -> Iterator[tuple[float, SubtreeTask | None]]:
-        for v_s in range(g.n_v):
+        for v_s in range(start_root, g.n_v):
+            root_cursor[0] = v_s + 1
             c = Counters()
             task = build_root_task(
                 g, counter, v_s, c, backend=config.set_backend
@@ -166,7 +350,10 @@ def gmbe_gpu(
             backend_tally[task.backend] += 1
             c.maximal += 1
             master.merge(c)
-            emit(task.left, task.right)
+            if keep_records:
+                ledger.emit((v_s,), 0, task.left, task.right)
+            else:
+                emit(task.left, task.right)
             yield cycles, SubtreeTask(
                 left=task.left,
                 right=task.right,
@@ -174,18 +361,33 @@ def gmbe_gpu(
                 counts=task.counts,
                 needs_check=False,
                 universe=task.universe,
+                lineage=(v_s,),
             )
 
     def execute(task: SubtreeTask, _device_id: int) -> ExecOutcome:
         c = Counters()
         base = 0.0
+        # A re-executed task (crash retry) re-produces its entire
+        # emission sequence; suppress all of it in one membership check
+        # (inlined mark_executed — this runs once per task).
+        if executed_set is not None:
+            lin = task.lineage
+            suppress = lin in executed_set
+            if not suppress:
+                executed_set.add(lin)
+        else:
+            suppress = False
         if task.needs_check:
             ok = gamma_matches(
                 g, task.left, len(task.right), c, universe=task.universe
             )
             if ok:
                 c.maximal += 1
-                emit(task.left, task.right)
+                if not suppress:
+                    if keep_records:
+                        ledger.emit(task.lineage, 0, task.left, task.right)
+                    else:
+                        emit(task.left, task.right)
             else:
                 c.non_maximal += 1
                 master.merge(c)
@@ -222,6 +424,7 @@ def gmbe_gpu(
                     counts=exp.new_counts,
                     needs_check=True,
                     universe=task.universe,
+                    lineage=task.lineage + (len(children),),
                 )
                 elapsed += duration(gen) + dev.local_queue_cycles
                 children.append((elapsed, child))
@@ -239,9 +442,25 @@ def gmbe_gpu(
                     remaining_counts = remaining_counts[1:]
             master.merge(c)
             return ExecOutcome(cycles=elapsed, children=children)
-        run_task_with_node_buffer(
-            g, counter, task, emit, c, prune=config.prune
-        )
+        if suppress:
+            run_task_with_node_buffer(
+                g, counter, task, _discard_sink, c, prune=config.prune
+            )
+        elif keep_records:
+            lin = task.lineage
+            seq = [1]  # 0 is the task's own node biclique
+
+            def task_sink(left: np.ndarray, right: np.ndarray) -> None:
+                ledger.emit(lin, seq[0], left, right)
+                seq[0] += 1
+
+            run_task_with_node_buffer(
+                g, counter, task, task_sink, c, prune=config.prune
+            )
+        else:
+            run_task_with_node_buffer(
+                g, counter, task, emit, c, prune=config.prune
+            )
         master.merge(c)
         return ExecOutcome(cycles=base + duration(c))
 
@@ -252,28 +471,99 @@ def gmbe_gpu(
         execute=execute,
         local_queue_capacity=local_queue_capacity,
         root_pull_surcharges=root_pull_surcharges,
+        fault_plan=fault_plan,
+        # attrgetter: C-level, called twice per task in the hot loop
+        lineage_of=operator.attrgetter("lineage") if robust else None,
+        max_task_retries=config.max_task_retries,
+        halt_after_tasks=halt_after_tasks,
+        initial_tasks=initial_tasks or None,
     )
+
+    writer = None
+    if checkpoint_path is not None:
+        writer = CheckpointWriter(checkpoint_path, every_tasks=checkpoint_every)
+
+        def build_snapshot(now_cycles: float) -> Snapshot:
+            tasks = [
+                TaskRecord(
+                    lineage=lineage,
+                    left=[int(x) for x in payload.left],
+                    right=[int(x) for x in payload.right],
+                    cands=[int(x) for x in payload.cands],
+                    counts=[int(x) for x in payload.counts],
+                    needs_check=payload.needs_check,
+                    retries=retries,
+                )
+                for lineage, payload, retries in scheduler.frontier()
+            ]
+            return Snapshot(
+                graph_fingerprint=graph.fingerprint,
+                config_signature=list(config.signature()),
+                device_name=dev.name,
+                n_gpus=n_gpus,
+                root_cursor=root_cursor[0],
+                n_roots=g.n_v,
+                tasks=tasks,
+                emissions=list(ledger.records),
+                executed=sorted(ledger.executed),
+                counters={
+                    name: int(value)
+                    for name, value in vars(master).items()
+                },
+                fault_plan=(
+                    fault_plan.state() if fault_plan is not None else None
+                ),
+                elapsed_cycles=base_elapsed + now_cycles,
+                tasks_executed=base_tasks_executed + scheduler.tasks_executed,
+                tasks_split=base_tasks_split + scheduler.tasks_split,
+            )
+
+        def on_task_done(tasks_done: int, now_cycles: float) -> None:
+            writer.maybe_write(tasks_done, lambda: build_snapshot(now_cycles))
+
+        scheduler.on_task_done = on_task_done
+
     report = scheduler.run()
-    sim_seconds = dev.cycles_to_seconds(report.makespan_cycles)
+    if writer is not None:
+        if report.halted:
+            # Final frontier snapshot so a --resume picks up exactly here.
+            writer.write(build_snapshot(report.makespan_cycles))
+        else:
+            writer.finalize_success()
+    total_cycles = base_elapsed + report.makespan_cycles
+    sim_seconds = dev.cycles_to_seconds(total_cycles)
     lane_util = (
         master.set_op_work / (32.0 * master.simt_cycles)
         if master.simt_cycles
         else 0.0
     )
+    extras = {
+        "report": report,
+        "device": dev,
+        "n_gpus": n_gpus,
+        "per_gpu_seconds": [
+            dev.cycles_to_seconds(t) for t in report.per_device_cycles
+        ],
+        "queue_stats": report.queue_stats,
+        "warp_efficiency": lane_util,
+        "units_per_sm": units_per_sm,
+        "set_backend_tasks": backend_tally,
+    }
+    if robust:
+        extras.update({
+            "fault_log": report.fault_log,
+            "tasks_requeued": report.tasks_requeued,
+            "tasks_lost": report.tasks_lost,
+            "halted": report.halted,
+            "resumed": snapshot is not None,
+            "checkpoint_writes": writer.writes if writer is not None else 0,
+            "tasks_executed_total": (
+                base_tasks_executed + report.tasks_executed
+            ),
+        })
     return EnumerationResult(
         n_maximal=counting.count,
         counters=master,
         sim_time=sim_seconds,
-        extras={
-            "report": report,
-            "device": dev,
-            "n_gpus": n_gpus,
-            "per_gpu_seconds": [
-                dev.cycles_to_seconds(t) for t in report.per_device_cycles
-            ],
-            "queue_stats": report.queue_stats,
-            "warp_efficiency": lane_util,
-            "units_per_sm": units_per_sm,
-            "set_backend_tasks": backend_tally,
-        },
+        extras=extras,
     )

@@ -3,11 +3,25 @@ the memory-demand model, two-level task queues, the persistent-thread
 scheduler, and active-SM timelines."""
 
 from .device import A100, DEVICE_PRESETS, RTX2080TI, V100, DeviceSpec
+from .faults import (
+    FAULT_KINDS,
+    FaultDecision,
+    FaultEvent,
+    FaultLog,
+    FaultPlan,
+    ReplayFaultPlan,
+    replay_plan,
+)
 from .memory import MemoryDemand, MemoryModel
 from .profiler import KernelProfile, profile_run
 from .trace import chrome_trace_events, write_chrome_trace
 from .queues import QueueStats, TwoLevelTaskQueue
-from .scheduler import ExecOutcome, PersistentThreadScheduler, SimReport
+from .scheduler import (
+    ExecOutcome,
+    LineageEntry,
+    PersistentThreadScheduler,
+    SimReport,
+)
 from .timeline import BusyRecorder, active_sm_curve, active_units_curve
 
 __all__ = [
@@ -16,7 +30,15 @@ __all__ = [
     "DEVICE_PRESETS",
     "DeviceSpec",
     "ExecOutcome",
+    "FAULT_KINDS",
+    "FaultDecision",
+    "FaultEvent",
+    "FaultLog",
+    "FaultPlan",
     "KernelProfile",
+    "LineageEntry",
+    "ReplayFaultPlan",
+    "replay_plan",
     "MemoryDemand",
     "MemoryModel",
     "PersistentThreadScheduler",

@@ -1,0 +1,380 @@
+"""Deterministic fault injection for the persistent-thread scheduler.
+
+Real GMBE deployments on shared clusters treat worker failure as normal:
+SMs get preempted, warps wedge on memory stalls, lock-free queue pushes
+lose the CAS race, and memory-pressure spikes stretch kernels.  This
+module models that fault surface *deterministically* so the recovery
+machinery (task lineage, bounded requeue, exactly-once emission,
+checkpoint/resume) can be tested bit-for-bit:
+
+- :class:`FaultPlan` is a seeded decision source consulted by
+  :class:`~repro.gpusim.scheduler.PersistentThreadScheduler` at its
+  execute and enqueue boundaries.  Every consult advances a cursor and
+  draws exactly **one** uniform variate, so a plan's state is fully
+  described by ``(seed, cursor)`` — the property checkpoint/resume
+  relies on to continue a faulty run mid-stream.
+- :class:`FaultLog` records every injected fault (kind, simulated time,
+  unit/SM, task lineage, plan cursor).  A log can be serialized and
+  handed back to :func:`replay_plan`, which re-fires exactly the logged
+  faults at the same consult cursors — the ``gmbe faults replay``
+  debugging workflow.
+
+Fault taxonomy (see DESIGN.md §9):
+
+``sm_crash``
+    The executing SM dies mid-task and stays dead.  The task's partial
+    work is discarded (its emissions are deduplicated by the kernel's
+    lineage ledger), the SM-local queue contents migrate to the global
+    queue, and the task is re-enqueued on a surviving SM.
+``warp_hang``
+    The unit wedges before doing useful work; a watchdog reclaims it
+    after ``watchdog_cycles`` and the task is re-enqueued.
+``queue_drop``
+    An enqueue is silently lost (a lost CAS).  The lineage registry
+    still holds the task; the driver's recovery sweep re-enqueues it.
+``mem_pressure``
+    A transient memory-pressure spike stretches one task's execution by
+    ``pressure_factor``; no work is lost.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultDecision",
+    "FaultEvent",
+    "FaultLog",
+    "FaultPlan",
+    "ReplayFaultPlan",
+    "replay_plan",
+]
+
+#: Injectable fault kinds, in decision-threshold order.
+FAULT_KINDS = ("sm_crash", "warp_hang", "queue_drop", "mem_pressure")
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """One positive consult outcome.
+
+    ``fraction`` is a deterministic value in ``[0, 1)`` derived from the
+    same uniform draw that selected the kind; the scheduler uses it for
+    sub-decisions (how far into a task an SM crash lands) so one consult
+    never needs a second draw.
+    """
+
+    kind: str
+    cursor: int
+    fraction: float = 0.0
+
+
+@dataclass
+class FaultEvent:
+    """One injected fault, as recorded in the :class:`FaultLog`."""
+
+    cursor: int
+    kind: str
+    site: str  # "execute" | "push" | "recovery"
+    time: float
+    device: int = -1
+    sm: int = -1
+    unit: int = -1
+    lineage: object = None
+    detail: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "cursor": self.cursor,
+            "kind": self.kind,
+            "site": self.site,
+            "time": self.time,
+            "device": self.device,
+            "sm": self.sm,
+            "unit": self.unit,
+            "lineage": list(self.lineage) if self.lineage is not None else None,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultEvent":
+        lineage = data.get("lineage")
+        return cls(
+            cursor=int(data["cursor"]),
+            kind=str(data["kind"]),
+            site=str(data.get("site", "execute")),
+            time=float(data.get("time", 0.0)),
+            device=int(data.get("device", -1)),
+            sm=int(data.get("sm", -1)),
+            unit=int(data.get("unit", -1)),
+            lineage=tuple(lineage) if lineage is not None else None,
+            detail=dict(data.get("detail", {})),
+        )
+
+
+class FaultLog:
+    """Ordered record of injected faults plus the plan that caused them."""
+
+    def __init__(self, plan_state: dict | None = None) -> None:
+        self.events: list[FaultEvent] = []
+        self.plan_state = dict(plan_state or {})
+
+    def append(self, event: FaultEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def counts(self) -> dict:
+        """Event tally by kind (the FaultLog summary in SimReport)."""
+        out: dict[str, int] = {}
+        for ev in self.events:
+            out[ev.kind] = out.get(ev.kind, 0) + 1
+        return out
+
+    # ------------------------------------------------------------------
+    def to_json(self, **kwargs) -> str:
+        kwargs.setdefault("indent", 2)
+        return json.dumps(
+            {
+                "kind": "gmbe-fault-log",
+                "plan": self.plan_state,
+                "events": [ev.to_dict() for ev in self.events],
+            },
+            **kwargs,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultLog":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"fault log is not valid JSON: {exc}") from exc
+        if not isinstance(data, dict) or data.get("kind") != "gmbe-fault-log":
+            raise ValueError(
+                "not a fault log (missing 'kind': 'gmbe-fault-log'); "
+                "expected a file written by FaultLog.to_json / --fault-log"
+            )
+        log = cls(plan_state=data.get("plan"))
+        for ev in data.get("events", ()):
+            log.append(FaultEvent.from_dict(ev))
+        return log
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path) -> "FaultLog":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+
+class FaultPlan:
+    """Seeded, cursor-addressable fault decision source.
+
+    Parameters are per-consult probabilities.  The execute-site kinds
+    (``sm_crash``, ``warp_hang``, ``mem_pressure``) partition one
+    uniform draw, so their probabilities must sum to at most 1;
+    ``queue_drop`` applies at the push site with its own draw.
+
+    ``max_faults`` bounds the total number of positive decisions — the
+    knob tests use to guarantee no lineage can exceed its retry budget.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        p_sm_crash: float = 0.0,
+        p_warp_hang: float = 0.0,
+        p_queue_drop: float = 0.0,
+        p_mem_pressure: float = 0.0,
+        pressure_factor: float = 4.0,
+        watchdog_cycles: float = 512.0,
+        max_faults: int | None = None,
+    ) -> None:
+        probs = {
+            "p_sm_crash": p_sm_crash,
+            "p_warp_hang": p_warp_hang,
+            "p_queue_drop": p_queue_drop,
+            "p_mem_pressure": p_mem_pressure,
+        }
+        for name, p in probs.items():
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if p_sm_crash + p_warp_hang + p_mem_pressure > 1.0:
+            raise ValueError(
+                "execute-site probabilities (sm_crash + warp_hang + "
+                "mem_pressure) must sum to at most 1"
+            )
+        if pressure_factor < 1.0:
+            raise ValueError("pressure_factor must be >= 1")
+        if watchdog_cycles < 0:
+            raise ValueError("watchdog_cycles must be non-negative")
+        if max_faults is not None and max_faults < 0:
+            raise ValueError("max_faults must be non-negative")
+        self.seed = seed
+        self.p_sm_crash = p_sm_crash
+        self.p_warp_hang = p_warp_hang
+        self.p_queue_drop = p_queue_drop
+        self.p_mem_pressure = p_mem_pressure
+        self.pressure_factor = pressure_factor
+        self.watchdog_cycles = watchdog_cycles
+        self.max_faults = max_faults
+        self._rng = random.Random(seed)
+        #: bound method, cached: at_execute/at_push run once per
+        #: task/enqueue in the scheduler's hot loop
+        self._random = self._rng.random
+        #: execute-site decision table, positive-probability kinds only
+        #: (empty for an armed-but-idle zero-probability plan)
+        self._exec_table = []
+        lo = 0.0
+        for kind, p in (
+            ("sm_crash", p_sm_crash),
+            ("warp_hang", p_warp_hang),
+            ("mem_pressure", p_mem_pressure),
+        ):
+            if p > 0.0:
+                self._exec_table.append((kind, lo, lo + p, p))
+            lo += p
+        self.cursor = 0
+        self.faults_fired = 0
+
+    # ------------------------------------------------------------------
+    def _draw(self) -> float:
+        self.cursor += 1
+        return self._random()
+
+    def _exhausted(self) -> bool:
+        return self.max_faults is not None and self.faults_fired >= self.max_faults
+
+    def at_execute(self) -> FaultDecision | None:
+        """Consult at the execute boundary (one draw, always)."""
+        self.cursor += 1
+        u = self._random()
+        if not self._exec_table or self._exhausted():
+            return None
+        for kind, lo, hi, p in self._exec_table:
+            if lo <= u < hi:
+                self.faults_fired += 1
+                return FaultDecision(
+                    kind=kind, cursor=self.cursor, fraction=(u - lo) / p
+                )
+        return None
+
+    def at_push(self) -> FaultDecision | None:
+        """Consult at the enqueue boundary (one draw, always)."""
+        self.cursor += 1
+        u = self._random()
+        if self.p_queue_drop > 0.0 and u < self.p_queue_drop:
+            if self._exhausted():
+                return None
+            self.faults_fired += 1
+            return FaultDecision(
+                kind="queue_drop",
+                cursor=self.cursor,
+                fraction=u / self.p_queue_drop,
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    def state(self) -> dict:
+        """JSON-able full state; see :meth:`from_state`."""
+        return {
+            "type": "FaultPlan",
+            "seed": self.seed,
+            "cursor": self.cursor,
+            "faults_fired": self.faults_fired,
+            "p_sm_crash": self.p_sm_crash,
+            "p_warp_hang": self.p_warp_hang,
+            "p_queue_drop": self.p_queue_drop,
+            "p_mem_pressure": self.p_mem_pressure,
+            "pressure_factor": self.pressure_factor,
+            "watchdog_cycles": self.watchdog_cycles,
+            "max_faults": self.max_faults,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "FaultPlan":
+        """Rebuild a plan mid-stream (checkpoint resume).
+
+        The RNG is restored by replaying ``cursor`` draws — valid because
+        every consult draws exactly once.
+        """
+        plan = cls(
+            int(state["seed"]),
+            p_sm_crash=float(state.get("p_sm_crash", 0.0)),
+            p_warp_hang=float(state.get("p_warp_hang", 0.0)),
+            p_queue_drop=float(state.get("p_queue_drop", 0.0)),
+            p_mem_pressure=float(state.get("p_mem_pressure", 0.0)),
+            pressure_factor=float(state.get("pressure_factor", 4.0)),
+            watchdog_cycles=float(state.get("watchdog_cycles", 512.0)),
+            max_faults=state.get("max_faults"),
+        )
+        plan.fast_forward(int(state.get("cursor", 0)))
+        plan.faults_fired = int(state.get("faults_fired", 0))
+        return plan
+
+    def fast_forward(self, cursor: int) -> None:
+        """Advance a fresh plan to ``cursor`` consults without effects."""
+        if cursor < self.cursor:
+            raise ValueError(
+                f"cannot rewind fault plan (at {self.cursor}, asked {cursor})"
+            )
+        while self.cursor < cursor:
+            self._draw()
+
+
+class ReplayFaultPlan:
+    """Fires exactly the faults of a recorded :class:`FaultLog`.
+
+    Decisions are keyed by consult cursor: because the simulation is
+    deterministic, consult ``k`` of the replay run is the same boundary
+    as consult ``k`` of the recorded run, so the same task fails in the
+    same way at the same simulated moment.
+    """
+
+    def __init__(self, log: FaultLog) -> None:
+        self._by_cursor: dict[int, FaultEvent] = {}
+        for ev in log.events:
+            if ev.kind in FAULT_KINDS:
+                self._by_cursor[ev.cursor] = ev
+        state = log.plan_state or {}
+        self.seed = state.get("seed")
+        self.pressure_factor = float(state.get("pressure_factor", 4.0))
+        self.watchdog_cycles = float(state.get("watchdog_cycles", 512.0))
+        self.cursor = 0
+        self.faults_fired = 0
+
+    def _decide(self, site: str) -> FaultDecision | None:
+        self.cursor += 1
+        ev = self._by_cursor.get(self.cursor)
+        if ev is None:
+            return None
+        self.faults_fired += 1
+        return FaultDecision(
+            kind=ev.kind,
+            cursor=self.cursor,
+            fraction=float(ev.detail.get("fraction", 0.0)),
+        )
+
+    def at_execute(self) -> FaultDecision | None:
+        return self._decide("execute")
+
+    def at_push(self) -> FaultDecision | None:
+        return self._decide("push")
+
+    def state(self) -> dict:
+        return {"type": "ReplayFaultPlan", "cursor": self.cursor}
+
+
+def replay_plan(log: FaultLog) -> ReplayFaultPlan:
+    """Build the plan that re-fires exactly the faults of ``log``."""
+    return ReplayFaultPlan(log)

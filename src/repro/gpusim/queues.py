@@ -24,13 +24,21 @@ __all__ = ["QueueStats", "TwoLevelTaskQueue"]
 
 @dataclass
 class QueueStats:
-    """Operation counts, for the queue-overhead part of the cost model."""
+    """Operation counts, for the queue-overhead part of the cost model.
+
+    ``requeues`` counts recovery re-enqueues (failed-task retries,
+    crash-drained migrations, checkpoint restores) *separately* from
+    fresh pushes: folding them into ``local/global_enqueues`` would
+    inflate the Fig.-9-style load-balance statistics, which model only
+    first-time task traffic.
+    """
 
     local_enqueues: int = 0
     local_dequeues: int = 0
     global_enqueues: int = 0
     global_dequeues: int = 0
     spills: int = 0
+    requeues: int = 0
 
     @property
     def total_ops(self) -> int:
@@ -77,6 +85,43 @@ class TwoLevelTaskQueue:
         self.stats.global_enqueues += 1
         self.stats.spills += 1
         return "global"
+
+    def requeue(self, avail_time: float, payload: Any) -> None:
+        """Recovery re-enqueue onto the global queue.
+
+        Used when a task must move off a failed unit/SM (or is restored
+        from a checkpoint): any surviving SM can steal from the global
+        queue.  Counted under ``stats.requeues`` only, never as a fresh
+        push (see :class:`QueueStats`).
+        """
+        self._seq += 1
+        heapq.heappush(self._global, (avail_time, self._seq, payload))
+        self.stats.requeues += 1
+
+    def drain_sm(self, sm: int) -> list[Any]:
+        """Remove and return every payload in one SM's local queue.
+
+        Called when that SM crashes: its shared-memory queue contents
+        are gone from the device's perspective, and the driver's lineage
+        registry re-homes them via :meth:`requeue`.
+        """
+        drained = [payload for _, _, payload in self._local[sm]]
+        self._local[sm].clear()
+        return drained
+
+    def drain_all(self) -> list[Any]:
+        """Remove and return every queued payload (local + global).
+
+        The end-of-run recovery sweep uses this to migrate stranded
+        tasks from a device whose consumers have all retired.
+        """
+        out: list[Any] = []
+        for q in self._local:
+            out.extend(payload for _, _, payload in q)
+            q.clear()
+        out.extend(payload for _, _, payload in self._global)
+        self._global.clear()
+        return out
 
     def pop_ready(self, sm: int, now: float) -> tuple[Any, str] | None:
         """Dequeue a task already available at ``now``; local first."""

@@ -12,19 +12,38 @@ The scheduler is policy-free about *what* a task is: the GMBE kernel
 supplies two callbacks, one producing root tasks from the atomic
 counter and one executing/splitting a task.  All durations are in
 modeled warp-step cycles; devices convert to seconds afterwards.
+
+Fault tolerance (DESIGN.md §9).  When a :class:`~repro.gpusim.faults.
+FaultPlan` is attached, the scheduler consults it at its execute and
+enqueue boundaries and recovers lost work through a **lineage
+registry**: every payload carries a stable lineage id (extracted by the
+``lineage_of`` callback), each registered task is tracked from enqueue
+to completion, and a failed attempt re-enqueues the task on a surviving
+SM via :meth:`TwoLevelTaskQueue.requeue`, bounded by
+``max_task_retries`` failures per lineage.  Tasks whose enqueue was
+silently dropped are re-homed by a recovery sweep when the machine
+would otherwise go idle — the simulation analog of Alg. 4's re-enqueue
+path driven by the host instead of the warp.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Hashable, Iterator
 
 from .device import DeviceSpec
+from .faults import FaultEvent, FaultLog
 from .queues import TwoLevelTaskQueue
 from .timeline import BusyRecorder
 
-__all__ = ["ExecOutcome", "SimUnit", "SimReport", "PersistentThreadScheduler"]
+__all__ = [
+    "ExecOutcome",
+    "LineageEntry",
+    "SimUnit",
+    "SimReport",
+    "PersistentThreadScheduler",
+]
 
 
 @dataclass
@@ -58,6 +77,21 @@ class SimUnit:
         return self.sm * 10_000 + self.slot
 
 
+#: Lifecycle states of a lineage-registry entry.  There is no "running"
+#: state: execution is synchronous within one heap event, so a task's
+#: entry is popped at dequeue and re-inserted only on failure.
+_QUEUED, _DROPPED, _LOST = "queued", "dropped", "lost"
+
+
+@dataclass
+class LineageEntry:
+    """Registry record of one pending task (lineage-tracked mode)."""
+
+    payload: Any
+    retries: int = 0
+    state: str = _QUEUED
+
+
 @dataclass
 class SimReport:
     """Aggregate outcome of a kernel simulation (cycle units)."""
@@ -68,6 +102,14 @@ class SimReport:
     queue_stats: list
     tasks_executed: int
     tasks_split: int
+    #: injected-fault record (``None`` when no FaultPlan was attached)
+    fault_log: FaultLog | None = None
+    #: fault-driven re-enqueues (retries + crash displacements)
+    tasks_requeued: int = 0
+    #: lineages abandoned after exceeding ``max_task_retries``
+    tasks_lost: int = 0
+    #: True when the run stopped early (``halt_after_tasks``)
+    halted: bool = False
 
 
 class PersistentThreadScheduler:
@@ -89,6 +131,27 @@ class PersistentThreadScheduler:
         ``execute(payload, device_id) -> ExecOutcome``.
     local_queue_capacity:
         Capacity of each SM-local queue before spilling to global.
+    fault_plan:
+        Optional :class:`~repro.gpusim.faults.FaultPlan` (or replay
+        plan) consulted at execute/enqueue boundaries.  Requires
+        ``lineage_of``.
+    lineage_of:
+        Callback extracting a stable, hashable lineage id from a
+        payload; enables the lineage registry (recovery + frontier
+        snapshots) even without a fault plan.
+    max_task_retries:
+        Failure budget per lineage; a task failing more often is
+        abandoned (counted in ``SimReport.tasks_lost``).
+    on_task_done:
+        Optional ``callback(tasks_executed, now_cycles)`` after every
+        successful task completion — the checkpoint cadence hook.
+    halt_after_tasks:
+        Stop the simulation once this many tasks completed (kill-switch
+        used by checkpoint tests and ``--halt-after-tasks``).
+    initial_tasks:
+        ``(payload, retries)`` pairs restored from a checkpoint; they
+        are registered and re-enqueued (round-robin across devices)
+        before the first unit wakes.
     """
 
     def __init__(
@@ -100,11 +163,23 @@ class PersistentThreadScheduler:
         *,
         local_queue_capacity: int = 64,
         root_pull_surcharges: list[float] | None = None,
+        fault_plan=None,
+        lineage_of: Callable[[Any], Hashable] | None = None,
+        max_task_retries: int = 3,
+        on_task_done: Callable[[int, float], None] | None = None,
+        halt_after_tasks: int | None = None,
+        initial_tasks: list[tuple[Any, int]] | None = None,
     ) -> None:
         if not devices:
             raise ValueError("need at least one device")
         if root_pull_surcharges is not None and len(root_pull_surcharges) != len(devices):
             raise ValueError("one root-pull surcharge per device required")
+        if fault_plan is not None and lineage_of is None:
+            raise ValueError(
+                "fault injection requires lineage tracking: pass lineage_of"
+            )
+        if max_task_retries < 0:
+            raise ValueError("max_task_retries must be non-negative")
         self._devices = devices
         self._root_source = root_source
         self._execute = execute
@@ -139,6 +214,159 @@ class PersistentThreadScheduler:
         self._roots_done = False
         self.tasks_executed = 0
         self.tasks_split = 0
+        self.tasks_requeued = 0
+        self.tasks_lost = 0
+        # --- robustness machinery -------------------------------------
+        self._plan = fault_plan
+        self._lineage_of = lineage_of
+        self._max_retries = max_task_retries
+        self.on_task_done = on_task_done
+        self._halt_after = halt_after_tasks
+        self._registry: dict[Hashable, LineageEntry] | None = (
+            {} if lineage_of is not None else None
+        )
+        self._dead: list[set[int]] = [set() for _ in devices]
+        self._fault_log = FaultLog(
+            plan_state=fault_plan.state() if fault_plan is not None else None
+        ) if fault_plan is not None else None
+        for i, (payload, retries) in enumerate(initial_tasks or ()):
+            entry = self._register(payload, state=_QUEUED)
+            if entry is not None:
+                entry.retries = retries
+            self._queues[i % len(devices)].requeue(0.0, payload)
+
+    # ------------------------------------------------------------------
+    # Lineage registry helpers
+    # ------------------------------------------------------------------
+    def _register(self, payload: Any, *, state: str) -> LineageEntry | None:
+        if self._registry is None:
+            return None
+        entry = self._registry.get(self._lineage_of(payload))
+        if entry is None:
+            entry = LineageEntry(payload=payload, state=state)
+            self._registry[self._lineage_of(payload)] = entry
+        else:
+            entry.payload = payload
+            entry.state = state
+        return entry
+
+    def _entry_of(self, payload: Any) -> LineageEntry | None:
+        if self._registry is None:
+            return None
+        return self._registry.get(self._lineage_of(payload))
+
+    def frontier(self) -> list[tuple[Hashable, Any, int]]:
+        """Pending work: ``(lineage, payload, retries)`` per live entry.
+
+        Valid between simulation steps (notably inside ``on_task_done``
+        and after a halted run): no task is mid-execution then, so the
+        registry's queued/dropped entries plus the un-pulled roots are
+        exactly the remaining work.
+        """
+        if self._registry is None:
+            return []
+        return [
+            (lineage, e.payload, e.retries)
+            for lineage, e in self._registry.items()
+            if e.state in (_QUEUED, _DROPPED)
+        ]
+
+    # ------------------------------------------------------------------
+    # Fault helpers
+    # ------------------------------------------------------------------
+    def _surviving_sms(self) -> int:
+        return sum(
+            dev.n_sms - len(self._dead[i])
+            for i, dev in enumerate(self._devices)
+        )
+
+    def _requeue_target(self, device_id: int) -> TwoLevelTaskQueue:
+        """The queue of ``device_id`` if it has a live SM, else the
+        first device that does (cross-device re-home after total loss)."""
+        if len(self._dead[device_id]) < self._devices[device_id].n_sms:
+            return self._queues[device_id]
+        for i, dev in enumerate(self._devices):
+            if len(self._dead[i]) < dev.n_sms:
+                return self._queues[i]
+        return self._queues[device_id]  # unreachable: last SM never dies
+
+    def _log_fault(
+        self, kind: str, site: str, time: float, unit: SimUnit | None,
+        payload: Any, **detail,
+    ) -> None:
+        if self._fault_log is None:
+            return
+        lineage = (
+            self._lineage_of(payload)
+            if payload is not None and self._lineage_of is not None
+            else None
+        )
+        self._fault_log.append(FaultEvent(
+            cursor=self._plan.cursor if self._plan is not None else -1,
+            kind=kind,
+            site=site,
+            time=time,
+            device=unit.device_id if unit is not None else -1,
+            sm=unit.sm if unit is not None else -1,
+            unit=unit.unit_id if unit is not None else -1,
+            lineage=lineage,
+            detail=detail,
+        ))
+
+    def _requeue_failed(
+        self, payload: Any, device_id: int, avail_time: float,
+        entry: LineageEntry | None,
+    ) -> None:
+        """Charge one failure to the payload's lineage and re-enqueue it
+        (or abandon it past the retry budget).
+
+        ``entry`` is the registry entry the dequeue popped — ``None`` on
+        a fresh root's first failure.  Either way it is (re-)inserted so
+        the retry count survives across attempts.
+        """
+        assert self._registry is not None  # faults imply lineage tracking
+        if entry is None:
+            entry = LineageEntry(payload=payload, state=_QUEUED)
+        self._registry[self._lineage_of(payload)] = entry
+        entry.retries += 1
+        if entry.retries > self._max_retries:
+            entry.state = _LOST
+            self.tasks_lost += 1
+            self._log_fault(
+                "task_lost", "recovery", avail_time, None, payload,
+                retries=entry.retries,
+            )
+            return
+        entry.state = _QUEUED
+        self._requeue_target(device_id).requeue(avail_time, payload)
+        self.tasks_requeued += 1
+
+    def _displace(self, payload: Any, device_id: int, avail_time: float) -> None:
+        """Re-home a task drained from a crashed SM's local queue.
+
+        Displacement is not a failure of the task itself, so its retry
+        budget is untouched.
+        """
+        entry = self._entry_of(payload)
+        if entry is not None:
+            entry.state = _QUEUED
+        self._requeue_target(device_id).requeue(avail_time, payload)
+        self.tasks_requeued += 1
+
+    def _recover_orphans(self, device_id: int, now: float) -> bool:
+        """Re-enqueue dropped tasks; True if any were recovered."""
+        if self._registry is None:
+            return False
+        recovered = False
+        for entry in self._registry.values():
+            if entry.state == _DROPPED:
+                self._log_fault(
+                    "requeue", "recovery", now, None, entry.payload,
+                    retries=entry.retries + 1,
+                )
+                self._requeue_failed(entry.payload, device_id, now, entry)
+                recovered = True
+        return recovered
 
     # ------------------------------------------------------------------
     def _pull_root(self) -> tuple[float, Any]:
@@ -163,9 +391,60 @@ class PersistentThreadScheduler:
         """Simulate until all units retire; returns the report."""
         heap: list[tuple[float, int]] = [(0.0, u.unit_id) for u in self._units]
         heapq.heapify(heap)
+        halted = False
+        while True:
+            halted = self._run_heap(heap)
+            if halted:
+                break
+            # Recovery sweep: tasks can be stranded on a device whose
+            # units all retired before a fault re-homed work there.
+            # Wake one unit on a surviving SM, migrate every stranded
+            # queued payload to its device, and re-enter the loop.
+            pending = self.frontier()
+            if not pending:
+                break
+            unit = next(
+                u for u in self._units
+                if u.sm not in self._dead[u.device_id]
+            )
+            target = self._queues[unit.device_id]
+            for i, q in enumerate(self._queues):
+                if q is target:
+                    continue
+                for payload in q.drain_all():
+                    target.requeue(unit.free_at, payload)
+            self._recover_orphans(unit.device_id, unit.free_at)
+            heapq.heappush(heap, (unit.free_at, unit.unit_id))
+        per_device = [rec.makespan() for rec in self._recorders]
+        return SimReport(
+            makespan_cycles=max(per_device, default=0.0),
+            per_device_cycles=per_device,
+            recorders=self._recorders,
+            queue_stats=[q.stats for q in self._queues],
+            tasks_executed=self.tasks_executed,
+            tasks_split=self.tasks_split,
+            fault_log=self._fault_log,
+            tasks_requeued=self.tasks_requeued,
+            tasks_lost=self.tasks_lost,
+            halted=halted,
+        )
+
+    def _run_heap(self, heap: list[tuple[float, int]]) -> bool:
+        """Drain the event heap; returns True if halted early.
+
+        The registry bookkeeping is inlined (rather than via
+        ``_register``/``_entry_of``) because it runs once per task: the
+        robust-mode overhead budget is 5% of the whole kernel (see
+        ``benchmarks/bench_faults.py``).
+        """
+        registry = self._registry
+        lineage_of = self._lineage_of
+        plan = self._plan
         while heap:
             now, unit_id = heapq.heappop(heap)
             unit = self._units[unit_id]
+            if unit.sm in self._dead[unit.device_id]:
+                continue  # the SM died while this unit was scheduled
             dev = self._devices[unit.device_id]
             queue = self._queues[unit.device_id]
             recorder = self._recorders[unit.device_id]
@@ -193,6 +472,11 @@ class PersistentThreadScheduler:
             if payload is None:
                 waiting = queue.pop_earliest(unit.sm)
                 if waiting is None:
+                    # Before retiring, recover any silently dropped
+                    # tasks onto this device and try again.
+                    if self._recover_orphans(unit.device_id, now):
+                        heapq.heappush(heap, (now, unit_id))
+                        continue
                     continue  # retire this unit
                 payload, avail, level = waiting
                 acquire_cycles += (
@@ -202,23 +486,101 @@ class PersistentThreadScheduler:
                 )
                 start = max(now, avail)
 
+            # Claim the task: pop its registry entry (present for queued
+            # children / requeued work, absent for fresh roots).  It is
+            # re-inserted only on failure, so the fault-free path costs
+            # one dict op and no LineageEntry allocation.  Between heap
+            # events no task is mid-execution (execution is synchronous
+            # per event), so the registry never needs a RUNNING state.
+            entry = None
+            if registry is not None:
+                entry = registry.pop(lineage_of(payload), None)
+
+            decision = plan.at_execute() if plan is not None else None
+            if decision is not None and decision.kind == "warp_hang":
+                # Wedged before useful work; the watchdog reclaims the
+                # unit and the task moves to a surviving SM.
+                end = start + acquire_cycles + self._plan.watchdog_cycles
+                recorder.record(unit.record_key, start, end)
+                self._log_fault(
+                    "warp_hang", "execute", end, unit, payload,
+                    fraction=decision.fraction,
+                    watchdog_cycles=self._plan.watchdog_cycles,
+                )
+                self._requeue_failed(payload, unit.device_id, end, entry)
+                unit.free_at = end
+                heapq.heappush(heap, (end, unit_id))
+                continue
+
             outcome = self._execute(payload, unit.device_id)
+
+            if (
+                decision is not None
+                and decision.kind == "sm_crash"
+                and self._surviving_sms() > 1
+            ):
+                # The SM dies partway through the task: its partial
+                # emissions are deduplicated by the kernel's lineage
+                # ledger, its children are lost (regenerated on retry),
+                # and its local queue migrates to the global queue.
+                frac = 0.25 + 0.5 * decision.fraction
+                end = start + acquire_cycles + outcome.cycles * frac
+                recorder.record(unit.record_key, start, end)
+                self._dead[unit.device_id].add(unit.sm)
+                drained = queue.drain_sm(unit.sm)
+                self._log_fault(
+                    "sm_crash", "execute", end, unit, payload,
+                    fraction=decision.fraction, drained=len(drained),
+                )
+                self._requeue_failed(payload, unit.device_id, end, entry)
+                for dp in drained:
+                    self._displace(dp, unit.device_id, end)
+                continue  # the unit dies with its SM
+
+            cycles = outcome.cycles
+            if decision is not None and decision.kind == "mem_pressure":
+                # Transient pressure spike: the work survives but runs
+                # pressure_factor times slower.
+                cycles *= plan.pressure_factor
+                self._log_fault(
+                    "mem_pressure", "execute",
+                    start + acquire_cycles + cycles, unit, payload,
+                    fraction=decision.fraction,
+                    pressure_factor=plan.pressure_factor,
+                )
+
             self.tasks_executed += 1
             if outcome.children:
                 self.tasks_split += 1
-            end = start + acquire_cycles + outcome.cycles
+            end = start + acquire_cycles + cycles
             recorder.record(unit.record_key, start, end)
             for offset, child in outcome.children:
                 avail_time = start + acquire_cycles + offset
-                level = queue.push(unit.sm, avail_time, child)
+                if registry is not None:
+                    # children carry fresh lineages (a retried parent's
+                    # prior children were never pushed), so this is a
+                    # plain insert, never an update
+                    centry = LineageEntry(payload=child, state=_QUEUED)
+                    registry[lineage_of(child)] = centry
+                else:
+                    centry = None
+                drop = plan.at_push() if plan is not None else None
+                if drop is not None:
+                    if centry is not None:
+                        centry.state = _DROPPED
+                    self._log_fault(
+                        "queue_drop", "push", avail_time, unit, child,
+                        fraction=drop.fraction,
+                    )
+                    continue
+                queue.push(unit.sm, avail_time, child)
+            if self.on_task_done is not None:
+                self.on_task_done(self.tasks_executed, end)
             unit.free_at = end
             heapq.heappush(heap, (end, unit_id))
-        per_device = [rec.makespan() for rec in self._recorders]
-        return SimReport(
-            makespan_cycles=max(per_device, default=0.0),
-            per_device_cycles=per_device,
-            recorders=self._recorders,
-            queue_stats=[q.stats for q in self._queues],
-            tasks_executed=self.tasks_executed,
-            tasks_split=self.tasks_split,
-        )
+            if (
+                self._halt_after is not None
+                and self.tasks_executed >= self._halt_after
+            ):
+                return True
+        return False

@@ -28,7 +28,10 @@ Design decisions worth knowing:
 from __future__ import annotations
 
 import asyncio
+import hashlib
+import inspect
 import itertools
+import os
 from dataclasses import dataclass, replace
 from typing import Callable
 
@@ -49,14 +52,48 @@ class AdmissionError(RuntimeError):
     """The admission queue is full; the job was rejected, not queued."""
 
 
-def default_runner(job: Job, graph: BipartiteGraph, config: GMBEConfig):
-    """Execute one job exactly like the one-shot API would."""
+def default_runner(
+    job: Job,
+    graph: BipartiteGraph,
+    config: GMBEConfig,
+    checkpoint_path: str | None = None,
+):
+    """Execute one job exactly like the one-shot API would.
+
+    When the broker assigns a ``checkpoint_path`` (its ``checkpoint_dir``
+    is set and the job runs GMBE), the enumeration snapshots its
+    frontier there and — if a previous attempt of the same job left a
+    checkpoint behind — resumes from it instead of starting over.
+    """
+    if checkpoint_path is not None and job.algorithm == "gmbe":
+        return enumerate_maximal_bicliques(
+            graph,
+            algorithm=job.algorithm,
+            min_left=job.min_left,
+            min_right=job.min_right,
+            config=config,
+            checkpoint_path=checkpoint_path,
+            resume=os.path.exists(checkpoint_path),
+        )
     return enumerate_maximal_bicliques(
         graph,
         algorithm=job.algorithm,
         min_left=job.min_left,
         min_right=job.min_right,
         config=config,
+    )
+
+
+def _accepts_checkpoint(runner) -> bool:
+    """True if ``runner`` takes a ``checkpoint_path`` keyword."""
+    try:
+        params = inspect.signature(runner).parameters
+    except (TypeError, ValueError):  # builtins / C callables
+        return False
+    if "checkpoint_path" in params:
+        return True
+    return any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
     )
 
 
@@ -96,6 +133,7 @@ class EnumerationBroker:
         metrics: ServiceMetrics | None = None,
         base_config: GMBEConfig | None = None,
         runner: Callable[[Job, BipartiteGraph, GMBEConfig], list] | None = None,
+        checkpoint_dir: str | None = None,
     ) -> None:
         if n_workers <= 0:
             raise ValueError("n_workers must be positive")
@@ -108,6 +146,11 @@ class EnumerationBroker:
         self.metrics = metrics or ServiceMetrics()
         self.base_config = base_config or GMBEConfig()
         self._runner = runner or default_runner
+        #: jobs checkpoint under this directory (one file per cache key)
+        #: so a retried/resubmitted job resumes instead of restarting;
+        #: ``None`` disables job-level checkpointing entirely.
+        self.checkpoint_dir = checkpoint_dir
+        self._runner_takes_checkpoint = _accepts_checkpoint(self._runner)
         self._graphs: dict[str, DynamicBipartiteGraph] = {}
         self._inflight: dict[tuple, asyncio.Future] = {}
         self._jobs: dict[int, _Entry] = {}
@@ -322,6 +365,15 @@ class EnumerationBroker:
             finally:
                 self._queue.task_done()
 
+    def _checkpoint_path_for(self, entry: _Entry) -> str | None:
+        """Stable per-cache-key checkpoint file, or ``None`` when
+        job-level checkpointing is off or the runner can't take one."""
+        if self.checkpoint_dir is None or not self._runner_takes_checkpoint:
+            return None
+        os.makedirs(self.checkpoint_dir, exist_ok=True)
+        digest = hashlib.sha256(repr(entry.key).encode()).hexdigest()[:16]
+        return os.path.join(self.checkpoint_dir, f"job-{digest}.ckpt")
+
     async def _run_entry(self, entry: _Entry) -> None:
         assert self._loop is not None and self._pool is not None
         loop = self._loop
@@ -337,9 +389,17 @@ class EnumerationBroker:
             return
 
         pool = self._pool
+        ckpt_path = self._checkpoint_path_for(entry)
 
         def _attempt():
-            cf = pool.submit(self._runner, entry.job, entry.graph, entry.config)
+            kwargs = {}
+            if ckpt_path is not None:
+                if os.path.exists(ckpt_path):
+                    self.metrics.resumed += 1
+                kwargs["checkpoint_path"] = ckpt_path
+            cf = pool.submit(
+                self._runner, entry.job, entry.graph, entry.config, **kwargs
+            )
             cf.add_done_callback(_swallow)
             return asyncio.wrap_future(cf)
 

@@ -82,6 +82,9 @@ class ServiceMetrics:
     cache_hits: int = 0
     cache_misses: int = 0
     coalesced: int = 0
+    #: Attempts that picked up an existing enumeration checkpoint
+    #: instead of starting the job from scratch.
+    resumed: int = 0
     #: End-to-end latency of jobs that ran on a worker (ms).
     latency_ms: Histogram = field(default_factory=Histogram)
     #: Latency of jobs answered straight from cache (ms).
@@ -104,6 +107,7 @@ class ServiceMetrics:
                 "cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,
                 "coalesced": self.coalesced,
+                "resumed": self.resumed,
             },
             "latency_ms": self.latency_ms.snapshot(),
             "cache_hit_latency_ms": self.cache_hit_latency_ms.snapshot(),

@@ -18,7 +18,8 @@ worst a job can do is exhaust its attempts and resolve as failed.
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass
+import random
+from dataclasses import dataclass, field
 from typing import Awaitable, Callable
 
 __all__ = ["ExecutionOutcome", "JobTimeoutError", "ResiliencePolicy",
@@ -42,6 +43,12 @@ class ResiliencePolicy:
     backoff_base:
         Sleep before retry ``k`` is ``backoff_base * multiplier**(k-1)``,
         capped at ``backoff_max``.
+    backoff_jitter:
+        Fraction of random extra sleep applied *after* the cap: the
+        actual delay is ``capped * (1 + jitter * U[0,1))``.  Without it
+        the broker's dispatchers, which share one policy, retry their
+        failed attempts in lockstep and hammer the pool in synchronized
+        waves.  Zero disables jitter (deterministic tests).
     retryable:
         Exception types worth retrying; anything else fails immediately.
         Timeouts are always retryable (the attempt may have been unlucky
@@ -53,6 +60,7 @@ class ResiliencePolicy:
     backoff_base: float = 0.05
     backoff_multiplier: float = 2.0
     backoff_max: float = 2.0
+    backoff_jitter: float = 0.25
     retryable: tuple[type[BaseException], ...] = (Exception,)
 
     def __post_init__(self) -> None:
@@ -64,22 +72,65 @@ class ResiliencePolicy:
             raise ValueError("backoff values must be non-negative")
         if self.backoff_multiplier < 1.0:
             raise ValueError("backoff_multiplier must be >= 1")
+        if self.backoff_jitter < 0:
+            raise ValueError("backoff_jitter must be non-negative")
 
-    def backoff_for(self, retry_index: int) -> float:
-        """Sleep before the ``retry_index``-th retry (1-based)."""
+    def backoff_for(
+        self, retry_index: int, rng: random.Random | None = None
+    ) -> float:
+        """Sleep before the ``retry_index``-th retry (1-based).
+
+        The exponential delay is capped at ``backoff_max`` first, then
+        jittered (cap-then-jitter), so the spread survives even once
+        every dispatcher has hit the cap.
+        """
         delay = self.backoff_base * self.backoff_multiplier ** (retry_index - 1)
-        return min(delay, self.backoff_max)
+        delay = min(delay, self.backoff_max)
+        if self.backoff_jitter > 0:
+            u = (rng.random() if rng is not None else random.random())
+            delay *= 1.0 + self.backoff_jitter * u
+        return delay
 
 
 @dataclass
 class ExecutionOutcome:
-    """What happened across all attempts of one job."""
+    """What happened across all attempts of one job.
+
+    ``exception`` is the *last* attempt's actual exception object (a
+    :class:`JobTimeoutError` for timeouts), annotated with every prior
+    attempt's failure via ``add_note`` (``__notes__``; appended to
+    ``args`` on interpreters without PEP 678) — so re-raising it keeps
+    the full retry history alongside the original traceback.
+    """
 
     status: str  # "completed" | "failed" | "timeout" | "cancelled"
     value: object = None
     error: str | None = None
     attempts: int = 0
     retries: int = 0
+    exception: BaseException | None = None
+    #: one ``"attempt N: ..."`` entry per failed attempt, in order
+    attempt_errors: list[str] = field(default_factory=list)
+
+    def raise_for_status(self):
+        """Return ``value`` on success, else re-raise the last attempt's
+        exception (with prior attempts attached as notes)."""
+        if self.status == "completed":
+            return self.value
+        if self.exception is not None:
+            raise self.exception
+        raise RuntimeError(self.error or f"job {self.status}")
+
+
+def _annotate(exc: BaseException, prior: list[str]) -> BaseException:
+    """Attach prior-attempt failures to ``exc`` (PEP 678 notes, with an
+    ``args`` fallback for interpreters without ``add_note``)."""
+    for note in prior:
+        if hasattr(exc, "add_note"):
+            exc.add_note(note)
+        else:  # pragma: no cover - pre-3.11 fallback
+            exc.args = exc.args + (note,)
+    return exc
 
 
 async def execute_with_retry(
@@ -99,6 +150,8 @@ async def execute_with_retry(
     loop = asyncio.get_running_loop()
     attempts = 0
     last_error: str | None = None
+    last_exc: BaseException | None = None
+    history: list[str] = []
     timed_out = False
     while attempts < policy.max_attempts:
         if should_cancel is not None and should_cancel():
@@ -107,6 +160,7 @@ async def execute_with_retry(
                 error="cancelled before attempt",
                 attempts=attempts,
                 retries=max(0, attempts - 1),
+                attempt_errors=history,
             )
         budget = policy.timeout
         if deadline is not None:
@@ -117,6 +171,12 @@ async def execute_with_retry(
                     error=last_error or "deadline exhausted",
                     attempts=attempts,
                     retries=max(0, attempts - 1),
+                    exception=(
+                        _annotate(last_exc, history[:-1])
+                        if last_exc is not None
+                        else JobTimeoutError("deadline exhausted")
+                    ),
+                    attempt_errors=history,
                 )
             budget = remaining if budget is None else min(budget, remaining)
         attempts += 1
@@ -127,29 +187,45 @@ async def execute_with_retry(
                 value=value,
                 attempts=attempts,
                 retries=attempts - 1,
+                attempt_errors=history,
             )
         except asyncio.CancelledError:
             raise  # broker shutdown, not a job fault
         except asyncio.TimeoutError:
             timed_out = True
             last_error = f"attempt {attempts} timed out after {budget:.3g}s"
+            last_exc = JobTimeoutError(last_error)
+            history.append(f"attempt {attempts}: {last_error}")
         except policy.retryable as exc:
             timed_out = False
             last_error = f"{type(exc).__name__}: {exc}"
+            last_exc = exc
+            history.append(f"attempt {attempts}: {last_error}")
         except BaseException as exc:
+            history.append(
+                f"attempt {attempts}: {type(exc).__name__}: {exc}"
+            )
             return ExecutionOutcome(
                 status="failed",
                 error=f"{type(exc).__name__}: {exc}",
                 attempts=attempts,
                 retries=attempts - 1,
+                exception=_annotate(exc, history[:-1]),
+                attempt_errors=history,
             )
         if attempts < policy.max_attempts:
             delay = policy.backoff_for(attempts)
             if delay > 0:
                 await asyncio.sleep(delay)
+    # Retries exhausted: surface the final attempt's actual exception,
+    # carrying the earlier attempts as notes, not just a summary string.
+    if last_exc is not None:
+        _annotate(last_exc, history[:-1])
     return ExecutionOutcome(
         status="timeout" if timed_out else "failed",
         error=last_error,
         attempts=attempts,
         retries=attempts - 1,
+        exception=last_exc,
+        attempt_errors=history,
     )

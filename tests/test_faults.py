@@ -1,0 +1,377 @@
+"""Tests for deterministic fault injection and scheduler recovery.
+
+Three layers:
+
+1. :class:`FaultPlan` — seeded determinism, one-draw-per-consult
+   cursor accounting, state round-trip, the ``max_faults`` cap, and
+   :class:`ReplayFaultPlan` re-firing a recorded log exactly;
+2. :class:`FaultLog` — save/load round-trip and counts;
+3. the persistent-thread scheduler under injected faults — warp hangs
+   requeue, SM crashes kill the SM and displace its local queue, queue
+   drops are recovered by the orphan sweep, and the retry budget turns
+   repeated failures into ``tasks_lost`` instead of livelock.
+
+The end-to-end guarantee (faulty enumeration is bit-identical to the
+fault-free run) lives in ``tests/test_properties.py``.
+"""
+
+import pytest
+
+from repro.gmbe import GMBEConfig, gmbe_gpu
+from repro.gpusim import (
+    DeviceSpec,
+    ExecOutcome,
+    FaultLog,
+    FaultPlan,
+    PersistentThreadScheduler,
+    ReplayFaultPlan,
+    replay_plan,
+)
+from repro.graph import random_bipartite
+
+TINY = DeviceSpec(
+    "tiny",
+    n_sms=2,
+    global_mem_bytes=1 << 30,
+    clock_hz=1e9,
+    warps_per_sm=2,
+    local_queue_cycles=0,
+    global_queue_cycles=0,
+)
+
+
+def make_roots(costs_and_tasks):
+    def gen():
+        yield from costs_and_tasks
+
+    return gen()
+
+
+# ----------------------------------------------------------------------
+# FaultPlan determinism
+# ----------------------------------------------------------------------
+class TestFaultPlan:
+    def test_same_seed_same_decisions(self):
+        a = FaultPlan(7, p_warp_hang=0.3, p_queue_drop=0.2)
+        b = FaultPlan(7, p_warp_hang=0.3, p_queue_drop=0.2)
+        seq_a = [a.at_execute() for _ in range(50)] + [
+            a.at_push() for _ in range(50)
+        ]
+        seq_b = [b.at_execute() for _ in range(50)] + [
+            b.at_push() for _ in range(50)
+        ]
+        assert [(d.kind if d else None) for d in seq_a] == [
+            (d.kind if d else None) for d in seq_b
+        ]
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan(1, p_warp_hang=0.5)
+        b = FaultPlan(2, p_warp_hang=0.5)
+        seq_a = [(d.kind if d else None) for d in (a.at_execute() for _ in range(100))]
+        seq_b = [(d.kind if d else None) for d in (b.at_execute() for _ in range(100))]
+        assert seq_a != seq_b
+
+    def test_cursor_counts_every_consult(self):
+        plan = FaultPlan(0, p_warp_hang=0.1)
+        for _ in range(10):
+            plan.at_execute()
+        for _ in range(5):
+            plan.at_push()
+        assert plan.cursor == 15
+
+    def test_zero_probability_plan_never_fires(self):
+        plan = FaultPlan(0)
+        assert all(plan.at_execute() is None for _ in range(200))
+        assert all(plan.at_push() is None for _ in range(200))
+
+    def test_state_roundtrip_continues_sequence(self):
+        plan = FaultPlan(3, p_sm_crash=0.2, p_warp_hang=0.2, p_queue_drop=0.2)
+        for _ in range(40):
+            plan.at_execute()
+        state = plan.state()
+        resumed = FaultPlan.from_state(state)
+        tail_a = [
+            (d.kind if d else None) for d in (plan.at_execute() for _ in range(40))
+        ]
+        tail_b = [
+            (d.kind if d else None)
+            for d in (resumed.at_execute() for _ in range(40))
+        ]
+        assert tail_a == tail_b
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(0, p_warp_hang=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(0, p_sm_crash=0.9, p_warp_hang=0.9)
+
+    def test_max_faults_cap(self):
+        plan = FaultPlan(0, p_warp_hang=1.0, max_faults=3)
+        fired = [d for d in (plan.at_execute() for _ in range(20)) if d]
+        assert len(fired) == 3
+
+
+class TestReplay:
+    def test_replay_refires_recorded_log(self):
+        from repro.gpusim.faults import FaultEvent
+
+        plan = FaultPlan(5, p_warp_hang=0.3, p_queue_drop=0.2)
+        fired = {}
+        for _ in range(100):
+            d = plan.at_execute()
+            if d is not None:
+                fired[plan.cursor] = d.kind
+        # a replay plan keyed on the recorded cursors fires identically
+        log = FaultLog(plan_state=plan.state())
+        for cur, kind in fired.items():
+            log.append(FaultEvent(
+                cursor=cur, kind=kind, site="execute", time=0.0,
+                device=0, sm=0, unit=0, lineage=None,
+                detail={"fraction": 0.5},
+            ))
+        rp = ReplayFaultPlan(log)
+        refired = {}
+        for _ in range(100):
+            d = rp.at_execute()
+            if d is not None:
+                refired[rp.cursor] = d.kind
+        assert refired == fired
+
+    def test_replay_plan_from_log(self):
+        g = random_bipartite(20, 18, 0.3, seed=1)
+        cfg = GMBEConfig(bound_height=2, bound_size=4, max_task_retries=10)
+        plan = FaultPlan(2, p_warp_hang=0.1, p_queue_drop=0.1)
+        res = gmbe_gpu(g, config=cfg, fault_plan=plan)
+        log = res.extras["fault_log"]
+        injected = [e for e in log if e.kind != "task_lost"]
+        assert injected, "pick a seed that actually fires"
+        res2 = gmbe_gpu(g, config=cfg, fault_plan=replay_plan(log))
+        log2 = res2.extras["fault_log"]
+        assert [(e.cursor, e.kind) for e in log2 if e.kind != "task_lost"] == [
+            (e.cursor, e.kind) for e in injected
+        ]
+        assert res2.n_maximal == res.n_maximal
+
+
+class TestFaultLogIO:
+    def test_save_load_roundtrip(self, tmp_path):
+        g = random_bipartite(20, 18, 0.3, seed=1)
+        cfg = GMBEConfig(bound_height=2, bound_size=4, max_task_retries=10)
+        res = gmbe_gpu(
+            g, config=cfg,
+            fault_plan=FaultPlan(2, p_warp_hang=0.1, p_queue_drop=0.1),
+        )
+        log = res.extras["fault_log"]
+        path = tmp_path / "faults.json"
+        log.save(path)
+        loaded = FaultLog.load(path)
+        assert len(loaded) == len(log)
+        assert [(e.cursor, e.kind, e.lineage) for e in loaded] == [
+            (e.cursor, e.kind, e.lineage) for e in log
+        ]
+        assert loaded.counts() == log.counts()
+
+    def test_load_rejects_non_log(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError):
+            FaultLog.load(path)
+
+
+# ----------------------------------------------------------------------
+# Scheduler recovery semantics (synthetic tasks)
+# ----------------------------------------------------------------------
+class ScriptedPlan:
+    """Fault plan stub firing a scripted decision per execute consult."""
+
+    def __init__(self, script, pressure_factor=4.0, watchdog_cycles=50.0):
+        self.script = list(script)
+        self.cursor = 0
+        self.pressure_factor = pressure_factor
+        self.watchdog_cycles = watchdog_cycles
+
+    def at_execute(self):
+        self.cursor += 1
+        if self.script:
+            return self.script.pop(0)
+        return None
+
+    def at_push(self):
+        self.cursor += 1
+        return None
+
+    def state(self):
+        return {"type": "scripted", "cursor": self.cursor}
+
+
+def _decision(kind):
+    from repro.gpusim.faults import FaultDecision
+
+    return FaultDecision(kind=kind, cursor=0, fraction=0.5)
+
+
+class TestSchedulerRecovery:
+    def _run(self, tasks, script, max_retries=3):
+        executed = []
+
+        def execute(task, dev):
+            executed.append(task)
+            return ExecOutcome(cycles=10.0)
+
+        sched = PersistentThreadScheduler(
+            [TINY], 2, make_roots([(0.0, t) for t in tasks]),
+            execute,
+            fault_plan=ScriptedPlan(script),
+            lineage_of=lambda t: t,
+            max_task_retries=max_retries,
+        )
+        return sched.run(), executed
+
+    def test_warp_hang_requeues_and_completes(self):
+        report, executed = self._run(["a", "b"], [_decision("warp_hang")])
+        assert report.tasks_executed == 2
+        assert report.tasks_requeued == 1
+        assert report.tasks_lost == 0
+        assert executed.count("a") + executed.count("b") == 2
+        assert report.fault_log is not None
+        assert report.fault_log.counts().get("warp_hang") == 1
+
+    def test_warp_hang_charges_watchdog(self):
+        report, _ = self._run(["solo"], [_decision("warp_hang")])
+        # one hang (watchdog 50) + one clean execution (10)
+        assert report.makespan_cycles >= 50.0
+
+    def test_sm_crash_kills_sm_but_work_survives(self):
+        report, executed = self._run(["a", "b", "c"], [_decision("sm_crash")])
+        assert report.tasks_executed == 3  # every task still ran to completion
+        assert report.fault_log.counts().get("sm_crash") == 1
+        assert report.tasks_requeued >= 1  # the crashed task was re-homed
+
+    def test_last_sm_never_crashes(self):
+        single = DeviceSpec(
+            "uni", n_sms=1, global_mem_bytes=1 << 30, clock_hz=1e9,
+            warps_per_sm=1, local_queue_cycles=0, global_queue_cycles=0,
+        )
+        executed = []
+
+        sched = PersistentThreadScheduler(
+            [single], 1, make_roots([(0.0, "only")]),
+            lambda t, d: (executed.append(t), ExecOutcome(cycles=1.0))[1],
+            fault_plan=ScriptedPlan([_decision("sm_crash")]),
+            lineage_of=lambda t: t,
+        )
+        report = sched.run()
+        # crash on the sole surviving SM is suppressed: work completes
+        assert report.tasks_executed == 1
+        assert not report.fault_log.counts().get("sm_crash")
+
+    def test_mem_pressure_slows_but_completes(self):
+        report, executed = self._run(["x"], [_decision("mem_pressure")])
+        assert report.tasks_executed == 1
+        assert report.makespan_cycles >= 10.0 * 4.0  # pressure_factor
+        assert report.fault_log.counts().get("mem_pressure") == 1
+
+    def test_retry_budget_exhaustion_loses_task(self):
+        script = [_decision("warp_hang")] * 10
+        report, executed = self._run(["doomed"], script, max_retries=2)
+        assert report.tasks_lost == 1
+        assert report.tasks_executed == 0
+        assert report.fault_log.counts().get("task_lost") == 1
+        # 1 first attempt + 2 retries, all hung
+        assert report.fault_log.counts().get("warp_hang") == 3
+
+    def test_queue_drop_recovered_by_orphan_sweep(self):
+        class DropFirstPush(ScriptedPlan):
+            def __init__(self):
+                super().__init__([])
+                self.dropped = False
+
+            def at_push(self):
+                self.cursor += 1
+                if not self.dropped:
+                    self.dropped = True
+                    return _decision("queue_drop")
+                return None
+
+        children_done = []
+
+        def execute(task, dev):
+            if task == "parent":
+                return ExecOutcome(
+                    cycles=5.0, children=[(1.0, "kid0"), (2.0, "kid1")]
+                )
+            children_done.append(task)
+            return ExecOutcome(cycles=1.0)
+
+        sched = PersistentThreadScheduler(
+            [TINY], 2, make_roots([(0.0, "parent")]),
+            execute,
+            fault_plan=DropFirstPush(),
+            lineage_of=lambda t: t,
+        )
+        report = sched.run()
+        assert sorted(children_done) == ["kid0", "kid1"]
+        counts = report.fault_log.counts()
+        assert counts.get("queue_drop") == 1
+        assert counts.get("requeue") == 1  # the recovery sweep re-enqueued it
+
+    def test_fault_plan_requires_lineage(self):
+        with pytest.raises(ValueError):
+            PersistentThreadScheduler(
+                [TINY], 2, make_roots([]),
+                lambda t, d: ExecOutcome(cycles=1.0),
+                fault_plan=FaultPlan(0),
+            )
+
+    def test_fault_free_plan_changes_nothing(self):
+        tasks = [(0.0, f"t{i}") for i in range(6)]
+
+        def execute(task, dev):
+            return ExecOutcome(cycles=10.0)
+
+        plain = PersistentThreadScheduler(
+            [TINY], 2, make_roots(list(tasks)), execute
+        ).run()
+        robust = PersistentThreadScheduler(
+            [TINY], 2, make_roots(list(tasks)), execute,
+            fault_plan=FaultPlan(0),
+            lineage_of=lambda t: t,
+        ).run()
+        assert robust.makespan_cycles == plain.makespan_cycles
+        assert robust.tasks_executed == plain.tasks_executed
+        assert robust.tasks_requeued == 0 and robust.tasks_lost == 0
+
+
+# ----------------------------------------------------------------------
+# End-to-end: faulty kernel runs stay bit-identical (fast spot check;
+# the hypothesis sweep across scheduling modes is in test_properties)
+# ----------------------------------------------------------------------
+class TestKernelFaultEquivalence:
+    def test_faulty_run_matches_fault_free(self):
+        g = random_bipartite(25, 22, 0.25, seed=3)
+        cfg = GMBEConfig(bound_height=2, bound_size=4, max_task_retries=10)
+        base = []
+        gmbe_gpu(g, lambda L, R: base.append((tuple(L), tuple(R))), config=cfg)
+        for seed in (0, 1):
+            plan = FaultPlan(
+                seed, p_sm_crash=0.04, p_warp_hang=0.04,
+                p_queue_drop=0.05, p_mem_pressure=0.05,
+            )
+            out = []
+            res = gmbe_gpu(
+                g, lambda L, R: out.append((tuple(L), tuple(R))),
+                config=cfg, fault_plan=plan,
+            )
+            assert sorted(out) == sorted(base)
+            assert len(out) == len(base)  # exactly once, not just same set
+            assert res.extras["tasks_lost"] == 0
+
+    def test_extras_surface_robustness_info(self):
+        g = random_bipartite(15, 12, 0.3, seed=0)
+        cfg = GMBEConfig(max_task_retries=5)
+        res = gmbe_gpu(g, config=cfg, fault_plan=FaultPlan(0, p_warp_hang=0.2))
+        for key in ("fault_log", "tasks_requeued", "tasks_lost", "halted",
+                    "resumed", "tasks_executed_total"):
+            assert key in res.extras
+        assert res.extras["halted"] is False
+        assert res.extras["resumed"] is False

@@ -96,6 +96,49 @@ def test_counters_accounting_consistent(g):
     assert c.set_op_work >= 0 and c.simt_cycles >= 0
 
 
+@given(
+    bipartite_graphs(),
+    st.integers(0, 2**16),
+    st.sampled_from(["task", "warp", "block"]),
+)
+@settings(max_examples=40, deadline=None)
+def test_crash_equivalence_under_fault_injection(g, seed, scheduling):
+    """Injected faults never change the reported biclique set.
+
+    Aggressive per-consult probabilities (capped by ``max_faults`` so a
+    pathological draw can't exhaust even a generous retry budget) across
+    every scheduling scheme: the recovery path — lineage requeue plus the
+    per-task emission ledger — must reproduce the fault-free output
+    bit-identically, each biclique exactly once.
+    """
+    from repro.gpusim.faults import FaultPlan
+
+    cfg = GMBEConfig(
+        scheduling=scheduling,
+        bound_height=2,
+        bound_size=4,
+        max_task_retries=50,
+    )
+    base = []
+    gmbe_gpu(g, lambda L, R: base.append((tuple(L), tuple(R))), config=cfg)
+    plan = FaultPlan(
+        seed,
+        p_sm_crash=0.10,
+        p_warp_hang=0.10,
+        p_queue_drop=0.10,
+        p_mem_pressure=0.05,
+        max_faults=64,
+    )
+    out = []
+    res = gmbe_gpu(
+        g, lambda L, R: out.append((tuple(L), tuple(R))),
+        config=cfg, fault_plan=plan,
+    )
+    assert res.extras["tasks_lost"] == 0
+    assert sorted(out) == sorted(base)
+    assert len(out) == len(base)  # exactly once — no duplicate emissions
+
+
 @given(bipartite_graphs())
 @settings(max_examples=30, deadline=None)
 def test_enumeration_invariant_under_relabeling(g):

@@ -76,3 +76,40 @@ class TestStats:
         assert s.local_enqueues == 1 and s.global_enqueues == 1
         assert s.local_dequeues + s.global_dequeues == 2
         assert s.total_ops == 4
+
+    def test_requeues_counted_separately_from_pushes(self):
+        q = TwoLevelTaskQueue(1)
+        q.push(0, 0.0, "fresh")
+        q.requeue(1.0, "retry")
+        s = q.stats
+        # a recovery re-enqueue is not fresh work: it must not inflate
+        # the enqueue counters the contention model is built on
+        assert s.requeues == 1
+        assert s.local_enqueues + s.global_enqueues == 1
+        assert s.total_ops == 1  # requeues excluded
+
+    def test_requeued_task_is_poppable(self):
+        q = TwoLevelTaskQueue(2)
+        q.requeue(2.0, "retry")
+        assert q.pop_ready(0, 1.0) is None  # not before avail_time
+        got = q.pop_ready(0, 2.0)
+        assert got is not None and got[0] == "retry"
+
+    def test_drain_sm_empties_local_queue(self):
+        q = TwoLevelTaskQueue(2)
+        q.push(0, 0.0, "a")
+        q.push(0, 1.0, "b")
+        q.push(1, 0.0, "other-sm")
+        drained = q.drain_sm(0)
+        assert sorted(drained) == ["a", "b"]
+        assert q.pop_ready(0, 5.0) is None  # SM 0 now empty
+        assert q.pop_ready(1, 5.0)[0] == "other-sm"  # SM 1 untouched
+
+    def test_drain_all_returns_everything(self):
+        q = TwoLevelTaskQueue(2, local_capacity=1)
+        q.push(0, 0.0, "a")
+        q.push(0, 0.0, "spilled")  # forced global
+        q.push(1, 0.0, "b")
+        drained = q.drain_all()
+        assert sorted(drained) == ["a", "b", "spilled"]
+        assert len(q) == 0

@@ -521,6 +521,110 @@ class TestFaultTolerance:
 
 
 # ----------------------------------------------------------------------
+# Job-level checkpoint/resume through the broker
+# ----------------------------------------------------------------------
+class TestBrokerCheckpointResume:
+    def test_retry_resumes_from_checkpoint(self, paper_graph, tmp_path):
+        """A crashed attempt's checkpoint is picked up by its retry."""
+        direct = enumerate_maximal_bicliques(paper_graph, algorithm="gmbe")
+        import os
+
+        seen = []
+
+        def runner(job, graph, config, checkpoint_path=None):
+            seen.append(checkpoint_path)
+            if len(seen) == 1:
+                # simulate a crash after partial progress: leave a
+                # (placeholder) checkpoint behind, then die
+                with open(checkpoint_path, "w") as f:
+                    f.write("{}")
+                raise Boom("worker died mid-enumeration")
+            assert os.path.exists(checkpoint_path)
+            os.remove(checkpoint_path)  # a real resume consumes it
+            return default_runner(job, graph, config)
+
+        async def go(broker):
+            result = await broker.submit(
+                Job(graph=paper_graph, algorithm="gmbe")
+            )
+            return result, broker.metrics
+
+        result, metrics = run_broker(
+            go, n_workers=1, runner=runner, checkpoint_dir=str(tmp_path)
+        )
+        assert result.ok and result.attempts == 2
+        # both attempts were handed the SAME stable per-job path
+        assert len(seen) == 2 and seen[0] == seen[1]
+        assert seen[0] is not None and seen[0].startswith(str(tmp_path))
+        # the broker observed that the retry started from a checkpoint
+        assert metrics.resumed == 1
+        assert list(result.bicliques) == direct
+
+    def test_default_runner_resumes_real_enumeration(self, tmp_path):
+        """End-to-end: default_runner + gmbe resumes from a genuine
+        mid-run checkpoint and still reports the exact biclique set."""
+        graph = random_bipartite(20, 18, 0.3, seed=7)
+        direct = enumerate_maximal_bicliques(graph, algorithm="gmbe")
+        calls = {"n": 0}
+
+        def runner(job, graph_, config, checkpoint_path=None):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                # first attempt halts mid-run, leaving a real checkpoint
+                from repro.gmbe import gmbe_gpu
+
+                gmbe_gpu(graph_, config=config,
+                         checkpoint_path=checkpoint_path,
+                         checkpoint_every=1, halt_after_tasks=5)
+                raise Boom("halted mid-run")
+            return default_runner(job, graph_, config,
+                                  checkpoint_path=checkpoint_path)
+
+        async def go(broker):
+            result = await broker.submit(Job(graph=graph, algorithm="gmbe"))
+            return result, broker.metrics
+
+        result, metrics = run_broker(
+            go, n_workers=1, runner=runner, checkpoint_dir=str(tmp_path)
+        )
+        assert result.ok and metrics.resumed == 1
+        assert sorted(result.bicliques) == sorted(direct)
+        assert len(result.bicliques) == len(set(result.bicliques))
+
+    def test_plain_runner_gets_no_checkpoint_kwarg(self, paper_graph, tmp_path):
+        """checkpoint_dir with a runner that can't take a path is inert."""
+
+        def runner(job, graph, config):  # no checkpoint_path parameter
+            return default_runner(job, graph, config)
+
+        async def go(broker):
+            result = await broker.submit(
+                Job(graph=paper_graph, algorithm="oombea")
+            )
+            return result, broker.metrics
+
+        result, metrics = run_broker(
+            go, n_workers=1, runner=runner, checkpoint_dir=str(tmp_path)
+        )
+        assert result.ok and metrics.resumed == 0
+
+    def test_no_checkpoint_dir_means_no_path(self, paper_graph):
+        seen = []
+
+        def runner(job, graph, config, checkpoint_path=None):
+            seen.append(checkpoint_path)
+            return default_runner(job, graph, config)
+
+        async def go(broker):
+            return await broker.submit(
+                Job(graph=paper_graph, algorithm="oombea")
+            )
+
+        result = run_broker(go, n_workers=1, runner=runner)
+        assert result.ok and seen == [None]
+
+
+# ----------------------------------------------------------------------
 # Priority dispatch
 # ----------------------------------------------------------------------
 class TestPriority:
@@ -618,10 +722,26 @@ class TestResiliencePrimitives:
             ResiliencePolicy(backoff_multiplier=0.5)
 
     def test_backoff_schedule_caps(self):
+        # jitter disabled: this pins the deterministic schedule
         p = ResiliencePolicy(backoff_base=0.1, backoff_multiplier=10,
-                             backoff_max=0.5)
+                             backoff_max=0.5, backoff_jitter=0)
         assert p.backoff_for(1) == pytest.approx(0.1)
         assert p.backoff_for(2) == pytest.approx(0.5)  # capped
+
+    def test_backoff_jitter_spreads_after_cap(self):
+        import random as _random
+
+        p = ResiliencePolicy(backoff_base=0.1, backoff_multiplier=10,
+                             backoff_max=0.5, backoff_jitter=0.25)
+        rng = _random.Random(0)
+        delays = [p.backoff_for(2, rng=rng) for _ in range(50)]
+        # cap-then-jitter: every delay sits in [cap, cap*(1+jitter))
+        assert all(0.5 <= d < 0.5 * 1.25 for d in delays)
+        assert len({round(d, 9) for d in delays}) > 1  # actually spread
+
+    def test_backoff_jitter_validation(self):
+        with pytest.raises(ValueError):
+            ResiliencePolicy(backoff_jitter=-0.1)
 
     def test_non_retryable_fails_immediately(self):
         # BaseException outside the retryable set (but not the loop's own
@@ -655,6 +775,56 @@ class TestResiliencePrimitives:
 
         outcome = asyncio.run(go())
         assert outcome.status == "timeout" and outcome.attempts == 0
+
+    def test_failed_outcome_keeps_full_retry_history(self):
+        calls = {"n": 0}
+
+        async def attempt():
+            calls["n"] += 1
+            raise Boom(f"failure {calls['n']}")
+
+        async def go():
+            policy = ResiliencePolicy(max_attempts=3, backoff_base=0)
+            return await execute_with_retry(lambda: attempt(), policy)
+
+        outcome = asyncio.run(go())
+        assert outcome.status == "failed" and outcome.attempts == 3
+        # the re-raisable exception is the *last* attempt's object...
+        assert isinstance(outcome.exception, Boom)
+        assert "failure 3" in str(outcome.exception)
+        # ...annotated with every prior attempt (PEP 678 notes)
+        notes = getattr(outcome.exception, "__notes__", outcome.exception.args)
+        joined = " ".join(str(n) for n in notes)
+        assert "attempt 1" in joined and "attempt 2" in joined
+        assert "attempt 3" not in joined  # the last one IS the exception
+        # and the structured history records all three in order
+        assert len(outcome.attempt_errors) == 3
+        assert all(f"attempt {i+1}" in e
+                   for i, e in enumerate(outcome.attempt_errors))
+
+    def test_raise_for_status_reraises_last_exception(self):
+        async def attempt():
+            raise Boom("terminal")
+
+        async def go():
+            policy = ResiliencePolicy(max_attempts=2, backoff_base=0)
+            return await execute_with_retry(lambda: attempt(), policy)
+
+        outcome = asyncio.run(go())
+        with pytest.raises(Boom, match="terminal"):
+            outcome.raise_for_status()
+
+    def test_raise_for_status_returns_value_on_success(self):
+        async def go():
+            policy = ResiliencePolicy(max_attempts=2, backoff_base=0)
+
+            async def attempt():
+                return 42
+
+            return await execute_with_retry(lambda: attempt(), policy)
+
+        outcome = asyncio.run(go())
+        assert outcome.raise_for_status() == 42
 
 
 # ----------------------------------------------------------------------
