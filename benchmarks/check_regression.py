@@ -24,6 +24,13 @@ speed:
     must keep a plain/robust wall-clock throughput ratio of at least
     0.95 — i.e. always-on crash tolerance may cost at most 5%.
 
+``telemetry-off`` / ``telemetry-on``
+    Re-run :mod:`bench_telemetry` (once — the run is memoized across
+    the two gates) and gate the observability overhead: disabled
+    telemetry must keep >= 95% of baseline throughput (the no-op path
+    is a single ``is_enabled`` check per task), enabled telemetry with
+    spans + phase attribution + a ring sink must keep >= 80%.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py                 # both gates
@@ -48,6 +55,22 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 import bench_faults  # noqa: E402
 import bench_service_throughput  # noqa: E402
 import bench_setops  # noqa: E402
+import bench_telemetry  # noqa: E402
+
+
+def _memoize(fn: Callable[[], dict]) -> Callable[[], dict]:
+    """Run ``fn`` once and reuse the result (gates sharing one bench)."""
+    cache: list[dict] = []
+
+    def run() -> dict:
+        if not cache:
+            cache.append(fn())
+        return cache[0]
+
+    return run
+
+
+_run_telemetry = _memoize(bench_telemetry.run)
 
 
 class SnapshotError(RuntimeError):
@@ -88,6 +111,22 @@ GATES = (
         run=bench_faults.run,
         tolerance=0.05,
         floor=0.95,
+    ),
+    Gate(
+        name="telemetry-off",
+        path=bench_telemetry.OUT_PATH,
+        metric="telemetry_disabled_ratio",
+        run=_run_telemetry,
+        tolerance=0.05,
+        floor=0.95,
+    ),
+    Gate(
+        name="telemetry-on",
+        path=bench_telemetry.OUT_PATH,
+        metric="telemetry_enabled_ratio",
+        run=_run_telemetry,
+        tolerance=0.10,
+        floor=0.80,
     ),
 )
 

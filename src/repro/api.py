@@ -103,6 +103,7 @@ def enumerate_maximal_bicliques(
     checkpoint_path=None,
     checkpoint_every: int = 256,
     resume: bool = False,
+    telemetry=None,
 ) -> list[Biclique]:
     """Enumerate all maximal bicliques of ``data``.
 
@@ -125,6 +126,11 @@ def enumerate_maximal_bicliques(
         seeded :class:`~repro.gpusim.FaultPlan`, and/or snapshot the
         enumeration frontier to ``checkpoint_path`` so an interrupted
         run can be resumed bit-identically (see DESIGN.md §9).
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry`
+        (``algorithm="gmbe"`` only): the run is traced as a
+        ``sim.kernel`` span and its phase/queue/fault statistics land
+        in ``telemetry.registry`` (see ``docs/observability.md``).
 
     Returns
     -------
@@ -145,6 +151,11 @@ def enumerate_maximal_bicliques(
             "fault injection and checkpoint/resume are only supported "
             f'by algorithm="gmbe", not {algorithm!r}'
         )
+    if telemetry is not None and algorithm != "gmbe":
+        raise ValueError(
+            'telemetry is only supported by algorithm="gmbe", '
+            f"not {algorithm!r}"
+        )
     if algorithm == "gmbe":
         gmbe_gpu(
             graph,
@@ -154,6 +165,7 @@ def enumerate_maximal_bicliques(
             checkpoint_path=checkpoint_path,
             checkpoint_every=checkpoint_every,
             resume=resume,
+            telemetry=telemetry,
         )
     elif algorithm == "gmbe-host":
         gmbe_host(graph, collector, config=config or GMBEConfig())

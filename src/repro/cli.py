@@ -91,6 +91,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_run.add_argument("--max-task-retries", type=int, default=3,
                        help="failure budget per task lineage under faults")
+    p_run.add_argument("--telemetry-out", metavar="PATH",
+                       help="enable unified telemetry (gmbe only) and write "
+                       "its JSON snapshot — metrics registry plus trace "
+                       "records — to PATH")
     rob = p_run.add_argument_group(
         "robustness (gmbe only)",
         "deterministic fault injection and checkpoint/resume; "
@@ -154,6 +158,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="retry attempts after a failed execution")
     p_srv.add_argument("--metrics-out",
                        help="also write the metrics snapshot JSON here")
+    p_srv.add_argument("--prometheus-out", metavar="PATH",
+                       help="write the unified metrics registry in "
+                       "Prometheus text exposition format to PATH")
+    p_srv.add_argument("--trace-out", metavar="PATH",
+                       help="enable tracing and stream span/event records "
+                       "to PATH as JSON lines")
 
     p_flt = sub.add_parser(
         "faults", help="fault-injection tooling (replay a recorded log)"
@@ -278,6 +288,13 @@ def _cmd_run(args) -> int:
         )
     if args.resume and args.checkpoint is None:
         raise SystemExit("--resume requires --checkpoint PATH")
+    telemetry = None
+    if args.telemetry_out:
+        if args.algo != "gmbe":
+            raise SystemExit("--telemetry-out requires --algo gmbe")
+        from .telemetry import Telemetry, use_telemetry
+
+        telemetry = Telemetry()
     sink = None
     out_fh = None
     if args.output:
@@ -286,17 +303,27 @@ def _cmd_run(args) -> int:
     try:
         start = time.perf_counter()
         if args.algo == "gmbe" and getattr(args, "nodes", 1) > 1:
+            from contextlib import nullcontext
+
             from .gmbe import ClusterSpec, gmbe_cluster
 
-            res = gmbe_cluster(
-                g, sink,
-                config=config,
-                cluster=ClusterSpec(
-                    n_nodes=args.nodes,
-                    gpus_per_node=args.gpus,
-                    device=DEVICE_PRESETS[args.device],
-                ),
+            # Ambient telemetry: each per-node gmbe_gpu call inside the
+            # cluster driver discovers it and folds into one registry.
+            ctx = (
+                use_telemetry(telemetry)
+                if telemetry is not None
+                else nullcontext()
             )
+            with ctx:
+                res = gmbe_cluster(
+                    g, sink,
+                    config=config,
+                    cluster=ClusterSpec(
+                        n_nodes=args.nodes,
+                        gpus_per_node=args.gpus,
+                        device=DEVICE_PRESETS[args.device],
+                    ),
+                )
         elif args.algo == "gmbe":
             res = gmbe_gpu(
                 g, sink,
@@ -308,6 +335,7 @@ def _cmd_run(args) -> int:
                 checkpoint_every=args.checkpoint_every,
                 resume=args.resume,
                 halt_after_tasks=args.halt_after_tasks,
+                telemetry=telemetry,
             )
         elif args.algo == "gmbe-host":
             res = gmbe_host(g, sink, config=config)
@@ -333,6 +361,14 @@ def _cmd_run(args) -> int:
             if log is not None:
                 log.save(args.fault_log)
                 print(f"fault log written to {args.fault_log}")
+    if telemetry is not None:
+        import json
+
+        telemetry.flush()
+        with open(args.telemetry_out, "w", encoding="utf-8") as fh:
+            json.dump(telemetry.snapshot(), fh, indent=2, default=str)
+            fh.write("\n")
+        print(f"telemetry written to {args.telemetry_out}")
     if args.output:
         print(f"bicliques written to {args.output}")
     return 0
@@ -436,6 +472,15 @@ def _cmd_serve(args) -> int:
             graphs[gspec] = _load_graph(gspec)
         jobs.append({"graph": graphs[gspec], **spec})
 
+    telemetry = None
+    if args.prometheus_out or args.trace_out:
+        from .telemetry import JSONLSink, RingSink, Telemetry
+
+        sinks = [RingSink()]
+        if args.trace_out:
+            sinks.append(JSONLSink(args.trace_out))
+        telemetry = Telemetry(sinks=sinks)
+
     client = ServiceClient(
         n_workers=args.workers,
         queue_depth=args.queue_depth,
@@ -443,6 +488,7 @@ def _cmd_serve(args) -> int:
         policy=ResiliencePolicy(
             timeout=args.timeout, max_attempts=args.retries + 1
         ),
+        telemetry=telemetry,
     )
     try:
         if batch:
@@ -463,6 +509,14 @@ def _cmd_serve(args) -> int:
         with open(args.metrics_out, "w", encoding="utf-8") as fh:
             fh.write(text + "\n")
         print(f"metrics written to {args.metrics_out}")
+    if telemetry is not None:
+        telemetry.close()  # flushes the JSONL trace sink
+        if args.prometheus_out:
+            with open(args.prometheus_out, "w", encoding="utf-8") as fh:
+                fh.write(telemetry.registry.to_prometheus_text())
+            print(f"prometheus metrics written to {args.prometheus_out}")
+        if args.trace_out:
+            print(f"trace records written to {args.trace_out}")
     return 0 if all(r.ok for r in results) else 1
 
 

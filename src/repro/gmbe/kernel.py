@@ -58,6 +58,12 @@ from ..graph.preprocess import prepare
 from ..gpusim.device import A100, DeviceSpec
 from ..gpusim.faults import FaultPlan
 from ..gpusim.scheduler import ExecOutcome, PersistentThreadScheduler
+from ..telemetry import (
+    NULL_TRACER,
+    current_telemetry,
+    register_counters,
+    register_sim_report,
+)
 from .config import DEFAULT_CONFIG, GMBEConfig
 from .host import run_task_with_node_buffer
 
@@ -163,6 +169,61 @@ class _EmissionLedger:
             )
 
 
+def _register_run_telemetry(
+    telemetry, tracer, report, master, dev, split_overhead_cycles
+) -> None:
+    """Fold one run's statistics into the unified registry and re-emit
+    the fault log as correlated trace events.
+
+    Runs once per enumeration (never per task), inside the ``sim.kernel``
+    span so every event inherits its span/trace/job correlation ids.
+    The phase counters decompose the modeled kernel time the way the
+    paper's §6.2 profiles do: set-op SIMT cycles, node (stack push/pop)
+    overhead, queue acquisition, split overhead, watchdog stalls.
+    """
+    registry = telemetry.registry
+    register_counters(registry, master)
+    register_sim_report(registry, report)
+    phases = report.phase_cycles or {}
+    registry.counter("sim.phase.set_op_cycles").add(master.simt_cycles)
+    registry.counter("sim.phase.node_overhead_cycles").add(
+        dev.node_overhead_cycles * master.nodes_generated
+    )
+    registry.counter("sim.phase.queue_acquire_cycles").add(
+        phases.get("queue_acquire", 0.0)
+    )
+    registry.counter("sim.phase.execute_cycles").add(
+        phases.get("execute", 0.0)
+    )
+    registry.counter("sim.phase.watchdog_cycles").add(
+        phases.get("watchdog", 0.0)
+    )
+    registry.counter("sim.phase.split_cycles").add(split_overhead_cycles)
+    depth_hist = registry.histogram("sim.queue.device_depth")
+    for _time, _dev_id, depth in report.queue_depth_samples:
+        depth_hist.record(depth)
+    split_hist = registry.histogram("sim.split.children")
+    for time_cycles, dev_id, n_children in report.split_events:
+        split_hist.record(n_children)
+        tracer.event(
+            "task.split",
+            sim_time_cycles=time_cycles,
+            device=dev_id,
+            children=n_children,
+        )
+    if report.fault_log is not None:
+        for ev in report.fault_log.events:
+            tracer.event(
+                f"fault.{ev.kind}",
+                site=ev.site,
+                sim_time_cycles=ev.time,
+                device=ev.device,
+                sm=ev.sm,
+                lineage=list(ev.lineage) if ev.lineage is not None else None,
+                **ev.detail,
+            )
+
+
 def gmbe_gpu(
     graph: BipartiteGraph,
     sink: BicliqueSink | None = None,
@@ -178,6 +239,7 @@ def gmbe_gpu(
     checkpoint_every: int = 256,
     resume: bool = False,
     halt_after_tasks: int | None = None,
+    telemetry=None,
 ) -> EnumerationResult:
     """Enumerate all maximal bicliques with GMBE on simulated GPUs.
 
@@ -218,6 +280,17 @@ def gmbe_gpu(
         Stop after this many completed tasks (the kill switch the
         checkpoint tests and ``--halt-after-tasks`` use); the final
         frontier is snapshotted if a checkpoint path is set.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry`.  When omitted the
+        ambient one is discovered via
+        :func:`~repro.telemetry.current_telemetry` (the broker plants
+        it before the thread hop).  An enabled telemetry wraps the run
+        in a ``sim.kernel`` span (inheriting the caller's ``job_id``),
+        attributes per-phase cycles/queue depth/splits into the metrics
+        registry, and re-emits fault-log entries as trace events —
+        every one carrying the span's correlation ids.  ``None`` or a
+        disabled telemetry costs one check up front and nothing per
+        task.
     """
     if n_gpus <= 0:
         raise ValueError("n_gpus must be positive")
@@ -241,6 +314,15 @@ def gmbe_gpu(
         or checkpoint_path is not None
         or halt_after_tasks is not None
     )
+
+    if telemetry is None:
+        telemetry = current_telemetry()
+    if telemetry is not None and not telemetry.enabled:
+        telemetry = None
+    tracer = telemetry.tracer if telemetry is not None else NULL_TRACER
+    #: split-overhead cycle accumulator; ``None`` keeps the split path
+    #: untouched when telemetry is off
+    split_cycles = [0.0] if telemetry is not None else None
 
     # ------------------------------------------------------------------
     # Resume: load + validate the snapshot before any work happens.
@@ -441,6 +523,8 @@ def gmbe_gpu(
                     remaining = remaining[1:]
                     remaining_counts = remaining_counts[1:]
             master.merge(c)
+            if split_cycles is not None:
+                split_cycles[0] += elapsed - base
             return ExecOutcome(cycles=elapsed, children=children)
         if suppress:
             run_task_with_node_buffer(
@@ -477,6 +561,7 @@ def gmbe_gpu(
         max_task_retries=config.max_task_retries,
         halt_after_tasks=halt_after_tasks,
         initial_tasks=initial_tasks or None,
+        collect_telemetry=telemetry is not None,
     )
 
     writer = None
@@ -523,7 +608,22 @@ def gmbe_gpu(
 
         scheduler.on_task_done = on_task_done
 
-    report = scheduler.run()
+    with tracer.span(
+        "sim.kernel",
+        scheduling=config.scheduling,
+        device=dev.name,
+        n_gpus=n_gpus,
+        resumed=snapshot is not None,
+    ) as kernel_span:
+        scheduler.trace_span_id = kernel_span.span_id
+        report = scheduler.run()
+        if telemetry is not None:
+            kernel_span.set_attr("tasks_executed", report.tasks_executed)
+            kernel_span.set_attr("makespan_cycles", report.makespan_cycles)
+            kernel_span.set_attr("n_maximal", counting.count)
+            _register_run_telemetry(
+                telemetry, tracer, report, master, dev, split_cycles[0]
+            )
     if writer is not None:
         if report.halted:
             # Final frontier snapshot so a --resume picks up exactly here.

@@ -12,6 +12,7 @@ from .faults import (
     ReplayFaultPlan,
     replay_plan,
 )
+from .extras import require_sim_extras
 from .memory import MemoryDemand, MemoryModel
 from .profiler import KernelProfile, profile_run
 from .trace import chrome_trace_events, write_chrome_trace
@@ -51,5 +52,6 @@ __all__ = [
     "active_units_curve",
     "chrome_trace_events",
     "profile_run",
+    "require_sim_extras",
     "write_chrome_trace",
 ]

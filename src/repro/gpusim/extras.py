@@ -1,0 +1,34 @@
+"""Shared validation of :func:`repro.gmbe.gmbe_gpu` result extras.
+
+Every consumer of a simulated run's ``extras`` (the chrome-trace
+exporter, the Nsight-style profiler) needs the same two keys and used to
+raise its own slightly different, unhelpful error.  This helper raises
+one consistent, actionable message naming the caller, the missing keys,
+and where a valid result comes from.
+"""
+
+from __future__ import annotations
+
+__all__ = ["require_sim_extras"]
+
+#: ``extras`` keys every simulated-run consumer relies on.
+_REQUIRED_KEYS = ("report", "device")
+
+
+def require_sim_extras(result, caller: str) -> tuple:
+    """Return ``(report, device)`` from ``result.extras`` or raise.
+
+    ``caller`` is the public function name used in the error message.
+    Raises :class:`ValueError` when ``result`` was not produced by
+    :func:`repro.gmbe.gmbe_gpu` (e.g. a host-side enumeration, whose
+    extras carry no simulator report).
+    """
+    extras = getattr(result, "extras", None) or {}
+    missing = [key for key in _REQUIRED_KEYS if key not in extras]
+    if missing:
+        raise ValueError(
+            f"{caller} needs a result produced by repro.gmbe.gmbe_gpu: "
+            f"result.extras is missing {', '.join(repr(k) for k in missing)}"
+            " (host-side enumerations carry no simulator report)"
+        )
+    return extras["report"], extras["device"]

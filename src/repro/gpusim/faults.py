@@ -84,6 +84,9 @@ class FaultEvent:
     sm: int = -1
     unit: int = -1
     lineage: object = None
+    #: id of the telemetry span the owning kernel ran under (``None``
+    #: when tracing is off) — the job→task→fault correlation key
+    span_id: str | None = None
     detail: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
@@ -96,6 +99,7 @@ class FaultEvent:
             "sm": self.sm,
             "unit": self.unit,
             "lineage": list(self.lineage) if self.lineage is not None else None,
+            "span_id": self.span_id,
             "detail": self.detail,
         }
 
@@ -111,6 +115,7 @@ class FaultEvent:
             sm=int(data.get("sm", -1)),
             unit=int(data.get("unit", -1)),
             lineage=tuple(lineage) if lineage is not None else None,
+            span_id=data.get("span_id"),
             detail=dict(data.get("detail", {})),
         )
 

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.bicliques import EnumerationResult
+from .extras import require_sim_extras
 from .timeline import BusyRecorder, active_sm_curve
 
 __all__ = ["KernelProfile", "profile_run"]
@@ -69,12 +70,8 @@ def _busy_time(recorder: BusyRecorder) -> float:
 
 def profile_run(result: EnumerationResult) -> KernelProfile:
     """Build a :class:`KernelProfile` from a :func:`gmbe_gpu` result."""
-    extras = result.extras
-    if "report" not in extras or "device" not in extras:
-        raise ValueError("profile_run needs a result produced by gmbe_gpu")
-    report = extras["report"]
-    device = extras["device"]
-    units_per_sm = extras.get("units_per_sm", device.warps_per_sm)
+    report, device = require_sim_extras(result, "profile_run")
+    units_per_sm = result.extras.get("units_per_sm", device.warps_per_sm)
     c = result.counters
 
     lane_eff = c.set_op_work / (32.0 * c.simt_cycles) if c.simt_cycles else 0.0

@@ -110,6 +110,14 @@ class SimReport:
     tasks_lost: int = 0
     #: True when the run stopped early (``halt_after_tasks``)
     halted: bool = False
+    #: per-phase cycle attribution (``None`` unless ``collect_telemetry``)
+    phase_cycles: dict | None = None
+    #: ``(time, device_id, queue_depth)`` sampled at each task
+    #: completion (empty unless ``collect_telemetry``)
+    queue_depth_samples: list = field(default_factory=list)
+    #: ``(time, device_id, n_children)`` per load-aware split (empty
+    #: unless ``collect_telemetry``)
+    split_events: list = field(default_factory=list)
 
 
 class PersistentThreadScheduler:
@@ -152,6 +160,11 @@ class PersistentThreadScheduler:
         ``(payload, retries)`` pairs restored from a checkpoint; they
         are registered and re-enqueued (round-robin across devices)
         before the first unit wakes.
+    collect_telemetry:
+        Accumulate per-phase cycle attribution, queue-depth samples and
+        split events into the :class:`SimReport` (one extra branch per
+        completed task; everything is skipped when False — the no-op
+        guarantee ``benchmarks/bench_telemetry.py`` gates).
     """
 
     def __init__(
@@ -169,6 +182,7 @@ class PersistentThreadScheduler:
         on_task_done: Callable[[int, float], None] | None = None,
         halt_after_tasks: int | None = None,
         initial_tasks: list[tuple[Any, int]] | None = None,
+        collect_telemetry: bool = False,
     ) -> None:
         if not devices:
             raise ValueError("need at least one device")
@@ -225,6 +239,17 @@ class PersistentThreadScheduler:
         self._registry: dict[Hashable, LineageEntry] | None = (
             {} if lineage_of is not None else None
         )
+        # --- telemetry attribution (None = fully bypassed) -------------
+        self._phase_cycles: dict[str, float] | None = (
+            {"queue_acquire": 0.0, "execute": 0.0, "watchdog": 0.0}
+            if collect_telemetry
+            else None
+        )
+        self._depth_samples: list[tuple[float, int]] = []
+        self._split_events: list[tuple[float, int]] = []
+        #: id of the telemetry span this run belongs to; stamped onto
+        #: every FaultEvent so faults correlate back to their job
+        self.trace_span_id: str | None = None
         self._dead: list[set[int]] = [set() for _ in devices]
         self._fault_log = FaultLog(
             plan_state=fault_plan.state() if fault_plan is not None else None
@@ -310,6 +335,7 @@ class PersistentThreadScheduler:
             sm=unit.sm if unit is not None else -1,
             unit=unit.unit_id if unit is not None else -1,
             lineage=lineage,
+            span_id=self.trace_span_id,
             detail=detail,
         ))
 
@@ -427,6 +453,13 @@ class PersistentThreadScheduler:
             tasks_requeued=self.tasks_requeued,
             tasks_lost=self.tasks_lost,
             halted=halted,
+            phase_cycles=(
+                dict(self._phase_cycles)
+                if self._phase_cycles is not None
+                else None
+            ),
+            queue_depth_samples=self._depth_samples,
+            split_events=self._split_events,
         )
 
     def _run_heap(self, heap: list[tuple[float, int]]) -> bool:
@@ -440,6 +473,10 @@ class PersistentThreadScheduler:
         registry = self._registry
         lineage_of = self._lineage_of
         plan = self._plan
+        # Hoisted: one truthiness check per task when telemetry is off.
+        phases = self._phase_cycles
+        depth_samples = self._depth_samples
+        split_events = self._split_events
         while heap:
             now, unit_id = heapq.heappop(heap)
             unit = self._units[unit_id]
@@ -502,6 +539,9 @@ class PersistentThreadScheduler:
                 # unit and the task moves to a surviving SM.
                 end = start + acquire_cycles + self._plan.watchdog_cycles
                 recorder.record(unit.record_key, start, end)
+                if phases is not None:
+                    phases["queue_acquire"] += acquire_cycles
+                    phases["watchdog"] += self._plan.watchdog_cycles
                 self._log_fault(
                     "warp_hang", "execute", end, unit, payload,
                     fraction=decision.fraction,
@@ -554,6 +594,14 @@ class PersistentThreadScheduler:
                 self.tasks_split += 1
             end = start + acquire_cycles + cycles
             recorder.record(unit.record_key, start, end)
+            if phases is not None:
+                phases["queue_acquire"] += acquire_cycles
+                phases["execute"] += cycles
+                depth_samples.append((end, unit.device_id, len(queue)))
+                if outcome.children:
+                    split_events.append(
+                        (end, unit.device_id, len(outcome.children))
+                    )
             for offset, child in outcome.children:
                 avail_time = start + acquire_cycles + offset
                 if registry is not None:

@@ -5,6 +5,21 @@ Writes the scheduler's busy intervals in the Trace Event Format that
 one thread row per resident warp slot, one complete ``X`` event per
 executed task.  Handy for eyeballing the load-balance pathologies the
 paper's Figs. 4/9 aggregate.
+
+On top of the busy intervals, runs that carry the extra telemetry are
+annotated in place:
+
+- instant (``ph: "i"``) events for every injected fault, recovery
+  requeue, and load-aware task split, pinned to the (device, SM) row
+  where they happened;
+- counter (``ph: "C"``) events tracking each device's task-queue depth
+  over simulated time — the visual form of the Fig.-9 load-balance
+  argument.
+
+Fault annotations need a fault-injected run (``fault_plan=``); queue
+depth and split instants need telemetry collection (``telemetry=`` on
+:func:`~repro.gmbe.kernel.gmbe_gpu`).  Both degrade to nothing — never
+an error — when the run didn't record them.
 """
 
 from __future__ import annotations
@@ -14,17 +29,19 @@ import os
 from typing import Any
 
 from ..core.bicliques import EnumerationResult
+from .extras import require_sim_extras
 
 __all__ = ["chrome_trace_events", "write_chrome_trace"]
 
 
+def _pid(device: int, sm: int) -> int:
+    """(device, SM) → trace process id; negative ids pin to row 0."""
+    return max(device, 0) * 1000 + max(sm, 0)
+
+
 def chrome_trace_events(result: EnumerationResult) -> list[dict[str, Any]]:
     """Trace events (microsecond timestamps) for a :func:`gmbe_gpu` run."""
-    extras = result.extras
-    if "report" not in extras or "device" not in extras:
-        raise ValueError("chrome_trace_events needs a result from gmbe_gpu")
-    report = extras["report"]
-    device = extras["device"]
+    report, device = require_sim_extras(result, "chrome_trace_events")
     to_us = 1e6 / device.clock_hz
     events: list[dict[str, Any]] = []
     for dev_id, recorder in enumerate(report.recorders):
@@ -49,6 +66,59 @@ def chrome_trace_events(result: EnumerationResult) -> list[dict[str, Any]]:
                 "ph": "M",
                 "pid": dev_id * 1000,
                 "args": {"name": f"{device.name}[{dev_id}]"},
+            }
+        )
+    # ------------------------------------------------------------------
+    # Annotations (all optional; empty collections add nothing).
+    # ------------------------------------------------------------------
+    fault_log = getattr(report, "fault_log", None)
+    if fault_log is not None:
+        for ev in fault_log.events:
+            events.append(
+                {
+                    "name": f"fault:{ev.kind}",
+                    "cat": "fault",
+                    "ph": "i",
+                    # process scope: the marker spans the (device, SM)
+                    # row it landed on; recovery events have no unit
+                    "s": "p",
+                    "ts": ev.time * to_us,
+                    "pid": _pid(ev.device, ev.sm),
+                    "tid": 0,
+                    "args": {
+                        "site": ev.site,
+                        "lineage": (
+                            list(ev.lineage)
+                            if ev.lineage is not None
+                            else None
+                        ),
+                        "span_id": ev.span_id,
+                        **ev.detail,
+                    },
+                }
+            )
+    for time_cycles, dev_id, n_children in report.split_events:
+        events.append(
+            {
+                "name": "task_split",
+                "cat": "sched",
+                "ph": "i",
+                "s": "p",
+                "ts": time_cycles * to_us,
+                "pid": dev_id * 1000,
+                "tid": 0,
+                "args": {"children": n_children},
+            }
+        )
+    for time_cycles, dev_id, depth in report.queue_depth_samples:
+        events.append(
+            {
+                "name": "queue_depth",
+                "cat": "sched",
+                "ph": "C",
+                "ts": time_cycles * to_us,
+                "pid": dev_id * 1000,
+                "args": {"tasks": depth},
             }
         )
     return events

@@ -28,6 +28,7 @@ Design decisions worth knowing:
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import hashlib
 import inspect
 import itertools
@@ -40,6 +41,7 @@ from ..gmbe import GMBEConfig
 from ..graph import BipartiteGraph
 from ..parallel import WorkerPool
 from ..streaming import DynamicBipartiteGraph
+from ..telemetry import NULL_TRACER, Telemetry, run_with_telemetry
 from .cache import ResultCache
 from .jobs import Job, JobResult, JobStatus
 from .metrics import ServiceMetrics
@@ -134,16 +136,32 @@ class EnumerationBroker:
         base_config: GMBEConfig | None = None,
         runner: Callable[[Job, BipartiteGraph, GMBEConfig], list] | None = None,
         checkpoint_dir: str | None = None,
+        telemetry: Telemetry | None = None,
+        telemetry_flush_interval: float = 5.0,
     ) -> None:
         if n_workers <= 0:
             raise ValueError("n_workers must be positive")
         if queue_depth <= 0:
             raise ValueError("queue_depth must be positive")
+        if telemetry_flush_interval <= 0:
+            raise ValueError("telemetry_flush_interval must be positive")
         self.n_workers = n_workers
         self.queue_depth = queue_depth
         self.cache = cache if cache is not None else ResultCache()
         self.policy = policy or ResiliencePolicy()
-        self.metrics = metrics or ServiceMetrics()
+        #: unified observability: when a Telemetry object is attached,
+        #: the service metrics register into *its* registry (one dotted
+        #: namespace for service + kernel), spans flow from submit down
+        #: into the enumeration, and a periodic flusher drains the sinks.
+        self.telemetry = telemetry
+        self.telemetry_flush_interval = telemetry_flush_interval
+        self._tracer = telemetry.tracer if telemetry is not None else NULL_TRACER
+        if metrics is not None:
+            self.metrics = metrics
+        else:
+            self.metrics = ServiceMetrics(
+                registry=telemetry.registry if telemetry is not None else None
+            )
         self.base_config = base_config or GMBEConfig()
         self._runner = runner or default_runner
         #: jobs checkpoint under this directory (one file per cache key)
@@ -158,6 +176,7 @@ class EnumerationBroker:
         self._queue: asyncio.PriorityQueue | None = None
         self._pool: WorkerPool | None = None
         self._dispatchers: list[asyncio.Task] = []
+        self._flusher: asyncio.Task | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
 
     # ------------------------------------------------------------------
@@ -173,8 +192,34 @@ class EnumerationBroker:
             asyncio.create_task(self._dispatch_loop(), name=f"dispatch-{i}")
             for i in range(self.n_workers)
         ]
+        if self.telemetry is not None and self.telemetry.enabled:
+            self._flusher = asyncio.create_task(
+                self._flush_loop(), name="telemetry-flush"
+            )
+
+    async def _flush_loop(self) -> None:
+        """Periodically drain telemetry sinks and refresh live gauges."""
+        assert self.telemetry is not None
+        while True:
+            await asyncio.sleep(self.telemetry_flush_interval)
+            self._observe_gauges()
+            self.telemetry.flush()
+
+    def _observe_gauges(self) -> None:
+        if self.telemetry is None:
+            return
+        registry = self.telemetry.registry
+        registry.gauge("service.queue.size").set(self.queue_size)
+        registry.gauge("service.jobs.in_flight").set(self.in_flight)
+        registry.gauge("service.cache.bytes").set(
+            getattr(self.cache, "current_bytes", 0)
+        )
 
     async def stop(self) -> None:
+        if self._flusher is not None:
+            self._flusher.cancel()
+            await asyncio.gather(self._flusher, return_exceptions=True)
+            self._flusher = None
         for task in self._dispatchers:
             task.cancel()
         if self._dispatchers:
@@ -196,6 +241,9 @@ class EnumerationBroker:
             self._pool.shutdown(wait=False)
             self._pool = None
         self._queue = None
+        if self.telemetry is not None:
+            self._observe_gauges()
+            self.telemetry.flush()
 
     # ------------------------------------------------------------------
     # Graph registry
@@ -251,7 +299,11 @@ class EnumerationBroker:
             graph, job.algorithm, config, job.min_left, job.min_right
         )
 
-        cached = self.cache.get(key)
+        with self._tracer.span(
+            "cache.lookup", job_id=job.id, algorithm=job.algorithm
+        ) as lookup_span:
+            cached = self.cache.get(key)
+            lookup_span.set_attr("hit", cached is not None)
         if cached is not None:
             self.metrics.cache_hits += 1
             latency = (loop.time() - t0) * 1e3
@@ -390,6 +442,8 @@ class EnumerationBroker:
 
         pool = self._pool
         ckpt_path = self._checkpoint_path_for(entry)
+        telemetry = self.telemetry
+        traced = telemetry is not None and telemetry.enabled
 
         def _attempt():
             kwargs = {}
@@ -397,18 +451,38 @@ class EnumerationBroker:
                 if os.path.exists(ckpt_path):
                     self.metrics.resumed += 1
                 kwargs["checkpoint_path"] = ckpt_path
-            cf = pool.submit(
-                self._runner, entry.job, entry.graph, entry.config, **kwargs
-            )
+            if traced:
+                # Ship a copy of the broker-side context (current span =
+                # the retry attempt) across the thread hop, with the
+                # telemetry object planted for ambient discovery — so
+                # kernel spans nest under this job with its job_id.
+                ctx = contextvars.copy_context()
+                cf = pool.submit(
+                    ctx.run, run_with_telemetry, telemetry, self._runner,
+                    entry.job, entry.graph, entry.config, **kwargs,
+                )
+            else:
+                cf = pool.submit(
+                    self._runner, entry.job, entry.graph, entry.config,
+                    **kwargs,
+                )
             cf.add_done_callback(_swallow)
             return asyncio.wrap_future(cf)
 
-        outcome = await execute_with_retry(
-            _attempt,
-            self.policy,
-            deadline=entry.deadline_at,
-            should_cancel=lambda: entry.cancelled,
-        )
+        with self._tracer.span(
+            "broker.dispatch",
+            job_id=entry.job.id,
+            algorithm=entry.job.algorithm,
+        ) as dispatch_span:
+            outcome = await execute_with_retry(
+                _attempt,
+                self.policy,
+                deadline=entry.deadline_at,
+                should_cancel=lambda: entry.cancelled,
+                tracer=self._tracer,
+            )
+            dispatch_span.set_attr("status", outcome.status)
+            dispatch_span.set_attr("attempts", outcome.attempts)
         self.metrics.retries += outcome.retries
         if outcome.status == "completed":
             bicliques = tuple(outcome.value)

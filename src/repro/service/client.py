@@ -114,8 +114,31 @@ class ServiceClient:
     def metrics(self):
         return self._broker.metrics
 
+    @property
+    def telemetry(self):
+        """The broker's :class:`~repro.telemetry.Telemetry`, or ``None``."""
+        return self._broker.telemetry
+
     def metrics_snapshot(self) -> dict:
         return self._broker.metrics.snapshot()
+
+    def telemetry_snapshot(self) -> dict:
+        """Unified observability snapshot (JSON-serializable).
+
+        ``metrics`` is the dotted-name registry dump and ``records`` the
+        recent span/event records from the telemetry ring (empty when no
+        :class:`~repro.telemetry.Telemetry` is attached — the metrics
+        registry always exists because :class:`ServiceMetrics` owns one).
+        """
+        telemetry = self._broker.telemetry
+        if telemetry is not None:
+            self._broker._observe_gauges()
+            return telemetry.snapshot()
+        return {
+            "enabled": False,
+            "metrics": self._broker.metrics.registry.snapshot(),
+            "records": [],
+        }
 
     def close(self) -> None:
         if self._closed:

@@ -1,113 +1,101 @@
-"""Service observability: counters and latency/queue-depth histograms.
+"""Service observability, backed by the unified telemetry registry.
 
-Everything here is plain Python with a JSON-serializable
-:meth:`ServiceMetrics.snapshot` — the service-side analog of the GPU
-simulator's profiler: cheap enough to always be on, rich enough to
-answer "is the cache working?" and "where does latency come from?"
-without attaching a debugger to a live broker.
+Historically this module owned a bespoke dataclass of counters and
+histograms with its own ``snapshot()`` wiring.  It is now a thin
+compatibility facade over :class:`repro.telemetry.MetricsRegistry`:
+every counter attribute (``metrics.submitted += 1`` still works) reads
+and writes a registry :class:`~repro.telemetry.Counter` under a stable
+dotted name (``service.jobs.submitted``, ``service.cache.hits``, …),
+and the histograms *are* registry histograms.  Consequences:
+
+- ``registry.to_prometheus_text()`` / ``to_json()`` export the service
+  counters alongside everything else registered (kernel phases, fault
+  tallies) — no merging step;
+- sharing one registry between a broker and a
+  :class:`~repro.telemetry.Telemetry` object (the broker does this
+  automatically when given ``telemetry=``) unifies the namespaces;
+- :meth:`ServiceMetrics.snapshot` keeps its historical shape exactly,
+  as a shim over the registry — existing dashboards and tests keep
+  working;
+- :meth:`ServiceMetrics.reset` zeroes everything for test isolation.
 """
 
 from __future__ import annotations
 
 import json
-import math
-from collections import deque
-from dataclasses import dataclass, field
+
+from ..telemetry import Histogram, MetricsRegistry
 
 __all__ = ["Histogram", "ServiceMetrics"]
 
+#: attribute name -> stable dotted registry name
+COUNTER_NAMES = {
+    "submitted": "service.jobs.submitted",
+    "completed": "service.jobs.completed",
+    "failed": "service.jobs.failed",
+    "rejected": "service.jobs.rejected",
+    "timeouts": "service.jobs.timeouts",
+    "expired": "service.jobs.expired",
+    "cancelled": "service.jobs.cancelled",
+    "retries": "service.jobs.retries",
+    "coalesced": "service.jobs.coalesced",
+    "resumed": "service.jobs.resumed",
+    "cache_hits": "service.cache.hits",
+    "cache_misses": "service.cache.misses",
+}
 
-class Histogram:
-    """Windowed sample recorder with percentile queries.
+HISTOGRAM_NAMES = {
+    "latency_ms": "service.latency_ms",
+    "cache_hit_latency_ms": "service.cache.hit_latency_ms",
+    "queue_depth": "service.queue.depth",
+}
 
-    Keeps the most recent ``window`` observations (a bounded deque, so a
-    long-lived service never grows without bound) plus running count/sum
-    over the full lifetime.  Percentiles use the nearest-rank method on
-    the current window.
+
+class ServiceMetrics:
+    """Counters + histograms one broker maintains (registry-backed).
+
+    ``registry`` may be shared; the instruments are get-or-create, so a
+    pre-populated registry (or two brokers over one registry — counts
+    then aggregate) is fine.
     """
 
-    def __init__(self, window: int = 4096) -> None:
-        if window <= 0:
-            raise ValueError("window must be positive")
-        self._samples: deque[float] = deque(maxlen=window)
-        self.count = 0
-        self.total = 0.0
-        self.max = 0.0
-
-    def record(self, value: float) -> None:
-        value = float(value)
-        self._samples.append(value)
-        self.count += 1
-        self.total += value
-        if value > self.max:
-            self.max = value
-
-    def percentile(self, p: float) -> float:
-        """Nearest-rank percentile of the current window (0 if empty)."""
-        if not self._samples:
-            return 0.0
-        if not 0 <= p <= 100:
-            raise ValueError(f"percentile must be in [0, 100], got {p}")
-        ordered = sorted(self._samples)
-        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
-        return ordered[rank - 1]
-
-    @property
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
-
-    def snapshot(self) -> dict:
-        return {
-            "count": self.count,
-            "mean": self.mean,
-            "max": self.max,
-            "p50": self.percentile(50),
-            "p95": self.percentile(95),
-            "p99": self.percentile(99),
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {
+            attr: self.registry.counter(name)
+            for attr, name in COUNTER_NAMES.items()
         }
+        #: End-to-end latency of jobs that ran on a worker (ms).
+        self.latency_ms = self.registry.histogram(
+            HISTOGRAM_NAMES["latency_ms"]
+        )
+        #: Latency of jobs answered straight from cache (ms).
+        self.cache_hit_latency_ms = self.registry.histogram(
+            HISTOGRAM_NAMES["cache_hit_latency_ms"]
+        )
+        #: Queue depth observed at each admission.
+        self.queue_depth = self.registry.histogram(
+            HISTOGRAM_NAMES["queue_depth"]
+        )
 
-
-@dataclass
-class ServiceMetrics:
-    """Counters + histograms one broker maintains."""
-
-    submitted: int = 0
-    completed: int = 0
-    failed: int = 0
-    rejected: int = 0
-    timeouts: int = 0
-    expired: int = 0
-    cancelled: int = 0
-    retries: int = 0
-    cache_hits: int = 0
-    cache_misses: int = 0
-    coalesced: int = 0
-    #: Attempts that picked up an existing enumeration checkpoint
-    #: instead of starting the job from scratch.
-    resumed: int = 0
-    #: End-to-end latency of jobs that ran on a worker (ms).
-    latency_ms: Histogram = field(default_factory=Histogram)
-    #: Latency of jobs answered straight from cache (ms).
-    cache_hit_latency_ms: Histogram = field(default_factory=Histogram)
-    #: Queue depth observed at each admission.
-    queue_depth: Histogram = field(default_factory=Histogram)
+    def reset(self) -> None:
+        """Zero every service instrument (test isolation)."""
+        for counter in self._counters.values():
+            counter.reset()
+        self.latency_ms.reset()
+        self.cache_hit_latency_ms.reset()
+        self.queue_depth.reset()
 
     def snapshot(self) -> dict:
-        """JSON-serializable state dump (counters + histogram summaries)."""
+        """JSON-serializable state dump (counters + histogram summaries).
+
+        Compatibility shim: the shape predates the registry and is kept
+        bit-identical; prefer ``registry.snapshot()`` (dotted names) or
+        ``registry.to_prometheus_text()`` for new consumers.
+        """
         return {
             "counters": {
-                "submitted": self.submitted,
-                "completed": self.completed,
-                "failed": self.failed,
-                "rejected": self.rejected,
-                "timeouts": self.timeouts,
-                "expired": self.expired,
-                "cancelled": self.cancelled,
-                "retries": self.retries,
-                "cache_hits": self.cache_hits,
-                "cache_misses": self.cache_misses,
-                "coalesced": self.coalesced,
-                "resumed": self.resumed,
+                attr: self._counters[attr].value for attr in COUNTER_NAMES
             },
             "latency_ms": self.latency_ms.snapshot(),
             "cache_hit_latency_ms": self.cache_hit_latency_ms.snapshot(),
@@ -117,3 +105,20 @@ class ServiceMetrics:
     def to_json(self, **kwargs) -> str:
         kwargs.setdefault("indent", 2)
         return json.dumps(self.snapshot(), **kwargs)
+
+
+def _counter_property(attr: str) -> property:
+    def _get(self: ServiceMetrics):
+        return self._counters[attr].value
+
+    def _set(self: ServiceMetrics, value) -> None:
+        self._counters[attr].value = value
+
+    return property(
+        _get, _set, doc=f"registry counter {COUNTER_NAMES[attr]!r}"
+    )
+
+
+for _attr in COUNTER_NAMES:
+    setattr(ServiceMetrics, _attr, _counter_property(_attr))
+del _attr

@@ -22,6 +22,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Awaitable, Callable
 
+from ..telemetry import NULL_TRACER
+
 __all__ = ["ExecutionOutcome", "JobTimeoutError", "ResiliencePolicy",
            "execute_with_retry"]
 
@@ -139,6 +141,7 @@ async def execute_with_retry(
     *,
     deadline: float | None = None,
     should_cancel: Callable[[], bool] | None = None,
+    tracer=None,
 ) -> ExecutionOutcome:
     """Run ``attempt()`` under the policy; never raises job errors.
 
@@ -146,8 +149,14 @@ async def execute_with_retry(
     an absolute :func:`asyncio.get_running_loop().time` instant further
     capping each attempt.  Loop cancellation (broker shutdown) is the one
     thing re-raised — it belongs to the caller, not the job.
+
+    ``tracer`` (a :class:`repro.telemetry.Tracer`) wraps every attempt
+    in a ``retry.attempt`` span — child of the caller's current span, so
+    attempts inherit the job correlation — marked ``status="error"``
+    when the attempt raises or times out.
     """
     loop = asyncio.get_running_loop()
+    tracer = tracer if tracer is not None else NULL_TRACER
     attempts = 0
     last_error: str | None = None
     last_exc: BaseException | None = None
@@ -181,7 +190,8 @@ async def execute_with_retry(
             budget = remaining if budget is None else min(budget, remaining)
         attempts += 1
         try:
-            value = await asyncio.wait_for(attempt(), timeout=budget)
+            with tracer.span("retry.attempt", attempt=attempts):
+                value = await asyncio.wait_for(attempt(), timeout=budget)
             return ExecutionOutcome(
                 status="completed",
                 value=value,

@@ -1,0 +1,47 @@
+"""Unified telemetry: metrics registry, tracing spans, pluggable sinks.
+
+The observability layer the ROADMAP's production service needs and the
+paper's diagnosis methodology (§6.2 profiles, Figs. 4/8/9, Table 2)
+motivates: one :class:`MetricsRegistry` of stable dotted names with
+Prometheus/JSON exporters, one :class:`Tracer` whose spans carry
+``job_id`` from the service front door down into the simulated kernel,
+and sinks (ring / JSONL / callback) the broker flushes periodically.
+
+Fully bypassed when disabled: hot paths take a single ``is_enabled``
+(or ``telemetry is None``) check — gated by
+``benchmarks/bench_telemetry.py``.  See ``docs/observability.md``.
+"""
+
+from .bridge import (
+    register_counters,
+    register_fault_log,
+    register_queue_stats,
+    register_sim_report,
+)
+from .hub import Telemetry, current_telemetry, run_with_telemetry, use_telemetry
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .sinks import CallbackSink, JSONLSink, RingSink
+from .tracing import NULL_TRACER, NullTracer, Span, Tracer, current_span
+
+__all__ = [
+    "CallbackSink",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JSONLSink",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "RingSink",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "current_span",
+    "current_telemetry",
+    "register_counters",
+    "register_fault_log",
+    "register_queue_stats",
+    "register_sim_report",
+    "run_with_telemetry",
+    "use_telemetry",
+]

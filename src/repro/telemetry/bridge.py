@@ -1,0 +1,82 @@
+"""Adapters that register existing stat objects into a MetricsRegistry.
+
+The simulator and service already keep rich per-run statistics
+(:class:`~repro.core.bicliques.Counters`,
+:class:`~repro.gpusim.scheduler.SimReport`,
+:class:`~repro.gpusim.queues.QueueStats`,
+:class:`~repro.gpusim.faults.FaultLog`).  These helpers fold them into
+the unified registry under stable dotted names, so one
+``to_prometheus_text()`` / ``to_json()`` covers every layer.
+
+Counter-like quantities *add* (several runs against one registry
+accumulate, the natural service semantics); point-in-time quantities
+(makespan, efficiency) *set* gauges describing the most recent run.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "register_counters",
+    "register_fault_log",
+    "register_queue_stats",
+    "register_sim_report",
+]
+
+#: Counters fields exported as telemetry counters (all of them — the
+#: dataclass is flat ints).
+_COUNTER_FIELDS = (
+    "nodes_generated",
+    "maximal",
+    "non_maximal",
+    "pruned",
+    "set_op_work",
+    "simt_cycles",
+)
+
+_QUEUE_FIELDS = (
+    "local_enqueues",
+    "local_dequeues",
+    "global_enqueues",
+    "global_dequeues",
+    "spills",
+    "requeues",
+)
+
+
+def register_counters(registry, counters, *, prefix: str = "sim.work") -> None:
+    """Fold one enumeration's :class:`Counters` into the registry."""
+    for name in _COUNTER_FIELDS:
+        registry.counter(f"{prefix}.{name}").add(int(getattr(counters, name)))
+    registry.gauge(f"{prefix}.peak_stack_depth").set(
+        int(counters.peak_stack_depth)
+    )
+
+
+def register_queue_stats(
+    registry, queue_stats, *, prefix: str = "sim.queue"
+) -> None:
+    """Fold per-device :class:`QueueStats` (a list or one) into counters."""
+    stats = queue_stats if isinstance(queue_stats, (list, tuple)) else [queue_stats]
+    for name in _QUEUE_FIELDS:
+        total = sum(int(getattr(q, name)) for q in stats)
+        registry.counter(f"{prefix}.{name}").add(total)
+
+
+def register_fault_log(registry, fault_log, *, prefix: str = "sim.faults") -> None:
+    """Fold a :class:`FaultLog` tally into per-kind counters."""
+    if fault_log is None:
+        return
+    for kind, n in fault_log.counts().items():
+        registry.counter(f"{prefix}.{kind}").add(n)
+    registry.counter(f"{prefix}.total").add(len(fault_log))
+
+
+def register_sim_report(registry, report, *, prefix: str = "sim") -> None:
+    """Fold a :class:`SimReport` (tasks, queues, faults) into the registry."""
+    registry.counter(f"{prefix}.tasks.executed").add(report.tasks_executed)
+    registry.counter(f"{prefix}.tasks.split").add(report.tasks_split)
+    registry.counter(f"{prefix}.tasks.requeued").add(report.tasks_requeued)
+    registry.counter(f"{prefix}.tasks.lost").add(report.tasks_lost)
+    registry.gauge(f"{prefix}.makespan_cycles").set(report.makespan_cycles)
+    register_queue_stats(registry, report.queue_stats, prefix=f"{prefix}.queue")
+    register_fault_log(registry, report.fault_log, prefix=f"{prefix}.faults")

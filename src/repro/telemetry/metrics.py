@@ -1,0 +1,286 @@
+"""Unified metrics registry: counters, gauges, windowed histograms.
+
+One process-wide (or broker-wide) :class:`MetricsRegistry` replaces the
+four disconnected counter piles this repo accumulated — service counters,
+simulator ``Counters``, ``QueueStats``, ``FaultLog`` tallies — with a
+single namespace of **stable dotted names** (``service.jobs.submitted``,
+``sim.phase.set_op_cycles``, …) and two export formats:
+
+- :meth:`MetricsRegistry.to_prometheus_text` — the Prometheus text
+  exposition format (dots become underscores, histograms export as
+  summaries with nearest-rank quantiles), ready for a scrape endpoint
+  or a textfile collector;
+- :meth:`MetricsRegistry.to_json` — the JSONL/debug form, one nested
+  dict keyed by the dotted names.
+
+Instruments are get-or-create: ``registry.counter("a.b")`` returns the
+same :class:`Counter` every time, so independent layers can contribute
+to one name without coordination.  Asking for an existing name with a
+different instrument type is a :class:`ValueError` — silent type
+clashes are how metrics rot.
+
+The instruments are deliberately plain Python (an attribute increment,
+a deque append): cheap enough to be always-on, exactly like the GPU
+profiler they complement.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+from collections import deque
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Dotted metric names: lowercase segments joined by dots; segments may
+#: contain digits and underscores but must start with a letter.
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$")
+
+#: Quantiles exported for histograms (matches the old ServiceMetrics
+#: snapshot fields p50/p95/p99).
+_QUANTILES = (("0.5", 50), ("0.95", 95), ("0.99", 99))
+
+
+class Counter:
+    """Monotonic-by-convention numeric instrument.
+
+    ``value`` is writable (the :class:`~repro.service.metrics.
+    ServiceMetrics` compatibility shim assigns through it); telemetry
+    producers should stick to :meth:`inc`/:meth:`add`.
+    """
+
+    __slots__ = ("name", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def inc(self, n: float = 1) -> None:
+        self.value += n
+
+    def add(self, n: float) -> None:
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def snapshot(self):
+        return self.value
+
+
+class Gauge:
+    """Point-in-time numeric instrument (queue size, in-flight jobs)."""
+
+    __slots__ = ("name", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def set(self, v: float) -> None:
+        self.value = v
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def snapshot(self):
+        return self.value
+
+
+class Histogram:
+    """Windowed sample recorder with percentile queries.
+
+    Keeps the most recent ``window`` observations (a bounded deque, so a
+    long-lived service never grows without bound) plus running count/sum
+    over the full lifetime.  Percentiles use the nearest-rank method on
+    the current window.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, window: int = 4096, name: str = "") -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.name = name
+        self._window = window
+        self._samples: deque[float] = deque(maxlen=window)
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        self._samples.append(value)
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile of the current window (0 if empty)."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self._samples.clear()
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+def prometheus_name(dotted: str) -> str:
+    """Dotted metric name → Prometheus metric name (dots become ``_``)."""
+    return dotted.replace(".", "_")
+
+
+def _format_value(v: float) -> str:
+    # Prometheus wants plain decimal/scientific floats; ints stay ints.
+    if isinstance(v, bool):
+        return str(int(v))
+    if isinstance(v, int):
+        return str(v)
+    if math.isnan(v):
+        return "NaN"
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    return repr(float(v))
+
+
+class MetricsRegistry:
+    """Get-or-create namespace of named instruments.
+
+    Creation is guarded by a lock (layers register from the broker loop
+    *and* worker threads); the instruments themselves rely on the GIL
+    for their single-attribute updates, same as every counter this repo
+    already keeps.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _get_or_create(self, name: str, factory, kind: str):
+        inst = self._instruments.get(name)
+        if inst is not None:
+            if inst.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} is already registered as a "
+                    f"{inst.kind}, not a {kind}"
+                )
+            return inst
+        if not _NAME_RE.match(name):
+            raise ValueError(
+                f"invalid metric name {name!r}: expected lowercase dotted "
+                "segments like 'service.jobs.submitted'"
+            )
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = factory()
+                self._instruments[name] = inst
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, lambda: Counter(name), "counter")
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, lambda: Gauge(name), "gauge")
+
+    def histogram(self, name: str, window: int = 4096) -> Histogram:
+        return self._get_or_create(
+            name, lambda: Histogram(window=window, name=name), "histogram"
+        )
+
+    # ------------------------------------------------------------------
+    def get(self, name: str):
+        """The instrument registered under ``name``, or ``None``."""
+        return self._instruments.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def reset(self) -> None:
+        """Zero every instrument in place (test isolation).
+
+        Instrument *objects* survive — references held by layers (e.g.
+        ``ServiceMetrics.latency_ms``) stay valid.
+        """
+        for inst in self._instruments.values():
+            inst.reset()
+
+    # ------------------------------------------------------------------
+    # Exporters
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Dotted-name → value (numbers for counters/gauges, dicts for
+        histograms); JSON-serializable."""
+        return {
+            name: self._instruments[name].snapshot()
+            for name in sorted(self._instruments)
+        }
+
+    def to_json(self, **kwargs) -> str:
+        kwargs.setdefault("indent", 2)
+        return json.dumps(self.snapshot(), **kwargs)
+
+    def to_prometheus_text(self) -> str:
+        """Prometheus text exposition format (version 0.0.4).
+
+        Counters and gauges export one sample each; histograms export as
+        summaries — ``<name>{quantile="0.5"}`` samples over the current
+        window plus ``_count``/``_sum``/``_max``.
+        """
+        lines: list[str] = []
+        for name in sorted(self._instruments):
+            inst = self._instruments[name]
+            pname = prometheus_name(name)
+            if inst.kind == "counter":
+                lines.append(f"# TYPE {pname} counter")
+                lines.append(f"{pname} {_format_value(inst.value)}")
+            elif inst.kind == "gauge":
+                lines.append(f"# TYPE {pname} gauge")
+                lines.append(f"{pname} {_format_value(inst.value)}")
+            else:  # histogram -> summary
+                lines.append(f"# TYPE {pname} summary")
+                for label, p in _QUANTILES:
+                    lines.append(
+                        f'{pname}{{quantile="{label}"}} '
+                        f"{_format_value(inst.percentile(p))}"
+                    )
+                lines.append(f"{pname}_sum {_format_value(inst.total)}")
+                lines.append(f"{pname}_count {_format_value(inst.count)}")
+                lines.append(f"# TYPE {pname}_max gauge")
+                lines.append(f"{pname}_max {_format_value(inst.max)}")
+        return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,121 @@
+"""Pluggable telemetry sinks.
+
+Sinks receive the plain-dict records the :class:`~repro.telemetry.
+tracing.Tracer` emits (finished spans and instant events).  The contract
+is tiny — ``emit(record)`` plus optional ``flush()``/``close()`` — so a
+test can use a list-backed ring, a service can stream JSONL to disk via
+the broker's periodic flusher, and an integration can forward records
+anywhere with a callback.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from typing import Callable
+
+__all__ = ["CallbackSink", "JSONLSink", "RingSink"]
+
+
+class RingSink:
+    """In-memory ring of the most recent ``capacity`` records."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._records: deque[dict] = deque(maxlen=capacity)
+        self.emitted = 0
+
+    def emit(self, record: dict) -> None:
+        self._records.append(record)
+        self.emitted += 1
+
+    def records(self) -> list[dict]:
+        """Snapshot of the retained records, oldest first."""
+        return list(self._records)
+
+    def spans(self, name: str | None = None) -> list[dict]:
+        """Retained span records, optionally filtered by span name."""
+        return [
+            r for r in self._records
+            if r.get("type") == "span" and (name is None or r["name"] == name)
+        ]
+
+    def events(self, name: str | None = None) -> list[dict]:
+        """Retained instant-event records, optionally filtered by name."""
+        return [
+            r for r in self._records
+            if r.get("type") == "event" and (name is None or r["name"] == name)
+        ]
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def flush(self) -> None:  # part of the sink contract; nothing buffered
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class JSONLSink:
+    """Buffered JSON-lines file sink.
+
+    Records accumulate in memory until :meth:`flush` (the broker's
+    periodic flusher, or :meth:`close`) appends them to ``path`` — one
+    JSON object per line, append-only, so several runs can share a file
+    and a crashed process loses at most one flush interval of records.
+    """
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self.path = os.fspath(path)
+        self._pending: list[dict] = []
+        self.written = 0
+
+    def emit(self, record: dict) -> None:
+        self._pending.append(record)
+
+    def flush(self) -> None:
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, []
+        with open(self.path, "a", encoding="utf-8") as fh:
+            for record in pending:
+                fh.write(json.dumps(record, default=str) + "\n")
+        self.written += len(pending)
+
+    def close(self) -> None:
+        self.flush()
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+
+class CallbackSink:
+    """Forward every record to ``fn(record)`` (metrics pipelines, tests).
+
+    A raising callback is the *caller's* bug, but telemetry must never
+    take down the traced code path: exceptions are swallowed after
+    incrementing ``errors``.
+    """
+
+    def __init__(self, fn: Callable[[dict], None]) -> None:
+        self._fn = fn
+        self.errors = 0
+
+    def emit(self, record: dict) -> None:
+        try:
+            self._fn(record)
+        except Exception:
+            self.errors += 1
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass

@@ -1,0 +1,215 @@
+"""Span-based tracing with cross-layer context propagation.
+
+A :class:`Span` is one timed operation (``broker.dispatch``,
+``cache.lookup``, ``retry.attempt``, ``sim.kernel``); spans nest via a
+:mod:`contextvars` variable, so the *current* span follows the logical
+flow of control — across ``await`` boundaries inside the broker loop
+and, because the broker ships a copied :class:`contextvars.Context`
+into its worker pool, across the thread hop into the enumeration
+kernel.  Every span carries the originating job's ``job_id`` (inherited
+from its parent unless given explicitly), which is what lets one
+``grep`` correlate a broker job with the scheduler tasks, fault events,
+and retry attempts it produced.
+
+Finished spans and instant events are emitted to the tracer's sinks as
+plain dicts (see :mod:`repro.telemetry.sinks`).
+
+When tracing is disabled, use :data:`NULL_TRACER`: its ``span()`` hands
+back one shared no-op context manager and its ``is_enabled`` is
+``False``, so hot paths pay a single attribute check and nothing else.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "current_span",
+]
+
+#: The span enclosing the current logical operation (task-local).
+_CURRENT_SPAN: ContextVar["Span | None"] = ContextVar(
+    "repro_current_span", default=None
+)
+
+
+def current_span() -> "Span | None":
+    """The innermost active span of this logical context, if any."""
+    return _CURRENT_SPAN.get()
+
+
+@dataclass
+class Span:
+    """One timed, correlated operation."""
+
+    name: str
+    span_id: str
+    trace_id: str
+    parent_id: str | None = None
+    #: broker job correlation id; inherited from the parent span
+    job_id: int | None = None
+    start_s: float = 0.0
+    end_s: float | None = None
+    status: str = "ok"
+    error: str | None = None
+    attrs: dict = field(default_factory=dict)
+
+    def set_attr(self, key: str, value) -> None:
+        self.attrs[key] = value
+
+    @property
+    def duration_s(self) -> float:
+        return 0.0 if self.end_s is None else self.end_s - self.start_s
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "trace_id": self.trace_id,
+            "parent_id": self.parent_id,
+            "job_id": self.job_id,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "duration_s": self.duration_s,
+            "status": self.status,
+            "error": self.error,
+            "attrs": dict(self.attrs),
+        }
+
+
+class Tracer:
+    """Factory for spans and instant events, fanning out to sinks."""
+
+    is_enabled = True
+
+    def __init__(self, sinks=(), *, clock=time.perf_counter) -> None:
+        self.sinks = list(sinks)
+        self._clock = clock
+        self._ids = itertools.count(1)
+        #: finished-span tally by name (cheap always-on summary)
+        self.span_counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def _emit(self, record: dict) -> None:
+        for sink in self.sinks:
+            sink.emit(record)
+
+    def _new_span(
+        self, name: str, parent: Span | None, job_id, attrs: dict
+    ) -> Span:
+        span_id = f"s{next(self._ids)}"
+        if parent is not None:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+            if job_id is None:
+                job_id = parent.job_id
+        else:
+            trace_id = f"t{span_id}"
+            parent_id = None
+        return Span(
+            name=name,
+            span_id=span_id,
+            trace_id=trace_id,
+            parent_id=parent_id,
+            job_id=job_id,
+            start_s=self._clock(),
+            attrs=attrs,
+        )
+
+    @contextmanager
+    def span(self, name: str, *, job_id=None, parent: Span | None = None,
+             **attrs):
+        """Open a span around a ``with`` block.
+
+        The span becomes the *current* span for the block (children
+        created inside — even on other threads, if the context is
+        shipped along — nest under it).  An exception escaping the block
+        marks the span ``status="error"`` and re-raises.
+        """
+        if parent is None:
+            parent = _CURRENT_SPAN.get()
+        span = self._new_span(name, parent, job_id, attrs)
+        token = _CURRENT_SPAN.set(span)
+        try:
+            yield span
+        except BaseException as exc:
+            span.status = "error"
+            span.error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            _CURRENT_SPAN.reset(token)
+            span.end_s = self._clock()
+            self.span_counts[name] = self.span_counts.get(name, 0) + 1
+            self._emit(span.to_dict())
+
+    def event(self, name: str, *, job_id=None, time_s=None, **attrs) -> None:
+        """Emit one instant event, correlated with the current span."""
+        parent = _CURRENT_SPAN.get()
+        if parent is not None and job_id is None:
+            job_id = parent.job_id
+        self._emit({
+            "type": "event",
+            "name": name,
+            "time_s": self._clock() if time_s is None else time_s,
+            "span_id": parent.span_id if parent is not None else None,
+            "trace_id": parent.trace_id if parent is not None else None,
+            "job_id": job_id,
+            "attrs": attrs,
+        })
+
+
+class _NullSpan:
+    """Inert span: every mutator is a no-op."""
+
+    __slots__ = ()
+
+    name = ""
+    span_id = None
+    trace_id = None
+    job_id = None
+    status = "ok"
+
+    def set_attr(self, key: str, value) -> None:
+        pass
+
+
+class _NullSpanCM:
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_SPAN_CM = _NullSpanCM()
+
+
+class NullTracer:
+    """Zero-cost tracer: ``is_enabled`` is False, ``span()`` returns a
+    shared no-op context manager, ``event()`` does nothing."""
+
+    is_enabled = False
+    sinks: list = []
+    span_counts: dict = {}
+
+    def span(self, name: str, **kwargs) -> _NullSpanCM:
+        return _NULL_SPAN_CM
+
+    def event(self, name: str, **kwargs) -> None:
+        pass
+
+
+#: Shared no-op tracer for every disabled path.
+NULL_TRACER = NullTracer()

@@ -1,0 +1,156 @@
+"""Tests for the chrome-trace exporter (`repro.gpusim.trace`).
+
+Event schema, multi-GPU pid mapping, metadata rows, the fault/split/
+queue-depth annotations, round-trip through ``write_chrome_trace``,
+and the shared actionable-error helper both trace and profiler use.
+"""
+
+import json
+
+import pytest
+
+from repro.core import EnumerationResult, oombea
+from repro.gmbe import GMBEConfig, gmbe_gpu
+from repro.gpusim import (
+    chrome_trace_events,
+    profile_run,
+    require_sim_extras,
+    write_chrome_trace,
+)
+from repro.gpusim.faults import FaultPlan
+from repro.graph import random_bipartite
+from repro.telemetry import Telemetry
+
+SPLITTY = GMBEConfig(scheduling="task", bound_height=2, bound_size=4)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_bipartite(40, 40, 0.15, seed=2)
+
+
+@pytest.fixture(scope="module")
+def run(graph):
+    return gmbe_gpu(graph)
+
+
+class TestEventSchema:
+    def test_complete_events(self, run):
+        events = chrome_trace_events(run)
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(xs) >= run.extras["report"].tasks_executed
+        for e in xs:
+            assert e["cat"] == "gmbe"
+            assert e["dur"] > 0 and e["ts"] >= 0
+            assert isinstance(e["pid"], int) and isinstance(e["tid"], int)
+            assert set(e) >= {"name", "cat", "ph", "ts", "dur", "pid", "tid"}
+
+    def test_metadata_rows(self, run):
+        events = chrome_trace_events(run)
+        metas = [e for e in events if e["ph"] == "M"]
+        assert len(metas) == 1  # one device
+        assert metas[0]["name"] == "process_name"
+        assert metas[0]["pid"] == 0
+        device = run.extras["device"]
+        assert metas[0]["args"]["name"] == f"{device.name}[0]"
+
+    def test_pid_maps_device_and_sm(self, run):
+        events = chrome_trace_events(run)
+        n_sms = run.extras["device"].n_sms
+        for e in events:
+            if e["ph"] == "X":
+                assert 0 <= e["pid"] < n_sms  # device 0: pid == sm
+
+
+class TestMultiGPU:
+    def test_pid_namespace_per_device(self, graph):
+        run2 = gmbe_gpu(graph, n_gpus=2)
+        events = chrome_trace_events(run2)
+        metas = {e["pid"]: e for e in events if e["ph"] == "M"}
+        assert set(metas) == {0, 1000}
+        assert metas[1000]["args"]["name"].endswith("[1]")
+        x_pids = {e["pid"] for e in events if e["ph"] == "X"}
+        assert any(pid < 1000 for pid in x_pids)
+        assert any(pid >= 1000 for pid in x_pids)
+
+
+class TestAnnotations:
+    def test_fault_instants(self, graph):
+        plan = FaultPlan(
+            seed=3, p_warp_hang=0.03, p_queue_drop=0.05, max_faults=10
+        )
+        res = gmbe_gpu(graph, config=SPLITTY, fault_plan=plan)
+        log = res.extras["fault_log"]
+        assert len(log) > 0
+        events = chrome_trace_events(res)
+        instants = [e for e in events if e["ph"] == "i" and e["cat"] == "fault"]
+        assert len(instants) == len(log)
+        names = {e["name"] for e in instants}
+        assert names <= {
+            "fault:warp_hang", "fault:queue_drop", "fault:requeue",
+            "fault:sm_crash", "fault:mem_pressure", "fault:task_lost",
+        }
+        assert any(n == "fault:requeue" for n in names)
+        for e in instants:
+            assert e["s"] == "p" and e["ts"] >= 0
+            assert "site" in e["args"] and "lineage" in e["args"]
+
+    def test_split_instants_and_depth_counters(self, graph):
+        res = gmbe_gpu(graph, config=SPLITTY, telemetry=Telemetry())
+        events = chrome_trace_events(res)
+        splits = [e for e in events if e["name"] == "task_split"]
+        assert splits and all(e["ph"] == "i" for e in splits)
+        assert all(e["args"]["children"] >= 1 for e in splits)
+        depths = [e for e in events if e["name"] == "queue_depth"]
+        report = res.extras["report"]
+        assert len(depths) == len(report.queue_depth_samples)
+        for e in depths:
+            assert e["ph"] == "C"
+            assert e["args"]["tasks"] >= 0
+
+    def test_untraced_run_has_no_annotations(self, run):
+        events = chrome_trace_events(run)
+        assert not [e for e in events if e["ph"] in ("i", "C")]
+
+
+class TestRoundTrip:
+    def test_write_and_load(self, graph, tmp_path):
+        res = gmbe_gpu(graph, config=SPLITTY,
+                       fault_plan=FaultPlan(seed=1, p_warp_hang=0.02,
+                                            max_faults=4),
+                       telemetry=Telemetry())
+        path = tmp_path / "trace.json"
+        n = write_chrome_trace(res, path)
+        data = json.loads(path.read_text())
+        assert len(data["traceEvents"]) == n
+        assert data["displayTimeUnit"] == "ns"
+        phases = {e["ph"] for e in data["traceEvents"]}
+        assert {"X", "M", "i", "C"} <= phases
+
+
+class TestErrors:
+    def test_consistent_actionable_errors(self):
+        host_result = EnumerationResult(n_maximal=0)
+        for fn, caller in (
+            (chrome_trace_events, "chrome_trace_events"),
+            (profile_run, "profile_run"),
+        ):
+            with pytest.raises(ValueError) as exc:
+                fn(host_result)
+            msg = str(exc.value)
+            assert caller in msg
+            assert "repro.gmbe.gmbe_gpu" in msg
+            assert "'report'" in msg and "'device'" in msg
+
+    def test_rejects_host_enumeration(self, graph):
+        with pytest.raises(ValueError, match="gmbe_gpu"):
+            chrome_trace_events(oombea(graph))
+
+    def test_helper_returns_extras(self, run):
+        report, device = require_sim_extras(run, "test")
+        assert report is run.extras["report"]
+        assert device is run.extras["device"]
+
+    def test_helper_names_missing_keys(self):
+        with pytest.raises(ValueError, match="missing 'report', 'device'"):
+            require_sim_extras(EnumerationResult(n_maximal=0), "caller_x")
