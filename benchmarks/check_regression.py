@@ -31,6 +31,15 @@ speed:
     is a single ``is_enabled`` check per task), enabled telemetry with
     spans + phase attribution + a ring sink must keep >= 80%.
 
+``tuning``
+    Re-runs :mod:`bench_tuning` and compares the geomean simulated
+    speedup of the autotuned config over the paper defaults against
+    ``BENCH_tuning.json``.  The tuner's incumbent starts at the default
+    config, so the ratio can never drop below 1.0 legitimately — a fall
+    below the snapshot means the search stopped finding the fast
+    configurations (broken priors, broken successive halving, or a
+    kernel change that erased the tuning headroom).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py                 # both gates
@@ -56,6 +65,7 @@ import bench_faults  # noqa: E402
 import bench_service_throughput  # noqa: E402
 import bench_setops  # noqa: E402
 import bench_telemetry  # noqa: E402
+import bench_tuning  # noqa: E402
 
 
 def _memoize(fn: Callable[[], dict]) -> Callable[[], dict]:
@@ -127,6 +137,16 @@ GATES = (
         run=_run_telemetry,
         tolerance=0.10,
         floor=0.80,
+    ),
+    # Deterministic simulated-cycle ratio, not wall clock: tolerance is
+    # only slack for intentional snapshot drift, not machine noise.
+    Gate(
+        name="tuning",
+        path=bench_tuning.OUT_PATH,
+        metric="tuned_vs_default_ratio",
+        run=bench_tuning.run,
+        tolerance=0.15,
+        floor=1.0,
     ),
 )
 

@@ -11,6 +11,7 @@ fraud/bicluster applications).
 from __future__ import annotations
 
 import numbers
+import os
 
 import numpy as np
 
@@ -98,7 +99,9 @@ def enumerate_maximal_bicliques(
     algorithm: str = "gmbe",
     min_left: int = 1,
     min_right: int = 1,
-    config: GMBEConfig | None = None,
+    config: GMBEConfig | str | None = None,
+    tuning_store=None,
+    tune_on_miss: bool = False,
     fault_plan=None,
     checkpoint_path=None,
     checkpoint_every: int = 256,
@@ -120,7 +123,20 @@ def enumerate_maximal_bicliques(
         Only return bicliques with at least this many vertices per side
         (filtering happens after enumeration; maximality is global).
     config:
-        Optional :class:`GMBEConfig` for the GMBE variants.
+        Optional :class:`GMBEConfig` for the GMBE variants, or the
+        string ``"tuned"`` to use the per-graph autotuned configuration
+        (GMBE variants only): the :mod:`repro.tuning` store is consulted
+        under the graph's fingerprint; a hit resolves the config with
+        zero simulator work, a miss falls back to the default config —
+        or, with ``tune_on_miss=True``, runs a synchronous
+        :func:`repro.tuning.tune` and persists the result.
+    tuning_store:
+        Optional :class:`~repro.tuning.TunedConfigStore` (or a path to
+        one) consulted for ``config="tuned"``; defaults to
+        :func:`repro.tuning.default_store` (``$GMBE_TUNING_STORE``).
+    tune_on_miss:
+        With ``config="tuned"``: tune synchronously when the store has
+        no entry for this graph (default: just fall back to defaults).
     fault_plan, checkpoint_path, checkpoint_every, resume:
         Robustness passthrough (``algorithm="gmbe"`` only): inject a
         seeded :class:`~repro.gpusim.FaultPlan`, and/or snapshot the
@@ -143,6 +159,25 @@ def enumerate_maximal_bicliques(
         )
     min_left, min_right = validate_size_filters(min_left, min_right)
     graph = as_bipartite_graph(data)
+    if isinstance(config, str):
+        if config != "tuned":
+            raise ValueError(
+                f"config must be a GMBEConfig or the string 'tuned', "
+                f"got {config!r}"
+            )
+        if algorithm in ("gmbe", "gmbe-host"):
+            from .tuning import TunedConfigStore, resolve_config
+
+            if isinstance(tuning_store, (str, os.PathLike)):
+                tuning_store = TunedConfigStore(tuning_store)
+            config, _ = resolve_config(
+                graph,
+                store=tuning_store,
+                tune_on_miss=tune_on_miss,
+                telemetry=telemetry,
+            )
+        else:
+            config = None  # CPU baselines take no config; sentinel is moot
     collector = BicliqueCollector()
     if (
         fault_plan is not None or checkpoint_path is not None or resume

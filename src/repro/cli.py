@@ -10,6 +10,7 @@ Subcommands::
     gmbe verify <graph> <bicliques>    certify an enumeration output
     gmbe serve  [--jobs FILE]          run a batch through the service layer
     gmbe faults replay <graph> <log>   re-run a recorded fault log
+    gmbe tune   <graph> [--budget N]   autotune kernel knobs for a graph
 
 ``<graph>`` is either a dataset code (e.g. ``EE``) or a path to an
 edge-list file.  ``<experiment>`` is one of table1, table2, fig6..fig13.
@@ -86,6 +87,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--scheduling", choices=["task", "warp", "block"], default="task"
     )
     p_run.add_argument("--warps-per-sm", type=int, default=16)
+    p_run.add_argument("--tuned", action="store_true",
+                       help="use the per-graph tuned config from the tuning "
+                       "store if present (gmbe/gmbe-host; explicit knob "
+                       "flags above are ignored when a tuned entry hits)")
+    p_run.add_argument("--tuning-store", metavar="DIR", default=None,
+                       help="tuned-config store directory (default: "
+                       "$GMBE_TUNING_STORE or ~/.cache/gmbe/tuned)")
     p_run.add_argument(
         "--output", help="write bicliques to this file (default: count only)"
     )
@@ -189,6 +197,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", help="write the replayed bicliques to this file"
     )
 
+    p_tune = sub.add_parser(
+        "tune",
+        help="autotune GMBE kernel knobs for a graph and persist the result",
+    )
+    p_tune.add_argument("graph", help="dataset code or edge-list path")
+    p_tune.add_argument("--budget", type=int, default=16, metavar="N",
+                        help="candidate-config trial budget (default 16)")
+    p_tune.add_argument("--seed", type=int, default=0,
+                        help="search seed (fixed seed => identical trials)")
+    p_tune.add_argument(
+        "--device", choices=sorted(DEVICE_PRESETS), default="A100"
+    )
+    p_tune.add_argument("--gpus", type=int, default=1, help="simulated GPUs")
+    p_tune.add_argument("--store", metavar="DIR", default=None,
+                        help="tuned-config store directory (default: "
+                        "$GMBE_TUNING_STORE or ~/.cache/gmbe/tuned)")
+    p_tune.add_argument("--no-store", action="store_true",
+                        help="tune in-memory only; do not persist the result")
+    p_tune.add_argument("--force", action="store_true",
+                        help="re-tune even if the store already has an entry")
+    p_tune.add_argument("--json", metavar="PATH", dest="json_out",
+                        help="also write the TunedConfig JSON to PATH")
+
     p_ver = sub.add_parser("verify", help="certify an enumeration output")
     p_ver.add_argument("graph", help="dataset code or edge-list path")
     p_ver.add_argument("bicliques", help="BicliqueWriter output file")
@@ -275,6 +306,28 @@ def _cmd_run(args) -> int:
         warps_per_sm=args.warps_per_sm,
         max_task_retries=args.max_task_retries,
     )
+    if args.tuned:
+        if args.algo not in ("gmbe", "gmbe-host"):
+            raise SystemExit("--tuned requires --algo gmbe or gmbe-host")
+        from .tuning import TunedConfigStore, resolve_config
+
+        store = (
+            TunedConfigStore(args.tuning_store)
+            if args.tuning_store is not None
+            else None
+        )
+        config, hit = resolve_config(
+            g,
+            store=store,
+            device=DEVICE_PRESETS[args.device],
+            n_gpus=args.gpus,
+            base=config,
+        )
+        print(
+            "tuned config: store hit" if hit
+            else "tuned config: store miss (using command-line knobs; "
+            "run `gmbe tune` first to populate the store)"
+        )
     fault_plan = _fault_plan_from_args(args)
     robust = (
         fault_plan is not None
@@ -420,6 +473,71 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _tuning_device_key(device, n_gpus: int) -> str:
+    from .tuning import device_key
+
+    return device_key(device, n_gpus)
+
+
+def _cmd_tune(args) -> int:
+    from .tuning import TunedConfigStore, default_store, tune
+
+    if args.no_store and args.store:
+        raise SystemExit("--no-store and --store are mutually exclusive")
+    g = _load_graph(args.graph)
+    store = None
+    if not args.no_store:
+        store = (
+            TunedConfigStore(args.store) if args.store else default_store()
+        )
+    device = DEVICE_PRESETS[args.device]
+    hit = (
+        store is not None
+        and not args.force
+        and store.get(
+            g.fingerprint, _tuning_device_key(device, args.gpus)
+        ) is not None
+    )
+    start = time.perf_counter()
+    entry = tune(
+        g,
+        budget=args.budget,
+        seed=args.seed,
+        device=device,
+        n_gpus=args.gpus,
+        store=store,
+        force=args.force,
+    )
+    wall = time.perf_counter() - start
+    print(f"graph: {g.name} ({g.n_u}x{g.n_v}, {g.n_edges} edges)")
+    print(f"device: {entry.device_key}  seed: {entry.seed}  "
+          f"tuner: v{entry.tuner_version}")
+    if hit:
+        print("store hit: tuned config recalled with zero simulator work")
+    else:
+        print(f"trials: {entry.trials} simulator runs ({wall:.1f}s wall)")
+    defaults = GMBEConfig()
+    knobs = ", ".join(
+        f"{name}={getattr(entry.config, name)!r}"
+        for name in (
+            "bound_height", "bound_size", "warps_per_sm",
+            "set_backend", "order", "scheduling",
+        )
+        if getattr(entry.config, name) != getattr(defaults, name)
+    ) or "(paper defaults)"
+    print(f"winner: {knobs}")
+    print(f"cycles: {entry.incumbent_cycles} tuned vs "
+          f"{entry.default_cycles} default "
+          f"=> {entry.speedup:.3f}x speedup")
+    if store is not None:
+        print(f"stored: {store.path_for(entry.key())}")
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            fh.write(entry.to_json() + "\n")
+        print(f"tuned config JSON written to {args.json_out}")
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from . import bench
 
@@ -535,6 +653,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "faults":
         return _cmd_faults(args)
+    if args.command == "tune":
+        return _cmd_tune(args)
     if args.command == "figures":
         from .bench.figures import render_all
 

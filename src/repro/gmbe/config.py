@@ -7,7 +7,8 @@ The Fig. 10 / Fig. 11 sensitivity benchmarks sweep these.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, replace
+import json
+from dataclasses import asdict, dataclass, fields, replace
 
 __all__ = ["GMBEConfig", "DEFAULT_CONFIG"]
 
@@ -54,6 +55,14 @@ class GMBEConfig:
         re-enqueues the task on a surviving SM up to this many times
         before the subtree is abandoned (and counted in
         ``SimReport.tasks_lost``).  Irrelevant to fault-free runs.
+    order:
+        Vertex ordering of the enumeration side V applied during
+        preprocessing (§5): ``"degree"`` (static ascending degree, the
+        paper's default), ``"degeneracy"`` (2-hop degeneracy peeling,
+        ooMBEA-style), or ``"none"`` (keep input order).  The enumerated
+        biclique set is identical for every ordering — only the tree
+        shape, and hence the modeled cycles, changes — which is why the
+        autotuner (:mod:`repro.tuning`) treats it as just another knob.
     """
 
     bound_height: int = 20
@@ -64,6 +73,7 @@ class GMBEConfig:
     node_reuse: bool = True
     set_backend: str = "auto"
     max_task_retries: int = 3
+    order: str = "degree"
 
     def __post_init__(self) -> None:
         if self.bound_height <= 0 or self.bound_size <= 0:
@@ -76,6 +86,8 @@ class GMBEConfig:
             raise ValueError(f"unknown scheduling {self.scheduling!r}")
         if self.set_backend not in ("sorted", "bitset", "auto"):
             raise ValueError(f"unknown set_backend {self.set_backend!r}")
+        if self.order not in ("degree", "degeneracy", "none"):
+            raise ValueError(f"unknown order {self.order!r}")
 
     def with_(self, **changes) -> "GMBEConfig":
         """Functional update, e.g. ``cfg.with_(prune=False)``."""
@@ -89,6 +101,47 @@ class GMBEConfig:
         stable across processes, unlike ``hash(self)``.
         """
         return tuple(sorted(asdict(self).items()))
+
+    # ------------------------------------------------------------------
+    # Serialization (the tuned-config store and checkpoints persist
+    # configs as JSON; the round trip must be exact).
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Stable JSON object of every knob, in field-declaration order."""
+        return json.dumps(
+            {f.name: getattr(self, f.name) for f in fields(self)}
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GMBEConfig":
+        """Build a config from a mapping, rejecting unknown keys.
+
+        Missing keys take their defaults (a config written before a knob
+        existed still loads); unknown keys raise :class:`ValueError`
+        naming both the offender and the valid field set, so a typo in a
+        hand-edited store entry fails loudly instead of being ignored.
+        """
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"GMBEConfig JSON must be an object, got {type(data).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown GMBEConfig key(s) {', '.join(map(repr, unknown))}; "
+                f"valid keys: {', '.join(sorted(known))}"
+            )
+        return cls(**data)
+
+    @classmethod
+    def from_json(cls, text: str) -> "GMBEConfig":
+        """Inverse of :meth:`to_json`; :class:`ValueError` on bad input."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"GMBEConfig JSON is malformed: {exc}") from exc
+        return cls.from_dict(data)
 
 
 DEFAULT_CONFIG = GMBEConfig()

@@ -77,7 +77,7 @@ def gmbe_host(
     relabel: bool = True,
 ) -> EnumerationResult:
     """Sequentially enumerate all maximal bicliques with GMBE semantics."""
-    prepared = prepare(graph, order="degree")
+    prepared = prepare(graph, order=config.order)
     g = prepared.graph
     counting = BicliqueCounter()
     if sink is None:

@@ -296,7 +296,7 @@ def gmbe_gpu(
         raise ValueError("n_gpus must be positive")
     if resume and checkpoint_path is None:
         raise ValueError("resume=True requires checkpoint_path")
-    prepared = prepare(graph, order="degree")
+    prepared = prepare(graph, order=config.order)
     g = prepared.graph
     dev = device.with_(warps_per_sm=config.warps_per_sm)
     counting = BicliqueCounter()

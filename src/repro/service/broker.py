@@ -42,6 +42,8 @@ from ..graph import BipartiteGraph
 from ..parallel import WorkerPool
 from ..streaming import DynamicBipartiteGraph
 from ..telemetry import NULL_TRACER, Telemetry, run_with_telemetry
+from ..tuning import TunedConfigStore, TuningStoreError, device_key, tune
+from ..gpusim.device import A100
 from .cache import ResultCache
 from .jobs import Job, JobResult, JobStatus
 from .metrics import ServiceMetrics
@@ -138,6 +140,9 @@ class EnumerationBroker:
         checkpoint_dir: str | None = None,
         telemetry: Telemetry | None = None,
         telemetry_flush_interval: float = 5.0,
+        tuning_store: TunedConfigStore | str | None = None,
+        tune_on_miss: bool = True,
+        tune_budget=None,
     ) -> None:
         if n_workers <= 0:
             raise ValueError("n_workers must be positive")
@@ -163,6 +168,17 @@ class EnumerationBroker:
                 registry=telemetry.registry if telemetry is not None else None
             )
         self.base_config = base_config or GMBEConfig()
+        #: tuned-config store behind the ``Job(config="tuned")`` sentinel.
+        #: ``None`` means the sentinel always resolves to ``base_config``.
+        if isinstance(tuning_store, (str, os.PathLike)):
+            tuning_store = TunedConfigStore(tuning_store)
+        self.tuning_store = tuning_store
+        #: kick a background tune (on the worker pool) when a "tuned"
+        #: job misses the store, so later submissions hit it.
+        self.tune_on_miss = tune_on_miss
+        self.tune_budget = tune_budget
+        #: graph fingerprints with a background tune in flight
+        self._tuning_inflight: set[str] = set()
         self._runner = runner or default_runner
         #: jobs checkpoint under this directory (one file per cache key)
         #: so a retried/resubmitted job resumes instead of restarting;
@@ -277,6 +293,59 @@ class EnumerationBroker:
         return as_bipartite_graph(job.graph), None
 
     # ------------------------------------------------------------------
+    # Tuned-config resolution
+    # ------------------------------------------------------------------
+    #: the topology ``default_runner`` executes on (api defaults), and
+    #: therefore the topology tuned configs are looked up for.
+    _TUNE_DEVICE_KEY = device_key(A100, 1)
+
+    def _resolve_tuned(self, graph: BipartiteGraph) -> GMBEConfig | None:
+        """Store lookup for a ``config="tuned"`` job.
+
+        Hit: the stored config (zero simulator work).  Miss: ``None``
+        (the caller falls back to ``base_config``) and, when enabled, a
+        fire-and-forget background tune on the worker pool so later
+        submissions for this graph hit the store.  A corrupt store
+        entry degrades to a miss — serving must not fail on it — and
+        the background re-tune overwrites the bad file.
+        """
+        if self.tuning_store is None:
+            return None
+        try:
+            entry = self.tuning_store.get(
+                graph.fingerprint, self._TUNE_DEVICE_KEY
+            )
+        except TuningStoreError:
+            entry = None
+        if entry is not None:
+            self.metrics.tuned_hits += 1
+            return entry.config
+        self.metrics.tuned_misses += 1
+        self._maybe_tune_in_background(graph)
+        return None
+
+    def _maybe_tune_in_background(self, graph: BipartiteGraph) -> None:
+        if not self.tune_on_miss or self._pool is None:
+            return
+        fingerprint = graph.fingerprint
+        if fingerprint in self._tuning_inflight:
+            return
+        self._tuning_inflight.add(fingerprint)
+        self.metrics.tunes_started += 1
+        cf = self._pool.submit(
+            tune,
+            graph,
+            budget=self.tune_budget,
+            store=self.tuning_store,
+        )
+
+        def _done(f) -> None:
+            self._tuning_inflight.discard(fingerprint)
+            _swallow(f)  # a failed tune must never surface in serving
+
+        cf.add_done_callback(_done)
+
+    # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
     def submit_nowait(self, job: Job) -> asyncio.Future:
@@ -294,7 +363,12 @@ class EnumerationBroker:
         self.metrics.submitted += 1
         job.id = next(self._seq)
         graph, tag = self._resolve_graph(job)
-        config = job.resolve_config(self.base_config)
+        tuned = self._resolve_tuned(graph) if job.wants_tuned else None
+        # The cache key (and the per-key job checkpoint below) is built
+        # from the *resolved* config, never the "tuned" sentinel: a
+        # re-tune yields a different signature, so stale entries keyed
+        # under the previous tuned config simply become unreachable.
+        config = job.resolve_config(self.base_config, tuned=tuned)
         key = ResultCache.make_key(
             graph, job.algorithm, config, job.min_left, job.min_right
         )

@@ -62,7 +62,15 @@ class Job:
         Size filters, validated exactly like the one-shot API.
     config:
         Optional full :class:`GMBEConfig` replacing the broker's base
-        config for this job.
+        config for this job, or the string ``"tuned"`` to request the
+        broker's per-graph tuned configuration: the broker resolves the
+        sentinel against its :class:`~repro.tuning.TunedConfigStore`
+        *before* building the cache key, so cache entries and job
+        checkpoints are always keyed by the **resolved** config — a
+        re-tune changes the key and can never serve stale results.  On
+        a store miss the broker falls back to its base config (and may
+        kick off a background tune, see
+        :class:`~repro.service.EnumerationBroker`).
     config_overrides:
         Field-level overrides applied on top of ``config`` (or the
         broker's base config) via :meth:`GMBEConfig.with_`.
@@ -82,7 +90,7 @@ class Job:
     algorithm: str = "gmbe"
     min_left: int = 1
     min_right: int = 1
-    config: GMBEConfig | None = None
+    config: GMBEConfig | str | None = None
     config_overrides: Mapping[str, Any] = field(default_factory=dict)
     priority: int = 0
     deadline: float | None = None
@@ -101,12 +109,32 @@ class Job:
         )
         if self.deadline is not None and self.deadline <= 0:
             raise ValueError(f"deadline must be positive, got {self.deadline}")
+        if isinstance(self.config, str) and self.config != "tuned":
+            raise ValueError(
+                f"config must be a GMBEConfig or the string 'tuned', "
+                f"got {self.config!r}"
+            )
         # Fail on bogus overrides at submission, not inside a worker.
-        self.resolve_config(self.config or GMBEConfig())
+        self.resolve_config(GMBEConfig())
 
-    def resolve_config(self, base: GMBEConfig) -> GMBEConfig:
-        """Effective config: job config (or ``base``) + field overrides."""
-        cfg = self.config or base
+    @property
+    def wants_tuned(self) -> bool:
+        """True if this job requested the ``"tuned"`` config sentinel."""
+        return self.config == "tuned"
+
+    def resolve_config(
+        self, base: GMBEConfig, *, tuned: GMBEConfig | None = None
+    ) -> GMBEConfig:
+        """Effective config: job config (or ``base``) + field overrides.
+
+        ``tuned`` substitutes for the ``"tuned"`` sentinel (the broker
+        passes its store-resolved config here); a sentinel with no
+        ``tuned`` available falls back to ``base``.
+        """
+        if isinstance(self.config, str):
+            cfg = tuned if tuned is not None else base
+        else:
+            cfg = self.config or base
         if self.config_overrides:
             cfg = cfg.with_(**dict(self.config_overrides))
         return cfg

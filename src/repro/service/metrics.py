@@ -42,6 +42,9 @@ COUNTER_NAMES = {
     "resumed": "service.jobs.resumed",
     "cache_hits": "service.cache.hits",
     "cache_misses": "service.cache.misses",
+    "tuned_hits": "service.tuning.hits",
+    "tuned_misses": "service.tuning.misses",
+    "tunes_started": "service.tuning.started",
 }
 
 HISTOGRAM_NAMES = {

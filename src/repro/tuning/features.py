@@ -1,0 +1,100 @@
+"""Cheap graph features that seed the autotuner's search priors.
+
+Everything here is linear-ish in the graph size except the 2-hop
+estimate, which samples the highest-degree V vertices (the ones that
+dominate Δ2 on the power-law graphs the paper studies) instead of
+scanning all of V the way :func:`repro.graph.stats.compute_stats` does.
+All features are deterministic functions of the graph, so the tuner's
+trial sequence — and therefore the tuned config — is reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from ..graph.bipartite import BipartiteGraph
+from ..graph.stats import two_hop_neighbors_v
+
+__all__ = ["GraphFeatures", "compute_features"]
+
+#: How many top-degree V vertices the 2-hop estimate probes.
+_TWO_HOP_SAMPLE = 48
+
+
+@dataclass(frozen=True)
+class GraphFeatures:
+    """Deterministic workload descriptors of one bipartite graph.
+
+    ``density`` is edges over the biadjacency capacity ``|U|·|V|``;
+    ``skew_u``/``skew_v`` are max/mean degree ratios (1.0 = perfectly
+    regular, large = hub-dominated); ``two_hop_max_v`` is a sampled
+    estimate of Δ2(V), the quantity the paper's ``bound_size`` keys on.
+    """
+
+    n_u: int
+    n_v: int
+    n_edges: int
+    density: float
+    avg_deg_u: float
+    avg_deg_v: float
+    max_deg_u: int
+    max_deg_v: int
+    skew_u: float
+    skew_v: float
+    two_hop_max_v: int
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GraphFeatures":
+        return cls(**data)
+
+
+def _skew(degrees: np.ndarray) -> float:
+    """Max/mean degree over the non-isolated vertices (1.0 if empty)."""
+    active = degrees[degrees > 0]
+    if len(active) == 0:
+        return 1.0
+    return float(active.max()) / float(active.mean())
+
+
+def _two_hop_estimate(graph: BipartiteGraph, sample: int) -> int:
+    """Sampled Δ2(V): exact on the ``sample`` highest-degree V vertices.
+
+    High-degree vertices are where the 2-hop maximum lives on skewed
+    graphs; ties break on vertex id so the sample is deterministic.
+    """
+    if graph.n_v == 0 or graph.n_edges == 0:
+        return 0
+    degrees = graph.degrees_v
+    # lexsort ascending on (id, degree) -> take the tail for top-degree.
+    order = np.lexsort((np.arange(graph.n_v), degrees))
+    probes = order[-min(sample, graph.n_v):]
+    best = 0
+    for v in probes:
+        best = max(best, len(two_hop_neighbors_v(graph, int(v))))
+    return best
+
+
+def compute_features(
+    graph: BipartiteGraph, *, two_hop_sample: int = _TWO_HOP_SAMPLE
+) -> GraphFeatures:
+    """Compute the tuner's feature vector for ``graph``."""
+    n_u, n_v, m = graph.n_u, graph.n_v, graph.n_edges
+    capacity = n_u * n_v
+    return GraphFeatures(
+        n_u=n_u,
+        n_v=n_v,
+        n_edges=m,
+        density=(m / capacity) if capacity else 0.0,
+        avg_deg_u=(m / n_u) if n_u else 0.0,
+        avg_deg_v=(m / n_v) if n_v else 0.0,
+        max_deg_u=int(graph.degrees_u.max(initial=0)),
+        max_deg_v=int(graph.degrees_v.max(initial=0)),
+        skew_u=_skew(graph.degrees_u),
+        skew_v=_skew(graph.degrees_v),
+        two_hop_max_v=_two_hop_estimate(graph, two_hop_sample),
+    )

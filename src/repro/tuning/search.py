@@ -1,0 +1,182 @@
+"""Seeded coarse-grid → successive-halving search over configs.
+
+The search engine is deliberately decoupled from the simulator: it sees
+an ``evaluate(config, tasks_cap)`` callback returning an
+:class:`EvalOutcome` and never touches a graph itself, which keeps it a
+pure, deterministic function of ``(candidates, evaluate, budget)`` —
+the property the store's reproducibility guarantee rests on.
+
+Scoring exploits one monotonicity fact about the discrete-event
+simulator: a run halted after *N* completed tasks reports a makespan
+that can only grow if the run continues.  A budget-capped trial score
+is therefore a **lower bound** on that config's full-run cycles, which
+gives successive halving a *provable* early-termination rule — any
+trial whose partial score already exceeds the incumbent's full-run
+cycles can never win and is dropped without further simulator work.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..gmbe import GMBEConfig
+
+__all__ = ["EvalOutcome", "SuccessiveHalving", "Trial", "TuneBudget"]
+
+
+@dataclass(frozen=True)
+class EvalOutcome:
+    """What one budget-capped simulator run reports back."""
+
+    #: makespan in modeled cycles at the point the run stopped
+    cycles: float
+    #: True if the enumeration finished (the score is exact, not a bound)
+    completed: bool
+    #: tasks the scheduler executed before stopping
+    tasks_executed: int = 0
+
+
+@dataclass
+class Trial:
+    """One candidate configuration's state across the rungs."""
+
+    config: GMBEConfig
+    index: int
+    #: best-known score: exact when ``completed``, else a lower bound
+    cycles: float = math.inf
+    completed: bool = False
+    #: ``True`` once provably worse than the incumbent (never promoted)
+    pruned: bool = False
+    rung: int = -1
+    evaluations: int = 0
+    tasks_executed: int = 0
+
+    def sort_key(self) -> tuple:
+        # index breaks ties deterministically (stable across processes)
+        return (self.cycles, self.index)
+
+
+@dataclass(frozen=True)
+class TuneBudget:
+    """Budget semantics of one ``tune()`` call.
+
+    ``max_trials`` caps how many candidate configs enter the bracket;
+    rung *r* evaluates its survivors with the simulator halted after
+    ``rung0_tasks * rung_growth**r`` completed tasks; after
+    ``max_rungs`` halving rounds the remaining ``finalists`` (at most)
+    run to completion.  Every number is deterministic — there is no
+    wall-clock component, so the same budget always buys the same
+    trial sequence.
+    """
+
+    max_trials: int = 24
+    rung0_tasks: int = 64
+    rung_growth: int = 4
+    max_rungs: int = 2
+    finalists: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_trials <= 0:
+            raise ValueError("max_trials must be positive")
+        if self.rung0_tasks <= 0:
+            raise ValueError("rung0_tasks must be positive")
+        if self.rung_growth < 2:
+            raise ValueError("rung_growth must be >= 2")
+        if self.max_rungs < 0:
+            raise ValueError("max_rungs must be non-negative")
+        if self.finalists <= 0:
+            raise ValueError("finalists must be positive")
+
+    @classmethod
+    def from_trials(cls, max_trials: int) -> "TuneBudget":
+        """Budget from a bare trial count (the CLI's ``--budget N``).
+
+        Small counts get shallow brackets — with few candidates there
+        is nothing to halve, so rungs would only burn the budget.
+        """
+        if max_trials <= 0:
+            raise ValueError("max_trials must be positive")
+        if max_trials <= 8:
+            return cls(
+                max_trials=max_trials, rung0_tasks=16,
+                max_rungs=1, finalists=2,
+            )
+        return cls(max_trials=max_trials)
+
+
+@dataclass
+class SuccessiveHalving:
+    """The bracket runner; see module docstring for the algorithm."""
+
+    evaluate: Callable[[GMBEConfig, int | None], EvalOutcome]
+    budget: TuneBudget = field(default_factory=TuneBudget)
+    #: optional hook called after every evaluation (telemetry/logging)
+    on_trial: Callable[[Trial, int | None], None] | None = None
+
+    def _measure(self, trial: Trial, cap: int | None) -> None:
+        outcome = self.evaluate(trial.config, cap)
+        trial.cycles = outcome.cycles
+        trial.completed = outcome.completed
+        trial.rung += 1
+        trial.evaluations += 1
+        trial.tasks_executed = outcome.tasks_executed
+        if self.on_trial is not None:
+            self.on_trial(trial, cap)
+
+    def run(
+        self,
+        candidates: list[GMBEConfig],
+        *,
+        incumbent_cycles: float = math.inf,
+    ) -> tuple[Trial | None, list[Trial]]:
+        """Run the bracket; returns ``(best_completed_trial, all_trials)``.
+
+        ``incumbent_cycles`` seeds the provable-prune threshold (the
+        caller passes the default config's full-run cycles, so the
+        search never returns something worse than the default); it
+        tightens further as finalists complete.
+        """
+        trials = [
+            Trial(config=cfg, index=i) for i, cfg in enumerate(candidates)
+        ]
+        alive = list(trials)
+        cap = self.budget.rung0_tasks
+        for _rung in range(self.budget.max_rungs):
+            if len(alive) <= self.budget.finalists:
+                break
+            for trial in alive:
+                if not trial.completed:
+                    self._measure(trial, cap)
+            # Provable early termination: a partial score is a lower
+            # bound, so exceeding the incumbent's full cycles is final.
+            for trial in alive:
+                if trial.cycles > incumbent_cycles:
+                    trial.pruned = True
+            alive = [t for t in alive if not t.pruned]
+            if not alive:
+                break
+            alive.sort(key=Trial.sort_key)
+            keep = max(self.budget.finalists, math.ceil(len(alive) / 2))
+            for trial in alive[keep:]:
+                trial.pruned = True
+            alive = alive[:keep]
+            cap *= self.budget.rung_growth
+        # Finalists run to completion, best-bound-first so the incumbent
+        # tightens as early as possible for the remaining ones.
+        alive.sort(key=Trial.sort_key)
+        best: Trial | None = None
+        for trial in alive:
+            if trial.cycles > incumbent_cycles:
+                trial.pruned = True
+                continue
+            if not trial.completed:
+                self._measure(trial, None)
+            if trial.cycles > incumbent_cycles:
+                trial.pruned = True
+                continue
+            if best is None or trial.sort_key() < best.sort_key():
+                best = trial
+                incumbent_cycles = min(incumbent_cycles, trial.cycles)
+        return best, trials

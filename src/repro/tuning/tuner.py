@@ -1,0 +1,253 @@
+"""``tune(graph, budget)`` — the autotuning orchestrator.
+
+One call wires the subsystem end to end: check the store (a hit
+resolves the config with **zero** simulator work), else compute the
+graph features, build the prior-seeded search space, establish the
+default config's full-run cycles as the incumbent, run the
+successive-halving bracket, and persist the winner with provenance.
+
+Determinism: with a fixed seed the entire trial sequence — candidate
+order, rung caps, prune decisions, incumbent — is a pure function of
+``(graph, device topology, budget, seed)``.  There is no wall-clock
+input anywhere in the loop, so two machines produce byte-identical
+tuned configs (the store is safe to share).
+
+Because the incumbent starts at :data:`~repro.gmbe.DEFAULT_CONFIG`'s
+own full-run score, ``tune()`` can never return a config slower than
+the default: the worst case is the default itself.
+"""
+
+from __future__ import annotations
+
+from ..gmbe import DEFAULT_CONFIG, GMBEConfig
+from ..gmbe.kernel import gmbe_gpu
+from ..gpusim.device import A100, DeviceSpec
+from ..graph.bipartite import BipartiteGraph
+from ..telemetry import NULL_TRACER, current_telemetry
+from .features import compute_features
+from .search import EvalOutcome, SuccessiveHalving, TuneBudget
+from .space import SearchSpace, default_space
+from .store import (
+    TUNER_VERSION,
+    TunedConfig,
+    TunedConfigStore,
+    device_key,
+)
+
+__all__ = ["resolve_config", "tune"]
+
+
+def _as_budget(budget) -> TuneBudget:
+    if budget is None:
+        return TuneBudget()
+    if isinstance(budget, TuneBudget):
+        return budget
+    if isinstance(budget, int):
+        return TuneBudget.from_trials(budget)
+    raise TypeError(
+        f"budget must be a TuneBudget, an int trial count, or None; "
+        f"got {type(budget).__name__}"
+    )
+
+
+def tune(
+    graph: BipartiteGraph,
+    *,
+    budget: TuneBudget | int | None = None,
+    seed: int = 0,
+    device: DeviceSpec = A100,
+    n_gpus: int = 1,
+    store: TunedConfigStore | None = None,
+    space: SearchSpace | None = None,
+    force: bool = False,
+    telemetry=None,
+) -> TunedConfig:
+    """Find (or recall) the fastest known config for ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        The workload to tune for.
+    budget:
+        :class:`TuneBudget`, a bare trial count, or ``None`` for the
+        default budget.  See ``docs/tuning.md`` for the semantics.
+    seed:
+        Seeds the exploration sampler; the whole run is deterministic
+        in it.
+    device, n_gpus:
+        Simulated topology the config is tuned for (part of the store
+        key — a 2080Ti tuning is never served to an A100 run).
+    store:
+        Optional :class:`TunedConfigStore`.  A fresh entry is persisted
+        there; an existing one short-circuits the search entirely.
+    space:
+        Override the feature-seeded default search space.
+    force:
+        Re-tune even on a store hit (the fresh result overwrites it).
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry`; falls back to the
+        ambient one.  Emits a ``tune.trial`` span per simulator run and
+        ``tune.*`` counters/gauges.
+    """
+    n_gpus = int(n_gpus)
+    if n_gpus <= 0:
+        raise ValueError("n_gpus must be positive")
+    budget = _as_budget(budget)
+    if telemetry is None:
+        telemetry = current_telemetry()
+    if telemetry is not None and not telemetry.enabled:
+        telemetry = None
+    tracer = telemetry.tracer if telemetry is not None else NULL_TRACER
+    registry = telemetry.registry if telemetry is not None else None
+
+    fingerprint = graph.fingerprint
+    dkey = device_key(device, n_gpus)
+    if store is not None and not force:
+        entry = store.get(fingerprint, dkey)
+        if entry is not None:
+            if registry is not None:
+                registry.counter("tune.store.hits").add(1)
+            return entry
+    if registry is not None and store is not None:
+        registry.counter("tune.store.misses").add(1)
+
+    with tracer.span(
+        "tune.graph", graph=graph.name, device=dkey, seed=seed
+    ):
+        features = compute_features(graph)
+        if space is None:
+            space = default_space(features)
+        dev = device
+        evaluations = [0]
+
+        def evaluate(config: GMBEConfig, cap: int | None) -> EvalOutcome:
+            evaluations[0] += 1
+            with tracer.span(
+                "tune.trial",
+                trial=evaluations[0],
+                tasks_cap=cap if cap is not None else -1,
+            ) as span:
+                res = gmbe_gpu(
+                    graph,
+                    None,
+                    config=config,
+                    device=dev,
+                    n_gpus=n_gpus,
+                    halt_after_tasks=cap,
+                )
+                report = res.extras["report"]
+                halted = bool(res.extras.get("halted", False))
+                span.set_attr("cycles", report.makespan_cycles)
+                span.set_attr("completed", not halted)
+            if registry is not None:
+                registry.counter("tune.trials").add(1)
+            return EvalOutcome(
+                cycles=report.makespan_cycles,
+                completed=not halted,
+                tasks_executed=report.tasks_executed,
+            )
+
+        # The incumbent is the base (paper-default) config's *full* run:
+        # every later prune against it is provable, and the search can
+        # only improve on the static configuration, never regress it.
+        default_config = space.base
+        default_outcome = evaluate(default_config, None)
+        incumbent_cycles = default_outcome.cycles
+
+        candidates = [
+            cfg
+            for cfg in space.candidates(budget.max_trials, seed)
+            if cfg != default_config
+        ]
+        bracket = SuccessiveHalving(evaluate=evaluate, budget=budget)
+        best, trials = bracket.run(
+            candidates, incumbent_cycles=incumbent_cycles
+        )
+
+        if best is not None and best.cycles < incumbent_cycles:
+            winner, winner_cycles = best.config, best.cycles
+        else:
+            winner, winner_cycles = default_config, incumbent_cycles
+        if registry is not None:
+            registry.gauge("tune.incumbent_cycles").set(winner_cycles)
+
+        entry = TunedConfig(
+            config=winner,
+            graph_fingerprint=fingerprint,
+            device_key=dkey,
+            seed=seed,
+            trials=evaluations[0],
+            incumbent_cycles=winner_cycles,
+            default_cycles=default_outcome.cycles,
+            tuner_version=TUNER_VERSION,
+            provenance={
+                "graph_name": graph.name,
+                "features": features.to_dict(),
+                "budget": {
+                    "max_trials": budget.max_trials,
+                    "rung0_tasks": budget.rung0_tasks,
+                    "rung_growth": budget.rung_growth,
+                    "max_rungs": budget.max_rungs,
+                    "finalists": budget.finalists,
+                },
+                "candidates": len(candidates),
+                "history": [
+                    {
+                        "assignment": space.assignment_of(t.config),
+                        "cycles": t.cycles,
+                        "completed": t.completed,
+                        "pruned": t.pruned,
+                        "evaluations": t.evaluations,
+                    }
+                    for t in trials
+                ],
+            },
+        )
+    if store is not None:
+        store.put(entry)
+    return entry
+
+
+def resolve_config(
+    graph: BipartiteGraph,
+    *,
+    store: TunedConfigStore | None = None,
+    device: DeviceSpec = A100,
+    n_gpus: int = 1,
+    base: GMBEConfig | None = None,
+    tune_on_miss: bool = False,
+    budget: TuneBudget | int | None = None,
+    seed: int = 0,
+    telemetry=None,
+) -> tuple[GMBEConfig, bool]:
+    """Resolve the ``config="tuned"`` sentinel for one enumeration.
+
+    Returns ``(config, hit)``: on a store hit the stored config (zero
+    simulator work); on a miss either the fallback ``base`` (default
+    behaviour — serving paths must not absorb a tuning run inline) or,
+    with ``tune_on_miss=True``, the result of a synchronous
+    :func:`tune` which is persisted for every later caller.
+    """
+    if store is None:
+        from .store import default_store
+
+        store = default_store()
+    entry = store.get(graph.fingerprint, device_key(device, n_gpus))
+    if entry is not None:
+        if telemetry is not None and telemetry.enabled:
+            telemetry.registry.counter("tune.store.hits").add(1)
+        return entry.config, True
+    if tune_on_miss:
+        entry = tune(
+            graph,
+            budget=budget,
+            seed=seed,
+            device=device,
+            n_gpus=n_gpus,
+            store=store,
+            telemetry=telemetry,
+        )
+        return entry.config, False
+    if telemetry is not None and telemetry.enabled:
+        telemetry.registry.counter("tune.store.misses").add(1)
+    return (base if base is not None else DEFAULT_CONFIG), False

@@ -64,6 +64,38 @@ class TestEnumerate:
         b = enumerate_maximal_bicliques(MATRIX, algorithm="mbea")
         assert a == b == sorted(a)
 
+    def test_tuned_sentinel_miss_falls_back(self, tmp_path):
+        out = enumerate_maximal_bicliques(
+            MATRIX, config="tuned", tuning_store=tmp_path
+        )
+        assert out == enumerate_maximal_bicliques(MATRIX)
+
+    def test_tuned_sentinel_tune_on_miss_persists(self, tmp_path):
+        from repro.tuning import TunedConfigStore
+
+        store = TunedConfigStore(tmp_path)
+        out = enumerate_maximal_bicliques(
+            MATRIX, config="tuned", tuning_store=store, tune_on_miss=True
+        )
+        assert out == enumerate_maximal_bicliques(MATRIX)
+        assert len(store) == 1
+        # The persisted entry now serves without tuning again.
+        again = enumerate_maximal_bicliques(
+            MATRIX, config="tuned", tuning_store=store
+        )
+        assert again == out
+
+    def test_tuned_sentinel_ignored_for_cpu_baselines(self, tmp_path):
+        out = enumerate_maximal_bicliques(
+            MATRIX, algorithm="oombea", config="tuned",
+            tuning_store=tmp_path,
+        )
+        assert out == enumerate_maximal_bicliques(MATRIX)
+
+    def test_bad_config_string_rejected(self):
+        with pytest.raises(ValueError, match="tuned"):
+            enumerate_maximal_bicliques(MATRIX, config="fastest")
+
 
 class TestSizeFilterValidation:
     def test_negative_values_rejected_with_value_in_message(self):

@@ -66,6 +66,56 @@ class TestCommands:
             assert main(["run", str(gpath), *extra]) == 0
             assert "6 maximal bicliques" in capsys.readouterr().out
 
+    def test_tune_then_hit_then_run_tuned(self, tmp_path, paper_graph,
+                                          capsys):
+        gpath = tmp_path / "g.tsv"
+        write_edge_list(paper_graph, gpath)
+        store = tmp_path / "store"
+        rc = main(["tune", str(gpath), "--budget", "4",
+                   "--store", str(store)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "simulator runs" in out
+        # Second invocation recalls the entry with zero simulator work.
+        assert main(["tune", str(gpath), "--budget", "4",
+                     "--store", str(store)]) == 0
+        assert "store hit" in capsys.readouterr().out
+        # And `run --tuned` serves from the same store.
+        rc = main(["run", str(gpath), "--tuned",
+                   "--tuning-store", str(store)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tuned config: store hit" in out
+        assert "6 maximal bicliques" in out
+
+    def test_tune_no_store_and_json_out(self, tmp_path, paper_graph,
+                                        capsys):
+        gpath = tmp_path / "g.tsv"
+        write_edge_list(paper_graph, gpath)
+        jpath = tmp_path / "tuned.json"
+        rc = main(["tune", str(gpath), "--budget", "4", "--no-store",
+                   "--json", str(jpath)])
+        assert rc == 0
+        assert "stored:" not in capsys.readouterr().out
+        data = jpath.read_text()
+        assert "gmbe-tuned-config" in data
+
+    def test_run_tuned_miss_falls_back(self, tmp_path, paper_graph,
+                                       capsys):
+        gpath = tmp_path / "g.tsv"
+        write_edge_list(paper_graph, gpath)
+        rc = main(["run", str(gpath), "--tuned",
+                   "--tuning-store", str(tmp_path / "empty")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "store miss" in out and "6 maximal bicliques" in out
+
+    def test_run_tuned_requires_gmbe(self, tmp_path, paper_graph):
+        gpath = tmp_path / "g.tsv"
+        write_edge_list(paper_graph, gpath)
+        with pytest.raises(SystemExit):
+            main(["run", str(gpath), "--algo", "oombea", "--tuned"])
+
     def test_bench_tiny(self, capsys):
         rc = main(
             ["bench", "table2", "--scale", "0.1", "--codes", "Mti"]

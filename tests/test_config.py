@@ -47,3 +47,60 @@ class TestWith:
     def test_hashable_for_cache_keys(self):
         assert hash(GMBEConfig()) == hash(GMBEConfig())
         assert GMBEConfig() != GMBEConfig(prune=False)
+
+
+class TestOrderKnob:
+    def test_values(self):
+        for ok in ("degree", "degeneracy", "none"):
+            assert GMBEConfig(order=ok).order == ok
+        with pytest.raises(ValueError):
+            GMBEConfig(order="random")
+
+    def test_order_changes_signature(self):
+        """Cache keys and checkpoint guards must see the ordering."""
+        assert (
+            GMBEConfig(order="degree").signature()
+            != GMBEConfig(order="degeneracy").signature()
+        )
+
+
+class TestSerialization:
+    def test_json_round_trip_defaults(self):
+        assert GMBEConfig.from_json(GMBEConfig().to_json()) == GMBEConfig()
+
+    def test_json_round_trip_every_field_changed(self):
+        cfg = GMBEConfig(
+            bound_height=7,
+            bound_size=99,
+            warps_per_sm=8,
+            prune=False,
+            scheduling="warp",
+            node_reuse=False,
+            set_backend="bitset",
+            max_task_retries=5,
+            order="degeneracy",
+        )
+        assert GMBEConfig.from_json(cfg.to_json()) == cfg
+
+    def test_missing_keys_take_defaults(self):
+        cfg = GMBEConfig.from_dict({"bound_height": 4})
+        assert cfg == GMBEConfig(bound_height=4)
+
+    def test_unknown_keys_rejected_with_names(self):
+        with pytest.raises(ValueError) as exc:
+            GMBEConfig.from_dict({"bound_hieght": 4, "warp_count": 8})
+        msg = str(exc.value)
+        assert "bound_hieght" in msg and "warp_count" in msg
+        assert "bound_height" in msg  # the valid keys are listed
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ValueError):
+            GMBEConfig.from_dict([("bound_height", 4)])
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            GMBEConfig.from_json("{not json")
+
+    def test_values_validated_on_load(self):
+        with pytest.raises(ValueError):
+            GMBEConfig.from_json('{"scheduling": "grid"}')

@@ -86,6 +86,36 @@ def test_execution_knobs_never_change_results(g, scheduling, n_gpus, warps, prun
     assert res.n_maximal == ref_count
 
 
+@st.composite
+def gmbe_configs(draw):
+    """Any *valid* GMBEConfig the tuner's search space could emit —
+    every knob free, including vertex ordering and the set backend."""
+    return GMBEConfig(
+        bound_height=draw(st.integers(1, 48)),
+        bound_size=draw(st.integers(1, 6000)),
+        warps_per_sm=draw(st.sampled_from([1, 8, 16, 24, 32])),
+        prune=draw(st.booleans()),
+        scheduling=draw(st.sampled_from(["task", "warp", "block"])),
+        node_reuse=draw(st.booleans()),
+        set_backend=draw(st.sampled_from(["auto", "sorted", "bitset"])),
+        order=draw(st.sampled_from(["degree", "degeneracy", "none"])),
+    )
+
+
+@given(bipartite_graphs(), gmbe_configs())
+@settings(max_examples=50, deadline=None)
+def test_any_tunable_config_is_bit_identical(g, cfg):
+    """The autotuner's contract: configuration may only ever change
+    *speed* — every sampled valid config enumerates the exact set."""
+    ref = reference_mbe(g)
+    col = BicliqueCollector()
+    gmbe_gpu(g, col, config=cfg)
+    assert col.as_set() == ref
+    col = BicliqueCollector()
+    gmbe_host(g, col, config=cfg)
+    assert col.as_set() == ref
+
+
 @given(bipartite_graphs())
 @settings(max_examples=30, deadline=None)
 def test_counters_accounting_consistent(g):

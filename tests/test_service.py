@@ -927,3 +927,166 @@ class TestServiceClient:
             assert dyn.insert_edge(4, 0)
             cold = client.submit(graph_name="g", algorithm="oombea")
             assert not cold.cache_hit
+
+
+# ----------------------------------------------------------------------
+# Tuned-config resolution (config="tuned" sentinel)
+# ----------------------------------------------------------------------
+class TestTunedConfigService:
+    @staticmethod
+    def _tuned_entry(graph, config):
+        from repro.service.broker import EnumerationBroker as _B
+        from repro.tuning import TunedConfig
+
+        return TunedConfig(
+            config=config,
+            graph_fingerprint=graph.fingerprint,
+            device_key=_B._TUNE_DEVICE_KEY,
+            seed=0,
+            trials=5,
+            incumbent_cycles=10.0,
+            default_cycles=20.0,
+        )
+
+    def test_sentinel_job_validation(self, paper_graph):
+        assert Job(graph=paper_graph, config="tuned").wants_tuned
+        with pytest.raises(ValueError, match="tuned"):
+            Job(graph=paper_graph, config="fastest")
+
+    def test_store_hit_resolves_and_counts(self, paper_graph, tmp_path):
+        from repro.tuning import TunedConfigStore
+
+        store = TunedConfigStore(tmp_path)
+        tuned_cfg = GMBEConfig(bound_height=4, set_backend="bitset")
+        store.put(self._tuned_entry(paper_graph, tuned_cfg))
+
+        async def go(broker):
+            res = await broker.submit(Job(graph=paper_graph, config="tuned"))
+            return res, broker.metrics
+
+        res, metrics = run_broker(
+            go, n_workers=1, tuning_store=store, tune_on_miss=False
+        )
+        assert res.ok and res.count == 6
+        assert metrics.tuned_hits == 1 and metrics.tuned_misses == 0
+
+    def test_miss_falls_back_and_tunes_in_background(self, paper_graph,
+                                                     tmp_path):
+        from repro.tuning import TuneBudget, TunedConfigStore
+
+        store = TunedConfigStore(tmp_path)
+        budget = TuneBudget(max_trials=4, rung0_tasks=16,
+                            max_rungs=1, finalists=2)
+
+        async def go(broker):
+            first = await broker.submit(
+                Job(graph=paper_graph, config="tuned")
+            )
+            # Wait for the fire-and-forget background tune to land.
+            for _ in range(200):
+                if len(store):
+                    break
+                await asyncio.sleep(0.05)
+            second = await broker.submit(
+                Job(graph=paper_graph, config="tuned")
+            )
+            return first, second, broker.metrics
+
+        first, second, metrics = run_broker(
+            go, n_workers=2, tuning_store=store,
+            tune_on_miss=True, tune_budget=budget,
+        )
+        assert first.ok and second.ok
+        assert list(first.bicliques) == list(second.bicliques)
+        assert len(store) == 1
+        assert metrics.tuned_misses == 1 and metrics.tunes_started == 1
+        assert metrics.tuned_hits == 1
+
+    def test_no_background_tune_when_disabled(self, paper_graph, tmp_path):
+        from repro.tuning import TunedConfigStore
+
+        store = TunedConfigStore(tmp_path)
+
+        async def go(broker):
+            res = await broker.submit(Job(graph=paper_graph, config="tuned"))
+            await asyncio.sleep(0.1)
+            return res, broker.metrics
+
+        res, metrics = run_broker(
+            go, n_workers=1, tuning_store=store, tune_on_miss=False
+        )
+        assert res.ok
+        assert metrics.tunes_started == 0 and len(store) == 0
+
+    def test_cache_keys_use_resolved_config_not_sentinel(self, paper_graph,
+                                                         tmp_path):
+        """A re-tune must invalidate cache entries made under the old
+        resolution: keys come from the resolved config's signature."""
+        from repro.tuning import TunedConfigStore
+
+        store = TunedConfigStore(tmp_path)
+
+        async def go(broker):
+            # Miss: resolves to the base config and caches under it.
+            first = await broker.submit(
+                Job(graph=paper_graph, config="tuned")
+            )
+            # A tune lands (different winning config than the base).
+            store.put(self._tuned_entry(
+                paper_graph, GMBEConfig(bound_height=4, warps_per_sm=8)
+            ))
+            # Same sentinel job again: were the key built from the
+            # literal "tuned" string this would be a (stale) cache hit.
+            second = await broker.submit(
+                Job(graph=paper_graph, config="tuned")
+            )
+            # The base-config key is still warm for non-tuned jobs.
+            third = await broker.submit(Job(graph=paper_graph))
+            return first, second, third
+
+        first, second, third = run_broker(
+            go, n_workers=1, tuning_store=store, tune_on_miss=False
+        )
+        assert first.ok and second.ok and third.ok
+        assert not second.cache_hit  # re-tune invalidated the resolution
+        assert third.cache_hit  # first's fallback entry, still keyed sanely
+        assert list(first.bicliques) == list(second.bicliques)
+
+    def test_corrupt_store_entry_degrades_to_miss(self, paper_graph,
+                                                  tmp_path):
+        from repro.service.broker import EnumerationBroker as _B
+        from repro.tuning import TunedConfigStore, store_key
+
+        store = TunedConfigStore(tmp_path)
+        bad = store.path_for(store_key(
+            paper_graph.fingerprint, _B._TUNE_DEVICE_KEY
+        ))
+        import os as _os
+        _os.makedirs(tmp_path, exist_ok=True)
+        with open(bad, "w") as fh:
+            fh.write("{corrupt")
+
+        async def go(broker):
+            res = await broker.submit(Job(graph=paper_graph, config="tuned"))
+            return res, broker.metrics
+
+        res, metrics = run_broker(
+            go, n_workers=1, tuning_store=store, tune_on_miss=False
+        )
+        assert res.ok and res.count == 6
+        assert metrics.tuned_misses == 1
+
+    def test_client_accepts_store_path(self, paper_graph, tmp_path):
+        tuned_cfg = GMBEConfig(bound_height=4)
+        from repro.tuning import TunedConfigStore
+
+        TunedConfigStore(tmp_path).put(
+            self._tuned_entry(paper_graph, tuned_cfg)
+        )
+        with ServiceClient(
+            n_workers=1, policy=FAST_POLICY,
+            tuning_store=str(tmp_path), tune_on_miss=False,
+        ) as client:
+            res = client.submit(graph=paper_graph, config="tuned")
+            assert res.ok and res.count == 6
+            assert client.metrics_snapshot()["counters"]["tuned_hits"] == 1

@@ -1,0 +1,462 @@
+"""Tests for the repro.tuning autotuning subsystem.
+
+Covers the four layers independently — features, search space, the
+successive-halving engine (against a synthetic evaluator, no simulator),
+and the persistent store — plus the end-to-end ``tune()`` contracts:
+fixed-seed determinism, the tuned-never-worse guarantee, and the
+store-hit-costs-zero-simulator-work property.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+
+import pytest
+
+from repro.gmbe import DEFAULT_CONFIG, GMBEConfig
+from repro.graph import random_bipartite
+from repro.tuning import (
+    Dimension,
+    EvalOutcome,
+    SearchSpace,
+    SuccessiveHalving,
+    TUNER_VERSION,
+    TuneBudget,
+    TunedConfig,
+    TunedConfigStore,
+    TuningStoreError,
+    compute_features,
+    default_space,
+    default_store,
+    device_key,
+    resolve_config,
+    store_key,
+    tune,
+)
+from repro.tuning.store import STORE_ENV_VAR
+
+
+@pytest.fixture
+def graph():
+    """Small but non-trivial workload: enough tasks for rung caps to
+    bite, small enough that a full tune stays sub-second."""
+    return random_bipartite(60, 40, 0.12, seed=7)
+
+
+class TestFeatures:
+    def test_basic_invariants(self, paper_graph):
+        f = compute_features(paper_graph)
+        assert (f.n_u, f.n_v, f.n_edges) == (5, 4, paper_graph.n_edges)
+        assert 0.0 < f.density <= 1.0
+        assert f.max_deg_u >= f.avg_deg_u > 0
+        assert f.max_deg_v >= f.avg_deg_v > 0
+        assert f.skew_u >= 1.0 and f.skew_v >= 1.0
+        assert f.two_hop_max_v >= 1
+
+    def test_deterministic(self, graph):
+        assert compute_features(graph) == compute_features(graph)
+
+    def test_dict_round_trip(self, graph):
+        f = compute_features(graph)
+        assert type(f).from_dict(f.to_dict()) == f
+
+
+class TestDimension:
+    def test_rejects_empty_and_duplicates(self):
+        with pytest.raises(ValueError, match="no choices"):
+            Dimension("order", ())
+        with pytest.raises(ValueError, match="duplicate"):
+            Dimension("order", ("degree", "degree"))
+
+    def test_rejects_bad_priors(self):
+        with pytest.raises(ValueError, match="priors"):
+            Dimension("order", ("a", "b"), priors=(1.0,))
+        with pytest.raises(ValueError, match="> 0"):
+            Dimension("order", ("a", "b"), priors=(1.0, 0.0))
+
+    def test_uniform_default_and_ranking(self):
+        d = Dimension("order", ("a", "b", "c"))
+        assert d.priors == (1.0, 1.0, 1.0)
+        assert d.ranked() == ("a", "b", "c")  # ties keep declaration order
+        d = Dimension("order", ("a", "b", "c"), priors=(1.0, 3.0, 2.0))
+        assert d.ranked() == ("b", "c", "a")
+
+
+class TestSearchSpace:
+    def test_rejects_non_config_dimension(self):
+        with pytest.raises(ValueError, match="not GMBEConfig fields"):
+            SearchSpace(dimensions=(Dimension("block_size", (128,)),))
+
+    def test_assignment_round_trip(self, graph):
+        space = default_space(compute_features(graph))
+        cfg = space.to_config(space.prior_best())
+        assert space.to_config(space.assignment_of(cfg)) == cfg
+
+    def test_coarse_grid_center_and_size(self, graph):
+        space = default_space(compute_features(graph))
+        grid = space.coarse_grid()
+        assert grid[0] == space.prior_best()
+        expected = 1 + sum(len(d.choices) - 1 for d in space.dimensions)
+        assert len(grid) == expected
+
+    def test_candidates_deterministic_unique_capped(self, graph):
+        space = default_space(compute_features(graph))
+        a = space.candidates(40, seed=3)
+        b = space.candidates(40, seed=3)
+        assert a == b
+        assert len(a) == len(set(a)) == 40
+        assert space.candidates(40, seed=4) != a  # sampler tail is seeded
+
+    def test_candidates_rejects_bad_cap(self, graph):
+        space = default_space(compute_features(graph))
+        with pytest.raises(ValueError):
+            space.candidates(0, seed=0)
+
+    def test_priors_follow_features(self):
+        # Dense hub-block graph: bitset backend outranks sorted.
+        dense = compute_features(random_bipartite(40, 30, 0.4, seed=1))
+        space = default_space(dense)
+        backend = {d.name: d for d in space.dimensions}["set_backend"]
+        ranked = backend.ranked()
+        assert ranked.index("bitset") < ranked.index("sorted")
+
+    def test_base_knobs_are_fixed(self, graph):
+        space = default_space(
+            compute_features(graph), base=GMBEConfig(prune=False)
+        )
+        for cfg in space.candidates(10, seed=0):
+            assert cfg.prune is False
+
+
+class TestTuneBudget:
+    def test_validation(self):
+        for bad in (
+            {"max_trials": 0},
+            {"rung0_tasks": 0},
+            {"rung_growth": 1},
+            {"max_rungs": -1},
+            {"finalists": 0},
+        ):
+            with pytest.raises(ValueError):
+                TuneBudget(**bad)
+
+    def test_from_trials_shapes(self):
+        small = TuneBudget.from_trials(4)
+        assert small.max_trials == 4 and small.max_rungs == 1
+        big = TuneBudget.from_trials(24)
+        assert big.max_trials == 24 and big.max_rungs == 2
+        with pytest.raises(ValueError):
+            TuneBudget.from_trials(0)
+
+
+class TestSuccessiveHalving:
+    """Engine behaviour against a synthetic, simulator-free evaluator:
+    a config's 'full cycles' is a deterministic function of its knobs
+    and a capped run reports a fraction of it (a valid lower bound)."""
+
+    @staticmethod
+    def _full_cycles(cfg: GMBEConfig) -> float:
+        return float(cfg.bound_height * 100 + cfg.warps_per_sm)
+
+    def _evaluator(self, calls):
+        def evaluate(cfg: GMBEConfig, cap: int | None) -> EvalOutcome:
+            calls.append((cfg, cap))
+            full = self._full_cycles(cfg)
+            if cap is None:
+                return EvalOutcome(cycles=full, completed=True)
+            # Capped run: observes a prefix of the full makespan.
+            return EvalOutcome(
+                cycles=min(full, cap * 10.0), completed=cap * 10.0 >= full
+            )
+
+        return evaluate
+
+    def _candidates(self):
+        return [
+            GMBEConfig(bound_height=h, warps_per_sm=w)
+            for h in (4, 8, 20, 48)
+            for w in (8, 16)
+        ]
+
+    def test_finds_true_best(self):
+        calls = []
+        sh = SuccessiveHalving(
+            evaluate=self._evaluator(calls),
+            budget=TuneBudget(rung0_tasks=16, max_rungs=2, finalists=2),
+        )
+        best, trials = sh.run(self._candidates())
+        assert best is not None
+        assert self._full_cycles(best.config) == min(
+            self._full_cycles(c) for c in self._candidates()
+        )
+        assert len(trials) == len(self._candidates())
+
+    def test_deterministic_trial_sequence(self):
+        runs = []
+        for _ in range(2):
+            calls = []
+            sh = SuccessiveHalving(
+                evaluate=self._evaluator(calls),
+                budget=TuneBudget(rung0_tasks=16, max_rungs=2, finalists=2),
+            )
+            best, _ = sh.run(self._candidates())
+            runs.append((best.config, calls))
+        assert runs[0] == runs[1]
+
+    def test_provable_prune_against_incumbent(self):
+        calls = []
+        sh = SuccessiveHalving(
+            evaluate=self._evaluator(calls),
+            budget=TuneBudget(rung0_tasks=16, max_rungs=2, finalists=2),
+        )
+        # Incumbent better than every candidate's rung-0 lower bound
+        # except the very best ones: most trials must die pruned and
+        # never receive a full (cap=None) evaluation.
+        best, trials = sh.run(self._candidates(), incumbent_cycles=500.0)
+        pruned = [t for t in trials if t.pruned]
+        assert pruned
+        full_evals = [cfg for cfg, cap in calls if cap is None]
+        assert all(self._full_cycles(c) <= 900 for c in full_evals)
+        if best is not None:
+            assert best.cycles <= 500.0
+
+    def test_hopeless_incumbent_returns_none(self):
+        sh = SuccessiveHalving(
+            evaluate=self._evaluator([]),
+            budget=TuneBudget(rung0_tasks=1, max_rungs=1, finalists=1),
+        )
+        best, trials = sh.run(self._candidates(), incumbent_cycles=0.0)
+        assert best is None
+        assert all(t.pruned for t in trials)
+
+    def test_empty_candidates(self):
+        sh = SuccessiveHalving(evaluate=self._evaluator([]))
+        best, trials = sh.run([])
+        assert best is None and trials == []
+
+
+class TestStore:
+    def _entry(self, **over):
+        base = dict(
+            config=GMBEConfig(bound_height=8, set_backend="bitset"),
+            graph_fingerprint="f" * 64,
+            device_key="A100x1",
+            seed=0,
+            trials=12,
+            incumbent_cycles=100.0,
+            default_cycles=250.0,
+        )
+        base.update(over)
+        return TunedConfig(**base)
+
+    def test_round_trip(self, tmp_path):
+        store = TunedConfigStore(tmp_path)
+        entry = self._entry()
+        path = store.put(entry)
+        assert os.path.exists(path)
+        got = store.get("f" * 64, "A100x1")
+        assert got == entry
+        assert got.speedup == pytest.approx(2.5)
+        assert len(store) == 1
+
+    def test_miss_returns_none(self, tmp_path):
+        store = TunedConfigStore(tmp_path)
+        assert store.get("0" * 64, "A100x1") is None
+        assert store.entries() == []
+        assert len(store) == 0
+
+    def test_keys_separate_graph_device_version(self):
+        keys = {
+            store_key("a", "A100x1"),
+            store_key("b", "A100x1"),
+            store_key("a", "A100x2"),
+            store_key("a", "2080Ti2x1"),
+            store_key("a", "A100x1", tuner_version=TUNER_VERSION + 1),
+        }
+        assert len(keys) == 5
+
+    def test_version_bump_retires_entries(self, tmp_path):
+        store = TunedConfigStore(tmp_path)
+        store.put(self._entry())
+        assert store.get(
+            "f" * 64, "A100x1", tuner_version=TUNER_VERSION + 1
+        ) is None
+
+    def test_corrupt_file_raises_actionable_error(self, tmp_path):
+        store = TunedConfigStore(tmp_path)
+        entry = self._entry()
+        path = store.put(entry)
+        with open(path, "w") as fh:
+            fh.write("{not json")
+        with pytest.raises(TuningStoreError, match="gmbe tune"):
+            store.get("f" * 64, "A100x1")
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        store = TunedConfigStore(tmp_path)
+        path = store.put(self._entry())
+        with open(path, "w") as fh:
+            json.dump({"kind": "something-else"}, fh)
+        with pytest.raises(TuningStoreError, match="kind"):
+            store.get("f" * 64, "A100x1")
+
+    def test_address_mismatch_rejected(self, tmp_path):
+        # A hand-copied file under the wrong content address must not be
+        # served for a different graph.
+        store = TunedConfigStore(tmp_path)
+        entry = self._entry()
+        wrong = store.path_for(store_key("0" * 64, "A100x1"))
+        os.makedirs(tmp_path, exist_ok=True)
+        with open(wrong, "w") as fh:
+            fh.write(entry.to_json())
+        with pytest.raises(TuningStoreError, match="content address"):
+            store.get("0" * 64, "A100x1")
+
+    def test_put_is_atomic_no_tmp_left(self, tmp_path):
+        store = TunedConfigStore(tmp_path)
+        store.put(self._entry())
+        assert not [n for n in os.listdir(tmp_path) if n.endswith(".tmp")]
+
+    def test_default_store_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(STORE_ENV_VAR, str(tmp_path / "envstore"))
+        assert default_store().root == str(tmp_path / "envstore")
+
+    def test_device_key(self):
+        from repro.gpusim.device import A100
+
+        assert device_key(A100, 1) == "A100x1"
+        assert device_key(A100, 4) == "A100x4"
+
+
+BUDGET = TuneBudget(max_trials=8, rung0_tasks=16, max_rungs=1, finalists=2)
+
+
+class TestTune:
+    def test_fixed_seed_is_fully_deterministic(self, graph):
+        a = tune(graph, budget=BUDGET, seed=5)
+        b = tune(graph, budget=BUDGET, seed=5)
+        assert a.config == b.config
+        assert a.trials == b.trials
+        assert a.incumbent_cycles == b.incumbent_cycles
+        assert a.provenance["history"] == b.provenance["history"]
+
+    def test_never_worse_than_default(self, graph):
+        entry = tune(graph, budget=BUDGET, seed=0)
+        assert entry.speedup >= 1.0
+        assert entry.incumbent_cycles <= entry.default_cycles
+
+    def test_persists_and_recalls(self, graph, tmp_path):
+        store = TunedConfigStore(tmp_path)
+        entry = tune(graph, budget=BUDGET, seed=0, store=store)
+        assert len(store) == 1
+        again = tune(graph, budget=BUDGET, seed=0, store=store)
+        assert again == entry
+
+    def test_store_hit_costs_zero_simulator_work(self, graph, tmp_path,
+                                                 monkeypatch):
+        store = TunedConfigStore(tmp_path)
+        entry = tune(graph, budget=BUDGET, seed=0, store=store)
+
+        import repro.tuning.tuner as tuner_mod
+
+        def boom(*a, **k):  # pragma: no cover - must never run
+            raise AssertionError("store hit ran the simulator")
+
+        monkeypatch.setattr(tuner_mod, "gmbe_gpu", boom)
+        assert tune(graph, budget=BUDGET, seed=0, store=store) == entry
+
+    def test_force_retunes_over_a_hit(self, graph, tmp_path, monkeypatch):
+        store = TunedConfigStore(tmp_path)
+        tune(graph, budget=BUDGET, seed=0, store=store)
+
+        import repro.tuning.tuner as tuner_mod
+
+        calls = []
+        real = tuner_mod.gmbe_gpu
+
+        def spy(*a, **k):
+            calls.append(1)
+            return real(*a, **k)
+
+        monkeypatch.setattr(tuner_mod, "gmbe_gpu", spy)
+        tune(graph, budget=BUDGET, seed=0, store=store, force=True)
+        assert calls  # the search really re-ran
+
+    def test_budget_coercion(self, graph):
+        entry = tune(graph, budget=4, seed=0)
+        assert entry.provenance["budget"]["max_trials"] == 4
+        with pytest.raises(TypeError, match="budget"):
+            tune(graph, budget=2.5)
+
+    def test_rejects_bad_gpu_count(self, graph):
+        with pytest.raises(ValueError):
+            tune(graph, budget=BUDGET, n_gpus=0)
+
+    def test_winning_config_reproduces_reference_set(self, graph):
+        from repro.core import BicliqueCollector, oombea
+        from repro.gmbe import gmbe_gpu
+
+        entry = tune(graph, budget=BUDGET, seed=0)
+        col = BicliqueCollector()
+        gmbe_gpu(graph, col, config=entry.config)
+        ref = BicliqueCollector()
+        oombea(graph, ref)
+        assert col.as_set() == ref.as_set()
+
+    def test_provenance_records_the_search(self, graph):
+        entry = tune(graph, budget=BUDGET, seed=0)
+        prov = entry.provenance
+        assert prov["features"] == compute_features(graph).to_dict()
+        assert prov["candidates"] >= 1
+        assert len(prov["history"]) == prov["candidates"]
+        assert all("assignment" in t and "cycles" in t
+                   for t in prov["history"])
+
+    def test_telemetry_counters(self, graph, tmp_path):
+        from repro.telemetry import Telemetry
+
+        store = TunedConfigStore(tmp_path)
+        tel = Telemetry()
+        entry = tune(graph, budget=BUDGET, seed=0, store=store,
+                     telemetry=tel)
+        snap = tel.registry.snapshot()
+        assert snap["tune.trials"] == entry.trials
+        assert snap["tune.store.misses"] == 1
+        assert snap["tune.incumbent_cycles"] == entry.incumbent_cycles
+        tune(graph, budget=BUDGET, seed=0, store=store, telemetry=tel)
+        assert tel.registry.snapshot()["tune.store.hits"] == 1
+
+
+class TestResolveConfig:
+    def test_miss_falls_back_to_base(self, graph, tmp_path):
+        store = TunedConfigStore(tmp_path)
+        base = GMBEConfig(bound_height=4)
+        cfg, hit = resolve_config(graph, store=store, base=base)
+        assert not hit and cfg == base
+        cfg, hit = resolve_config(graph, store=store)
+        assert not hit and cfg == DEFAULT_CONFIG
+        assert len(store) == 0  # plain resolve never tunes
+
+    def test_tune_on_miss_persists_then_hits(self, graph, tmp_path):
+        store = TunedConfigStore(tmp_path)
+        cfg, hit = resolve_config(
+            graph, store=store, tune_on_miss=True, budget=BUDGET
+        )
+        assert not hit and len(store) == 1
+        cfg2, hit2 = resolve_config(graph, store=store)
+        assert hit2 and cfg2 == cfg
+
+    def test_hit_costs_zero_simulator_work(self, graph, tmp_path,
+                                           monkeypatch):
+        store = TunedConfigStore(tmp_path)
+        entry = tune(graph, budget=BUDGET, seed=0, store=store)
+
+        import repro.tuning.tuner as tuner_mod
+
+        monkeypatch.setattr(
+            tuner_mod, "gmbe_gpu",
+            lambda *a, **k: (_ for _ in ()).throw(AssertionError()),
+        )
+        cfg, hit = resolve_config(graph, store=store)
+        assert hit and cfg == entry.config
