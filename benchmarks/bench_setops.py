@@ -1,19 +1,25 @@
-"""Microbenchmark: sorted-merge vs. packed-bitset set kernels.
+"""Microbenchmark: sorted-merge vs. packed-bitset set kernels, and
+sequential vs. cross-task batched execution.
 
-Times the enumeration hot path in isolation — batched local-neighborhood
-counting ``|N(v) ∩ L'|`` over many candidate rows — for both backends
-across an edge-density sweep, and emits ``BENCH_setops.json`` next to
-this file for the perf trajectory.  ``check_regression.py`` gates future
-PRs against the committed snapshot.
+Part 1 times the enumeration hot path in isolation — batched local-
+neighborhood counting ``|N(v) ∩ L'|`` over many candidate rows — for
+both backends across an edge-density sweep, reporting wall-clock
+(``perf_counter``) *and* the simulated SIMT cycles each pass is charged.
+
+Part 2 times whole dense root-task populations from the dataset registry
+through the sequential node-buffer loop vs. the cross-task lockstep
+runner (:func:`repro.core.batch.run_batch`), asserting on the way that
+both paths produce identical simulated-cycle ``Counters`` — batching is
+a wall-clock-only optimization by design (DESIGN.md §10).
+
+Emits ``BENCH_setops.json`` next to this file for the perf trajectory;
+``check_regression.py`` gates future PRs against the committed snapshot
+(bitset-vs-sorted dense geomean, batched-vs-unbatched dense and sparse
+geomeans).
 
 Run directly (no pytest needed)::
 
     PYTHONPATH=src python benchmarks/bench_setops.py
-
-The bitset backend packs L' into uint64 words and counts via a single
-vectorized AND + popcount pass; the sorted backend is the stamp-based
-:class:`repro.core.localcount.LocalCounter` gather.  On dense inputs the
-word-parallel pass should win by well over 2×.
 """
 
 from __future__ import annotations
@@ -26,9 +32,15 @@ from pathlib import Path
 import numpy as np
 
 from repro.core import bitset
+from repro.core.batch import BatchMember, run_batch
+from repro.core.bicliques import BicliqueCounter, Counters
 from repro.core.bitset import BitsetUniverse
 from repro.core.localcount import LocalCounter
+from repro.core.tasks import build_root_task
+from repro.datasets import registry
+from repro.gmbe.host import run_task_with_node_buffer
 from repro.graph import random_bipartite
+from repro.graph.preprocess import prepare
 
 OUT_PATH = Path(__file__).resolve().parent / "BENCH_setops.json"
 
@@ -38,6 +50,16 @@ N_U = 256
 N_V = 512
 LEFT_FRACTION = 0.75
 REPEATS = 9
+
+#: Registry graphs for the batched-execution comparison.  The dense
+#: codes carry hub blocks whose root tasks resolve to the bitset backend
+#: (the batching target); the sparse codes are the no-regression guard —
+#: few or no tasks are batch-eligible there, so the ratio must simply
+#: stay at parity.
+BATCH_DENSE = (("GH", 0.4), ("EE", 0.4), ("SO", 0.35))
+BATCH_SPARSE = (("WA", 0.5), ("TM", 0.5))
+BATCH_SIZE = 32
+BATCH_REPEATS = 5
 
 
 def _time_best(fn, repeats: int = REPEATS) -> float:
@@ -75,6 +97,14 @@ def run_case(density: float, seed: int = 0) -> dict:
     got = bitset.count_rows_vs_mask(rows, mask)
     assert got.tolist() == expect.tolist(), density
 
+    # Simulated cost of the same two passes, alongside the wall clock:
+    # the ragged warp charge for the gather, the word-parallel charge
+    # for the packed AND + popcount.
+    c_sorted = Counters()
+    lc.counts(cands, c_sorted)
+    c_bitset = Counters()
+    c_bitset.charge_bitset(len(rows), uni.n_words)
+
     return {
         "density": density,
         "n_u": N_U,
@@ -85,16 +115,86 @@ def run_case(density: float, seed: int = 0) -> dict:
         "sorted_ms": sorted_ms,
         "bitset_ms": bitset_ms,
         "speedup": sorted_ms / bitset_ms,
+        "sorted_simt_cycles": c_sorted.simt_cycles,
+        "bitset_simt_cycles": c_bitset.simt_cycles,
+        "simt_cycle_speedup": c_sorted.simt_cycles / c_bitset.simt_cycles,
     }
 
 
+def _null_sink(left, right) -> None:
+    """Benchmark sink: both paths pay one call per emission, nothing more."""
+
+
+def run_batch_case(code: str, scale: float) -> dict:
+    """Sequential vs. lockstep-batched execution of one registry graph's
+    root-task population (batch-eligible tasks only drive the batched
+    side; the rest run sequentially in both)."""
+    prepared = prepare(registry.load(code, scale=scale), order="degree")
+    g = prepared.graph
+    counter = LocalCounter(g)
+    tasks = []
+    for v in range(g.n_v):
+        t = build_root_task(g, counter, v, None, backend="auto")
+        if t is not None:
+            tasks.append(t)
+    dense = [t for t in tasks if t.universe is not None and len(t.cands)]
+    rest = [t for t in tasks if t.universe is None or not len(t.cands)]
+
+    def run_unbatched() -> Counters:
+        total = Counters()
+        sink = BicliqueCounter()
+        for t in tasks:
+            run_task_with_node_buffer(g, counter, t, sink, total)
+        return total
+
+    def run_batched() -> Counters:
+        total = Counters()
+        sink = BicliqueCounter()
+        for i in range(0, len(dense), BATCH_SIZE):
+            run_batch([
+                BatchMember(
+                    universe=t.universe, left=t.left, right=t.right,
+                    cands=t.cands, counts=t.counts, counters=total,
+                    sink=sink,
+                )
+                for t in dense[i : i + BATCH_SIZE]
+            ])
+        for t in rest:
+            run_task_with_node_buffer(g, counter, t, sink, total)
+        return total
+
+    # Batching must be cycle-neutral: identical Counters either way.
+    c_seq, c_bat = run_unbatched(), run_batched()
+    assert vars(c_seq) == vars(c_bat), (code, vars(c_seq), vars(c_bat))
+
+    unbatched_ms = _time_best(run_unbatched, BATCH_REPEATS)
+    batched_ms = _time_best(run_batched, BATCH_REPEATS)
+    return {
+        "code": code,
+        "scale": scale,
+        "n_tasks": len(tasks),
+        "n_batch_eligible": len(dense),
+        "simt_cycles": c_seq.simt_cycles,
+        "unbatched_ms": unbatched_ms,
+        "batched_ms": batched_ms,
+        "speedup": unbatched_ms / batched_ms,
+    }
+
+
+def _geomean(values: list[float]) -> float:
+    return math.exp(sum(math.log(s) for s in values) / len(values))
+
+
 def dense_geomean_speedup(cases: list[dict]) -> float:
-    dense = [c["speedup"] for c in cases if c["density"] >= DENSE_THRESHOLD]
-    return math.exp(sum(math.log(s) for s in dense) / len(dense))
+    return _geomean(
+        [c["speedup"] for c in cases if c["density"] >= DENSE_THRESHOLD]
+    )
 
 
 def run() -> dict:
     cases = [run_case(d) for d in DENSITIES]
+    batch_dense = [run_batch_case(code, s) for code, s in BATCH_DENSE]
+    batch_sparse = [run_batch_case(code, s) for code, s in BATCH_SPARSE]
     return {
         "bench": "setops",
         "config": {
@@ -103,9 +203,18 @@ def run() -> dict:
             "left_fraction": LEFT_FRACTION,
             "repeats": REPEATS,
             "dense_threshold": DENSE_THRESHOLD,
+            "batch_size": BATCH_SIZE,
+            "batch_repeats": BATCH_REPEATS,
         },
         "cases": cases,
+        "batch_cases": batch_dense + batch_sparse,
         "dense_geomean_speedup": dense_geomean_speedup(cases),
+        "batch_dense_geomean_speedup": _geomean(
+            [c["speedup"] for c in batch_dense]
+        ),
+        "batch_sparse_geomean_speedup": _geomean(
+            [c["speedup"] for c in batch_sparse]
+        ),
     }
 
 
@@ -121,6 +230,24 @@ def main() -> None:
     print(
         f"\ndense (>= {DENSE_THRESHOLD}) geomean speedup: "
         f"{result['dense_geomean_speedup']:.1f}x"
+    )
+    print(
+        f"\n{'graph':>8} {'tasks':>6} {'dense':>6} "
+        f"{'unbatched_ms':>13} {'batched_ms':>11} {'speedup':>8}"
+    )
+    for c in result["batch_cases"]:
+        print(
+            f"{c['code']:>8} {c['n_tasks']:>6} {c['n_batch_eligible']:>6} "
+            f"{c['unbatched_ms']:>13.2f} {c['batched_ms']:>11.2f} "
+            f"{c['speedup']:>7.2f}x"
+        )
+    print(
+        f"\nbatched dense geomean speedup:  "
+        f"{result['batch_dense_geomean_speedup']:.2f}x"
+    )
+    print(
+        f"batched sparse geomean speedup: "
+        f"{result['batch_sparse_geomean_speedup']:.2f}x"
     )
     print(f"wrote {OUT_PATH}")
 

@@ -9,7 +9,10 @@ speed:
     bitset speedup against ``BENCH_setops.json``.  A drop of more than
     20% below the snapshot — or below the 2x acceptance floor — means a
     change has eaten the word-parallel advantage the adaptive backend is
-    built on.
+    built on.  The same run also gates the cross-task batched execution
+    layer (DESIGN.md §10): the batched-vs-unbatched wall-clock geomean
+    must stay ≥ 1.5x on the dense registry graphs and at parity (≥ 1.0x
+    geomean) on the sparse ones, where few tasks are batch-eligible.
 
 ``service``
     Re-runs :mod:`bench_service_throughput` and compares the cache-hit
@@ -95,6 +98,9 @@ class Gate:
     run: Callable[[], dict]
     tolerance: float  # fail if fresh < (1 - tolerance) * snapshot
     floor: float  # absolute acceptance floor on the ratio
+    #: additional ``(metric, tolerance, floor)`` checks against the same
+    #: snapshot/benchmark run — one gate, several gated ratios.
+    extra_checks: tuple = ()
 
 
 GATES = (
@@ -105,6 +111,10 @@ GATES = (
         run=bench_setops.run,
         tolerance=0.20,
         floor=2.0,
+        extra_checks=(
+            ("batch_dense_geomean_speedup", 0.25, 1.5),
+            ("batch_sparse_geomean_speedup", 0.25, 1.0),
+        ),
     ),
     Gate(
         name="service",
@@ -195,27 +205,33 @@ def check_gate(gate: Gate, update: bool) -> bool:
         print(f"snapshot written to {gate.path}")
         return True
 
+    checks = ((gate.metric, gate.tolerance, gate.floor),) + tuple(
+        gate.extra_checks
+    )
     # Validate the snapshot before paying for the benchmark run.
-    base = load_snapshot(gate.path, gate.metric)
-    fresh = gate.run()[gate.metric]
-    floor = base * (1.0 - gate.tolerance)
-    print(f"fresh {gate.metric}:    {fresh:.2f}x")
-    print(f"snapshot {gate.metric}: {base:.2f}x")
-    print(f"regression floor (-{gate.tolerance:.0%}): {floor:.2f}x")
+    bases = {m: load_snapshot(gate.path, m) for m, _, _ in checks}
+    result = gate.run()
 
     ok = True
-    if fresh < floor:
-        print(
-            f"FAIL: {gate.name} regressed >{gate.tolerance:.0%} "
-            f"({fresh:.2f}x < {floor:.2f}x)"
-        )
-        ok = False
-    if fresh < gate.floor:
-        print(
-            f"FAIL: {gate.name} below the {gate.floor:.0f}x "
-            f"acceptance floor ({fresh:.2f}x)"
-        )
-        ok = False
+    for metric, tolerance, abs_floor in checks:
+        base = bases[metric]
+        fresh = result[metric]
+        floor = base * (1.0 - tolerance)
+        print(f"fresh {metric}:    {fresh:.2f}x")
+        print(f"snapshot {metric}: {base:.2f}x")
+        print(f"regression floor (-{tolerance:.0%}): {floor:.2f}x")
+        if fresh < floor:
+            print(
+                f"FAIL: {gate.name}/{metric} regressed >{tolerance:.0%} "
+                f"({fresh:.2f}x < {floor:.2f}x)"
+            )
+            ok = False
+        if fresh < abs_floor:
+            print(
+                f"FAIL: {gate.name}/{metric} below the {abs_floor:.1f}x "
+                f"acceptance floor ({fresh:.2f}x)"
+            )
+            ok = False
     if ok:
         print(f"OK: no {gate.name} perf regression")
     return ok

@@ -2,6 +2,17 @@
 the parallel CPU baseline (ParMBE), their shared enumeration engine, and
 the brute-force reference oracle."""
 
+from .batch import (
+    BatchMember,
+    BatchStats,
+    batch_gamma_matches,
+    batch_intersect,
+    batch_popcount,
+    batch_subset_mask,
+    ragged_split,
+    ragged_stack,
+    run_batch,
+)
 from .bicliques import (
     Biclique,
     BicliqueCollector,
@@ -27,10 +38,19 @@ from .reference import maximal_biclique_count_reference, reference_mbe
 from .tasks import RootTask, build_root_task
 
 __all__ = [
+    "BatchMember",
+    "BatchStats",
     "Biclique",
     "BicliqueCollector",
     "BitsetUniverse",
+    "batch_gamma_matches",
+    "batch_intersect",
+    "batch_popcount",
+    "batch_subset_mask",
+    "ragged_split",
+    "ragged_stack",
     "resolve_backend",
+    "run_batch",
     "BicliqueCounter",
     "BicliqueSink",
     "BicliqueWriter",

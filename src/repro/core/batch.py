@@ -1,0 +1,381 @@
+"""Cross-task batched execution of dense (bitset-backend) subtrees.
+
+PR 1 made a *single* task word-parallel: one packed AND + popcount per
+node expansion.  But the simulator's real wall-clock cost is Python
+interpreter overhead, and every task still pays its own round of
+``intersect``/``gamma``/maximality calls.  The GPU papers amortize
+exactly this — GMBE (SC 2023) keeps many dense tasks in flight per SM,
+cuMBE (arXiv:2401.05039) batches candidate pruning across warps — so
+this module is the numpy analog: ``k`` same-depth dense tasks are
+stacked into rectangular ``uint64`` arrays and their DFS traversals run
+in *lockstep*, one ``(k·S, W)`` bitwise-AND + popcount per round instead
+of ``k`` Python-level call chains.
+
+The batched runner (:func:`run_batch`) is a bit-exact re-implementation
+of :class:`repro.gmbe.node_buffer.NodeBuffer` driven by
+:func:`repro.gmbe.host.run_task_with_node_buffer`: identical traversal
+order, identical emissions (same arrays, same order per task), and
+identical per-task :class:`~repro.core.bicliques.Counters` charges.
+Cost charging stays *per logical task* — each member is charged with its
+own true ``n_words``/scope size exactly as the sequential path would be
+— so simulated-cycle figures, checkpoints, fault injection, and
+telemetry phase attribution are unaffected by batching (DESIGN.md §10).
+
+Primitives (:func:`batch_intersect`, :func:`batch_popcount`,
+:func:`batch_subset_mask`, :func:`ragged_stack`/:func:`ragged_split`)
+are exposed separately: the kernel's batched maximality check and the
+tests build on them, and they are the natural substrate for a later
+numba/cython backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .bicliques import Counters
+from .bitset import BitsetUniverse, from_sorted, popcount_words, to_sorted
+
+__all__ = [
+    "BatchMember",
+    "BatchStats",
+    "batch_gamma_matches",
+    "batch_intersect",
+    "batch_popcount",
+    "batch_subset_mask",
+    "ragged_split",
+    "ragged_stack",
+    "run_batch",
+]
+
+#: Candidate-state sentinel for "still a candidate" — mirrors
+#: :data:`repro.gmbe.node_buffer.INF_DEPTH`.
+_INF = np.iinfo(np.int64).max
+#: Padding state for slots beyond a member's real candidate count; acts
+#: like a permanently excluded root-level candidate (never INF, never
+#: matches any depth marker ≥ 1 or ≤ -2).
+_PAD = -1
+
+
+# ----------------------------------------------------------------------
+# Stacked-bitset primitives
+# ----------------------------------------------------------------------
+def batch_intersect(
+    rows: np.ndarray, masks: np.ndarray, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Word-wise ``rows & masks`` with broadcasting — the one bulk AND
+    that replaces ``n_tasks`` per-task intersections."""
+    return np.bitwise_and(rows, masks, out=out)
+
+
+def batch_popcount(words: np.ndarray) -> np.ndarray:
+    """Set-bit counts over the last (word) axis of a stacked array.
+
+    ``(…, n_words) uint64 → (…,) int64`` — the batched form of
+    :func:`repro.core.bitset.popcount`.
+    """
+    return popcount_words(words).sum(axis=-1, dtype=np.int64)
+
+
+def batch_subset_mask(rows: np.ndarray, masks: np.ndarray) -> np.ndarray:
+    """Per-row boolean: is ``rows[i]`` a subset of ``masks[i]``?
+
+    ``masks`` broadcasts against ``rows`` over the leading axes.
+    """
+    sub = np.bitwise_and(rows, np.bitwise_not(masks))
+    return ~np.any(sub != 0, axis=-1)
+
+
+def ragged_stack(
+    blocks: list[np.ndarray], n_words: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Gather per-task ``(r_i, w_i)`` row blocks into one ``(Σr, n_words)``
+    matrix (rows zero-padded to the common word count).
+
+    Returns ``(stacked, lengths)``; :func:`ragged_split` is the inverse
+    scatter.
+    """
+    lengths = np.array([len(b) for b in blocks], dtype=np.int64)
+    total = int(lengths.sum())
+    stacked = np.zeros((total, n_words), dtype=np.uint64)
+    at = 0
+    for block in blocks:
+        if len(block):
+            stacked[at : at + len(block), : block.shape[1]] = block
+            at += len(block)
+    return stacked, lengths
+
+
+def ragged_split(flat: np.ndarray, lengths: np.ndarray) -> list[np.ndarray]:
+    """Scatter a stacked result back into per-task views (inverse of
+    :func:`ragged_stack` along the row axis)."""
+    return np.split(flat, np.cumsum(lengths)[:-1])
+
+
+def batch_gamma_matches(
+    universes: list[BitsetUniverse],
+    lefts: list[np.ndarray],
+    right_sizes: list[int],
+    counters: list[Counters],
+) -> list[bool]:
+    """Batched ``|Γ(L)| == |R|`` over several tasks' packed scopes.
+
+    One stacked AND + popcount over every task's scope rows replaces the
+    per-task :func:`repro.core.expand.gamma_matches` calls made at split-
+    child dequeue.  Each task is charged exactly as the sequential check
+    would charge it (``charge_bitset(len(scope), n_words)``); every
+    ``L`` must be nonempty (split children always are).
+    """
+    n_words = max(u.n_words for u in universes)
+    stacked, lengths = ragged_stack([u.rows for u in universes], n_words)
+    masks = np.zeros((len(universes), n_words), dtype=np.uint64)
+    for i, (u, left) in enumerate(zip(universes, lefts)):
+        masks[i, : u.n_words] = u.mask_of_left_subset(left)
+    sizes = batch_popcount(masks)
+    counts = batch_popcount(
+        batch_intersect(stacked, np.repeat(masks, lengths, axis=0))
+    )
+    out: list[bool] = []
+    for i, per_task in enumerate(ragged_split(counts, lengths)):
+        counters[i].charge_bitset(len(universes[i].scope), universes[i].n_words)
+        n_match = int(np.count_nonzero(per_task == sizes[i]))
+        out.append(n_match == int(right_sizes[i]))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Lockstep batched DFS
+# ----------------------------------------------------------------------
+@dataclass
+class BatchMember:
+    """One dense task joining a lockstep round: the same fields
+    :func:`repro.gmbe.host.run_task_with_node_buffer` consumes, plus the
+    sink and counters the sequential path would have used."""
+
+    universe: BitsetUniverse
+    left: np.ndarray
+    right: np.ndarray
+    cands: np.ndarray
+    counts: np.ndarray
+    counters: Counters
+    sink: Callable[[np.ndarray, np.ndarray], None]
+
+
+@dataclass
+class BatchStats:
+    """Per-run batching statistics (telemetry feed; ``None`` when
+    telemetry is off so the hot loop pays one ``is not None`` check)."""
+
+    rounds: int = 0
+    tasks_per_round: list[int] = field(default_factory=list)
+
+
+def run_batch(
+    members: list[BatchMember],
+    *,
+    prune: bool = True,
+    stats: BatchStats | None = None,
+) -> None:
+    """Enumerate every member's subtree in vectorized lockstep.
+
+    Emissions (per task, in traversal order) and per-task ``Counters``
+    charges are bit-identical to running each member through
+    :func:`repro.gmbe.host.run_task_with_node_buffer` alone; only the
+    Python-level work is amortized across the batch.
+    """
+    live = [m for m in members if len(m.cands)]
+    if not live:
+        return
+    k = len(live)
+    w_per = np.array([m.universe.n_words for m in live], dtype=np.int64)
+    s_per = np.array([len(m.universe.scope) for m in live], dtype=np.int64)
+    c_per = np.array([len(m.cands) for m in live], dtype=np.int64)
+    w_max = int(w_per.max())
+    s_max = int(s_per.max())
+    c_max = int(c_per.max())
+    # Depth never exceeds min(|L|, |C|): every push strictly shrinks L
+    # (traversed candidates are partial) and consumes one candidate.
+    d_per = np.minimum(
+        np.array([len(m.left) for m in live], dtype=np.int64), c_per
+    )
+    d_cap = int(d_per.max()) + 1
+
+    # Stacked state, padded rectangular.  Padding rows/slots are inert:
+    # zero scope rows count 0 < |L'| (L' nonempty at every push), and
+    # padded candidate slots carry the _PAD state, never INF.
+    scope_rows = np.zeros((k, s_max, w_max), dtype=np.uint64)
+    cand_rows = np.zeros((k, c_max), dtype=np.int64)
+    cand_vids = np.zeros((k, c_max), dtype=np.int32)
+    cand_state = np.full((k, c_max), _PAD, dtype=np.int64)
+    nls = np.zeros((k, c_max), dtype=np.int64)
+    masks = np.zeros((k, d_cap + 1, w_max), dtype=np.uint64)
+    nls_stack = np.zeros((k, d_cap + 1, c_max), dtype=np.int64)
+    prune_stack = np.zeros((k, d_cap + 1, c_max), dtype=bool)
+    trav_stack = np.zeros((k, d_cap + 1), dtype=np.int64)
+    join_stack = np.zeros((k, d_cap + 1), dtype=np.int64)
+    depth = np.zeros(k, dtype=np.int64)
+    right_size = np.zeros(k, dtype=np.int64)
+    uni_left: list[np.ndarray] = []
+    right_root: list[np.ndarray] = []
+
+    for t, m in enumerate(live):
+        u = m.universe
+        scope_rows[t, : s_per[t], : w_per[t]] = u.rows
+        cand_rows[t, : c_per[t]] = u.row_index(m.cands)
+        cand_vids[t, : c_per[t]] = m.cands
+        cand_state[t, : c_per[t]] = _INF
+        nls[t, : c_per[t]] = m.counts
+        masks[t, 0, : w_per[t]] = from_sorted(
+            u.left_positions(m.left), u.n_bits
+        )
+        right_size[t] = len(m.right)
+        uni_left.append(u.left)
+        right_root.append(np.asarray(m.right, dtype=np.int32))
+
+    # Per-task accumulators, folded into each member's Counters at the
+    # end — identical totals to the sequential path's incremental adds.
+    acc_work = np.zeros(k, dtype=np.int64)
+    acc_simt = np.zeros(k, dtype=np.int64)
+    acc_nodes = np.zeros(k, dtype=np.int64)
+    acc_maximal = np.zeros(k, dtype=np.int64)
+    acc_nonmax = np.zeros(k, dtype=np.int64)
+    acc_pruned = np.zeros(k, dtype=np.int64)
+    acc_peak = np.zeros(k, dtype=np.int64)
+
+    def pop_rows(rows: np.ndarray) -> None:
+        """Vectorized :meth:`NodeBuffer.pop` over task rows ``rows``."""
+        d = depth[rows]
+        cs = cand_state[rows]
+        # Candidates that joined R here, and exclusions made while this
+        # node was active, become candidates again.
+        lift = (cs == d[:, None]) | (cs == -(d + 1)[:, None])
+        cs = np.where(lift, _INF, cs)
+        # nls reverts to the parent's values (full-row snapshot of the
+        # pre-push state — equivalent to the sequential undo log).
+        nls[rows] = nls_stack[rows, d]
+        # Traversed vertex leaves C at the parent; pruned siblings too.
+        cs[np.arange(len(rows)), trav_stack[rows, d]] = -d
+        pending = prune_stack[rows, d] & (cs == _INF)
+        cs = np.where(pending, -d[:, None], cs)
+        cand_state[rows] = cs
+        acc_pruned[rows] += pending.sum(axis=1)
+        right_size[rows] -= join_stack[rows, d]
+        depth[rows] = d - 1
+
+    active = np.ones(k, dtype=bool)
+    while True:
+        alive = np.nonzero(active)[0]
+        if len(alive) == 0:
+            break
+        if stats is not None:
+            stats.rounds += 1
+            stats.tasks_per_round.append(len(alive))
+
+        # Phase A — control flow: find each live task's next candidate
+        # (Alg. 2 line #6), popping exhausted nodes until one is found
+        # or the task finishes at the root.
+        push_t: list[np.ndarray] = []
+        push_i: list[np.ndarray] = []
+        pending_rows = alive
+        while len(pending_rows):
+            is_inf = cand_state[pending_rows] == _INF
+            has = is_inf.any(axis=1)
+            takers = pending_rows[has]
+            if len(takers):
+                push_t.append(takers)
+                push_i.append(np.argmax(is_inf[has], axis=1))
+            rest = pending_rows[~has]
+            if len(rest) == 0:
+                break
+            done = rest[depth[rest] == 0]
+            active[done] = False
+            pending_rows = rest[depth[rest] > 0]
+            if len(pending_rows):
+                pop_rows(pending_rows)
+        if not push_t:
+            continue
+        P = np.concatenate(push_t)
+        ci = np.concatenate(push_i)
+        p = len(P)
+        nd = depth[P] + 1
+
+        # Phase B — batched push (Alg. 2 lines #8–14): one stacked AND +
+        # popcount serves every task's node generation and maximality
+        # check this round.
+        vrow = cand_rows[P, ci]
+        new_mask = masks[P, depth[P]] & scope_rows[P, vrow]
+        masks[P, nd] = new_mask
+        counts_scope = batch_popcount(scope_rows[P] & new_mask[:, None, :])
+        n_left = batch_popcount(new_mask)
+        counts = np.take_along_axis(counts_scope, cand_rows[P], axis=1)
+
+        cs = cand_state[P]
+        cur = cs == _INF
+        cur_n = cur.sum(axis=1)
+        old_nls = nls[P]
+        nls_stack[P, nd] = old_nls
+
+        full = cur & (counts == n_left[:, None])
+        dropped = cur & (counts == 0)
+        if prune:
+            unchanged = cur & (counts == old_nls)
+            unchanged[np.arange(p), ci] = False
+            prune_stack[P, nd] = unchanged
+        cs = np.where(full, nd[:, None], cs)
+        cs = np.where(dropped, -(nd + 1)[:, None], cs)
+        cand_state[P] = cs
+        nls[P] = np.where(cur, counts, old_nls)
+        trav_stack[P, nd] = ci
+        joined = full.sum(axis=1)
+        join_stack[P, nd] = joined
+        right_size[P] += joined
+        depth[P] = nd
+        acc_nodes[P] += 1
+        acc_peak[P] = np.maximum(acc_peak[P], nd)
+
+        # Maximality: |Γ(L')| == |R'| over each task's true scope rows
+        # (padded rows count 0 < n_left, so they never match).
+        n_match = (counts_scope == n_left[:, None]).sum(axis=1)
+        maximal = n_match == right_size[P]
+        acc_maximal[P] += maximal
+        acc_nonmax[P] += ~maximal
+
+        # Per-task cost charges, identical to the sequential bitset path:
+        # mask AND (1 row), candidate counting pass (cur_n rows), and the
+        # maximality scan (scope rows) — each over the task's own words.
+        w = w_per[P]
+        acc_work[P] += w + cur_n * w + s_per[P] * w
+        acc_simt[P] += (
+            (w + 31) // 32
+            + (cur_n * w + 31) // 32
+            + (s_per[P] * w + 31) // 32
+            + 3
+        )
+
+        # Phase C — report maximal nodes; non-maximal nodes are never
+        # descended into (undone immediately, as in Alg. 2).
+        for j in np.nonzero(maximal)[0]:
+            t = int(P[j])
+            m = live[t]
+            left_ids = uni_left[t][to_sorted(new_mask[j, : w_per[t]])]
+            st = cand_state[t]
+            joined_vids = cand_vids[t][(st >= 1) & (st <= depth[t])]
+            m.sink(
+                left_ids,
+                np.sort(np.concatenate([right_root[t], joined_vids])),
+            )
+        nonmax_rows = P[~maximal]
+        if len(nonmax_rows):
+            pop_rows(nonmax_rows)
+
+    for t, m in enumerate(live):
+        c = m.counters
+        c.nodes_generated += int(acc_nodes[t])
+        c.maximal += int(acc_maximal[t])
+        c.non_maximal += int(acc_nonmax[t])
+        c.pruned += int(acc_pruned[t])
+        c.set_op_work += int(acc_work[t])
+        c.simt_cycles += int(acc_simt[t])
+        c.peak_stack_depth = max(c.peak_stack_depth, int(acc_peak[t]))

@@ -42,6 +42,7 @@ __all__ = [
     "or_",
     "popcount",
     "popcount_rows",
+    "popcount_words",
     "resolve_backend",
     "test_bits",
     "to_sorted",
@@ -56,11 +57,21 @@ _LITTLE = sys.byteorder == "little"
 if hasattr(np, "bitwise_count"):  # numpy >= 2.0
     _popcount_u64 = np.bitwise_count
 else:  # pragma: no cover - numpy 1.x fallback
+    #: module-level byte-popcount table — built once at import, shared by
+    #: every caller (single-task and batched paths alike)
     _BYTE_POP = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
 
     def _popcount_u64(words: np.ndarray) -> np.ndarray:
         bytes_ = words[..., None].view(np.uint8)
         return _BYTE_POP[bytes_].sum(axis=-1, dtype=np.uint64).reshape(words.shape)
+
+
+#: Elementwise per-word popcount primitive (``np.bitwise_count`` on
+#: numpy ≥ 2.0, a cached byte-LUT fallback otherwise).  Exported so the
+#: batched path (:mod:`repro.core.batch`) reuses the exact same kernel
+#: as the single-task helpers below.  Note the result dtype is ``uint8``
+#: per word — reduce with an explicit ``dtype`` as done here.
+popcount_words = _popcount_u64
 
 
 def n_words(n_bits: int) -> int:

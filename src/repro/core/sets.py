@@ -56,12 +56,20 @@ def intersect(a: np.ndarray, b: np.ndarray) -> np.ndarray:
 
 
 def intersect_size(a: np.ndarray, b: np.ndarray) -> int:
-    """``|a ∩ b|`` without materializing the intersection."""
+    """``|a ∩ b|`` without materializing the intersection.
+
+    Pure searchsorted counting: each element of the smaller operand
+    contributes ``1`` exactly when its left/right insertion points in
+    the larger operand differ (sets are duplicate-free), so no gather,
+    clamp, or intersection array is ever built.
+    """
     if len(a) > len(b):
         a, b = b, a
     if len(a) == 0:
         return 0
-    return int(np.count_nonzero(_membership_mask(a, b)))
+    lo = np.searchsorted(b, a, side="left")
+    hi = np.searchsorted(b, a, side="right")
+    return int((hi - lo).sum())
 
 
 def is_subset(a: np.ndarray, b: np.ndarray) -> bool:

@@ -55,6 +55,15 @@ class GMBEConfig:
         re-enqueues the task on a surviving SM up to this many times
         before the subtree is abandoned (and counted in
         ``SimReport.tasks_lost``).  Irrelevant to fault-free runs.
+    batch_tasks:
+        Cross-task batched execution of dense (bitset-backend) tasks
+        (:mod:`repro.core.batch`): ``"off"`` runs every task through the
+        sequential node-buffer loop, ``"auto"`` groups up to a default
+        number of same-depth dense tasks per lockstep round, and a
+        positive int caps the group size explicitly.  Batching is a pure
+        wall-clock optimization: the enumerated biclique set, per-task
+        ``Counters`` charges, simulated cycles, checkpoints, and fault
+        behaviour are bit-identical to ``"off"`` (DESIGN.md §10).
     order:
         Vertex ordering of the enumeration side V applied during
         preprocessing (§5): ``"degree"`` (static ascending degree, the
@@ -73,6 +82,7 @@ class GMBEConfig:
     node_reuse: bool = True
     set_backend: str = "auto"
     max_task_retries: int = 3
+    batch_tasks: int | str = "auto"
     order: str = "degree"
 
     def __post_init__(self) -> None:
@@ -88,6 +98,16 @@ class GMBEConfig:
             raise ValueError(f"unknown set_backend {self.set_backend!r}")
         if self.order not in ("degree", "degeneracy", "none"):
             raise ValueError(f"unknown order {self.order!r}")
+        bt = self.batch_tasks
+        if isinstance(bt, bool) or not isinstance(bt, (int, str)):
+            raise ValueError(
+                f"batch_tasks must be 'off', 'auto', or a positive int, "
+                f"got {bt!r}"
+            )
+        if isinstance(bt, str) and bt not in ("off", "auto"):
+            raise ValueError(f"unknown batch_tasks {bt!r}")
+        if isinstance(bt, int) and bt <= 0:
+            raise ValueError("batch_tasks int must be positive")
 
     def with_(self, **changes) -> "GMBEConfig":
         """Functional update, e.g. ``cfg.with_(prune=False)``."""

@@ -30,12 +30,19 @@ efficiency.
 from __future__ import annotations
 
 import operator
-from dataclasses import dataclass
+from collections import deque
+from dataclasses import dataclass, field
 from typing import Iterator
 
 import numpy as np
 
 from ..core import sets
+from ..core.batch import (
+    BatchMember,
+    BatchStats,
+    batch_gamma_matches,
+    run_batch,
+)
 from ..core.bicliques import (
     BicliqueCounter,
     BicliqueSink,
@@ -100,6 +107,42 @@ class SubtreeTask:
 
 def _discard_sink(left, right) -> None:
     """Sink for re-executed tasks: emissions are known duplicates."""
+
+
+#: Padded-cell budget for one stacked batch: caps both the scope matrix
+#: (``k·S_max·W_max`` words) and the per-depth stacks (``k·D_max·C_max``
+#: cells) so an outlier task cannot blow the rectangular padding up.
+_BATCH_CELL_CAP = 1 << 21
+
+#: Batch size used by ``batch_tasks="auto"``.
+_AUTO_BATCH = 32
+
+
+@dataclass
+class _BatchSlot:
+    """One member's in-flight state while its batch outcome is computed."""
+
+    task: "SubtreeTask"
+    counters: Counters
+    emissions: list = field(default_factory=list)
+    #: first ledger sequence number: 0 when the slot's own node biclique
+    #: is among the emissions (dequeue-checked split children), else 1
+    first_seq: int = 1
+    base: float = 0.0
+    failed: bool = False
+
+    def sink(self, left, right) -> None:
+        self.emissions.append((left, right))
+
+
+@dataclass
+class _BatchedOutcome:
+    """A precomputed execute() result, delivered at consume time."""
+
+    cycles: float
+    counters: Counters
+    emissions: list
+    first_seq: int
 
 
 def _should_split(task, config: GMBEConfig) -> bool:
@@ -170,7 +213,8 @@ class _EmissionLedger:
 
 
 def _register_run_telemetry(
-    telemetry, tracer, report, master, dev, split_overhead_cycles
+    telemetry, tracer, report, master, dev, split_overhead_cycles,
+    batch_stats=None,
 ) -> None:
     """Fold one run's statistics into the unified registry and re-emit
     the fault log as correlated trace events.
@@ -199,6 +243,11 @@ def _register_run_telemetry(
         phases.get("watchdog", 0.0)
     )
     registry.counter("sim.phase.split_cycles").add(split_overhead_cycles)
+    if batch_stats is not None:
+        registry.counter("sim.batch.rounds").add(batch_stats.rounds)
+        batch_hist = registry.histogram("sim.batch.tasks_per_round")
+        for n in batch_stats.tasks_per_round:
+            batch_hist.record(n)
     depth_hist = registry.histogram("sim.queue.device_depth")
     for _time, _dev_id, depth in report.queue_depth_samples:
         depth_hist.record(depth)
@@ -417,36 +466,222 @@ def gmbe_gpu(
     #: the checkpointed frontier.
     root_cursor = [start_root]
 
+    #: roots built ahead of the shared counter by the batch gatherer:
+    #: ``(v_s, cycles, task | None, build_counters, backend | None)``.
+    #: Everything observable — ``root_cursor``, ``master`` merge, the
+    #: seq-0 emission, backend tally — still happens at *yield* time, so
+    #: checkpoints and the emission ledger are independent of lookahead.
+    lookahead: deque = deque()
+    build_cursor = [start_root]
+
+    def _build_next_root() -> SubtreeTask | None:
+        """Build the next root task into ``lookahead`` (pull deferred)."""
+        v_s = build_cursor[0]
+        build_cursor[0] = v_s + 1
+        c = Counters()
+        rt = build_root_task(g, counter, v_s, c, backend=config.set_backend)
+        cycles = duration(c)
+        if rt is None:
+            lookahead.append((v_s, cycles, None, c, None))
+            return None
+        c.maximal += 1
+        task = SubtreeTask(
+            left=rt.left,
+            right=rt.right,
+            cands=rt.cands,
+            counts=rt.counts,
+            needs_check=False,
+            universe=rt.universe,
+            lineage=(v_s,),
+        )
+        lookahead.append((v_s, cycles, task, c, rt.backend))
+        return task
+
     def root_source() -> Iterator[tuple[float, SubtreeTask | None]]:
-        for v_s in range(start_root, g.n_v):
+        while True:
+            if not lookahead:
+                if build_cursor[0] >= g.n_v:
+                    return
+                _build_next_root()
+            v_s, cycles, task, c, backend = lookahead.popleft()
             root_cursor[0] = v_s + 1
-            c = Counters()
-            task = build_root_task(
-                g, counter, v_s, c, backend=config.set_backend
-            )
-            cycles = duration(c)
+            master.merge(c)
             if task is None:
-                master.merge(c)
                 yield cycles, None
                 continue
-            backend_tally[task.backend] += 1
-            c.maximal += 1
-            master.merge(c)
+            backend_tally[backend] += 1
             if keep_records:
                 ledger.emit((v_s,), 0, task.left, task.right)
             else:
                 emit(task.left, task.right)
-            yield cycles, SubtreeTask(
-                left=task.left,
-                right=task.right,
-                cands=task.cands,
-                counts=task.counts,
-                needs_check=False,
-                universe=task.universe,
-                lineage=(v_s,),
+            yield cycles, task
+
+    # ------------------------------------------------------------------
+    # Cross-task batched execution (DESIGN.md §10).  Compatible dense
+    # tasks — queued siblings plus look-ahead roots — are *peeked*, their
+    # outcomes computed in one vectorized lockstep pass, and the results
+    # cached per lineage.  Emissions, counter merges, and cycles are only
+    # delivered when each task's own execute() event fires, so the
+    # simulated schedule, checkpoints, and fault interleavings are
+    # bit-identical to batch_tasks="off".
+    # ------------------------------------------------------------------
+    if config.batch_tasks == "off":
+        batch_limit = 0
+    elif config.batch_tasks == "auto":
+        batch_limit = _AUTO_BATCH
+    else:
+        batch_limit = int(config.batch_tasks)
+    batch_cache: dict[tuple, _BatchedOutcome] = {}
+    batch_stats = (
+        BatchStats() if batch_limit and telemetry is not None else None
+    )
+    #: filled after scheduler construction (execute closes over it)
+    sched_ref: list = []
+
+    def _batch_eligible(t: SubtreeTask) -> bool:
+        return t.universe is not None and not _should_split(t, config)
+
+    def _compute_batch(seed: SubtreeTask, device_id: int) -> None:
+        members = [seed]
+        u = seed.universe
+        dims = [
+            len(u.scope),
+            u.n_words,
+            max(len(seed.cands), 1),
+            min(len(seed.left), len(seed.cands)) + 2,
+        ]
+
+        def try_add(t: SubtreeTask) -> None:
+            tu = t.universe
+            smax = max(dims[0], len(tu.scope))
+            wmax = max(dims[1], tu.n_words)
+            cmax = max(dims[2], len(t.cands), 1)
+            dmax = max(dims[3], min(len(t.left), len(t.cands)) + 2)
+            kk = len(members) + 1
+            if (
+                kk * smax * wmax > _BATCH_CELL_CAP
+                or kk * dmax * cmax > _BATCH_CELL_CAP
+            ):
+                return
+            dims[0], dims[1], dims[2], dims[3] = smax, wmax, cmax, dmax
+            members.append(t)
+
+        dep = len(seed.lineage)
+        if dep == 1:
+            # Roots never sit in the queue (they are pulled straight off
+            # the shared counter), so batch peers come from building
+            # ahead; the observable pull stays at yield time.
+            for entry in lookahead:
+                if len(members) >= batch_limit:
+                    break
+                t = entry[2]
+                if (
+                    t is not None
+                    and t.lineage not in batch_cache
+                    and _batch_eligible(t)
+                ):
+                    try_add(t)
+            builds = 0
+            while (
+                len(members) < batch_limit
+                and build_cursor[0] < g.n_v
+                and builds < 8 * batch_limit
+            ):
+                builds += 1
+                t = _build_next_root()
+                if t is not None and _batch_eligible(t):
+                    try_add(t)
+        if sched_ref and len(members) < batch_limit:
+            seen = {m.lineage for m in members}
+
+            def pred(p) -> bool:
+                return (
+                    isinstance(p, SubtreeTask)
+                    and len(p.lineage) == dep
+                    and p.lineage not in batch_cache
+                    and p.lineage not in seen
+                    and _batch_eligible(p)
+                )
+
+            for p in sched_ref[0].peek_pending(
+                pred, batch_limit - len(members), device_id=device_id
+            ):
+                try_add(p)
+
+        slots = [_BatchSlot(task=m, counters=Counters()) for m in members]
+        checks = [s for s in slots if s.task.needs_check]
+        if checks:
+            oks = batch_gamma_matches(
+                [s.task.universe for s in checks],
+                [s.task.left for s in checks],
+                [len(s.task.right) for s in checks],
+                [s.counters for s in checks],
+            )
+            for s, ok in zip(checks, oks):
+                if ok:
+                    s.counters.maximal += 1
+                    s.emissions.append((s.task.left, s.task.right))
+                    s.first_seq = 0
+                    s.base = duration(s.counters)
+                else:
+                    s.counters.non_maximal += 1
+                    s.failed = True
+        run_batch(
+            [
+                BatchMember(
+                    universe=s.task.universe,
+                    left=s.task.left,
+                    right=s.task.right,
+                    cands=s.task.cands,
+                    counts=s.task.counts,
+                    counters=s.counters,
+                    sink=s.sink,
+                )
+                for s in slots
+                if not s.failed
+            ],
+            prune=config.prune,
+            stats=batch_stats,
+        )
+        for s in slots:
+            cycles = (
+                duration(s.counters)
+                if s.failed
+                else s.base + duration(s.counters)
+            )
+            batch_cache[s.task.lineage] = _BatchedOutcome(
+                cycles, s.counters, s.emissions, s.first_seq
             )
 
+    def _consume_batched(task: SubtreeTask, out: _BatchedOutcome) -> ExecOutcome:
+        if executed_set is not None:
+            lin = task.lineage
+            suppress = lin in executed_set
+            if not suppress:
+                executed_set.add(lin)
+        else:
+            suppress = False
+        if not suppress:
+            if keep_records:
+                lin = task.lineage
+                seq = out.first_seq
+                for left, right in out.emissions:
+                    ledger.emit(lin, seq, left, right)
+                    seq += 1
+            else:
+                for left, right in out.emissions:
+                    emit(left, right)
+        master.merge(out.counters)
+        return ExecOutcome(cycles=out.cycles)
+
     def execute(task: SubtreeTask, _device_id: int) -> ExecOutcome:
+        if batch_limit:
+            out = batch_cache.pop(task.lineage, None)
+            if out is None and _batch_eligible(task):
+                _compute_batch(task, _device_id)
+                out = batch_cache.pop(task.lineage)
+            if out is not None:
+                return _consume_batched(task, out)
         c = Counters()
         base = 0.0
         # A re-executed task (crash retry) re-produces its entire
@@ -563,6 +798,7 @@ def gmbe_gpu(
         initial_tasks=initial_tasks or None,
         collect_telemetry=telemetry is not None,
     )
+    sched_ref.append(scheduler)
 
     writer = None
     if checkpoint_path is not None:
@@ -622,7 +858,8 @@ def gmbe_gpu(
             kernel_span.set_attr("makespan_cycles", report.makespan_cycles)
             kernel_span.set_attr("n_maximal", counting.count)
             _register_run_telemetry(
-                telemetry, tracer, report, master, dev, split_cycles[0]
+                telemetry, tracer, report, master, dev, split_cycles[0],
+                batch_stats,
             )
     if writer is not None:
         if report.halted:

@@ -123,6 +123,22 @@ class TwoLevelTaskQueue:
         self._global.clear()
         return out
 
+    def peek_all(self):
+        """Yield every queued payload (locals then global) *without*
+        removing anything and without charging queue operations.
+
+        This is the batched-execution lookahead (DESIGN.md §10): the
+        kernel inspects compatible sibling tasks to precompute their
+        outcomes, but the tasks stay queued and are still popped —
+        and charged — at their own dequeue events, so the simulated
+        schedule is untouched.
+        """
+        for q in self._local:
+            for _, _, payload in q:
+                yield payload
+        for _, _, payload in self._global:
+            yield payload
+
     def pop_ready(self, sm: int, now: float) -> tuple[Any, str] | None:
         """Dequeue a task already available at ``now``; local first."""
         local = self._local[sm]

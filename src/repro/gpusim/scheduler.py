@@ -280,6 +280,35 @@ class PersistentThreadScheduler:
             return None
         return self._registry.get(self._lineage_of(payload))
 
+    def peek_pending(
+        self, predicate, limit: int, *, device_id: int | None = None
+    ) -> list[Any]:
+        """Queued payloads matching ``predicate``, up to ``limit``,
+        without dequeueing them (``device_id``'s queues are scanned
+        first).
+
+        Read-only by construction: no queue statistics move, no items
+        change position, and the payloads remain owned by their queues.
+        The batch-aware execute path uses this to precompute outcomes
+        for compatible sibling tasks; each task is still popped at its
+        own dequeue event, so timing, queue stats, and fault
+        interleavings are identical with or without lookahead.
+        """
+        out: list[Any] = []
+        if limit <= 0:
+            return out
+        order = list(range(len(self._queues)))
+        if device_id is not None and 0 <= device_id < len(order):
+            order.remove(device_id)
+            order.insert(0, device_id)
+        for qi in order:
+            for payload in self._queues[qi].peek_all():
+                if predicate(payload):
+                    out.append(payload)
+                    if len(out) >= limit:
+                        return out
+        return out
+
     def frontier(self) -> list[tuple[Hashable, Any, int]]:
         """Pending work: ``(lineage, payload, retries)`` per live entry.
 

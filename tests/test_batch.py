@@ -1,0 +1,430 @@
+"""Cross-task batched execution tests (DESIGN.md §10).
+
+The batching layer is a wall-clock optimization with a strict contract:
+it may never change *anything* observable in the simulation — not the
+biclique set, not the simulated-cycle ``Counters``, not the schedule
+(``sim_time``), not checkpoint/resume or fault-recovery behavior.  These
+tests pin that contract at three levels:
+
+1. the numpy primitives in :mod:`repro.core.batch` against plain loops;
+2. the lockstep runner :func:`run_batch` against the sequential
+   node-buffer walk, exact counters and exact emissions;
+3. the full kernel with ``batch_tasks`` off vs. on, across every
+   registry graph and the execution knobs, plus checkpoint halt/resume,
+   fault injection, and the telemetry on/off instrumentation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.gmbe.kernel as kernel_mod
+from repro.core.batch import (
+    BatchMember,
+    BatchStats,
+    batch_gamma_matches,
+    batch_intersect,
+    batch_popcount,
+    batch_subset_mask,
+    ragged_split,
+    ragged_stack,
+    run_batch,
+)
+from repro.core.bicliques import BicliqueCounter, Counters
+from repro.core.bitset import BitsetUniverse, popcount_words
+from repro.core.localcount import LocalCounter
+from repro.core.tasks import build_root_task
+from repro.datasets import registry
+from repro.gmbe import GMBEConfig, gmbe_gpu
+from repro.gmbe.host import run_task_with_node_buffer
+from repro.graph import BipartiteGraph, random_bipartite
+from repro.graph.preprocess import prepare
+
+
+def make_random(n_u: int, n_v: int, p: float, seed: int) -> BipartiteGraph:
+    return random_bipartite(n_u, n_v, p, seed=seed)
+
+
+def _enumerate(graph, **kw):
+    out = []
+    res = gmbe_gpu(graph, lambda L, R: out.append((tuple(L), tuple(R))), **kw)
+    return res, sorted(out)
+
+
+# ---------------------------------------------------------------------------
+# 1. primitives
+# ---------------------------------------------------------------------------
+
+
+class TestPrimitives:
+    def _rand_words(self, rng, *shape):
+        return rng.integers(0, 2**63, size=shape, dtype=np.uint64)
+
+    def test_batch_intersect_matches_rowwise_and(self):
+        rng = np.random.default_rng(0)
+        rows = self._rand_words(rng, 6, 9, 4)
+        masks = self._rand_words(rng, 6, 4)
+        got = batch_intersect(rows, masks[:, None, :])
+        for k in range(6):
+            for i in range(9):
+                assert (got[k, i] == (rows[k, i] & masks[k])).all()
+
+    def test_batch_intersect_out_param(self):
+        rng = np.random.default_rng(1)
+        rows = self._rand_words(rng, 3, 5)
+        masks = self._rand_words(rng, 3, 5)
+        out = np.empty_like(rows)
+        got = batch_intersect(rows, masks, out=out)
+        assert got is out
+        assert (out == (rows & masks)).all()
+
+    def test_batch_popcount_matches_python_bitcount(self):
+        rng = np.random.default_rng(2)
+        words = self._rand_words(rng, 4, 7, 3)
+        got = batch_popcount(words)
+        assert got.shape == (4, 7)
+        assert got.dtype == np.int64
+        for k in range(4):
+            for i in range(7):
+                expect = sum(int(w).bit_count() for w in words[k, i])
+                assert int(got[k, i]) == expect
+
+    def test_batch_popcount_agrees_with_popcount_words(self):
+        rng = np.random.default_rng(3)
+        words = self._rand_words(rng, 5, 6)
+        assert (
+            batch_popcount(words)
+            == popcount_words(words).sum(axis=-1, dtype=np.int64)
+        ).all()
+
+    def test_batch_subset_mask(self):
+        rng = np.random.default_rng(4)
+        masks = self._rand_words(rng, 8, 3)
+        # rows ⊆ mask by construction, then flip one bit outside.
+        rows = masks & self._rand_words(rng, 8, 3)
+        ok = batch_subset_mask(rows, masks)
+        assert ok.all()
+        spoiled = rows.copy()
+        spoiled[:, 0] |= ~masks[:, 0]
+        assert not batch_subset_mask(spoiled, masks).any()
+
+    def test_ragged_stack_split_roundtrip(self):
+        rng = np.random.default_rng(5)
+        blocks = [
+            rng.integers(0, 2**63, size=(n, w), dtype=np.uint64)
+            for n, w in ((3, 2), (1, 4), (5, 1), (2, 4))
+        ]
+        n_words = max(b.shape[1] for b in blocks)
+        stacked, lengths = ragged_stack(blocks, n_words)
+        assert stacked.shape == (11, n_words)
+        assert lengths.tolist() == [3, 1, 5, 2]
+        # zero-padding beyond each block's own word count
+        for blk, chunk in zip(blocks, ragged_split(stacked, lengths)):
+            assert (chunk[:, : blk.shape[1]] == blk).all()
+            assert not chunk[:, blk.shape[1] :].any()
+
+
+# ---------------------------------------------------------------------------
+# 2. lockstep runner vs. the sequential node-buffer walk
+# ---------------------------------------------------------------------------
+
+
+def _bitset_root_tasks(g):
+    counter = LocalCounter(g)
+    tasks = []
+    for v in range(g.n_v):
+        t = build_root_task(g, counter, v, None, backend="bitset")
+        if t is not None and t.universe is not None and len(t.cands):
+            tasks.append(t)
+    return counter, tasks
+
+
+def _run_sequential(g, counter, tasks, *, prune=True):
+    c = Counters()
+    sink = BicliqueCounter()
+    emitted = []
+    for t in tasks:
+        run_task_with_node_buffer(
+            g, counter, t,
+            lambda L, R: emitted.append((tuple(L), tuple(R))),
+            c, prune=prune,
+        )
+    del sink
+    return c, sorted(emitted)
+
+
+def _run_lockstep(tasks, *, prune=True, stats=None):
+    c = Counters()
+    emitted = []
+    run_batch(
+        [
+            BatchMember(
+                universe=t.universe, left=t.left, right=t.right,
+                cands=t.cands, counts=t.counts, counters=c,
+                sink=lambda L, R: emitted.append((tuple(L), tuple(R))),
+            )
+            for t in tasks
+        ],
+        prune=prune,
+        stats=stats,
+    )
+    return c, sorted(emitted)
+
+
+class TestRunBatchEquivalence:
+    @pytest.mark.parametrize("prune", [True, False])
+    @pytest.mark.parametrize("seed", range(6))
+    def test_counters_and_emissions_identical(self, seed, prune):
+        g = make_random(24, 18, 0.35, seed=seed)
+        counter, tasks = _bitset_root_tasks(g)
+        if not tasks:
+            pytest.skip("no bitset-eligible roots for this draw")
+        c_seq, e_seq = _run_sequential(g, counter, tasks, prune=prune)
+        c_bat, e_bat = _run_lockstep(tasks, prune=prune)
+        assert e_bat == e_seq
+        assert vars(c_bat) == vars(c_seq)
+
+    def test_single_member_batch(self):
+        g = make_random(16, 12, 0.5, seed=11)
+        counter, tasks = _bitset_root_tasks(g)
+        c_seq, e_seq = _run_sequential(g, counter, tasks[:1])
+        c_bat, e_bat = _run_lockstep(tasks[:1])
+        assert e_bat == e_seq and vars(c_bat) == vars(c_seq)
+
+    def test_stats_record_rounds_and_widths(self):
+        g = make_random(20, 16, 0.45, seed=3)
+        counter, tasks = _bitset_root_tasks(g)
+        stats = BatchStats()
+        _run_lockstep(tasks, stats=stats)
+        assert stats.rounds >= 1
+        assert len(stats.tasks_per_round) == stats.rounds
+        assert max(stats.tasks_per_round) <= len(tasks)
+        assert min(stats.tasks_per_round) >= 1
+
+    def test_batch_gamma_matches_agrees_with_scalar_gamma(self):
+        from repro.core.expand import gamma_matches
+
+        g = make_random(20, 16, 0.4, seed=7)
+        counter, tasks = _bitset_root_tasks(g)
+        universes = [t.universe for t in tasks]
+        lefts = [t.left for t in tasks]
+        right_sizes = [len(t.right) for t in tasks]
+        c_bat = Counters()
+        got = batch_gamma_matches(
+            universes, lefts, right_sizes, [c_bat] * len(tasks)
+        )
+        c_seq = Counters()
+        expect = [
+            gamma_matches(g, L, rs, c_seq, universe=u)
+            for u, L, rs in zip(universes, lefts, right_sizes)
+        ]
+        assert got == expect
+        assert vars(c_bat) == vars(c_seq)
+
+
+# ---------------------------------------------------------------------------
+# 3. full kernel: batch_tasks off vs. on
+# ---------------------------------------------------------------------------
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("code", registry.DATASET_ORDER)
+    def test_every_registry_graph_bit_identical(self, code):
+        g = prepare(registry.load(code, scale=0.1), order="degree").graph
+        r_off, e_off = _enumerate(g, config=GMBEConfig(batch_tasks="off"))
+        r_on, e_on = _enumerate(g, config=GMBEConfig(batch_tasks="auto"))
+        assert e_on == e_off
+        assert vars(r_on.counters) == vars(r_off.counters)
+        assert r_on.sim_time == r_off.sim_time
+
+    @pytest.mark.parametrize("set_backend", ["auto", "sorted", "bitset"])
+    @pytest.mark.parametrize("order", ["degree", "degeneracy", "none"])
+    def test_backend_and_order_combos(self, set_backend, order, paper_graph):
+        g = make_random(28, 20, 0.3, seed=1)
+        for graph in (paper_graph, g):
+            base = GMBEConfig(
+                set_backend=set_backend, order=order, batch_tasks="off"
+            )
+            on = GMBEConfig(
+                set_backend=set_backend, order=order, batch_tasks="auto"
+            )
+            r_off, e_off = _enumerate(graph, config=base)
+            r_on, e_on = _enumerate(graph, config=on)
+            assert e_on == e_off
+            assert vars(r_on.counters) == vars(r_off.counters)
+            assert r_on.sim_time == r_off.sim_time
+
+    @pytest.mark.parametrize("batch_tasks", [1, 2, 7, 64])
+    def test_explicit_batch_sizes(self, batch_tasks):
+        g = make_random(30, 24, 0.3, seed=5)
+        _, e_off = _enumerate(g, config=GMBEConfig(batch_tasks="off"))
+        r_on, e_on = _enumerate(g, config=GMBEConfig(batch_tasks=batch_tasks))
+        assert e_on == e_off
+
+    @pytest.mark.parametrize("scheduling", ["task", "warp", "block"])
+    def test_split_tasks_with_batching(self, scheduling):
+        """Deep splits: batch-eligible leaves mixed with split parents."""
+        g = make_random(32, 26, 0.35, seed=9)
+        kw = dict(
+            scheduling=scheduling, bound_height=2, bound_size=8,
+            set_backend="bitset",
+        )
+        r_off, e_off = _enumerate(g, config=GMBEConfig(batch_tasks="off", **kw))
+        r_on, e_on = _enumerate(g, config=GMBEConfig(batch_tasks="auto", **kw))
+        assert e_on == e_off
+        assert vars(r_on.counters) == vars(r_off.counters)
+        assert r_on.sim_time == r_off.sim_time
+
+    def test_multi_gpu_with_batching(self):
+        g = make_random(28, 22, 0.35, seed=13)
+        r_off, e_off = _enumerate(
+            g, config=GMBEConfig(batch_tasks="off"), n_gpus=2
+        )
+        r_on, e_on = _enumerate(
+            g, config=GMBEConfig(batch_tasks="auto"), n_gpus=2
+        )
+        assert e_on == e_off
+        assert r_on.sim_time == r_off.sim_time
+
+
+class TestRobustness:
+    def test_fault_injection_equivalence(self):
+        from repro.gpusim.faults import FaultPlan
+
+        g = make_random(26, 20, 0.35, seed=2)
+        cfg_off = GMBEConfig(batch_tasks="off", max_task_retries=50)
+        cfg_on = GMBEConfig(batch_tasks="auto", max_task_retries=50)
+        for seed in (0, 7, 23):
+            plan = lambda: FaultPlan(
+                seed, p_sm_crash=0.02, p_warp_hang=0.03,
+                p_queue_drop=0.02, p_mem_pressure=0.02, max_faults=32,
+            )
+            r_off, e_off = _enumerate(g, config=cfg_off, fault_plan=plan())
+            r_on, e_on = _enumerate(g, config=cfg_on, fault_plan=plan())
+            assert r_off.extras["tasks_lost"] == 0
+            assert r_on.extras["tasks_lost"] == 0
+            assert e_on == e_off
+            assert r_on.sim_time == r_off.sim_time
+
+    def test_checkpoint_halt_resume_with_batching(self, tmp_path):
+        g = make_random(30, 24, 0.35, seed=4)
+        cfg = GMBEConfig(
+            batch_tasks="auto", bound_height=2, bound_size=8,
+            set_backend="bitset",
+        )
+        _, base = _enumerate(g, config=GMBEConfig(batch_tasks="off"))
+        ckpt = tmp_path / "batch.ckpt"
+        r1, out1 = _enumerate(
+            g, config=cfg, checkpoint_path=str(ckpt),
+            checkpoint_every=8, halt_after_tasks=40,
+        )
+        if r1.extras.get("halted"):
+            assert ckpt.exists()
+            r2, _ = _enumerate(
+                g, config=cfg, checkpoint_path=str(ckpt), resume=True
+            )
+            assert r2.extras["resumed"] is True
+            _, out_full = _enumerate(g, config=cfg)
+            assert out_full == base
+        else:
+            assert out1 == base
+
+
+# ---------------------------------------------------------------------------
+# telemetry instrumentation
+# ---------------------------------------------------------------------------
+
+
+class TestTelemetry:
+    def test_batch_metrics_populated_when_enabled(self):
+        from repro.telemetry import Telemetry
+
+        g = make_random(26, 20, 0.4, seed=6)
+        t = Telemetry()
+        gmbe_gpu(g, config=GMBEConfig(batch_tasks="auto"), telemetry=t)
+        rounds = t.registry.get("sim.batch.rounds")
+        hist = t.registry.get("sim.batch.tasks_per_round")
+        assert rounds is not None and rounds.value >= 1
+        assert hist is not None and hist.count >= 1
+        assert hist.max >= 1
+
+    def test_no_batch_metrics_when_batching_off(self):
+        from repro.telemetry import Telemetry
+
+        g = make_random(20, 16, 0.4, seed=6)
+        t = Telemetry()
+        gmbe_gpu(g, config=GMBEConfig(batch_tasks="off"), telemetry=t)
+        assert t.registry.get("sim.batch.rounds") is None
+
+    def test_zero_per_round_overhead_without_telemetry(self, monkeypatch):
+        """Telemetry off ⇒ the batch path must not allocate or update any
+        stats object — the only admissible cost is the single
+        ``stats is None`` check inside :func:`run_batch`."""
+        seen = []
+        real = run_batch
+
+        def spy(members, *, prune=True, stats=None):
+            seen.append(stats)
+            return real(members, prune=prune, stats=stats)
+
+        monkeypatch.setattr(kernel_mod, "run_batch", spy)
+        g = make_random(26, 20, 0.4, seed=6)
+        gmbe_gpu(g, config=GMBEConfig(batch_tasks="auto"), telemetry=None)
+        assert seen, "batched path never engaged"
+        assert all(s is None for s in seen)
+
+    def test_stats_object_threaded_when_telemetry_on(self, monkeypatch):
+        from repro.telemetry import Telemetry
+
+        seen = []
+        real = run_batch
+
+        def spy(members, *, prune=True, stats=None):
+            seen.append(stats)
+            return real(members, prune=prune, stats=stats)
+
+        monkeypatch.setattr(kernel_mod, "run_batch", spy)
+        g = make_random(26, 20, 0.4, seed=6)
+        gmbe_gpu(g, config=GMBEConfig(batch_tasks="auto"), telemetry=Telemetry())
+        assert seen and all(isinstance(s, BatchStats) for s in seen)
+        assert len({id(s) for s in seen}) == 1  # one stats object per run
+
+
+# ---------------------------------------------------------------------------
+# property: any batch_tasks value is invisible to the simulation
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def small_graphs(draw):
+    n_u = draw(st.integers(1, 8))
+    n_v = draw(st.integers(1, 7))
+    edges = draw(
+        st.sets(
+            st.tuples(st.integers(0, n_u - 1), st.integers(0, n_v - 1)),
+            max_size=n_u * n_v,
+        )
+    )
+    return BipartiteGraph.from_edges(n_u, n_v, list(edges))
+
+
+@pytest.mark.slow
+@given(
+    small_graphs(),
+    st.sampled_from(["auto", 1, 2, 3, 17]),
+    st.sampled_from(["auto", "sorted", "bitset"]),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_batching_is_invisible(g, batch_tasks, set_backend):
+    r_off, e_off = _enumerate(
+        g, config=GMBEConfig(batch_tasks="off", set_backend=set_backend)
+    )
+    r_on, e_on = _enumerate(
+        g, config=GMBEConfig(batch_tasks=batch_tasks, set_backend=set_backend)
+    )
+    assert e_on == e_off
+    assert vars(r_on.counters) == vars(r_off.counters)
+    assert r_on.sim_time == r_off.sim_time

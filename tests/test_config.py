@@ -49,6 +49,41 @@ class TestWith:
         assert GMBEConfig() != GMBEConfig(prune=False)
 
 
+class TestBatchTasksKnob:
+    def test_default_is_auto(self):
+        assert DEFAULT_CONFIG.batch_tasks == "auto"
+
+    def test_valid_values(self):
+        assert GMBEConfig(batch_tasks="off").batch_tasks == "off"
+        assert GMBEConfig(batch_tasks="auto").batch_tasks == "auto"
+        assert GMBEConfig(batch_tasks=4).batch_tasks == 4
+
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            GMBEConfig(batch_tasks="on")
+        with pytest.raises(ValueError):
+            GMBEConfig(batch_tasks=0)
+        with pytest.raises(ValueError):
+            GMBEConfig(batch_tasks=-3)
+        with pytest.raises(ValueError):
+            GMBEConfig(batch_tasks=True)  # bools are not batch sizes
+        with pytest.raises(ValueError):
+            GMBEConfig(batch_tasks=2.5)
+
+    def test_json_round_trip(self):
+        for value in ("off", "auto", 4):
+            cfg = GMBEConfig(batch_tasks=value)
+            back = GMBEConfig.from_json(cfg.to_json())
+            assert back == cfg
+            assert back.batch_tasks == value
+
+    def test_values_validated_on_load(self):
+        with pytest.raises(ValueError):
+            GMBEConfig.from_json('{"batch_tasks": "sometimes"}')
+        with pytest.raises(ValueError):
+            GMBEConfig.from_json('{"batch_tasks": 0}')
+
+
 class TestOrderKnob:
     def test_values(self):
         for ok in ("degree", "degeneracy", "none"):
@@ -78,6 +113,7 @@ class TestSerialization:
             node_reuse=False,
             set_backend="bitset",
             max_task_retries=5,
+            batch_tasks=4,
             order="degeneracy",
         )
         assert GMBEConfig.from_json(cfg.to_json()) == cfg

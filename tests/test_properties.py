@@ -98,6 +98,7 @@ def gmbe_configs(draw):
         scheduling=draw(st.sampled_from(["task", "warp", "block"])),
         node_reuse=draw(st.booleans()),
         set_backend=draw(st.sampled_from(["auto", "sorted", "bitset"])),
+        batch_tasks=draw(st.sampled_from(["off", "auto", 1, 2, 7, 64])),
         order=draw(st.sampled_from(["degree", "degeneracy", "none"])),
     )
 

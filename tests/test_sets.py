@@ -77,6 +77,32 @@ class TestIntersectSize:
     def test_matches_intersect(self, a, b):
         assert sets.intersect_size(a, b) == len(sets.intersect(a, b))
 
+    @given(sorted_arrays, sorted_arrays)
+    @settings(max_examples=60)
+    def test_matches_numpy_intersect1d(self, a, b):
+        assert sets.intersect_size(a, b) == len(np.intersect1d(a, b))
+
+    def test_empty_and_disjoint(self):
+        a = np.array([1, 3, 5], dtype=np.int32)
+        b = np.array([2, 4, 6], dtype=np.int32)
+        assert sets.intersect_size(a, b) == 0
+        assert sets.intersect_size(sets.EMPTY, a) == 0
+        assert sets.intersect_size(a, sets.EMPTY) == 0
+        assert sets.intersect_size(sets.EMPTY, sets.EMPTY) == 0
+
+    def test_identical_and_mixed_dtypes(self):
+        a = np.array([0, 7, 9, 12], dtype=np.int32)
+        assert sets.intersect_size(a, a) == 4
+        b = a.astype(np.int64)
+        assert sets.intersect_size(a, b) == 4
+        assert isinstance(sets.intersect_size(a, b), int)
+
+    def test_asymmetric_lengths(self):
+        big = np.arange(0, 1000, 2, dtype=np.int64)  # evens
+        small = np.array([1, 2, 500, 501, 998], dtype=np.int64)
+        assert sets.intersect_size(small, big) == 3
+        assert sets.intersect_size(big, small) == 3
+
 
 class TestSubset:
     def test_empty_is_subset(self):
