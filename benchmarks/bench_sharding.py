@@ -1,0 +1,117 @@
+"""Sharded-enumeration scaling benchmark: 4 shards vs one device.
+
+Measures, per registry graph, the *simulated* makespan of a 4-shard
+:class:`~repro.sharding.ShardCoordinator` run (each shard on its own
+device) against the single-node simulated time, on a deliberately
+work-bound device model (one SM): sharding exists for graphs that
+saturate a device, so the regime where total work — not the critical
+path — dominates is the one the balancer must win in.  Simulated cycles
+are deterministic, which makes the gated ratio machine-stable: the gate
+tolerance is slack for intentional snapshot drift only.
+
+The headline metric is ``shard_efficiency_4x``: the geomean over graphs
+of ``single_time / (4 × shard_makespan)`` — 1.0 is perfect linear
+scaling, and ``check_regression.py --only sharding`` holds the floor at
+0.7× of ideal.  Merged-set equality with the single-node run is
+asserted inside the benchmark for every graph: a speedup achieved by
+dropping or duplicating bicliques must never produce a snapshot.
+
+The per-code rows also record the round-robin balancer's makespan — the
+baseline the degree-aware greedy balancer has to beat — as context for
+reading the snapshot, not as a gated ratio.
+
+Run directly (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_sharding.py
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+from repro.core import BicliqueCollector
+from repro.datasets import load
+from repro.gmbe import gmbe_gpu
+from repro.gpusim.device import A100
+from repro.sharding import ShardCoordinator
+
+OUT_PATH = Path(__file__).resolve().parent / "BENCH_sharding.json"
+
+CODES = ("Mti", "TM", "WC", "YG", "SO")
+N_SHARDS = 4
+#: one SM: the fully work-bound regime (a saturated device), where the
+#: shard balancer's weight estimate — not idle parallel slack — decides
+#: the achieved speedup.
+DEVICE = A100.with_(n_sms=1, name="A100-1sm")
+
+
+def run() -> dict:
+    per_code = {}
+    efficiencies = []
+    for code in CODES:
+        graph = load(code)
+        col = BicliqueCollector()
+        single = gmbe_gpu(graph, col, device=DEVICE)
+        reference = sorted(col.bicliques)
+
+        report = ShardCoordinator(graph, N_SHARDS, device=DEVICE).run()
+        assert report.bicliques == reference, (
+            f"{code}: sharded union != single-node result "
+            f"({report.n_maximal} vs {len(reference)})"
+        )
+        assert len(report.bicliques) == len(set(report.bicliques)), (
+            f"{code}: duplicate bicliques in the merged shard union"
+        )
+
+        rr = ShardCoordinator(
+            graph, N_SHARDS, device=DEVICE, balancer="round-robin"
+        ).run()
+        assert rr.bicliques == reference
+
+        efficiency = single.sim_time / (N_SHARDS * report.sim_time)
+        efficiencies.append(efficiency)
+        per_code[code] = {
+            "single_s": single.sim_time,
+            "shard_makespan_s": report.sim_time,
+            "round_robin_makespan_s": rr.sim_time,
+            "efficiency": efficiency,
+            "imbalance_estimate": report.extras["imbalance"],
+            "n_maximal": len(reference),
+        }
+    geomean = math.exp(
+        sum(math.log(e) for e in efficiencies) / len(efficiencies)
+    )
+    return {
+        "bench": "sharding_scaling",
+        "config": {
+            "codes": list(CODES),
+            "n_shards": N_SHARDS,
+            "device": DEVICE.name,
+            "n_sms": DEVICE.n_sms,
+        },
+        "per_code": per_code,
+        "shard_efficiency_4x": geomean,
+    }
+
+
+def main() -> None:
+    result = run()
+    OUT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    for code, row in result["per_code"].items():
+        print(
+            f"{code:>4} single: {row['single_s'] * 1e6:9.3f} us   "
+            f"4-shard: {row['shard_makespan_s'] * 1e6:9.3f} us   "
+            f"(round-robin {row['round_robin_makespan_s'] * 1e6:9.3f} us)  "
+            f"efficiency: {row['efficiency']:.3f}"
+        )
+    print(
+        f"4-shard efficiency geomean: "
+        f"{result['shard_efficiency_4x']:.3f} (>= 0.70 required)"
+    )
+    print(f"snapshot written to {OUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -43,6 +43,16 @@ speed:
     configurations (broken priors, broken successive halving, or a
     kernel change that erased the tuning headroom).
 
+``sharding``
+    Re-runs :mod:`bench_sharding` and gates the 4-shard scaling
+    efficiency (single-node simulated time over 4x the sharded
+    makespan, geomean across registry graphs on a work-bound device)
+    at >= 0.7x ideal.  The ratio is pure simulated cycles, so a drop
+    means the ownership balancer's weight estimate degraded — and the
+    bench itself asserts the merged shard union stays bit-identical to
+    the single-node result, so the efficiency can never be bought with
+    dropped or duplicated bicliques.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py                 # both gates
@@ -67,6 +77,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 import bench_faults  # noqa: E402
 import bench_service_throughput  # noqa: E402
 import bench_setops  # noqa: E402
+import bench_sharding  # noqa: E402
 import bench_telemetry  # noqa: E402
 import bench_tuning  # noqa: E402
 
@@ -157,6 +168,17 @@ GATES = (
         run=bench_tuning.run,
         tolerance=0.15,
         floor=1.0,
+    ),
+    # Deterministic simulated-cycle ratio (see bench_sharding): the
+    # 4-shard geomean efficiency must hold >= 0.7x of ideal linear
+    # scaling; merged-set equality is asserted inside the bench itself.
+    Gate(
+        name="sharding",
+        path=bench_sharding.OUT_PATH,
+        metric="shard_efficiency_4x",
+        run=bench_sharding.run,
+        tolerance=0.10,
+        floor=0.70,
     ),
 )
 

@@ -107,6 +107,8 @@ def enumerate_maximal_bicliques(
     checkpoint_every: int = 256,
     resume: bool = False,
     telemetry=None,
+    shards: int = 1,
+    shard_balancer: str = "greedy",
 ) -> list[Biclique]:
     """Enumerate all maximal bicliques of ``data``.
 
@@ -147,6 +149,16 @@ def enumerate_maximal_bicliques(
         (``algorithm="gmbe"`` only): the run is traced as a
         ``sim.kernel`` span and its phase/queue/fault statistics land
         in ``telemetry.registry`` (see ``docs/observability.md``).
+    shards, shard_balancer:
+        With ``shards > 1`` (``algorithm="gmbe"`` only) the enumeration
+        runs as N independent shard-jobs over disjoint root-task
+        ownership sets and the results are stream-merged — bit-identical
+        to the single-node run (see :mod:`repro.sharding` and DESIGN.md
+        §11).  ``checkpoint_path`` then names a *directory* holding one
+        snapshot per shard (crashed shards resume individually);
+        ``fault_plan``/``resume`` are per-run concepts and are rejected —
+        use :class:`~repro.sharding.ShardCoordinator` directly for
+        per-shard fault injection.
 
     Returns
     -------
@@ -158,6 +170,26 @@ def enumerate_maximal_bicliques(
             f"unknown algorithm {algorithm!r}; choose from {sorted(_ALGORITHMS)}"
         )
     min_left, min_right = validate_size_filters(min_left, min_right)
+    if isinstance(shards, bool) or not isinstance(shards, numbers.Integral):
+        raise ValueError(
+            f"shards must be a positive integer, got {shards!r}"
+        )
+    shards = int(shards)
+    if shards < 1:
+        raise ValueError(f"shards must be positive, got {shards}")
+    if shards > 1:
+        if algorithm != "gmbe":
+            raise ValueError(
+                f'shards > 1 is only supported by algorithm="gmbe", '
+                f"not {algorithm!r}"
+            )
+        if fault_plan is not None or resume:
+            raise ValueError(
+                "fault_plan/resume are per-run concepts; with shards > 1 "
+                "use repro.sharding.ShardCoordinator for per-shard fault "
+                "injection (crashed shards resume automatically from "
+                "their own checkpoints)"
+            )
     graph = as_bipartite_graph(data)
     if isinstance(config, str):
         if config != "tuned":
@@ -191,7 +223,21 @@ def enumerate_maximal_bicliques(
             'telemetry is only supported by algorithm="gmbe", '
             f"not {algorithm!r}"
         )
-    if algorithm == "gmbe":
+    if algorithm == "gmbe" and shards > 1:
+        from .sharding import ShardCoordinator
+
+        report = ShardCoordinator(
+            graph,
+            shards,
+            config=config or GMBEConfig(),
+            balancer=shard_balancer,
+            checkpoint_dir=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            telemetry=telemetry,
+        ).run()
+        for b in report.bicliques:
+            collector(b.left, b.right)
+    elif algorithm == "gmbe":
         gmbe_gpu(
             graph,
             collector,

@@ -82,6 +82,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulated cluster machines (each with --gpus GPUs); "
         "values > 1 use the distributed extension",
     )
+    p_run.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="split the enumeration into N independent shard-jobs over "
+        "disjoint root-ownership sets and merge (gmbe only; "
+        "bit-identical to --shards 1); with --nodes > 1 shards are "
+        "placed round-robin over the cluster's GPUs",
+    )
+    p_run.add_argument(
+        "--shard-balancer",
+        choices=["greedy", "contiguous", "round-robin"],
+        default="greedy",
+        help="how root ownership is balanced across shards",
+    )
     p_run.add_argument("--no-prune", action="store_true")
     p_run.add_argument(
         "--scheduling", choices=["task", "warp", "block"], default="task"
@@ -151,7 +166,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument(
         "--jobs",
         help="JSON-lines job file ({'graph': code-or-path, 'algorithm': ..., "
-        "'min_left': ..., ...} per line); default: a demo session on --graph",
+        "'min_left': ..., 'shards': N, ...} per line); default: a demo "
+        "session on --graph",
+    )
+    p_srv.add_argument(
+        "--auto-shard-over-edges", type=int, default=None, metavar="E",
+        help="route gmbe jobs on graphs with more than E edges through "
+        "the sharding subsystem even when the job didn't request shards",
+    )
+    p_srv.add_argument(
+        "--auto-shard-count", type=int, default=4,
+        help="shard fan-out used by --auto-shard-over-edges",
     )
     p_srv.add_argument("--graph", default="Mti",
                        help="dataset code or edge-list path for the demo session")
@@ -341,6 +366,20 @@ def _cmd_run(args) -> int:
         )
     if args.resume and args.checkpoint is None:
         raise SystemExit("--resume requires --checkpoint PATH")
+    shards = getattr(args, "shards", 1)
+    if shards > 1:
+        if args.algo != "gmbe":
+            raise SystemExit("--shards requires --algo gmbe")
+        if fault_plan is not None or args.halt_after_tasks is not None:
+            raise SystemExit(
+                "--shards is incompatible with fault/halt flags "
+                "(per-shard fault injection: repro.sharding API)"
+            )
+        if args.resume:
+            raise SystemExit(
+                "--shards resumes crashed shards automatically from the "
+                "--checkpoint directory; drop --resume"
+            )
     telemetry = None
     if args.telemetry_out:
         if args.algo != "gmbe":
@@ -355,7 +394,42 @@ def _cmd_run(args) -> int:
         sink = BicliqueWriter(out_fh)
     try:
         start = time.perf_counter()
-        if args.algo == "gmbe" and getattr(args, "nodes", 1) > 1:
+        if args.algo == "gmbe" and shards > 1:
+            from contextlib import nullcontext
+
+            from .sharding import ShardCoordinator
+
+            cluster = None
+            if getattr(args, "nodes", 1) > 1:
+                from .gmbe import ClusterSpec
+
+                cluster = ClusterSpec(
+                    n_nodes=args.nodes,
+                    gpus_per_node=args.gpus,
+                    device=DEVICE_PRESETS[args.device],
+                )
+            if telemetry is not None:
+                from .telemetry import use_telemetry
+
+                ctx = use_telemetry(telemetry)
+            else:
+                ctx = nullcontext()
+            with ctx:
+                res = ShardCoordinator(
+                    g,
+                    shards,
+                    config=config,
+                    balancer=args.shard_balancer,
+                    device=DEVICE_PRESETS[args.device],
+                    n_gpus_per_shard=args.gpus,
+                    cluster=cluster,
+                    checkpoint_dir=args.checkpoint,
+                    checkpoint_every=args.checkpoint_every,
+                ).run()
+            if sink is not None:
+                for b in res.bicliques:
+                    sink(b.left, b.right)
+        elif args.algo == "gmbe" and getattr(args, "nodes", 1) > 1:
             from contextlib import nullcontext
 
             from .gmbe import ClusterSpec, gmbe_cluster
@@ -403,7 +477,13 @@ def _cmd_run(args) -> int:
         where = f"{args.device} x{args.gpus}"
         if getattr(args, "nodes", 1) > 1:
             where += f" x{args.nodes} machines"
+        if getattr(args, "shards", 1) > 1:
+            where += f" x{args.shards} shards"
         print(f"simulated time: {res.sim_time:.6g}s on {where}")
+    if getattr(args, "shards", 1) > 1:
+        resumed = res.extras.get("resumed_shards", [])
+        if resumed:
+            print(f"resumed shards: {sorted(resumed)}")
     c = res.counters
     print(f"nodes={c.nodes_generated} non-maximal={c.non_maximal} "
           f"pruned={c.pruned}")
@@ -607,6 +687,8 @@ def _cmd_serve(args) -> int:
             timeout=args.timeout, max_attempts=args.retries + 1
         ),
         telemetry=telemetry,
+        auto_shard_over_edges=args.auto_shard_over_edges,
+        auto_shard_count=args.auto_shard_count,
     )
     try:
         if batch:

@@ -64,10 +64,49 @@ class ClusterSpec:
     claim_batch: int = 1
 
     def __post_init__(self) -> None:
-        if self.n_nodes <= 0 or self.gpus_per_node <= 0:
-            raise ValueError("cluster must have at least one node and GPU")
-        if self.claim_batch <= 0:
-            raise ValueError("claim_batch must be positive")
+        # Per-field validation naming the offender and its value (same
+        # style as repro.api.validate_size_filters) so a bad spec fails
+        # at construction with a message that says what to fix.
+        for name in ("n_nodes", "gpus_per_node", "claim_batch"):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ValueError(
+                    f"{name} must be a positive integer, got {value!r}"
+                )
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        for name in ("local_pull_cycles", "remote_pull_cycles"):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float)
+            ):
+                raise ValueError(
+                    f"{name} must be a non-negative number, got {value!r}"
+                )
+            if value < 0:
+                raise ValueError(
+                    f"{name} must be non-negative, got {value}"
+                )
+        if not isinstance(self.device, DeviceSpec):
+            raise ValueError(
+                f"device must be a DeviceSpec, got "
+                f"{type(self.device).__name__} ({self.device!r})"
+            )
+
+    def __repr__(self) -> str:
+        # The default dataclass repr hides where the claim cost lands;
+        # the per-GPU surcharge breakdown is what shard-placement
+        # debugging actually needs (which GPUs pay the network RTT).
+        breakdown = ", ".join(
+            f"gpu{i}@node{i // self.gpus_per_node}={cost:g}"
+            for i, cost in enumerate(self.surcharges())
+        )
+        return (
+            f"ClusterSpec(n_nodes={self.n_nodes}, "
+            f"gpus_per_node={self.gpus_per_node}, "
+            f"device={self.device.name!r}, claim_batch={self.claim_batch}, "
+            f"pull_surcharges=[{breakdown}])"
+        )
 
     @property
     def n_gpus(self) -> int:

@@ -283,6 +283,7 @@ def gmbe_gpu(
     relabel: bool = True,
     local_queue_capacity: int = 64,
     root_pull_surcharges: list[float] | None = None,
+    root_mask=None,
     fault_plan=None,
     checkpoint_path=None,
     checkpoint_every: int = 256,
@@ -310,6 +311,18 @@ def gmbe_gpu(
         Optional per-GPU extra cycles on every shared-counter pull —
         the hook :func:`repro.gmbe.cluster.gmbe_cluster` uses to model
         cross-machine atomics in the distributed extension.
+    root_mask:
+        Optional boolean array over the **prepared** V space (length
+        ``n_v`` after :func:`~repro.graph.preprocess.prepare`): only
+        vertices with a True entry are pulled and built as root tasks.
+        This is the :mod:`repro.sharding` ownership hook — a masked run
+        enumerates exactly the maximal bicliques whose canonical
+        minimum R-vertex (in prepared order) is inside the mask,
+        because the per-vertex dedup rule assigns each biclique to that
+        root's task and nothing else about a subtree depends on the
+        mask.  Skipped vertices cost zero modeled cycles (their owner
+        shard charges them).  Checkpoints of a masked run record the
+        usual ``root_cursor`` frontier; resuming requires the same mask.
     fault_plan:
         Optional :class:`~repro.gpusim.faults.FaultPlan` (or replay
         plan).  Attaching one enables lineage tracking and the
@@ -347,6 +360,13 @@ def gmbe_gpu(
         raise ValueError("resume=True requires checkpoint_path")
     prepared = prepare(graph, order=config.order)
     g = prepared.graph
+    if root_mask is not None:
+        root_mask = np.asarray(root_mask, dtype=bool)
+        if root_mask.shape != (g.n_v,):
+            raise ValueError(
+                f"root_mask must cover the prepared V side: expected "
+                f"shape ({g.n_v},), got {root_mask.shape}"
+            )
     dev = device.with_(warps_per_sm=config.warps_per_sm)
     counting = BicliqueCounter()
     inner = None if sink is None else (
@@ -475,8 +495,21 @@ def gmbe_gpu(
     build_cursor = [start_root]
 
     def _build_next_root() -> SubtreeTask | None:
-        """Build the next root task into ``lookahead`` (pull deferred)."""
+        """Build the next root task into ``lookahead`` (pull deferred).
+
+        With a ``root_mask``, non-owned vertices are skipped outright —
+        never built, never yielded, zero modeled cycles — so a shard
+        pays only for the roots it owns.  The skip can exhaust the
+        range without appending anything; callers tolerate an empty
+        ``lookahead`` after a call.
+        """
         v_s = build_cursor[0]
+        if root_mask is not None:
+            while v_s < g.n_v and not root_mask[v_s]:
+                v_s += 1
+            if v_s >= g.n_v:
+                build_cursor[0] = v_s
+                return None
         build_cursor[0] = v_s + 1
         c = Counters()
         rt = build_root_task(g, counter, v_s, c, backend=config.set_backend)
@@ -503,6 +536,8 @@ def gmbe_gpu(
                 if build_cursor[0] >= g.n_v:
                     return
                 _build_next_root()
+                if not lookahead:
+                    return  # root_mask skipped the entire remaining range
             v_s, cycles, task, c, backend = lookahead.popleft()
             root_cursor[0] = v_s + 1
             master.merge(c)

@@ -15,7 +15,7 @@ worker never takes the pool down), not CPU-parallel speedup.
 from __future__ import annotations
 
 import threading
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor, wait
 from typing import Callable, TypeVar
 
 R = TypeVar("R")
@@ -38,13 +38,29 @@ class WorkerPool:
         self._lock = threading.Lock()
         self._active = 0
         self._completed = 0
+        #: futures not yet done — what a drain timeout waits on
+        self._outstanding: set[Future] = set()
 
     # ------------------------------------------------------------------
-    def submit(self, fn: Callable[..., R], /, *args, **kwargs) -> "Future[R]":
+    def submit(
+        self,
+        fn: Callable[..., R],
+        /,
+        *args,
+        worker_label: str | None = None,
+        **kwargs,
+    ) -> "Future[R]":
         """Schedule ``fn(*args, **kwargs)``; returns its future.
 
         The wrapper only tracks activity — exceptions flow through the
         future untouched, so a raising job is isolated to its caller.
+
+        ``worker_label`` (consumed by the pool, never passed to ``fn``)
+        names the unit of work — e.g. ``"shard 3/8 of job 17"``.  A
+        crashing worker attaches it to the exception as a PEP 678 note,
+        so the traceback that eventually surfaces (possibly far from the
+        submission site, after a merge or a retry) still says *which*
+        task died.
         """
 
         def _tracked() -> R:
@@ -52,12 +68,27 @@ class WorkerPool:
                 self._active += 1
             try:
                 return fn(*args, **kwargs)
+            except BaseException as exc:
+                if worker_label is not None:
+                    exc.add_note(
+                        f"[repro.parallel.WorkerPool] raised while running: "
+                        f"{worker_label}"
+                    )
+                raise
             finally:
                 with self._lock:
                     self._active -= 1
                     self._completed += 1
 
-        return self._executor.submit(_tracked)
+        future = self._executor.submit(_tracked)
+        with self._lock:
+            self._outstanding.add(future)
+        future.add_done_callback(self._discard)
+        return future
+
+    def _discard(self, future: Future) -> None:
+        with self._lock:
+            self._outstanding.discard(future)
 
     # ------------------------------------------------------------------
     @property
@@ -72,8 +103,45 @@ class WorkerPool:
         with self._lock:
             return self._completed
 
-    def shutdown(self, wait: bool = True) -> None:
+    @property
+    def outstanding(self) -> int:
+        """Jobs submitted but not yet done (queued or executing)."""
+        with self._lock:
+            return len(self._outstanding)
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Wait for every outstanding job to finish; True if fully drained.
+
+        ``timeout=None`` waits indefinitely.  Unlike
+        ``executor.shutdown(wait=True)``, a timeout bounds the wait —
+        the pool is still usable afterwards.
+        """
+        with self._lock:
+            pending = set(self._outstanding)
+        if not pending:
+            return True
+        done, not_done = wait(pending, timeout=timeout)
+        return not not_done
+
+    def shutdown(
+        self, wait: bool = True, *, drain_timeout: float | None = None
+    ) -> bool:
+        """Stop the pool; True if every job finished before shutdown.
+
+        ``drain_timeout`` selects graceful shutdown: wait up to that
+        many seconds for outstanding work to complete, then stop —
+        cancelling jobs still *queued* (they resolve as cancelled
+        futures; a job already running on a thread cannot be
+        interrupted and is abandoned to finish on the daemon pool).
+        Without it, ``wait=True`` blocks until everything finishes and
+        ``wait=False`` returns immediately, as before.
+        """
+        if drain_timeout is not None:
+            drained = self.drain(drain_timeout)
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            return drained
         self._executor.shutdown(wait=wait)
+        return self.outstanding == 0
 
     def __enter__(self) -> "WorkerPool":
         return self

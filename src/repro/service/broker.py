@@ -61,6 +61,7 @@ def default_runner(
     graph: BipartiteGraph,
     config: GMBEConfig,
     checkpoint_path: str | None = None,
+    shards: int = 1,
 ):
     """Execute one job exactly like the one-shot API would.
 
@@ -68,7 +69,22 @@ def default_runner(
     is set and the job runs GMBE), the enumeration snapshots its
     frontier there and — if a previous attempt of the same job left a
     checkpoint behind — resumes from it instead of starting over.
+
+    With ``shards > 1`` the job runs as N shard-jobs over disjoint
+    root-task ownership sets (see :mod:`repro.sharding`);
+    ``checkpoint_path`` is then a *directory* of per-shard snapshots, so
+    a retry resumes exactly the shards that crashed.
     """
+    if shards > 1 and job.algorithm == "gmbe":
+        return enumerate_maximal_bicliques(
+            graph,
+            algorithm=job.algorithm,
+            min_left=job.min_left,
+            min_right=job.min_right,
+            config=config,
+            shards=shards,
+            checkpoint_path=checkpoint_path,
+        )
     if checkpoint_path is not None and job.algorithm == "gmbe":
         return enumerate_maximal_bicliques(
             graph,
@@ -88,17 +104,22 @@ def default_runner(
     )
 
 
-def _accepts_checkpoint(runner) -> bool:
-    """True if ``runner`` takes a ``checkpoint_path`` keyword."""
+def _accepts_kwarg(runner, name: str) -> bool:
+    """True if ``runner`` takes ``name`` as a keyword."""
     try:
         params = inspect.signature(runner).parameters
     except (TypeError, ValueError):  # builtins / C callables
         return False
-    if "checkpoint_path" in params:
+    if name in params:
         return True
     return any(
         p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
     )
+
+
+def _accepts_checkpoint(runner) -> bool:
+    """True if ``runner`` takes a ``checkpoint_path`` keyword."""
+    return _accepts_kwarg(runner, "checkpoint_path")
 
 
 @dataclass
@@ -112,6 +133,8 @@ class _Entry:
     submitted_at: float
     deadline_at: float | None
     cancelled: bool = False
+    #: effective shard fan-out (job-requested or auto-shard policy)
+    shards: int = 1
 
 
 def _swallow(cf) -> None:
@@ -143,6 +166,8 @@ class EnumerationBroker:
         tuning_store: TunedConfigStore | str | None = None,
         tune_on_miss: bool = True,
         tune_budget=None,
+        auto_shard_over_edges: int | None = None,
+        auto_shard_count: int = 4,
     ) -> None:
         if n_workers <= 0:
             raise ValueError("n_workers must be positive")
@@ -150,6 +175,15 @@ class EnumerationBroker:
             raise ValueError("queue_depth must be positive")
         if telemetry_flush_interval <= 0:
             raise ValueError("telemetry_flush_interval must be positive")
+        if auto_shard_over_edges is not None and auto_shard_over_edges < 0:
+            raise ValueError(
+                f"auto_shard_over_edges must be non-negative, "
+                f"got {auto_shard_over_edges}"
+            )
+        if auto_shard_count < 2:
+            raise ValueError(
+                f"auto_shard_count must be at least 2, got {auto_shard_count}"
+            )
         self.n_workers = n_workers
         self.queue_depth = queue_depth
         self.cache = cache if cache is not None else ResultCache()
@@ -185,6 +219,13 @@ class EnumerationBroker:
         #: ``None`` disables job-level checkpointing entirely.
         self.checkpoint_dir = checkpoint_dir
         self._runner_takes_checkpoint = _accepts_checkpoint(self._runner)
+        #: route any gmbe job on a graph above this edge count through
+        #: the sharding subsystem, even when the job didn't ask — the
+        #: "graph one device can't hold" admission policy.  ``None``
+        #: shards only jobs that request it (``Job.shards > 1``).
+        self.auto_shard_over_edges = auto_shard_over_edges
+        self.auto_shard_count = auto_shard_count
+        self._runner_takes_shards = _accepts_kwarg(self._runner, "shards")
         self._graphs: dict[str, DynamicBipartiteGraph] = {}
         self._inflight: dict[tuple, asyncio.Future] = {}
         self._jobs: dict[int, _Entry] = {}
@@ -428,6 +469,16 @@ class EnumerationBroker:
 
         fut = loop.create_future()
         deadline_at = None if job.deadline is None else t0 + job.deadline
+        shards = job.shards
+        if (
+            shards == 1
+            and self.auto_shard_over_edges is not None
+            and job.algorithm == "gmbe"
+            and graph.n_edges > self.auto_shard_over_edges
+        ):
+            shards = self.auto_shard_count
+        if shards > 1 and not self._runner_takes_shards:
+            shards = 1  # custom runner can't fan out; run single-node
         entry = _Entry(
             job=job,
             graph=graph,
@@ -437,6 +488,7 @@ class EnumerationBroker:
             future=fut,
             submitted_at=t0,
             deadline_at=deadline_at,
+            shards=shards,
         )
         try:
             self._queue.put_nowait((job.priority, next(self._seq), entry))
@@ -493,11 +545,18 @@ class EnumerationBroker:
 
     def _checkpoint_path_for(self, entry: _Entry) -> str | None:
         """Stable per-cache-key checkpoint file, or ``None`` when
-        job-level checkpointing is off or the runner can't take one."""
+        job-level checkpointing is off or the runner can't take one.
+
+        A sharded entry gets a *directory* (one snapshot per shard)
+        instead of a file — named off the same key digest, so a
+        resubmission after a crash resumes exactly its crashed shards.
+        """
         if self.checkpoint_dir is None or not self._runner_takes_checkpoint:
             return None
         os.makedirs(self.checkpoint_dir, exist_ok=True)
         digest = hashlib.sha256(repr(entry.key).encode()).hexdigest()[:16]
+        if entry.shards > 1:
+            return os.path.join(self.checkpoint_dir, f"job-{digest}.shards")
         return os.path.join(self.checkpoint_dir, f"job-{digest}.ckpt")
 
     async def _run_entry(self, entry: _Entry) -> None:
@@ -521,8 +580,18 @@ class EnumerationBroker:
 
         def _attempt():
             kwargs = {}
+            if entry.shards > 1:
+                kwargs["shards"] = entry.shards
             if ckpt_path is not None:
-                if os.path.exists(ckpt_path):
+                if entry.shards > 1:
+                    # Directory of per-shard snapshots: a resume is only
+                    # real when a crashed shard actually left one behind
+                    # (completed shards erase theirs).
+                    if os.path.isdir(ckpt_path) and any(
+                        f.endswith(".ckpt") for f in os.listdir(ckpt_path)
+                    ):
+                        self.metrics.resumed += 1
+                elif os.path.exists(ckpt_path):
                     self.metrics.resumed += 1
                 kwargs["checkpoint_path"] = ckpt_path
             if traced:
@@ -543,10 +612,13 @@ class EnumerationBroker:
             cf.add_done_callback(_swallow)
             return asyncio.wrap_future(cf)
 
+        if entry.shards > 1:
+            self.metrics.sharded += 1
         with self._tracer.span(
             "broker.dispatch",
             job_id=entry.job.id,
             algorithm=entry.job.algorithm,
+            shards=entry.shards,
         ) as dispatch_span:
             outcome = await execute_with_retry(
                 _attempt,

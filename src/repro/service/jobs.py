@@ -74,6 +74,12 @@ class Job:
     config_overrides:
         Field-level overrides applied on top of ``config`` (or the
         broker's base config) via :meth:`GMBEConfig.with_`.
+    shards:
+        With ``shards > 1`` (``algorithm="gmbe"`` only) the broker runs
+        the job as N shard-jobs over disjoint root-task ownership sets
+        and merges (see :mod:`repro.sharding`).  The cache is keyed on
+        the *logical* job — a sharded and an unsharded submission of the
+        same query share cache entries and coalesce together.
     priority:
         Lower runs first; ties dispatch FIFO.
     deadline:
@@ -92,6 +98,7 @@ class Job:
     min_right: int = 1
     config: GMBEConfig | str | None = None
     config_overrides: Mapping[str, Any] = field(default_factory=dict)
+    shards: int = 1
     priority: int = 0
     deadline: float | None = None
     id: int | None = None
@@ -109,6 +116,17 @@ class Job:
         )
         if self.deadline is not None and self.deadline <= 0:
             raise ValueError(f"deadline must be positive, got {self.deadline}")
+        if isinstance(self.shards, bool) or not isinstance(self.shards, int):
+            raise ValueError(
+                f"shards must be a positive integer, got {self.shards!r}"
+            )
+        if self.shards < 1:
+            raise ValueError(f"shards must be positive, got {self.shards}")
+        if self.shards > 1 and self.algorithm != "gmbe":
+            raise ValueError(
+                f'shards > 1 is only supported by algorithm="gmbe", '
+                f"not {self.algorithm!r}"
+            )
         if isinstance(self.config, str) and self.config != "tuned":
             raise ValueError(
                 f"config must be a GMBEConfig or the string 'tuned', "

@@ -40,6 +40,7 @@ COUNTER_NAMES = {
     "retries": "service.jobs.retries",
     "coalesced": "service.jobs.coalesced",
     "resumed": "service.jobs.resumed",
+    "sharded": "service.jobs.sharded",
     "cache_hits": "service.cache.hits",
     "cache_misses": "service.cache.misses",
     "tuned_hits": "service.tuning.hits",

@@ -1,0 +1,31 @@
+"""Sharded multi-worker enumeration for graphs one device can't hold.
+
+The subsystem splits one enumeration into N independent *shard-jobs* by
+partitioning root-task ownership (:class:`ShardPlan`), runs each shard
+as an ordinary kernel run restricted to its owned roots
+(:class:`ShardRunner`), and fans the shards over a worker pool and/or a
+simulated cluster, stream-merging the per-shard results into one
+duplicate-free ordered set (:class:`ShardCoordinator`).  DESIGN.md §11
+has the architecture and the ownership/disjointness proof sketch.
+"""
+
+from .coordinator import (
+    ShardCoordinator,
+    ShardMergeError,
+    ShardReport,
+    merge_shard_results,
+)
+from .plan import BALANCERS, ShardPlan, root_weights
+from .runner import ShardResult, ShardRunner
+
+__all__ = [
+    "BALANCERS",
+    "ShardCoordinator",
+    "ShardMergeError",
+    "ShardPlan",
+    "ShardReport",
+    "ShardResult",
+    "ShardRunner",
+    "merge_shard_results",
+    "root_weights",
+]

@@ -1,0 +1,369 @@
+"""Fan a graph too big for one device over N shard-jobs and merge.
+
+:class:`ShardCoordinator` is the orchestration layer of the sharding
+subsystem: build (or accept) a :class:`~repro.sharding.ShardPlan`,
+dispatch one :class:`~repro.sharding.ShardRunner` per shard over a
+:class:`~repro.parallel.WorkerPool`, and stream-merge the per-shard
+sorted result lists into one duplicate-free ordered set.
+
+Placement is simulated two ways:
+
+- **dedicated** (default): every shard runs on its own copy of
+  ``device`` — the fleet makespan is the max shard time.  This is the
+  "N machines, each holding the graph" deployment the plan's balancer
+  optimizes for.
+- **cluster**: with a :class:`~repro.gmbe.ClusterSpec`, shards are
+  placed round-robin over the cluster's GPUs, each paying that GPU's
+  counter-claim surcharge; GPUs run their shards serially, so the
+  makespan is the max *per-GPU sum*.
+
+Either way the *results* are placement-independent — only the modeled
+time changes.
+
+Fault tolerance: each shard checkpoints to its own plan-signature-named
+file.  A shard that crashes (or is halted by ``halt_after_tasks``)
+leaves its snapshot behind; completed shards erase theirs — so simply
+running the coordinator again resumes exactly the crashed shards and
+re-enumerates nothing that already finished *within* a shard (the
+kernel's emission ledger replays emitted bicliques from the snapshot).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import heapq
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..core.bicliques import Biclique, Counters
+from ..gmbe.cluster import ClusterSpec
+from ..gmbe.config import GMBEConfig
+from ..gpusim.device import A100, DeviceSpec
+from ..graph.bipartite import BipartiteGraph
+from ..parallel import WorkerPool
+from ..telemetry import NULL_TRACER, current_telemetry, run_with_telemetry
+from .plan import ShardPlan
+from .runner import ShardResult, ShardRunner
+
+__all__ = ["ShardCoordinator", "ShardReport", "ShardMergeError", "merge_shard_results"]
+
+
+class ShardMergeError(RuntimeError):
+    """A biclique surfaced from more than one shard.
+
+    The ownership rule makes this impossible for results produced by
+    this package — seeing it means shards ran under *different* plans
+    (or orders), e.g. mixed checkpoint generations.  Enumeration output
+    must never be silently deduplicated, so the merge refuses instead.
+    """
+
+
+def merge_shard_results(results: list[ShardResult]) -> list[Biclique]:
+    """K-way stream-merge per-shard sorted lists into one ordered set.
+
+    Raises :class:`ShardMergeError` on any duplicate — disjoint
+    ownership means equal bicliques from two shards indicate a plan
+    mismatch, not a benign overlap.
+    """
+    def _stream(result: ShardResult):
+        for b in result.bicliques:
+            yield (b, result.shard_id)
+
+    streams = [
+        _stream(r) for r in sorted(results, key=lambda r: r.shard_id)
+    ]
+    merged: list[Biclique] = []
+    prev: tuple[Biclique, int] | None = None
+    for item, shard_id in heapq.merge(*streams, key=lambda t: t[0]):
+        if prev is not None and item == prev[0]:
+            raise ShardMergeError(
+                f"duplicate biclique L={item.left} R={item.right} emitted "
+                f"by shards {prev[1]} and {shard_id} — the shards did not "
+                f"run under one plan (ownership sets must be disjoint)"
+            )
+        merged.append(item)
+        prev = (item, shard_id)
+    return merged
+
+
+@dataclass
+class ShardReport:
+    """Aggregate outcome of one sharded enumeration."""
+
+    plan: ShardPlan
+    shards: list[ShardResult]
+    bicliques: list[Biclique]
+    counters: Counters
+    #: Fleet makespan under the chosen placement (seconds, simulated).
+    sim_time: float
+    #: GPU index each shard ran on (dedicated placement: shard i → i).
+    placement: list[int]
+    #: True when any shard halted early — the merged set is then a
+    #: resumable *partial* result, not the full enumeration.
+    halted: bool = False
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def n_maximal(self) -> int:
+        return len(self.bicliques)
+
+
+class ShardCoordinator:
+    """Plan → fan out → merge one sharded enumeration.
+
+    Parameters
+    ----------
+    graph, n_shards:
+        The input and how many ways to split its root-task space.
+    config:
+        Kernel knobs shared by every shard, or the string ``"tuned"``
+        to resolve a per-graph tuned config from the tuning store
+        (order is re-pinned to the plan's in either case).
+    balancer:
+        Ownership assignment strategy (:data:`~repro.sharding.BALANCERS`).
+    plan:
+        Pre-built plan to reuse (skips building; must match ``graph``
+        and ``n_shards``).
+    device, n_gpus_per_shard:
+        Dedicated-placement hardware: each shard gets its own
+        ``device`` with this many GPUs.
+    cluster:
+        Cluster placement instead: shards round-robin over the
+        cluster's GPUs (one GPU per shard, plus that GPU's
+        counter-claim surcharge), serial per GPU.
+    pool, n_workers:
+        Dispatch substrate: an external :class:`WorkerPool` to share,
+        or the size of the private pool to create per :meth:`run`.
+    checkpoint_dir, checkpoint_every:
+        Enable per-shard checkpointing under this directory.
+    fault_plans, halt_after_tasks:
+        Per-shard robustness injection, keyed by shard id (shards not
+        in the mapping run clean).
+    tuning_store:
+        Store for ``config="tuned"`` resolution (default store if None).
+    telemetry:
+        Explicit telemetry; defaults to ambient discovery.
+    """
+
+    def __init__(
+        self,
+        graph: BipartiteGraph,
+        n_shards: int,
+        *,
+        config: GMBEConfig | str | None = None,
+        balancer: str = "greedy",
+        plan: ShardPlan | None = None,
+        device: DeviceSpec = A100,
+        n_gpus_per_shard: int = 1,
+        cluster: ClusterSpec | None = None,
+        pool: WorkerPool | None = None,
+        n_workers: int | None = None,
+        checkpoint_dir: str | None = None,
+        checkpoint_every: int = 256,
+        fault_plans: Mapping[int, object] | None = None,
+        halt_after_tasks: Mapping[int, int] | None = None,
+        tuning_store=None,
+        telemetry=None,
+    ) -> None:
+        self.graph = graph
+        self.n_shards = n_shards
+        self._config_spec = config
+        self.balancer = balancer
+        self.device = device
+        self.n_gpus_per_shard = n_gpus_per_shard
+        self.cluster = cluster
+        self._pool = pool
+        self.n_workers = n_workers
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every = checkpoint_every
+        self.fault_plans = dict(fault_plans) if fault_plans else {}
+        self.halt_after_tasks = (
+            dict(halt_after_tasks) if halt_after_tasks else {}
+        )
+        self.tuning_store = tuning_store
+        self.telemetry = telemetry
+        if plan is not None:
+            plan.validate_against(graph)
+            if plan.n_shards != n_shards:
+                raise ValueError(
+                    f"plan has {plan.n_shards} shards, coordinator was "
+                    f"asked for {n_shards}"
+                )
+        self._plan = plan
+
+    # ------------------------------------------------------------------
+    def _resolve_config(self, telemetry) -> GMBEConfig:
+        """Materialize the shared shard config (handles ``"tuned"``)."""
+        spec = self._config_spec
+        if spec is None:
+            return GMBEConfig()
+        if isinstance(spec, str):
+            if spec != "tuned":
+                raise ValueError(
+                    f"config must be a GMBEConfig or the string 'tuned', "
+                    f"got {spec!r}"
+                )
+            from ..tuning import resolve_config
+
+            resolved, _hit = resolve_config(
+                self.graph,
+                store=self.tuning_store,
+                device=self.cluster.device if self.cluster else self.device,
+                n_gpus=1 if self.cluster else self.n_gpus_per_shard,
+                telemetry=telemetry,
+            )
+            return resolved
+        return spec
+
+    def _placement(self) -> tuple[list[int], list[DeviceSpec], list[float | None], list[int]]:
+        """Per-shard (gpu index, device, surcharge, n_gpus)."""
+        if self.cluster is None:
+            return (
+                list(range(self.n_shards)),
+                [self.device] * self.n_shards,
+                [None] * self.n_shards,
+                [self.n_gpus_per_shard] * self.n_shards,
+            )
+        surcharges = self.cluster.surcharges()
+        gpu_of = [i % self.cluster.n_gpus for i in range(self.n_shards)]
+        return (
+            gpu_of,
+            [self.cluster.device] * self.n_shards,
+            [surcharges[g] for g in gpu_of],
+            [1] * self.n_shards,
+        )
+
+    def _makespan(self, results: list[ShardResult], placement: list[int]) -> float:
+        """Fleet time under the placement (max per-GPU serial sum)."""
+        per_gpu: dict[int, float] = {}
+        for r, gpu in zip(results, placement):
+            per_gpu[gpu] = per_gpu.get(gpu, 0.0) + r.sim_time
+        return max(per_gpu.values(), default=0.0)
+
+    # ------------------------------------------------------------------
+    def plan_shards(self) -> ShardPlan:
+        """Build (or return the cached) ownership plan."""
+        if self._plan is None:
+            base = self._config_spec
+            order = (
+                base.order
+                if isinstance(base, GMBEConfig)
+                else GMBEConfig().order
+            )
+            self._plan = ShardPlan.build(
+                self.graph,
+                self.n_shards,
+                order=order,
+                balancer=self.balancer,
+            )
+        return self._plan
+
+    def run(self) -> ShardReport:
+        """Execute every shard and merge; see :class:`ShardReport`."""
+        telemetry = (
+            self.telemetry if self.telemetry is not None
+            else current_telemetry()
+        )
+        if telemetry is not None and not telemetry.enabled:
+            telemetry = None
+        tracer = telemetry.tracer if telemetry is not None else NULL_TRACER
+
+        with tracer.span(
+            "shard.job", n_shards=self.n_shards, balancer=self.balancer
+        ) as job_span:
+            with tracer.span("shard.plan") as plan_span:
+                plan = self.plan_shards()
+                config = self._resolve_config(telemetry)
+                if config.order != plan.order:
+                    # A tuned entry may carry any order; ownership was
+                    # computed under the plan's, which must win.
+                    config = config.with_(order=plan.order)
+                if telemetry is not None:
+                    plan_span.set_attr("n_roots", plan.n_roots)
+                    plan_span.set_attr("imbalance", round(plan.imbalance(), 4))
+                    plan_span.set_attr("signature", plan.signature()[:16])
+
+            gpu_of, devices, surcharges, gpu_counts = self._placement()
+            runners = [
+                ShardRunner(
+                    self.graph,
+                    plan,
+                    i,
+                    config=config,
+                    device=devices[i],
+                    n_gpus=gpu_counts[i],
+                    root_pull_surcharge=surcharges[i],
+                    checkpoint_dir=self.checkpoint_dir,
+                    checkpoint_every=self.checkpoint_every,
+                    fault_plan=self.fault_plans.get(i),
+                    halt_after_tasks=self.halt_after_tasks.get(i),
+                    telemetry=telemetry,
+                )
+                for i in range(self.n_shards)
+            ]
+
+            pool = self._pool
+            own_pool = pool is None
+            if own_pool:
+                pool = WorkerPool(
+                    self.n_workers or min(self.n_shards, 8),
+                    thread_name_prefix="repro-shard",
+                )
+            try:
+                futures = []
+                for i, runner in enumerate(runners):
+                    label = f"shard {i}/{self.n_shards}"
+                    if telemetry is not None:
+                        # Ship a copy of the coordinator context across
+                        # the thread hop so shard.run spans nest under
+                        # shard.job (same pattern as broker dispatch).
+                        ctx = contextvars.copy_context()
+                        futures.append(pool.submit(
+                            ctx.run, run_with_telemetry, telemetry,
+                            runner.run, worker_label=label,
+                        ))
+                    else:
+                        futures.append(
+                            pool.submit(runner.run, worker_label=label)
+                        )
+                results = [f.result() for f in futures]
+            finally:
+                if own_pool:
+                    pool.shutdown()
+
+            with tracer.span("shard.merge") as merge_span:
+                bicliques = merge_shard_results(results)
+                if telemetry is not None:
+                    merge_span.set_attr("n_maximal", len(bicliques))
+
+            counters = Counters()
+            for r in results:
+                counters.merge(r.counters)
+            halted = any(r.halted for r in results)
+            makespan = self._makespan(results, gpu_of)
+            if telemetry is not None:
+                job_span.set_attr("n_maximal", len(bicliques))
+                job_span.set_attr("halted", halted)
+                job_span.set_attr("sim_seconds", makespan)
+                registry = telemetry.registry
+                registry.counter("shard.jobs").add(1)
+                registry.counter("shard.fanout").add(self.n_shards)
+                if halted:
+                    registry.counter("shard.jobs.halted").add(1)
+
+        return ShardReport(
+            plan=plan,
+            shards=results,
+            bicliques=bicliques,
+            counters=counters,
+            sim_time=makespan,
+            placement=gpu_of,
+            halted=halted,
+            extras={
+                "per_shard_seconds": [r.sim_time for r in results],
+                "imbalance": plan.imbalance(),
+                "plan_signature": plan.signature(),
+                "resumed_shards": [r.shard_id for r in results if r.resumed],
+                "config": config,
+            },
+        )

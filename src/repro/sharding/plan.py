@@ -1,0 +1,244 @@
+"""Root-task ownership partition: which shard enumerates which subtree.
+
+The GMBE decomposition (``core/tasks.py``) already contains a perfect
+sharding key: a root task for V-vertex ``v_s`` survives deduplication
+exactly when ``v_s`` is the *minimum* vertex of its biclique's R side in
+the prepared ordering — so every maximal biclique belongs to exactly one
+root vertex.  A :class:`ShardPlan` partitions the prepared V space into
+``n_shards`` ownership sets; each shard runs the ordinary kernel with a
+:func:`~repro.gmbe.kernel.gmbe_gpu` ``root_mask`` restricted to its set,
+and the union over shards is the exact biclique set with **zero
+duplicates by construction** (the clustering scheme of Mukherjee &
+Tirthapura's MapReduce MBE, see ``docs/paper_mapping.md``).
+
+Because ownership lives in *prepared* vertex space, the partition is a
+function of the graph **and** the ``order`` knob: every shard of one
+plan must enumerate under the plan's ``order`` (the coordinator pins it,
+even for per-shard tuned configs — see DESIGN.md §11).
+
+Balancing: per-vertex root work is heavily skewed (hub vertices own
+2-hop neighborhoods orders of magnitude larger than the median), so
+round-robin assignment produces shards whose makespans differ by the
+same orders of magnitude.  :func:`root_weights` estimates each root
+task's cost from degree structure alone (no enumeration), and the
+``greedy`` balancer assigns vertices longest-processing-time-first to
+the least-loaded shard.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+
+import numpy as np
+
+from ..graph.bipartite import BipartiteGraph
+from ..graph.preprocess import prepare
+
+__all__ = ["ShardPlan", "root_weights", "BALANCERS"]
+
+#: Supported ownership balancers.
+BALANCERS = ("greedy", "contiguous", "round-robin")
+
+
+def root_weights(prepared_graph: BipartiteGraph) -> np.ndarray:
+    """Estimated root-task cost per prepared V vertex (float64 array).
+
+    The dominant costs of the root task for ``v_s`` scale with its
+    2-hop gather volume ``vol(v) = Σ_{u ∈ N(v)} deg(u)`` — the task
+    build plus one local-count pass per effective tree level, of which
+    there are roughly ``log`` of the depth potential
+    ``min(deg(v), vol(v))`` (pruning collapses most of the nominal §4.3
+    height).  Calibrated against measured shard makespans over the
+    dataset registry: a linear ``vol × depth`` product over-weights
+    hubs (whose subtrees prune hard) and measurably worsens the
+    achieved balance, while ``vol × log2(depth)`` lands within ~17% of
+    ideal 4-way makespan (geomean, work-bound device).
+    """
+    g = prepared_graph
+    deg_v = g.degrees_v.astype(np.float64)
+    contrib = g.degrees_u[g.v_indices].astype(np.float64)
+    csum = np.concatenate([[0.0], np.cumsum(contrib)])
+    vol = csum[g.v_indptr[1:]] - csum[g.v_indptr[:-1]]
+    # +1 keeps isolated vertices assignable (zero-weight everywhere
+    # would make every balancer choice equivalent but ill-defined).
+    return vol * np.log2(2.0 + np.minimum(deg_v, vol)) + deg_v + 1.0
+
+
+def _balance_greedy(weights: np.ndarray, n_shards: int) -> np.ndarray:
+    """LPT: heaviest vertex first onto the least-loaded shard.
+
+    Deterministic: weight ties break toward the lower vertex id, load
+    ties toward the lower shard id.
+    """
+    owner = np.empty(len(weights), dtype=np.int32)
+    order = np.lexsort((np.arange(len(weights)), -weights))
+    heap = [(0.0, s) for s in range(n_shards)]
+    for v in order:
+        load, s = heappop(heap)
+        owner[v] = s
+        heappush(heap, (load + float(weights[v]), s))
+    return owner
+
+
+def _balance_contiguous(weights: np.ndarray, n_shards: int) -> np.ndarray:
+    """Split the prepared id range into runs of roughly equal weight.
+
+    Keeps each shard's owned roots contiguous — the shape that
+    amortizes best under batched root claiming — at the price of a
+    coarser balance than LPT.
+    """
+    total = float(weights.sum())
+    bounds = np.searchsorted(
+        np.cumsum(weights),
+        [total * (s + 1) / n_shards for s in range(n_shards - 1)],
+        side="left",
+    )
+    owner = np.zeros(len(weights), dtype=np.int32)
+    prev = 0
+    for s, b in enumerate(bounds):
+        owner[prev:b] = s
+        prev = b
+    owner[prev:] = n_shards - 1
+    return owner
+
+
+def _balance_round_robin(weights: np.ndarray, n_shards: int) -> np.ndarray:
+    """``v % n_shards`` — the baseline the benchmarks compare against."""
+    return (np.arange(len(weights)) % n_shards).astype(np.int32)
+
+
+_BALANCE_FNS = {
+    "greedy": _balance_greedy,
+    "contiguous": _balance_contiguous,
+    "round-robin": _balance_round_robin,
+}
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A duplicate-free partition of the root-task space.
+
+    Attributes
+    ----------
+    n_shards:
+        Number of ownership sets (shards may legitimately be empty when
+        ``n_shards`` exceeds the prepared V count).
+    order:
+        The :attr:`~repro.gmbe.GMBEConfig.order` the prepared space —
+        and therefore the ownership rule — was computed under.  Every
+        shard of this plan must enumerate with this order.
+    balancer:
+        Which assignment strategy produced ``owner``.
+    graph_fingerprint:
+        Content hash of the input graph; guards against applying a plan
+        to the wrong graph.
+    owner:
+        ``owner[prepared_v] = shard_id`` for every prepared V vertex.
+    weights:
+        The per-vertex cost estimates the balancer used.
+    """
+
+    n_shards: int
+    order: str
+    balancer: str
+    graph_fingerprint: str
+    owner: np.ndarray = field(repr=False)
+    weights: np.ndarray = field(repr=False)
+
+    @classmethod
+    def build(
+        cls,
+        graph: BipartiteGraph,
+        n_shards: int,
+        *,
+        order: str = "degree",
+        balancer: str = "greedy",
+    ) -> "ShardPlan":
+        """Partition ``graph``'s root tasks into ``n_shards`` ownership sets."""
+        if isinstance(n_shards, bool) or not isinstance(n_shards, int):
+            raise ValueError(
+                f"n_shards must be a positive integer, got {n_shards!r}"
+            )
+        if n_shards <= 0:
+            raise ValueError(f"n_shards must be positive, got {n_shards}")
+        if balancer not in _BALANCE_FNS:
+            raise ValueError(
+                f"unknown balancer {balancer!r}; "
+                f"choose from {sorted(_BALANCE_FNS)}"
+            )
+        prepared = prepare(graph, order=order)
+        weights = root_weights(prepared.graph)
+        owner = _BALANCE_FNS[balancer](weights, n_shards)
+        return cls(
+            n_shards=n_shards,
+            order=order,
+            balancer=balancer,
+            graph_fingerprint=graph.fingerprint,
+            owner=owner,
+            weights=weights,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_roots(self) -> int:
+        """Prepared V vertices covered by the partition."""
+        return len(self.owner)
+
+    def mask(self, shard_id: int) -> np.ndarray:
+        """Boolean ``root_mask`` of ``shard_id`` over the prepared V space."""
+        self._check_shard(shard_id)
+        return self.owner == shard_id
+
+    def owned(self, shard_id: int) -> np.ndarray:
+        """Sorted prepared V ids owned by ``shard_id``."""
+        return np.flatnonzero(self.mask(shard_id))
+
+    def shard_loads(self) -> np.ndarray:
+        """Estimated total root work per shard (the balancer's view)."""
+        return np.bincount(
+            self.owner, weights=self.weights, minlength=self.n_shards
+        )
+
+    def imbalance(self) -> float:
+        """Max shard load over mean shard load (1.0 = perfectly even)."""
+        loads = self.shard_loads()
+        mean = loads.mean()
+        return float(loads.max() / mean) if mean > 0 else 1.0
+
+    def signature(self) -> str:
+        """Content hash of the full partition.
+
+        Two plans share a signature only when graph, shard count,
+        order, balancer, *and* the resulting ownership array all match —
+        the identity per-shard checkpoint files are named under, so a
+        checkpoint of one plan can never be resumed under another.
+        """
+        h = hashlib.sha256()
+        h.update(self.graph_fingerprint.encode())
+        h.update(
+            f"|{self.n_shards}|{self.order}|{self.balancer}|".encode()
+        )
+        h.update(np.ascontiguousarray(self.owner, dtype=np.int64).tobytes())
+        return h.hexdigest()
+
+    def validate_against(self, graph: BipartiteGraph) -> None:
+        """Raise :class:`ValueError` unless ``graph`` is the plan's graph."""
+        if graph.fingerprint != self.graph_fingerprint:
+            raise ValueError(
+                f"shard plan was built for graph "
+                f"{self.graph_fingerprint[:12]}…, not "
+                f"{graph.fingerprint[:12]}… — rebuild the plan for this "
+                f"graph (ShardPlan.build)"
+            )
+
+    def _check_shard(self, shard_id: int) -> None:
+        if isinstance(shard_id, bool) or not isinstance(shard_id, int):
+            raise ValueError(
+                f"shard_id must be an integer, got {shard_id!r}"
+            )
+        if not 0 <= shard_id < self.n_shards:
+            raise ValueError(
+                f"shard_id must be in [0, {self.n_shards}), got {shard_id}"
+            )

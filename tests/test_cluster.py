@@ -31,6 +31,38 @@ class TestClusterSpec:
         with pytest.raises(ValueError):
             ClusterSpec(claim_batch=0)
 
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("n_nodes", 0), ("n_nodes", -2), ("n_nodes", True),
+            ("n_nodes", 1.5), ("gpus_per_node", 0), ("gpus_per_node", "2"),
+            ("claim_batch", -1), ("claim_batch", False),
+            ("local_pull_cycles", -1.0), ("local_pull_cycles", True),
+            ("remote_pull_cycles", -5), ("remote_pull_cycles", "fast"),
+        ],
+    )
+    def test_validation_names_offending_field_and_value(self, field, value):
+        with pytest.raises(ValueError, match=field) as excinfo:
+            ClusterSpec(**{field: value})
+        # actionable: the message carries the rejected value too
+        assert repr(value) in str(excinfo.value) or str(value) in str(
+            excinfo.value
+        )
+
+    def test_validation_rejects_non_device(self):
+        with pytest.raises(ValueError, match="device"):
+            ClusterSpec(device="A100")
+
+    def test_repr_exports_surcharge_breakdown(self):
+        c = ClusterSpec(n_nodes=2, gpus_per_node=2, claim_batch=2)
+        text = repr(c)
+        # one entry per GPU, placed on its node, with the amortized cost
+        assert "gpu0@node0=100" in text
+        assert "gpu1@node0=100" in text
+        assert "gpu2@node1=1000" in text
+        assert "gpu3@node1=1000" in text
+        assert "pull_surcharges=[" in text
+
 
 class TestClusterExecution:
     def test_results_match_oracle(self):

@@ -1,0 +1,104 @@
+"""WorkerPool: accounting, graceful shutdown, crash attribution."""
+
+import threading
+import time
+
+import pytest
+
+from repro.parallel import WorkerPool
+
+
+class TestAccounting:
+    def test_submit_returns_result(self):
+        with WorkerPool(2) as pool:
+            assert pool.submit(lambda a, b: a + b, 2, 3).result() == 5
+
+    def test_completed_counts_failures_too(self):
+        with WorkerPool(2) as pool:
+            ok = pool.submit(lambda: 1)
+            bad = pool.submit(lambda: 1 / 0)
+            ok.result()
+            with pytest.raises(ZeroDivisionError):
+                bad.result()
+            pool.drain()
+            assert pool.completed == 2
+
+    def test_outstanding_tracks_unfinished_work(self):
+        gate = threading.Event()
+        with WorkerPool(1) as pool:
+            futures = [pool.submit(gate.wait, 5) for _ in range(3)]
+            assert pool.outstanding == 3
+            gate.set()
+            for f in futures:
+                f.result()
+            pool.drain()
+            assert pool.outstanding == 0
+
+
+class TestGracefulShutdown:
+    def test_drain_waits_for_outstanding(self):
+        with WorkerPool(2) as pool:
+            futures = [pool.submit(time.sleep, 0.05) for _ in range(4)]
+            assert pool.drain(timeout=5.0) is True
+            assert all(f.done() for f in futures)
+
+    def test_drain_times_out_but_pool_survives(self):
+        gate = threading.Event()
+        pool = WorkerPool(1)
+        try:
+            blocked = pool.submit(gate.wait, 10)
+            assert pool.drain(timeout=0.05) is False
+            # pool is still usable after a timed-out drain
+            gate.set()
+            blocked.result(timeout=5)
+            assert pool.submit(lambda: 42).result(timeout=5) == 42
+        finally:
+            gate.set()
+            pool.shutdown()
+
+    def test_shutdown_with_drain_timeout_cancels_queued(self):
+        gate = threading.Event()
+        pool = WorkerPool(1)
+        running = pool.submit(gate.wait, 10)
+        queued = [pool.submit(lambda: None) for _ in range(5)]
+        drained = pool.shutdown(drain_timeout=0.05)
+        assert drained is False
+        assert any(f.cancelled() for f in queued)
+        gate.set()
+        running.result(timeout=5)  # the running job finishes untouched
+
+    def test_shutdown_reports_clean_drain(self):
+        pool = WorkerPool(2)
+        done = [pool.submit(lambda: 1) for _ in range(3)]
+        assert pool.shutdown(drain_timeout=5.0) is True
+        assert all(f.result() == 1 for f in done)
+
+
+class TestCrashAttribution:
+    def test_exception_carries_worker_label_note(self):
+        def boom():
+            raise RuntimeError("inner failure")
+
+        with WorkerPool(1) as pool:
+            future = pool.submit(boom, worker_label="shard 3/8 of job 17")
+            with pytest.raises(RuntimeError, match="inner failure") as excinfo:
+                future.result()
+        notes = getattr(excinfo.value, "__notes__", [])
+        assert any("shard 3/8 of job 17" in n for n in notes)
+        assert any("WorkerPool" in n for n in notes)
+
+    def test_no_label_no_note(self):
+        with WorkerPool(1) as pool:
+            future = pool.submit(lambda: 1 / 0)
+            with pytest.raises(ZeroDivisionError) as excinfo:
+                future.result()
+        assert not getattr(excinfo.value, "__notes__", [])
+
+    def test_label_never_leaks_into_fn_kwargs(self):
+        def strict(a, *, b):
+            return a + b
+
+        with WorkerPool(1) as pool:
+            assert (
+                pool.submit(strict, 1, b=2, worker_label="x").result() == 3
+            )
