@@ -53,6 +53,17 @@ speed:
     the single-node result, so the efficiency can never be bought with
     dropped or duplicated bicliques.
 
+``procpool``
+    Re-runs :mod:`bench_procpool` and gates the *wall-clock* scaling of
+    supervised process-pool shard execution, normalized to the machine:
+    ``(single_wall / 4_shard_wall) / min(4, n_cpus)`` geomean over the
+    large registry graphs, floor 0.45 — on a >= 4-core box that is the
+    >= 1.8x absolute-speedup acceptance bar; on smaller boxes it bounds
+    the supervision overhead (heartbeats, pipes, pickling) instead.
+    Wall clock is noisy, so the drift tolerance is the loosest of all
+    gates; the bench asserts merged-set equality and zero worker deaths
+    internally.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py                 # both gates
@@ -75,6 +86,7 @@ from typing import Callable
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 import bench_faults  # noqa: E402
+import bench_procpool  # noqa: E402
 import bench_service_throughput  # noqa: E402
 import bench_setops  # noqa: E402
 import bench_sharding  # noqa: E402
@@ -179,6 +191,17 @@ GATES = (
         run=bench_sharding.run,
         tolerance=0.10,
         floor=0.70,
+    ),
+    # Real wall clock (the one gate that is): normalized to the cores
+    # actually available, with the loosest drift tolerance accordingly.
+    # floor 0.45 == the 1.8x/4 absolute-speedup bar on >= 4 cores.
+    Gate(
+        name="procpool",
+        path=bench_procpool.OUT_PATH,
+        metric="procpool_scaling_efficiency",
+        run=bench_procpool.run,
+        tolerance=0.35,
+        floor=0.45,
     ),
 )
 

@@ -109,6 +109,7 @@ def enumerate_maximal_bicliques(
     telemetry=None,
     shards: int = 1,
     shard_balancer: str = "greedy",
+    shard_pool: str = "thread",
 ) -> list[Biclique]:
     """Enumerate all maximal bicliques of ``data``.
 
@@ -159,6 +160,14 @@ def enumerate_maximal_bicliques(
         ``fault_plan``/``resume`` are per-run concepts and are rejected —
         use :class:`~repro.sharding.ShardCoordinator` directly for
         per-shard fault injection.
+    shard_pool:
+        ``"thread"`` (default) runs the shards on an in-process pool;
+        ``"process"`` runs each shard in a supervised spawned process
+        (heartbeats, crash restarts, quarantine — see DESIGN.md §12).
+        Because this function promises the *complete* enumeration, a
+        process-pool run that exhausts a shard's retry budget raises
+        :class:`~repro.sharding.DegradedShardRun` carrying the partial
+        result rather than returning a silently short list.
 
     Returns
     -------
@@ -224,7 +233,7 @@ def enumerate_maximal_bicliques(
             f"not {algorithm!r}"
         )
     if algorithm == "gmbe" and shards > 1:
-        from .sharding import ShardCoordinator
+        from .sharding import DegradedShardRun, ShardCoordinator
 
         report = ShardCoordinator(
             graph,
@@ -234,7 +243,12 @@ def enumerate_maximal_bicliques(
             checkpoint_dir=checkpoint_path,
             checkpoint_every=checkpoint_every,
             telemetry=telemetry,
+            pool=shard_pool,
         ).run()
+        if report.is_partial:
+            # This function's contract is the complete set; an explicit
+            # partial must surface as an error that still carries it.
+            raise DegradedShardRun(report)
         for b in report.bicliques:
             collector(b.left, b.right)
     elif algorithm == "gmbe":

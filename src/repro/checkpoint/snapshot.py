@@ -268,13 +268,34 @@ def _plain(value):
 
 
 def save_checkpoint(path, snapshot: Snapshot) -> None:
-    """Atomically write ``snapshot`` to ``path`` (temp file + replace)."""
+    """Atomically and *durably* write ``snapshot`` to ``path``.
+
+    Temp file + fsync + rename + directory fsync: the rename gives
+    atomicity against a crash of *this* process, but only flushing the
+    containing directory makes the new name itself survive a machine
+    crash — without it a power loss after SIGKILL-under-test could
+    resurface the previous (or no) checkpoint and break the
+    bit-identical-resume guarantee.
+    """
     path = os.fspath(path)
     tmp = path + ".tmp"
     with open(tmp, "w", encoding="utf-8") as fh:
         fh.write(snapshot.to_json())
         fh.write("\n")
+        fh.flush()
+        os.fsync(fh.fileno())
     os.replace(tmp, path)
+    dir_fd = None
+    try:
+        dir_fd = os.open(os.path.dirname(path) or ".", os.O_RDONLY)
+        os.fsync(dir_fd)
+    except OSError:
+        # Some filesystems/platforms refuse directory fsync; the data
+        # fsync above already happened, so degrade silently.
+        pass
+    finally:
+        if dir_fd is not None:
+            os.close(dir_fd)
 
 
 def load_checkpoint(path) -> Snapshot:

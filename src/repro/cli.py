@@ -97,6 +97,16 @@ def build_parser() -> argparse.ArgumentParser:
         default="greedy",
         help="how root ownership is balanced across shards",
     )
+    p_run.add_argument(
+        "--pool",
+        choices=["thread", "process"],
+        default="thread",
+        help="shard execution backend (--shards > 1 only): 'thread' runs "
+        "shards in-process; 'process' runs each shard in a supervised "
+        "spawned worker with heartbeats, crash restarts, and quarantine "
+        "— a degraded (partial) run prints its shard inventory and "
+        "exits 1",
+    )
     p_run.add_argument("--no-prune", action="store_true")
     p_run.add_argument(
         "--scheduling", choices=["task", "warp", "block"], default="task"
@@ -177,6 +187,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument(
         "--auto-shard-count", type=int, default=4,
         help="shard fan-out used by --auto-shard-over-edges",
+    )
+    p_srv.add_argument(
+        "--shard-pool", choices=["thread", "process"], default="thread",
+        help="backend sharded jobs run on; 'process' supervises each "
+        "shard in its own spawned worker and maps exhausted shard "
+        "retries to the 'degraded' job status",
     )
     p_srv.add_argument("--graph", default="Mti",
                        help="dataset code or edge-list path for the demo session")
@@ -380,6 +396,8 @@ def _cmd_run(args) -> int:
                 "--shards resumes crashed shards automatically from the "
                 "--checkpoint directory; drop --resume"
             )
+    if getattr(args, "pool", "thread") == "process" and shards <= 1:
+        raise SystemExit("--pool process requires --shards > 1")
     telemetry = None
     if args.telemetry_out:
         if args.algo != "gmbe":
@@ -425,6 +443,7 @@ def _cmd_run(args) -> int:
                     cluster=cluster,
                     checkpoint_dir=args.checkpoint,
                     checkpoint_every=args.checkpoint_every,
+                    pool=args.pool,
                 ).run()
             if sink is not None:
                 for b in res.bicliques:
@@ -472,7 +491,16 @@ def _cmd_run(args) -> int:
     finally:
         if out_fh is not None:
             out_fh.close()
+    degraded = bool(getattr(res, "is_partial", False))
     print(f"{res.n_maximal} maximal bicliques ({wall:.2f}s host wall clock)")
+    if degraded:
+        # Never let a partial set masquerade as the full enumeration:
+        # print the exact inventory and exit non-zero below.
+        print(res.describe())
+        for h in res.resume:
+            ckpt = h.checkpoint_path or "(no checkpoint — restarts clean)"
+            print(f"  shard {h.shard_id}: {h.attempts} attempts; "
+                  f"last error: {h.last_error}; resume from {ckpt}")
     if res.sim_time:
         where = f"{args.device} x{args.gpus}"
         if getattr(args, "nodes", 1) > 1:
@@ -504,7 +532,7 @@ def _cmd_run(args) -> int:
         print(f"telemetry written to {args.telemetry_out}")
     if args.output:
         print(f"bicliques written to {args.output}")
-    return 0
+    return 1 if degraded else 0
 
 
 def _cmd_faults(args) -> int:
@@ -689,6 +717,7 @@ def _cmd_serve(args) -> int:
         telemetry=telemetry,
         auto_shard_over_edges=args.auto_shard_over_edges,
         auto_shard_count=args.auto_shard_count,
+        shard_pool=args.shard_pool,
     )
     try:
         if batch:

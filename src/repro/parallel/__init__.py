@@ -1,9 +1,31 @@
 """Parallel-execution substrates: the simulated multi-core pool used for
-ParMBE timing, a real thread-pool runner for host-parallel execution, and
-the persistent worker pool backing the enumeration service."""
+ParMBE timing, a real thread-pool runner for host-parallel execution, the
+persistent worker pool backing the enumeration service, and the supervised
+process pool backing crash-isolated shard execution."""
 
 from .pool import run_tasks_threaded
+from .procpool import (
+    PoolBrokenError,
+    ProcessWorkerPool,
+    RemoteTaskError,
+    Supervisor,
+    SupervisorPolicy,
+    WorkerCrashError,
+    WorkerHungError,
+)
 from .simpool import PoolSchedule, schedule_tasks
 from .workers import WorkerPool
 
-__all__ = ["PoolSchedule", "WorkerPool", "run_tasks_threaded", "schedule_tasks"]
+__all__ = [
+    "PoolBrokenError",
+    "PoolSchedule",
+    "ProcessWorkerPool",
+    "RemoteTaskError",
+    "Supervisor",
+    "SupervisorPolicy",
+    "WorkerCrashError",
+    "WorkerHungError",
+    "WorkerPool",
+    "run_tasks_threaded",
+    "schedule_tasks",
+]

@@ -40,6 +40,7 @@ from ..api import as_bipartite_graph, enumerate_maximal_bicliques
 from ..gmbe import GMBEConfig
 from ..graph import BipartiteGraph
 from ..parallel import WorkerPool
+from ..sharding import DegradedShardRun
 from ..streaming import DynamicBipartiteGraph
 from ..telemetry import NULL_TRACER, Telemetry, run_with_telemetry
 from ..tuning import TunedConfigStore, TuningStoreError, device_key, tune
@@ -62,6 +63,7 @@ def default_runner(
     config: GMBEConfig,
     checkpoint_path: str | None = None,
     shards: int = 1,
+    shard_pool: str = "thread",
 ):
     """Execute one job exactly like the one-shot API would.
 
@@ -71,9 +73,13 @@ def default_runner(
     checkpoint behind — resumes from it instead of starting over.
 
     With ``shards > 1`` the job runs as N shard-jobs over disjoint
-    root-task ownership sets (see :mod:`repro.sharding`);
+    root-task ownership sets (see :mod:`repro.sharding`) on the
+    ``shard_pool`` backend (``"thread"`` or supervised ``"process"``);
     ``checkpoint_path`` is then a *directory* of per-shard snapshots, so
-    a retry resumes exactly the shards that crashed.
+    a retry resumes exactly the shards that crashed.  A process-backed
+    run that quarantines shards raises
+    :class:`~repro.sharding.DegradedShardRun` — the broker maps it to
+    the ``degraded`` job status.
     """
     if shards > 1 and job.algorithm == "gmbe":
         return enumerate_maximal_bicliques(
@@ -84,6 +90,7 @@ def default_runner(
             config=config,
             shards=shards,
             checkpoint_path=checkpoint_path,
+            shard_pool=shard_pool,
         )
     if checkpoint_path is not None and job.algorithm == "gmbe":
         return enumerate_maximal_bicliques(
@@ -168,6 +175,9 @@ class EnumerationBroker:
         tune_budget=None,
         auto_shard_over_edges: int | None = None,
         auto_shard_count: int = 4,
+        shard_pool: str = "thread",
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 30.0,
     ) -> None:
         if n_workers <= 0:
             raise ValueError("n_workers must be positive")
@@ -184,10 +194,31 @@ class EnumerationBroker:
             raise ValueError(
                 f"auto_shard_count must be at least 2, got {auto_shard_count}"
             )
+        if shard_pool not in ("thread", "process"):
+            raise ValueError(
+                f'shard_pool must be "thread" or "process", got {shard_pool!r}'
+            )
+        if breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be positive, got {breaker_threshold}"
+            )
+        if breaker_cooldown <= 0:
+            raise ValueError(
+                f"breaker_cooldown must be positive, got {breaker_cooldown}"
+            )
         self.n_workers = n_workers
         self.queue_depth = queue_depth
         self.cache = cache if cache is not None else ResultCache()
-        self.policy = policy or ResiliencePolicy()
+        policy = policy or ResiliencePolicy()
+        if DegradedShardRun not in policy.non_retryable:
+            # A degraded sharded run already exhausted its per-shard
+            # retry budget inside the coordinator; a broker-level retry
+            # would re-run every completed shard just to fail again.
+            policy = replace(
+                policy,
+                non_retryable=policy.non_retryable + (DegradedShardRun,),
+            )
+        self.policy = policy
         #: unified observability: when a Telemetry object is attached,
         #: the service metrics register into *its* registry (one dotted
         #: namespace for service + kernel), spans flow from submit down
@@ -225,7 +256,22 @@ class EnumerationBroker:
         #: shards only jobs that request it (``Job.shards > 1``).
         self.auto_shard_over_edges = auto_shard_over_edges
         self.auto_shard_count = auto_shard_count
+        #: pool backend sharded jobs run on ("thread" | supervised
+        #: "process"); only forwarded to runners that accept it.
+        self.shard_pool = shard_pool
+        #: circuit breaker over *auto*-sharding: after this many
+        #: consecutive degraded sharded runs, stop volunteering jobs
+        #: into the dying shard backend for ``breaker_cooldown`` seconds
+        #: (explicitly sharded jobs still go through — the caller asked).
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+        self._breaker_failures = 0
+        self._breaker_open_until: float | None = None
+        self._breaker_probing = False
         self._runner_takes_shards = _accepts_kwarg(self._runner, "shards")
+        self._runner_takes_shard_pool = _accepts_kwarg(
+            self._runner, "shard_pool"
+        )
         self._graphs: dict[str, DynamicBipartiteGraph] = {}
         self._inflight: dict[tuple, asyncio.Future] = {}
         self._jobs: dict[int, _Entry] = {}
@@ -476,7 +522,10 @@ class EnumerationBroker:
             and job.algorithm == "gmbe"
             and graph.n_edges > self.auto_shard_over_edges
         ):
-            shards = self.auto_shard_count
+            if self._breaker_blocks(t0):
+                self.metrics.auto_shard_suppressed += 1
+            else:
+                shards = self.auto_shard_count
         if shards > 1 and not self._runner_takes_shards:
             shards = 1  # custom runner can't fan out; run single-node
         entry = _Entry(
@@ -519,6 +568,42 @@ class EnumerationBroker:
             return False
         entry.cancelled = True
         return True
+
+    # ------------------------------------------------------------------
+    # Auto-shard circuit breaker
+    # ------------------------------------------------------------------
+    def _breaker_blocks(self, now: float) -> bool:
+        """True when auto-sharding should be suppressed right now.
+
+        Closed → pass.  Open → block until the cooldown elapses.
+        Half-open (cooldown elapsed) → let exactly one probe job
+        through; its outcome closes or re-opens the breaker.
+        """
+        if self._breaker_open_until is None:
+            return False
+        if now < self._breaker_open_until:
+            return True
+        if self._breaker_probing:
+            return True
+        self._breaker_probing = True
+        return False
+
+    def _note_shard_outcome(self, ok: bool) -> None:
+        """Feed one sharded-run outcome into the breaker."""
+        if ok:
+            self._breaker_failures = 0
+            self._breaker_open_until = None
+            self._breaker_probing = False
+            return
+        self._breaker_failures += 1
+        reopen = self._breaker_open_until is not None  # failed probe
+        if reopen or self._breaker_failures >= self.breaker_threshold:
+            if self._loop is not None:
+                self._breaker_open_until = (
+                    self._loop.time() + self.breaker_cooldown
+                )
+            self._breaker_probing = False
+            self.metrics.breaker_opened += 1
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -568,7 +653,10 @@ class EnumerationBroker:
                                              error="cancelled while queued"))
             return
         if entry.deadline_at is not None and loop.time() >= entry.deadline_at:
+            # Shed at dequeue: a job whose deadline passed while queued
+            # must never occupy a worker just to time out on it.
             self.metrics.expired += 1
+            self.metrics.jobs_shed += 1
             self._finish(entry, self._result(entry, JobStatus.EXPIRED,
                                              error="deadline passed in queue"))
             return
@@ -582,6 +670,8 @@ class EnumerationBroker:
             kwargs = {}
             if entry.shards > 1:
                 kwargs["shards"] = entry.shards
+                if self._runner_takes_shard_pool:
+                    kwargs["shard_pool"] = self.shard_pool
             if ckpt_path is not None:
                 if entry.shards > 1:
                     # Directory of per-shard snapshots: a resume is only
@@ -627,8 +717,16 @@ class EnumerationBroker:
                 should_cancel=lambda: entry.cancelled,
                 tracer=self._tracer,
             )
-            dispatch_span.set_attr("status", outcome.status)
+            degraded = isinstance(outcome.exception, DegradedShardRun)
+            dispatch_span.set_attr(
+                "status", "degraded" if degraded else outcome.status
+            )
             dispatch_span.set_attr("attempts", outcome.attempts)
+            if degraded:
+                dispatch_span.set_attr(
+                    "quarantined",
+                    sorted(outcome.exception.partial.quarantined),
+                )
         self.metrics.retries += outcome.retries
         if outcome.status == "completed":
             bicliques = tuple(outcome.value)
@@ -636,6 +734,8 @@ class EnumerationBroker:
             self.metrics.completed += 1
             latency = (loop.time() - entry.submitted_at) * 1e3
             self.metrics.latency_ms.record(latency)
+            if entry.shards > 1:
+                self._note_shard_outcome(True)
             result = JobResult(
                 job_id=entry.job.id,
                 status=JobStatus.COMPLETED,
@@ -643,6 +743,32 @@ class EnumerationBroker:
                 bicliques=bicliques,
                 attempts=outcome.attempts,
                 latency_ms=latency,
+            )
+        elif degraded:
+            # Explicit partial enumeration: surface everything the run
+            # did complete, plus the exact shard inventory — and never
+            # cache it (a later submission must get the full set).
+            partial = outcome.exception.partial
+            self.metrics.degraded += 1
+            self._note_shard_outcome(False)
+            latency = (loop.time() - entry.submitted_at) * 1e3
+            self.metrics.latency_ms.record(latency)
+            job = entry.job
+            bicliques = tuple(
+                b for b in partial.bicliques
+                if len(b.left) >= job.min_left
+                and len(b.right) >= job.min_right
+            )
+            result = JobResult(
+                job_id=job.id,
+                status=JobStatus.DEGRADED,
+                algorithm=job.algorithm,
+                bicliques=bicliques,
+                error=str(outcome.exception),
+                attempts=outcome.attempts,
+                latency_ms=latency,
+                completed_shards=tuple(partial.completed_shards),
+                quarantined_shards=tuple(sorted(partial.quarantined)),
             )
         else:
             status = {

@@ -35,6 +35,8 @@ class JobStatus:
     """Terminal states of a service job (plain strings for JSON ease)."""
 
     COMPLETED = "completed"
+    #: Completed with quarantined shards — partial but explicit inventory.
+    DEGRADED = "degraded"
     FAILED = "failed"
     TIMEOUT = "timeout"
     REJECTED = "rejected"
@@ -171,10 +173,19 @@ class JobResult:
     cache_hit: bool = False
     coalesced: bool = False
     latency_ms: float = 0.0
+    #: Shard ids that finished / were quarantined (``degraded`` only —
+    #: empty for every other status, including plain ``completed``).
+    completed_shards: tuple = ()
+    quarantined_shards: tuple = ()
 
     @property
     def ok(self) -> bool:
         return self.status == JobStatus.COMPLETED
+
+    @property
+    def partial(self) -> bool:
+        """True when ``bicliques`` is an explicit partial enumeration."""
+        return self.status == JobStatus.DEGRADED
 
     @property
     def count(self) -> int:
@@ -190,6 +201,13 @@ class JobResult:
                 f"job {self.job_id}: ok {self.count} bicliques "
                 f"{self.latency_ms:.2f}ms (algo={self.algorithm} "
                 f"cache={src} attempts={self.attempts})"
+            )
+        if self.partial:
+            return (
+                f"job {self.job_id}: degraded {self.count} bicliques "
+                f"from shards {list(self.completed_shards)}; quarantined "
+                f"{list(self.quarantined_shards)} "
+                f"({self.latency_ms:.2f}ms attempts={self.attempts})"
             )
         return (
             f"job {self.job_id}: {self.status} after {self.attempts} "

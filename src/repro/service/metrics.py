@@ -32,15 +32,19 @@ __all__ = ["Histogram", "ServiceMetrics"]
 COUNTER_NAMES = {
     "submitted": "service.jobs.submitted",
     "completed": "service.jobs.completed",
+    "degraded": "service.jobs.degraded",
     "failed": "service.jobs.failed",
     "rejected": "service.jobs.rejected",
     "timeouts": "service.jobs.timeouts",
     "expired": "service.jobs.expired",
+    "jobs_shed": "service.jobs.shed",
     "cancelled": "service.jobs.cancelled",
     "retries": "service.jobs.retries",
     "coalesced": "service.jobs.coalesced",
     "resumed": "service.jobs.resumed",
     "sharded": "service.jobs.sharded",
+    "auto_shard_suppressed": "service.shard.auto_suppressed",
+    "breaker_opened": "service.shard.breaker_opened",
     "cache_hits": "service.cache.hits",
     "cache_misses": "service.cache.misses",
     "tuned_hits": "service.tuning.hits",

@@ -55,6 +55,13 @@ class ResiliencePolicy:
         Exception types worth retrying; anything else fails immediately.
         Timeouts are always retryable (the attempt may have been unlucky
         on a loaded pool).
+    non_retryable:
+        Exception types that fail immediately even when ``retryable``
+        would match them — checked first.  The broker lists
+        :class:`~repro.sharding.DegradedShardRun` here: a degraded
+        sharded run already burned its per-shard retry budget inside the
+        coordinator, so a broker-level retry would only repeat the whole
+        spectacle.
     """
 
     timeout: float | None = 30.0
@@ -64,6 +71,7 @@ class ResiliencePolicy:
     backoff_max: float = 2.0
     backoff_jitter: float = 0.25
     retryable: tuple[type[BaseException], ...] = (Exception,)
+    non_retryable: tuple[type[BaseException], ...] = ()
 
     def __post_init__(self) -> None:
         if self.timeout is not None and self.timeout <= 0:
@@ -206,6 +214,19 @@ async def execute_with_retry(
             last_error = f"attempt {attempts} timed out after {budget:.3g}s"
             last_exc = JobTimeoutError(last_error)
             history.append(f"attempt {attempts}: {last_error}")
+        except policy.non_retryable as exc:
+            # Listed as terminal — fail now even if retryable matches too.
+            history.append(
+                f"attempt {attempts}: {type(exc).__name__}: {exc}"
+            )
+            return ExecutionOutcome(
+                status="failed",
+                error=f"{type(exc).__name__}: {exc}",
+                attempts=attempts,
+                retries=attempts - 1,
+                exception=_annotate(exc, history[:-1]),
+                attempt_errors=history,
+            )
         except policy.retryable as exc:
             timed_out = False
             last_error = f"{type(exc).__name__}: {exc}"
@@ -225,6 +246,12 @@ async def execute_with_retry(
             )
         if attempts < policy.max_attempts:
             delay = policy.backoff_for(attempts)
+            if deadline is not None:
+                # Never sleep past the job's deadline: a full backoff that
+                # overshoots it burns budget the next attempt could have
+                # used — and the loop's deadline check would then expire
+                # the job without ever making that attempt.
+                delay = min(delay, max(0.0, deadline - loop.time()))
             if delay > 0:
                 await asyncio.sleep(delay)
     # Retries exhausted: surface the final attempt's actual exception,

@@ -15,11 +15,15 @@ from .coordinator import (
     ShardReport,
     merge_shard_results,
 )
+from .degraded import DegradedShardRun, PartialResult, ResumeHandle
 from .plan import BALANCERS, ShardPlan, root_weights
-from .runner import ShardResult, ShardRunner
+from .runner import ShardResult, ShardRunner, run_shard_task
 
 __all__ = [
     "BALANCERS",
+    "DegradedShardRun",
+    "PartialResult",
+    "ResumeHandle",
     "ShardCoordinator",
     "ShardMergeError",
     "ShardPlan",
@@ -28,4 +32,5 @@ __all__ = [
     "ShardRunner",
     "merge_shard_results",
     "root_weights",
+    "run_shard_task",
 ]

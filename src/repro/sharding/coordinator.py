@@ -32,6 +32,9 @@ from __future__ import annotations
 
 import contextvars
 import heapq
+import os
+from concurrent.futures import FIRST_COMPLETED, CancelledError
+from concurrent.futures import wait as cf_wait
 from dataclasses import dataclass, field
 from typing import Mapping
 
@@ -40,12 +43,32 @@ from ..gmbe.cluster import ClusterSpec
 from ..gmbe.config import GMBEConfig
 from ..gpusim.device import A100, DeviceSpec
 from ..graph.bipartite import BipartiteGraph
-from ..parallel import WorkerPool
+from ..parallel import (
+    PoolBrokenError,
+    ProcessWorkerPool,
+    SupervisorPolicy,
+    WorkerPool,
+)
 from ..telemetry import NULL_TRACER, current_telemetry, run_with_telemetry
+from .degraded import PartialResult, ResumeHandle
 from .plan import ShardPlan
-from .runner import ShardResult, ShardRunner
+from .runner import (
+    ShardResult,
+    ShardRunner,
+    run_shard_task,
+    shard_checkpoint_path,
+)
 
 __all__ = ["ShardCoordinator", "ShardReport", "ShardMergeError", "merge_shard_results"]
+
+#: telemetry counter per pool supervision event kind (DESIGN.md §12)
+_SUPERVISOR_COUNTERS = {
+    "spawn": "supervisor.workers_spawned",
+    "death": "supervisor.worker_deaths",
+    "restart": "supervisor.worker_restarts",
+    "retire": "supervisor.workers_retired",
+    "broken": "supervisor.pool_broken",
+}
 
 
 class ShardMergeError(RuntimeError):
@@ -90,6 +113,9 @@ def merge_shard_results(results: list[ShardResult]) -> list[Biclique]:
 class ShardReport:
     """Aggregate outcome of one sharded enumeration."""
 
+    #: complete-run marker (contrast :class:`PartialResult`)
+    is_partial = False
+
     plan: ShardPlan
     shards: list[ShardResult]
     bicliques: list[Biclique]
@@ -132,8 +158,29 @@ class ShardCoordinator:
         cluster's GPUs (one GPU per shard, plus that GPU's
         counter-claim surcharge), serial per GPU.
     pool, n_workers:
-        Dispatch substrate: an external :class:`WorkerPool` to share,
-        or the size of the private pool to create per :meth:`run`.
+        Dispatch substrate.  ``pool`` is the string ``"thread"``
+        (default: a private :class:`WorkerPool`) or ``"process"`` (a
+        private supervised :class:`~repro.parallel.ProcessWorkerPool` —
+        real crash isolation and wall-clock parallelism), or an
+        external pool object of either kind to share; ``n_workers``
+        sizes a private pool.  Process-backed dispatch adds per-shard
+        retry: a shard whose worker dies is resubmitted (resuming from
+        its checkpoint when ``checkpoint_dir`` is set) up to
+        ``max_shard_attempts`` times, then **quarantined** — and the
+        run returns a :class:`~repro.sharding.PartialResult` instead of
+        raising, with resume handles for the lost shards.
+    max_shard_attempts:
+        Attempt budget per shard under process dispatch (>= 1); thread
+        dispatch keeps the historical fail-fast behavior.
+    supervisor_policy:
+        Heartbeat/deadline/restart knobs for a private process pool
+        (see :class:`~repro.parallel.SupervisorPolicy`).
+    chaos_kills:
+        Test-only fault injection, keyed by shard id:
+        ``{shard: (n_attempts, delay_s)}`` SIGKILLs the worker running
+        that shard ``delay_s`` seconds into each of its first
+        ``n_attempts`` attempts.  The chaos harness for the supervision
+        tests — never set it outside one.
     checkpoint_dir, checkpoint_every:
         Enable per-shard checkpointing under this directory.
     fault_plans, halt_after_tasks:
@@ -142,7 +189,10 @@ class ShardCoordinator:
     tuning_store:
         Store for ``config="tuned"`` resolution (default store if None).
     telemetry:
-        Explicit telemetry; defaults to ambient discovery.
+        Explicit telemetry; defaults to ambient discovery.  Process
+        dispatch runs the shards themselves untraced (telemetry cannot
+        cross the process boundary) but records parent-side
+        ``supervisor.*`` counters and per-retry spans.
     """
 
     def __init__(
@@ -156,8 +206,11 @@ class ShardCoordinator:
         device: DeviceSpec = A100,
         n_gpus_per_shard: int = 1,
         cluster: ClusterSpec | None = None,
-        pool: WorkerPool | None = None,
+        pool: WorkerPool | ProcessWorkerPool | str | None = None,
         n_workers: int | None = None,
+        max_shard_attempts: int = 3,
+        supervisor_policy: SupervisorPolicy | None = None,
+        chaos_kills: Mapping[int, tuple[int, float]] | None = None,
         checkpoint_dir: str | None = None,
         checkpoint_every: int = 256,
         fault_plans: Mapping[int, object] | None = None,
@@ -172,8 +225,31 @@ class ShardCoordinator:
         self.device = device
         self.n_gpus_per_shard = n_gpus_per_shard
         self.cluster = cluster
-        self._pool = pool
+        if isinstance(pool, str):
+            if pool not in ("thread", "process"):
+                raise ValueError(
+                    f"pool must be 'thread', 'process', or a pool object, "
+                    f"got {pool!r}"
+                )
+            self._pool = None
+            self.pool_backend = pool
+        else:
+            self._pool = pool
+            self.pool_backend = (
+                "process" if isinstance(pool, ProcessWorkerPool) else "thread"
+            )
         self.n_workers = n_workers
+        if max_shard_attempts < 1:
+            raise ValueError(
+                f"max_shard_attempts must be >= 1, got {max_shard_attempts}"
+            )
+        self.max_shard_attempts = max_shard_attempts
+        self.supervisor_policy = supervisor_policy
+        self.chaos_kills = dict(chaos_kills) if chaos_kills else {}
+        if self.chaos_kills and self.pool_backend != "process":
+            raise ValueError(
+                "chaos_kills requires the process pool backend"
+            )
         self.checkpoint_dir = checkpoint_dir
         self.checkpoint_every = checkpoint_every
         self.fault_plans = dict(fault_plans) if fault_plans else {}
@@ -284,52 +360,25 @@ class ShardCoordinator:
                     plan_span.set_attr("signature", plan.signature()[:16])
 
             gpu_of, devices, surcharges, gpu_counts = self._placement()
-            runners = [
-                ShardRunner(
-                    self.graph,
-                    plan,
-                    i,
-                    config=config,
-                    device=devices[i],
-                    n_gpus=gpu_counts[i],
-                    root_pull_surcharge=surcharges[i],
-                    checkpoint_dir=self.checkpoint_dir,
-                    checkpoint_every=self.checkpoint_every,
-                    fault_plan=self.fault_plans.get(i),
-                    halt_after_tasks=self.halt_after_tasks.get(i),
-                    telemetry=telemetry,
+            if self.pool_backend == "process":
+                results, attempts, quarantine = self._dispatch_supervised(
+                    plan, config, devices, surcharges, gpu_counts,
+                    telemetry, tracer,
                 )
-                for i in range(self.n_shards)
-            ]
-
-            pool = self._pool
-            own_pool = pool is None
-            if own_pool:
-                pool = WorkerPool(
-                    self.n_workers or min(self.n_shards, 8),
-                    thread_name_prefix="repro-shard",
+                if quarantine:
+                    return self._degrade(
+                        plan, config, results, attempts, quarantine,
+                        gpu_of, telemetry, tracer, job_span,
+                    )
+                extra_dispatch = {
+                    "shard_attempts": dict(attempts),
+                    "pool_stats": getattr(self, "_last_pool_stats", {}),
+                }
+            else:
+                results = self._dispatch_threaded(
+                    plan, config, devices, surcharges, gpu_counts, telemetry
                 )
-            try:
-                futures = []
-                for i, runner in enumerate(runners):
-                    label = f"shard {i}/{self.n_shards}"
-                    if telemetry is not None:
-                        # Ship a copy of the coordinator context across
-                        # the thread hop so shard.run spans nest under
-                        # shard.job (same pattern as broker dispatch).
-                        ctx = contextvars.copy_context()
-                        futures.append(pool.submit(
-                            ctx.run, run_with_telemetry, telemetry,
-                            runner.run, worker_label=label,
-                        ))
-                    else:
-                        futures.append(
-                            pool.submit(runner.run, worker_label=label)
-                        )
-                results = [f.result() for f in futures]
-            finally:
-                if own_pool:
-                    pool.shutdown()
+                extra_dispatch = {}
 
             with tracer.span("shard.merge") as merge_span:
                 bicliques = merge_shard_results(results)
@@ -365,5 +414,225 @@ class ShardCoordinator:
                 "plan_signature": plan.signature(),
                 "resumed_shards": [r.shard_id for r in results if r.resumed],
                 "config": config,
+                **extra_dispatch,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Dispatch backends
+    # ------------------------------------------------------------------
+    def _dispatch_threaded(
+        self, plan, config, devices, surcharges, gpu_counts, telemetry
+    ) -> list[ShardResult]:
+        """Historical thread fan-out: fail-fast, shared interpreter."""
+        runners = [
+            ShardRunner(
+                self.graph,
+                plan,
+                i,
+                config=config,
+                device=devices[i],
+                n_gpus=gpu_counts[i],
+                root_pull_surcharge=surcharges[i],
+                checkpoint_dir=self.checkpoint_dir,
+                checkpoint_every=self.checkpoint_every,
+                fault_plan=self.fault_plans.get(i),
+                halt_after_tasks=self.halt_after_tasks.get(i),
+                telemetry=telemetry,
+            )
+            for i in range(self.n_shards)
+        ]
+        pool = self._pool
+        own_pool = pool is None
+        if own_pool:
+            pool = WorkerPool(
+                self.n_workers or min(self.n_shards, 8),
+                thread_name_prefix="repro-shard",
+            )
+        try:
+            futures = []
+            for i, runner in enumerate(runners):
+                label = f"shard {i}/{self.n_shards}"
+                if telemetry is not None:
+                    # Ship a copy of the coordinator context across
+                    # the thread hop so shard.run spans nest under
+                    # shard.job (same pattern as broker dispatch).
+                    ctx = contextvars.copy_context()
+                    futures.append(pool.submit(
+                        ctx.run, run_with_telemetry, telemetry,
+                        runner.run, worker_label=label,
+                    ))
+                else:
+                    futures.append(
+                        pool.submit(runner.run, worker_label=label)
+                    )
+            return [f.result() for f in futures]
+        finally:
+            if own_pool:
+                pool.shutdown()
+
+    def _pool_event_recorder(self, telemetry):
+        """Map pool supervision events onto ``supervisor.*`` counters."""
+        if telemetry is None:
+            return None
+        registry = telemetry.registry
+        tracer = telemetry.tracer
+
+        def record(kind: str, info: dict) -> None:
+            name = _SUPERVISOR_COUNTERS.get(kind)
+            if name is not None:
+                registry.counter(name).add(1)
+            if kind == "death" and info.get("reason") in ("hung", "deadline"):
+                registry.counter("supervisor.worker_hangs").add(1)
+            if kind == "restart":
+                tracer.event("worker.restart", **info)
+
+        return record
+
+    def _dispatch_supervised(
+        self, plan, config, devices, surcharges, gpu_counts,
+        telemetry, tracer,
+    ):
+        """Process fan-out with per-shard retry and quarantine.
+
+        Returns ``(results, attempts, quarantine)`` where ``results``
+        maps shard id → :class:`ShardResult` for every shard that
+        finished (as a list, shard-ordered), ``attempts`` counts
+        attempts per shard, and ``quarantine`` maps the shards that
+        exhausted their budget to their last error string.
+        """
+        registry = telemetry.registry if telemetry is not None else None
+        pool = self._pool
+        own_pool = pool is None
+        if own_pool:
+            pool = ProcessWorkerPool(
+                self.n_workers
+                or min(self.n_shards, os.cpu_count() or 1, 8),
+                policy=self.supervisor_policy,
+                on_event=self._pool_event_recorder(telemetry),
+            )
+        attempts = {i: 0 for i in range(self.n_shards)}
+        quarantine: dict[int, str] = {}
+        results: dict[int, ShardResult] = {}
+        pending: dict = {}
+
+        def submit(i: int) -> None:
+            attempts[i] += 1
+            kwargs = dict(
+                config=config,
+                device=devices[i],
+                n_gpus=gpu_counts[i],
+                root_pull_surcharge=surcharges[i],
+                checkpoint_dir=self.checkpoint_dir,
+                checkpoint_every=self.checkpoint_every,
+                fault_plan=self.fault_plans.get(i),
+                halt_after_tasks=self.halt_after_tasks.get(i),
+            )
+            chaos = self.chaos_kills.get(i)
+            if chaos is not None and attempts[i] <= chaos[0]:
+                kwargs["chaos_kill_after"] = chaos[1]
+            future = pool.submit(
+                run_shard_task, self.graph, plan, i,
+                worker_label=f"shard {i}/{self.n_shards}",
+                **kwargs,
+            )
+            pending[future] = i
+
+        try:
+            for i in range(self.n_shards):
+                submit(i)
+            while pending:
+                done, _ = cf_wait(
+                    set(pending), return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    i = pending.pop(future)
+                    try:
+                        results[i] = future.result()
+                        continue
+                    except (Exception, CancelledError) as exc:
+                        error = f"{type(exc).__name__}: {exc}"
+                        pool_gone = isinstance(exc, PoolBrokenError)
+                    if registry is not None:
+                        registry.counter("supervisor.shard_failures").add(1)
+                    dead_end = pool_gone or pool.broken
+                    if not dead_end and attempts[i] < self.max_shard_attempts:
+                        # The shard resumes from its own checkpoint (if
+                        # any) on a restarted worker; the pool already
+                        # replaced the dead process underneath us.
+                        with tracer.span(
+                            "shard.retry", shard=i,
+                            attempt=attempts[i] + 1, error=error,
+                        ):
+                            submit(i)
+                        if registry is not None:
+                            registry.counter("supervisor.shard_retries").add(1)
+                    else:
+                        quarantine[i] = error
+                        if registry is not None:
+                            registry.counter(
+                                "supervisor.shards_quarantined"
+                            ).add(1)
+        finally:
+            if own_pool:
+                pool.shutdown()
+            self._last_pool_stats = (
+                pool.stats() if hasattr(pool, "stats") else {}
+            )
+        ordered = [results[i] for i in sorted(results)]
+        return ordered, attempts, quarantine
+
+    def _degrade(
+        self, plan, config, completed, attempts, quarantine,
+        gpu_of, telemetry, tracer, job_span,
+    ) -> PartialResult:
+        """Build the explicit partial outcome of a quarantined run."""
+        with tracer.span("shard.merge", partial=True) as merge_span:
+            bicliques = merge_shard_results(completed)
+            if telemetry is not None:
+                merge_span.set_attr("n_maximal", len(bicliques))
+        counters = Counters()
+        for r in completed:
+            counters.merge(r.counters)
+        placement = [gpu_of[r.shard_id] for r in completed]
+        makespan = self._makespan(completed, placement)
+        resume = [
+            ResumeHandle(
+                shard_id=i,
+                checkpoint_path=shard_checkpoint_path(
+                    self.checkpoint_dir, plan, i
+                ),
+                attempts=attempts[i],
+                last_error=quarantine[i],
+            )
+            for i in sorted(quarantine)
+        ]
+        if telemetry is not None:
+            registry = telemetry.registry
+            registry.counter("shard.jobs").add(1)
+            registry.counter("supervisor.jobs_degraded").add(1)
+            job_span.set_attr("degraded", True)
+            job_span.set_attr("quarantined", sorted(quarantine))
+        return PartialResult(
+            plan=plan,
+            completed=completed,
+            quarantined=sorted(quarantine),
+            bicliques=bicliques,
+            counters=counters,
+            sim_time=makespan,
+            placement=placement,
+            resume=resume,
+            halted=any(r.halted for r in completed),
+            extras={
+                "per_shard_seconds": [r.sim_time for r in completed],
+                "imbalance": plan.imbalance(),
+                "plan_signature": plan.signature(),
+                "resumed_shards": [
+                    r.shard_id for r in completed if r.resumed
+                ],
+                "config": config,
+                "shard_attempts": dict(attempts),
+                "shard_errors": dict(quarantine),
+                "pool_stats": getattr(self, "_last_pool_stats", {}),
             },
         )

@@ -19,6 +19,8 @@ partition can never be picked up by a different plan or shard.
 from __future__ import annotations
 
 import os
+import signal
+import threading
 from dataclasses import dataclass, field
 
 from ..core.bicliques import Biclique, BicliqueCollector, Counters
@@ -29,7 +31,25 @@ from ..graph.bipartite import BipartiteGraph
 from ..telemetry import NULL_TRACER, current_telemetry
 from .plan import ShardPlan
 
-__all__ = ["ShardResult", "ShardRunner"]
+__all__ = [
+    "ShardResult",
+    "ShardRunner",
+    "run_shard_task",
+    "shard_checkpoint_path",
+]
+
+
+def shard_checkpoint_path(
+    checkpoint_dir: str | None, plan: ShardPlan, shard_id: int
+) -> str | None:
+    """The snapshot file for one shard (plan signature × shard id)."""
+    if checkpoint_dir is None:
+        return None
+    return os.path.join(
+        checkpoint_dir,
+        f"shard-{plan.signature()[:16]}-"
+        f"{shard_id:04d}of{plan.n_shards}.ckpt",
+    )
 
 
 @dataclass
@@ -127,12 +147,8 @@ class ShardRunner:
     @property
     def checkpoint_path(self) -> str | None:
         """This shard's snapshot file (plan signature × shard id)."""
-        if self.checkpoint_dir is None:
-            return None
-        return os.path.join(
-            self.checkpoint_dir,
-            f"shard-{self.plan.signature()[:16]}-"
-            f"{self.shard_id:04d}of{self.plan.n_shards}.ckpt",
+        return shard_checkpoint_path(
+            self.checkpoint_dir, self.plan, self.shard_id
         )
 
     def run(self) -> ShardResult:
@@ -204,3 +220,72 @@ class ShardRunner:
             halted=halted,
             extras=result.extras,
         )
+
+
+# ----------------------------------------------------------------------
+# Spawn-safe entry point for process-pool dispatch
+# ----------------------------------------------------------------------
+def _arm_chaos_kill(delay_s: float) -> None:
+    """SIGKILL *this* process after ``delay_s`` seconds (chaos tests).
+
+    A non-positive delay kills immediately — before the shard does any
+    work — which is the deterministic building block of the quarantine
+    tests.  The timer thread is a daemon: if the shard finishes first,
+    the process exits normally and the pending kill dies with it.
+    """
+    if delay_s <= 0:
+        os.kill(os.getpid(), signal.SIGKILL)
+        return  # pragma: no cover — SIGKILL never returns
+    timer = threading.Timer(
+        delay_s, os.kill, args=(os.getpid(), signal.SIGKILL)
+    )
+    timer.daemon = True
+    timer.start()
+
+
+def run_shard_task(
+    graph: BipartiteGraph,
+    plan: ShardPlan,
+    shard_id: int,
+    *,
+    config: GMBEConfig | None = None,
+    device: DeviceSpec = A100,
+    n_gpus: int = 1,
+    root_pull_surcharge: float | None = None,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int = 256,
+    fault_plan=None,
+    halt_after_tasks: int | None = None,
+    chaos_kill_after: float | None = None,
+) -> ShardResult:
+    """Run one shard in the calling process — the process-pool entry.
+
+    Module-level and fully picklable-in/picklable-out, so a
+    :class:`~repro.parallel.ProcessWorkerPool` can ship it to a spawned
+    worker: the graph, plan, and config cross the pipe; the sorted
+    :class:`ShardResult` comes back.  Runs **untraced** — a live
+    :class:`~repro.telemetry.Telemetry` cannot cross a process boundary
+    (locks, sinks, contextvars); the coordinator keeps the parent-side
+    spans and ``supervisor.*`` counters instead.
+
+    ``chaos_kill_after`` arms a SIGKILL against the worker's own pid
+    after that many seconds — the chaos harness for the supervision
+    tests; never set it outside one.
+    """
+    if chaos_kill_after is not None:
+        _arm_chaos_kill(float(chaos_kill_after))
+    runner = ShardRunner(
+        graph,
+        plan,
+        shard_id,
+        config=config,
+        device=device,
+        n_gpus=n_gpus,
+        root_pull_surcharge=root_pull_surcharge,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+        fault_plan=fault_plan,
+        halt_after_tasks=halt_after_tasks,
+        telemetry=None,
+    )
+    return runner.run()

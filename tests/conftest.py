@@ -1,11 +1,32 @@
-"""Shared fixtures: the paper's example graph and generator helpers."""
+"""Shared fixtures: the paper's example graph and generator helpers.
+
+Also arms :mod:`faulthandler` for the whole session: if a test (most
+likely one of the supervision/chaos tests, which juggle real spawned
+processes and SIGKILL) wedges, every thread's stack is dumped to stderr
+after ``GMBE_TEST_DUMP_AFTER`` seconds (default 300) and repeatedly
+thereafter — so a hung CI job leaves a diagnosis, not just a timeout.
+"""
 
 from __future__ import annotations
+
+import faulthandler
+import os
 
 import numpy as np
 import pytest
 
 from repro.graph import BipartiteGraph
+
+_DUMP_AFTER = float(os.environ.get("GMBE_TEST_DUMP_AFTER", "300"))
+
+
+def pytest_configure(config) -> None:
+    if _DUMP_AFTER > 0:
+        faulthandler.dump_traceback_later(_DUMP_AFTER, repeat=True)
+
+
+def pytest_unconfigure(config) -> None:
+    faulthandler.cancel_dump_traceback_later()
 
 
 @pytest.fixture

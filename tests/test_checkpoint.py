@@ -283,3 +283,43 @@ class TestKernelResume:
         # least the halted run's and in the ballpark of the full run's
         assert r2.sim_time >= r1.sim_time
         assert r2.sim_time >= 0.9 * full.sim_time
+
+
+class TestDurability:
+    def test_save_fsyncs_data_and_directory(self, tmp_path, monkeypatch):
+        """Atomic rename alone survives a process crash; surviving a
+        machine crash additionally needs the file *and* its containing
+        directory flushed.  Record every fsync to prove both happen."""
+        import os as _os
+
+        synced = []
+        real_fsync = _os.fsync
+
+        def recording_fsync(fd):
+            synced.append(fd)
+            return real_fsync(fd)
+
+        monkeypatch.setattr("os.fsync", recording_fsync)
+        path = tmp_path / "durable.ckpt"
+        save_checkpoint(path, _snapshot())
+        assert load_checkpoint(path).root_cursor == 5
+        assert len(synced) == 2  # temp file, then the directory
+
+    def test_save_tolerates_directory_fsync_refusal(self, tmp_path,
+                                                    monkeypatch):
+        """Some filesystems reject fsync on a directory fd; the write
+        must still land (the data fsync already happened)."""
+        import os as _os
+        import stat as _stat
+
+        real_fsync = _os.fsync
+
+        def picky_fsync(fd):
+            if _stat.S_ISDIR(_os.fstat(fd).st_mode):
+                raise OSError(22, "directory fsync refused")
+            return real_fsync(fd)
+
+        monkeypatch.setattr("os.fsync", picky_fsync)
+        path = tmp_path / "degraded.ckpt"
+        save_checkpoint(path, _snapshot())
+        assert load_checkpoint(path).root_cursor == 5

@@ -1,0 +1,302 @@
+"""Supervised process-pool tests: dispatch, crash, hang, budget, drain.
+
+Two layers.  ``TestSupervisor`` unit-tests the watchdog ledger against a
+fake clock — verdicts, restart budgets, backoff — with zero processes.
+``TestProcessWorkerPool`` runs real spawned workers and does real
+violence to them (SIGKILL, SIGSTOP), asserting the pool detects each
+failure mode, surfaces the right exception on the victim's future, and
+keeps serving afterwards.  Worker targets live at module level — spawn
+pickles them by qualified name.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.parallel import (
+    PoolBrokenError,
+    ProcessWorkerPool,
+    RemoteTaskError,
+    Supervisor,
+    SupervisorPolicy,
+    WorkerCrashError,
+    WorkerHungError,
+)
+
+
+# ----------------------------------------------------------------------
+# Spawn targets (must be module-level for pickling)
+# ----------------------------------------------------------------------
+def _square(x):
+    return x * x
+
+
+def _sleep_return(seconds, value):
+    time.sleep(seconds)
+    return value
+
+
+def _raise_value_error(msg):
+    raise ValueError(msg)
+
+
+def _return_unpicklable():
+    return lambda: None
+
+
+# A policy fast enough for tests but with a heartbeat timeout that
+# comfortably covers worker boot (spawn + imports) on a loaded machine.
+FAST = SupervisorPolicy(
+    heartbeat_interval=0.05,
+    heartbeat_timeout=5.0,
+    tick=0.02,
+    restart_backoff_base=0.01,
+    restart_backoff_max=0.05,
+)
+
+
+# ----------------------------------------------------------------------
+# Supervisor (fake clock; no processes)
+# ----------------------------------------------------------------------
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestSupervisor:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            SupervisorPolicy(heartbeat_interval=0)
+        with pytest.raises(ValueError):
+            SupervisorPolicy(heartbeat_interval=1.0, heartbeat_timeout=0.5)
+        with pytest.raises(ValueError):
+            SupervisorPolicy(task_deadline=0)
+        with pytest.raises(ValueError):
+            SupervisorPolicy(max_restarts=-1)
+        with pytest.raises(ValueError):
+            SupervisorPolicy(restart_backoff_multiplier=0.5)
+        with pytest.raises(ValueError):
+            SupervisorPolicy(tick=0)
+
+    def test_restart_backoff_schedule_caps(self):
+        p = SupervisorPolicy(
+            restart_backoff_base=0.1,
+            restart_backoff_multiplier=2.0,
+            restart_backoff_max=0.3,
+        )
+        assert p.restart_backoff(1) == pytest.approx(0.1)
+        assert p.restart_backoff(2) == pytest.approx(0.2)
+        assert p.restart_backoff(3) == pytest.approx(0.3)  # capped
+        assert p.restart_backoff(10) == pytest.approx(0.3)
+
+    def test_verdicts(self):
+        clock = FakeClock()
+        sup = Supervisor(
+            SupervisorPolicy(
+                heartbeat_interval=0.1,
+                heartbeat_timeout=1.0,
+                task_deadline=5.0,
+            ),
+            clock=clock,
+        )
+        sup.register(0)
+        assert sup.verdict(0, alive=True) is None
+        assert sup.verdict(0, alive=False) == "dead"
+        # silent past the heartbeat timeout -> hung
+        clock.now += 1.5
+        assert sup.verdict(0, alive=True) == "hung"
+        sup.beat(0)
+        assert sup.verdict(0, alive=True) is None
+        # a task held past the deadline -> deadline (beats keep coming)
+        sup.task_started(0)
+        clock.now += 6.0
+        sup.beat(0)
+        assert sup.verdict(0, alive=True) == "deadline"
+        sup.task_finished(0)
+        assert sup.verdict(0, alive=True) is None
+
+    def test_restart_budget_and_retire(self):
+        clock = FakeClock()
+        events = []
+        sup = Supervisor(
+            SupervisorPolicy(
+                max_restarts=2,
+                restart_backoff_base=0.5,
+                restart_backoff_multiplier=2.0,
+                restart_backoff_max=10.0,
+            ),
+            clock=clock,
+            on_event=lambda kind, info: events.append((kind, info)),
+        )
+        sup.register(0)
+        sup.note_death(0, "dead")
+        assert sup.plan_restart(0) == pytest.approx(clock.now + 0.5)
+        sup.note_death(0, "hung")
+        assert sup.plan_restart(0) == pytest.approx(clock.now + 1.0)
+        sup.note_death(0, "dead")
+        assert sup.plan_restart(0) is None  # budget spent -> retire
+        s = sup.summary()
+        assert s["deaths"] == 3 and s["hangs"] == 1
+        assert s["restarts"] == 2 and s["retired"] == 1
+        kinds = [k for k, _ in events]
+        assert kinds.count("death") == 3
+        assert kinds.count("retire") == 1
+
+    def test_observer_exceptions_are_swallowed(self):
+        def bad_observer(kind, info):
+            raise RuntimeError("observer bug")
+
+        sup = Supervisor(SupervisorPolicy(), on_event=bad_observer)
+        sup.register(0)  # must not raise
+        sup.note_death(0, "dead")
+        assert sup.deaths == 1
+
+
+# ----------------------------------------------------------------------
+# Real processes
+# ----------------------------------------------------------------------
+def _wait_for(predicate, timeout=30.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+@pytest.mark.slow
+class TestProcessWorkerPool:
+    def test_submit_drain_results(self):
+        with ProcessWorkerPool(2, policy=FAST) as pool:
+            futures = [pool.submit(_square, i) for i in range(6)]
+            assert pool.drain(timeout=60.0)
+            assert [f.result(timeout=5) for f in futures] == [
+                i * i for i in range(6)
+            ]
+            assert pool.completed == 6
+            assert not pool.broken
+            assert pool.stats()["spawned"] == 2
+
+    def test_remote_exception_carries_traceback(self):
+        with ProcessWorkerPool(1, policy=FAST) as pool:
+            fut = pool.submit(
+                _raise_value_error, "poison", worker_label="poison-task"
+            )
+            with pytest.raises(RemoteTaskError) as ei:
+                fut.result(timeout=60)
+            assert ei.value.exc_type == "ValueError"
+            assert "poison" in str(ei.value)
+            notes = " ".join(getattr(ei.value, "__notes__", ()))
+            assert "ValueError" in notes  # remote traceback attached
+            assert "poison-task" in notes  # label attached
+            # the worker survives its task's exception
+            assert pool.submit(_square, 3).result(timeout=60) == 9
+
+    def test_unpicklable_result_fails_only_the_task(self):
+        with ProcessWorkerPool(1, policy=FAST) as pool:
+            with pytest.raises(RemoteTaskError):
+                pool.submit(_return_unpicklable).result(timeout=60)
+            assert pool.submit(_square, 4).result(timeout=60) == 16
+
+    def test_sigkill_is_detected_and_worker_restarts(self):
+        with ProcessWorkerPool(1, policy=FAST) as pool:
+            assert _wait_for(lambda: pool.worker_pids())
+            fut = pool.submit(_sleep_return, 60.0, "never")
+            assert _wait_for(lambda: 0 in pool.running_labels())
+            victim = pool.worker_pids()[0]
+            os.kill(victim, signal.SIGKILL)
+            with pytest.raises(WorkerCrashError) as ei:
+                fut.result(timeout=60)
+            assert ei.value.exitcode == -signal.SIGKILL
+            # the slot respawns and the pool keeps serving
+            assert pool.submit(_square, 5).result(timeout=60) == 25
+            stats = pool.stats()
+            assert stats["deaths"] == 1 and stats["restarts"] == 1
+            assert pool.worker_pids()[0] != victim
+
+    def test_sigstop_is_declared_hung_and_killed(self):
+        policy = SupervisorPolicy(
+            heartbeat_interval=0.05,
+            heartbeat_timeout=2.0,
+            tick=0.02,
+            restart_backoff_base=0.01,
+        )
+        with ProcessWorkerPool(1, policy=policy) as pool:
+            fut = pool.submit(_sleep_return, 60.0, "never")
+            assert _wait_for(lambda: 0 in pool.running_labels())
+            victim = pool.worker_pids()[0]
+            os.kill(victim, signal.SIGSTOP)
+            try:
+                with pytest.raises(WorkerHungError, match="heartbeat"):
+                    fut.result(timeout=60)
+            finally:
+                # pool already SIGKILLed it, but never leave a stopped
+                # process behind if the assertion failed first
+                try:
+                    os.kill(victim, signal.SIGCONT)
+                except ProcessLookupError:
+                    pass
+            assert pool.stats()["hangs"] == 1
+            assert pool.submit(_square, 6).result(timeout=60) == 36
+
+    def test_task_deadline_enforced(self):
+        # the deadline clock starts at dispatch, so it must also cover a
+        # freshly respawned worker's boot (spawn + imports) for the
+        # follow-up task below
+        policy = SupervisorPolicy(
+            heartbeat_interval=0.05,
+            heartbeat_timeout=5.0,
+            task_deadline=2.0,
+            tick=0.02,
+            restart_backoff_base=0.01,
+        )
+        with ProcessWorkerPool(1, policy=policy) as pool:
+            fut = pool.submit(_sleep_return, 60.0, "never")
+            with pytest.raises(WorkerHungError, match="deadline"):
+                fut.result(timeout=60)
+            # a fast task is fine under the same deadline
+            assert pool.submit(_square, 7).result(timeout=60) == 49
+            assert pool.stats()["deadline_kills"] == 1
+
+    def test_restart_budget_exhaustion_breaks_pool(self):
+        policy = SupervisorPolicy(
+            heartbeat_interval=0.05,
+            heartbeat_timeout=5.0,
+            max_restarts=0,
+            tick=0.02,
+        )
+        with ProcessWorkerPool(1, policy=policy) as pool:
+            fut = pool.submit(_sleep_return, 60.0, "never")
+            queued = pool.submit(_square, 8)  # waits behind the blocker
+            assert _wait_for(lambda: 0 in pool.running_labels())
+            os.kill(pool.worker_pids()[0], signal.SIGKILL)
+            with pytest.raises(WorkerCrashError):
+                fut.result(timeout=60)
+            # no restart budget -> the only slot retires -> pool broken;
+            # queued work fails loudly instead of hanging forever
+            with pytest.raises(PoolBrokenError):
+                queued.result(timeout=60)
+            assert _wait_for(lambda: pool.broken)
+            with pytest.raises(PoolBrokenError):
+                pool.submit(_square, 9)
+
+    def test_shutdown_without_wait_fails_inflight_futures(self):
+        pool = ProcessWorkerPool(1, policy=FAST)
+        try:
+            fut = pool.submit(_sleep_return, 60.0, "never")
+            assert _wait_for(lambda: 0 in pool.running_labels())
+        finally:
+            pool.shutdown(wait=False)
+        with pytest.raises(PoolBrokenError):
+            fut.result(timeout=10)
+
+    def test_warm_spawns_and_imports(self):
+        with ProcessWorkerPool(2, policy=FAST) as pool:
+            assert pool.warm(modules=("repro.gmbe",), hold_s=0.2)
+            assert len(pool.worker_pids()) == 2
+            assert pool.completed == 2  # one warmup task per worker

@@ -1090,3 +1090,245 @@ class TestTunedConfigService:
             res = client.submit(graph=paper_graph, config="tuned")
             assert res.ok and res.count == 6
             assert client.metrics_snapshot()["counters"]["tuned_hits"] == 1
+
+
+# ----------------------------------------------------------------------
+# Graceful degradation: degraded status, shed, circuit breaker
+# ----------------------------------------------------------------------
+from repro.core import Counters  # noqa: E402
+from repro.sharding import (  # noqa: E402
+    DegradedShardRun,
+    PartialResult,
+    ResumeHandle,
+    ShardPlan,
+)
+
+
+def _fake_partial(graph, quarantined=(2,)):
+    return PartialResult(
+        plan=ShardPlan.build(graph, 4), completed=[],
+        quarantined=list(quarantined), bicliques=[], counters=Counters(),
+        sim_time=0.0, placement=[],
+        resume=[ResumeHandle(q, None, 3, "WorkerCrashError: kill -9")
+                for q in quarantined],
+    )
+
+
+class TestDegradedJobs:
+    GRAPH = random_bipartite(12, 10, 0.3, seed=3)
+
+    @staticmethod
+    def _degrading_runner(job, graph, config, shards=1, shard_pool="thread"):
+        if shards > 1:
+            raise DegradedShardRun(_fake_partial(graph))
+        return default_runner(job, graph, config)
+
+    def test_degraded_status_with_inventory_and_no_retry(self):
+        async def go(broker):
+            res = await broker.submit(Job(graph=self.GRAPH, shards=4))
+            # explicit partial: never 'completed', never 'failed'
+            assert res.status == JobStatus.DEGRADED
+            assert res.partial and not res.ok
+            assert res.completed_shards == () and res.quarantined_shards == (2,)
+            assert "quarantined" in res.describe()
+            # the coordinator already burned the per-shard budget:
+            # exactly one broker-level attempt, no retries
+            assert res.attempts == 1
+            assert broker.metrics.degraded == 1
+            # degraded results are never cached
+            res2 = await broker.submit(Job(graph=self.GRAPH, shards=4))
+            assert not res2.cache_hit and not res2.coalesced
+            return res
+
+        run_broker(go, n_workers=1, runner=self._degrading_runner,
+                   shard_pool="process")
+
+    def test_degraded_bicliques_surface_filtered(self, paper_graph):
+        full = tuple(enumerate_maximal_bicliques(paper_graph))
+
+        def runner(job, graph, config, shards=1, shard_pool="thread"):
+            partial = _fake_partial(graph)
+            partial.bicliques = list(full)
+            raise DegradedShardRun(partial)
+
+        async def go(broker):
+            res = await broker.submit(
+                Job(graph=paper_graph, shards=2, min_left=2, min_right=2)
+            )
+            assert res.status == JobStatus.DEGRADED
+            # size filters apply to the partial set exactly as they
+            # would to a complete one
+            assert all(len(b.left) >= 2 and len(b.right) >= 2
+                       for b in res.bicliques)
+            assert 0 < res.count < len(full)
+
+        run_broker(go, n_workers=1, runner=runner)
+
+    def test_shard_pool_forwarded_only_when_accepted(self, paper_graph):
+        seen = {}
+
+        def runner_with(job, graph, config, shards=1, shard_pool="thread"):
+            seen["pool"] = shard_pool
+            return []
+
+        async def go(broker):
+            await broker.submit(Job(graph=paper_graph, shards=2))
+
+        run_broker(go, n_workers=1, runner=runner_with,
+                   shard_pool="process")
+        assert seen["pool"] == "process"
+
+        def runner_without(job, graph, config, shards=1):
+            seen["pool"] = "not forwarded"
+            return []
+
+        run_broker(go, n_workers=1, runner=runner_without,
+                   shard_pool="process")
+        assert seen["pool"] == "not forwarded"
+
+    def test_broker_validates_degradation_knobs(self):
+        with pytest.raises(ValueError, match="shard_pool"):
+            EnumerationBroker(shard_pool="fork")
+        with pytest.raises(ValueError, match="breaker_threshold"):
+            EnumerationBroker(breaker_threshold=0)
+        with pytest.raises(ValueError, match="breaker_cooldown"):
+            EnumerationBroker(breaker_cooldown=0)
+
+    def test_jobs_shed_at_dequeue(self, paper_graph):
+        def slow_runner(job, graph, config):
+            time.sleep(0.3)
+            return []
+
+        async def go(broker):
+            f1 = broker.submit_nowait(Job(graph=paper_graph))
+            f2 = broker.submit_nowait(
+                Job(graph=paper_graph, min_left=2, deadline=0.05)
+            )
+            r1, r2 = await asyncio.gather(f1, f2)
+            assert r2.status == JobStatus.EXPIRED
+            assert broker.metrics.jobs_shed == 1
+            assert broker.metrics.expired == 1
+
+        run_broker(go, n_workers=1, runner=slow_runner)
+
+
+class TestAutoShardCircuitBreaker:
+    GRAPH = random_bipartite(12, 10, 0.3, seed=7)
+
+    def test_opens_after_threshold_and_suppresses_auto_sharding(self):
+        calls = []
+
+        def runner(job, graph, config, shards=1, shard_pool="thread"):
+            calls.append(shards)
+            if shards > 1:
+                raise DegradedShardRun(_fake_partial(graph))
+            return []
+
+        async def go(broker):
+            # two consecutive degraded sharded runs trip the breaker
+            r1 = await broker.submit(Job(graph=self.GRAPH))
+            r2 = await broker.submit(Job(graph=self.GRAPH, min_left=2))
+            assert r1.status == r2.status == JobStatus.DEGRADED
+            assert broker.metrics.breaker_opened == 1
+            # open: the same admission policy no longer volunteers jobs
+            # into the dying backend — they run single-node and succeed
+            r3 = await broker.submit(Job(graph=self.GRAPH, min_left=3))
+            assert r3.status == JobStatus.COMPLETED
+            assert broker.metrics.auto_shard_suppressed == 1
+            assert calls == [4, 4, 1]
+            # explicit shards are the caller's call: still honored
+            r4 = await broker.submit(Job(graph=self.GRAPH, shards=2,
+                                         min_left=4))
+            assert r4.status == JobStatus.DEGRADED
+
+        run_broker(go, n_workers=1, runner=runner,
+                   auto_shard_over_edges=1, auto_shard_count=4,
+                   breaker_threshold=2, breaker_cooldown=60.0)
+
+    def test_half_open_probe_closes_on_success(self):
+        state = {"healthy": False}
+
+        def runner(job, graph, config, shards=1, shard_pool="thread"):
+            if shards > 1 and not state["healthy"]:
+                raise DegradedShardRun(_fake_partial(graph))
+            return []
+
+        async def go(broker):
+            r1 = await broker.submit(Job(graph=self.GRAPH))
+            assert r1.status == JobStatus.DEGRADED  # threshold=1: open
+            assert broker.metrics.breaker_opened == 1
+            await asyncio.sleep(0.25)  # past the cooldown -> half-open
+            state["healthy"] = True
+            r2 = await broker.submit(Job(graph=self.GRAPH, min_left=2))
+            assert r2.status == JobStatus.COMPLETED  # the probe, sharded
+            assert broker._breaker_open_until is None  # closed again
+            r3 = await broker.submit(Job(graph=self.GRAPH, min_left=3))
+            assert r3.status == JobStatus.COMPLETED
+            assert broker.metrics.auto_shard_suppressed == 0
+
+        run_broker(go, n_workers=1, runner=runner,
+                   auto_shard_over_edges=1, auto_shard_count=4,
+                   breaker_threshold=1, breaker_cooldown=0.2)
+
+    def test_half_open_probe_reopens_on_failure(self):
+        def runner(job, graph, config, shards=1, shard_pool="thread"):
+            if shards > 1:
+                raise DegradedShardRun(_fake_partial(graph))
+            return []
+
+        async def go(broker):
+            await broker.submit(Job(graph=self.GRAPH))
+            assert broker.metrics.breaker_opened == 1
+            await asyncio.sleep(0.25)
+            r = await broker.submit(Job(graph=self.GRAPH, min_left=2))
+            assert r.status == JobStatus.DEGRADED  # the probe failed
+            assert broker.metrics.breaker_opened == 2  # re-opened
+            r2 = await broker.submit(Job(graph=self.GRAPH, min_left=3))
+            assert r2.status == JobStatus.COMPLETED  # suppressed again
+            assert broker.metrics.auto_shard_suppressed == 1
+
+        run_broker(go, n_workers=1, runner=runner,
+                   auto_shard_over_edges=1, auto_shard_count=4,
+                   breaker_threshold=1, breaker_cooldown=0.2)
+
+
+class TestBackoffDeadlineClamp:
+    def test_backoff_never_sleeps_past_the_deadline(self):
+        async def failing():
+            raise Boom("nope")
+
+        async def go():
+            loop = asyncio.get_running_loop()
+            policy = ResiliencePolicy(
+                timeout=None, max_attempts=5,
+                backoff_base=10.0, backoff_max=10.0, backoff_jitter=0.0,
+            )
+            t0 = loop.time()
+            outcome = await execute_with_retry(
+                lambda: failing(), policy, deadline=loop.time() + 0.3
+            )
+            return outcome, loop.time() - t0
+
+        outcome, dt = asyncio.run(go())
+        # unclamped, the first retry alone would sleep 10s
+        assert dt < 2.0
+        assert outcome.status == "timeout"
+        assert outcome.attempts >= 1
+
+    def test_policy_non_retryable_beats_retryable(self):
+        calls = {"n": 0}
+
+        async def attempt():
+            calls["n"] += 1
+            raise Boom("terminal this time")
+
+        async def go():
+            policy = ResiliencePolicy(
+                max_attempts=3, backoff_base=0,
+                retryable=(Exception,), non_retryable=(Boom,),
+            )
+            return await execute_with_retry(lambda: attempt(), policy)
+
+        outcome = asyncio.run(go())
+        assert outcome.status == "failed" and calls["n"] == 1
+        assert isinstance(outcome.exception, Boom)
