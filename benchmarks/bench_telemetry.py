@@ -9,13 +9,23 @@ a ring sink collects spans, phase attribution, queue-depth samples, and
 fault events.  Reports the median paired wall-clock throughput ratios
 ``baseline / disabled`` and ``baseline / enabled``.
 
+Also times a *process-pool* pair: the same sharded enumeration over a
+shared warm :class:`~repro.parallel.ProcessWorkerPool`, with telemetry
+off and on — "on" exercises the full cross-process capture pipeline
+(worker-side buffering, heartbeat-piggybacked flushes, trace
+re-parenting and registry merge at the coordinator) and asserts the
+merged trace is genuinely cross-process (worker ``sim.kernel`` spans
+under the coordinator's ``shard.run`` spans, one trace id).
+
 Acceptance criteria (gated by ``check_regression.py --only
 telemetry-off`` / ``--only telemetry-on`` against the committed
 ``BENCH_telemetry.json``):
 
 - disabled telemetry must keep >= 95% of baseline throughput
   (a disabled observability layer that is not free is a bug);
-- enabled telemetry must keep >= 80% of baseline throughput.
+- enabled telemetry must keep >= 80% of baseline throughput;
+- process-pool capture must keep >= 80% of the untraced process-pool
+  throughput (``telemetry_procpool_ratio``).
 
 Run directly (no pytest needed)::
 
@@ -61,6 +71,79 @@ def _time_run(graph, mode: str) -> tuple[float, int]:
             "enabled telemetry registered no simulator counters"
         )
     return wall, res.n_maximal
+
+
+#: process-pool pair: small fixed shape — one warm shared pool, one
+#: graph, few repeats; the paired ratio is the metric, not the times
+PROC_CODE = "Mti"
+PROC_SHARDS = 2
+PROC_REPEATS = 5
+
+
+def _time_procpool_run(graph, pool, telemetry) -> tuple[float, int]:
+    from repro.sharding import ShardCoordinator
+
+    coord = ShardCoordinator(
+        graph, PROC_SHARDS, config=CONFIG, pool=pool, telemetry=telemetry
+    )
+    t0 = time.perf_counter()
+    report = coord.run()
+    wall = time.perf_counter() - t0
+    return wall, report.n_maximal
+
+
+def bench_procpool() -> dict:
+    """Paired untraced/traced sharded runs over one warm process pool."""
+    from repro.parallel import ProcessWorkerPool
+
+    graph = load(PROC_CODE)
+    pool = ProcessWorkerPool(PROC_SHARDS)
+    try:
+        # warm pair: worker spawn + first-task import cost lands here
+        _time_procpool_run(graph, pool, None)
+        _time_procpool_run(graph, pool, Telemetry(sinks=[RingSink()]))
+        times = {"off": [], "on": []}
+        ratios = []
+        counts = {}
+        for i in range(PROC_REPEATS):
+            order = ("off", "on") if i % 2 == 0 else ("on", "off")
+            wall = {}
+            for mode in order:
+                telemetry = (
+                    None if mode == "off"
+                    else Telemetry(sinks=[RingSink()])
+                )
+                wall[mode], counts[mode] = _time_procpool_run(
+                    graph, pool, telemetry
+                )
+                times[mode].append(wall[mode])
+                if mode == "on":
+                    spans = telemetry.ring.spans()
+                    kernels = [s for s in spans if s["name"] == "sim.kernel"]
+                    runs = {s["span_id"] for s in spans
+                            if s["name"] == "shard.run"}
+                    assert len(kernels) == PROC_SHARDS, (
+                        f"expected {PROC_SHARDS} worker sim.kernel spans, "
+                        f"got {len(kernels)}"
+                    )
+                    assert all(k["parent_id"] in runs for k in kernels), (
+                        "worker spans were not re-parented under shard.run"
+                    )
+                    assert len({s["trace_id"] for s in spans}) == 1, (
+                        "cross-process records did not share one trace_id"
+                    )
+            ratios.append(wall["off"] / wall["on"])
+        assert counts["off"] == counts["on"], (
+            f"procpool telemetry changed the result ({counts})"
+        )
+    finally:
+        pool.shutdown()
+    return {
+        "procpool_off_s": min(times["off"]),
+        "procpool_on_s": min(times["on"]),
+        "telemetry_procpool_ratio": sorted(ratios)[len(ratios) // 2],
+        "procpool_n_maximal": counts["off"],
+    }
 
 
 def run() -> dict:
@@ -115,10 +198,16 @@ def run() -> dict:
             "repeats": REPEATS,
             "bound_height": CONFIG.bound_height,
             "bound_size": CONFIG.bound_size,
+            "procpool": {
+                "code": PROC_CODE,
+                "shards": PROC_SHARDS,
+                "repeats": PROC_REPEATS,
+            },
         },
         "per_code": per_code,
         "telemetry_disabled_ratio": geomean(disabled_ratios),
         "telemetry_enabled_ratio": geomean(enabled_ratios),
+        **bench_procpool(),
     }
 
 
@@ -135,6 +224,8 @@ def main() -> None:
           f"{result['telemetry_disabled_ratio']:.3f} (>= 0.95 required)")
     print(f"telemetry-enabled throughput ratio:  "
           f"{result['telemetry_enabled_ratio']:.3f} (>= 0.80 required)")
+    print(f"procpool capture throughput ratio:   "
+          f"{result['telemetry_procpool_ratio']:.3f} (>= 0.80 required)")
     print(f"snapshot written to {OUT_PATH}")
 
 

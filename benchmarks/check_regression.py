@@ -170,6 +170,14 @@ GATES = (
         run=_run_telemetry,
         tolerance=0.10,
         floor=0.80,
+        # Cross-process capture (worker buffering + heartbeat flushes +
+        # coordinator re-parenting) gated against the untraced process
+        # pool.  Real wall clock over real processes, so the drift
+        # tolerance is as loose as the procpool gate's; the 0.80
+        # absolute floor is the acceptance bar that matters.
+        extra_checks=(
+            ("telemetry_procpool_ratio", 0.30, 0.80),
+        ),
     ),
     # Deterministic simulated-cycle ratio, not wall clock: tolerance is
     # only slack for intentional snapshot drift, not machine noise.

@@ -128,6 +128,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="enable unified telemetry (gmbe only) and write "
                        "its JSON snapshot — metrics registry plus trace "
                        "records — to PATH")
+    p_run.add_argument("--flight-dir", metavar="DIR", default=None,
+                       help="dump a flight-{job}.json black box here when a "
+                       "sharded --pool process run degrades (quarantined "
+                       "shards); inspect with 'gmbe flight show'")
     rob = p_run.add_argument_group(
         "robustness (gmbe only)",
         "deterministic fault injection and checkpoint/resume; "
@@ -213,6 +217,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--trace-out", metavar="PATH",
                        help="enable tracing and stream span/event records "
                        "to PATH as JSON lines")
+    p_srv.add_argument("--flight-dir", metavar="DIR", default=None,
+                       help="dump a flight-{job}.json black box here for "
+                       "every degraded or pool-broken job; inspect with "
+                       "'gmbe flight show'")
+    p_srv.add_argument("--status-out", metavar="PATH", default=None,
+                       help="write the broker's health snapshot (queue, "
+                       "breaker, shard-pool liveness) as JSON to PATH "
+                       "after the batch")
+
+    p_fl = sub.add_parser(
+        "flight", help="inspect degraded-run flight records"
+    )
+    fl_sub = p_fl.add_subparsers(dest="flight_command", required=True)
+    p_fl_show = fl_sub.add_parser(
+        "show", help="render a flight-{job}.json black box human-readably"
+    )
+    p_fl_show.add_argument("path", help="flight record JSON file")
+    p_fl_show.add_argument("--events", type=int, default=8, metavar="N",
+                           help="events shown per span / section "
+                           "(-1 for all; default 8)")
 
     p_flt = sub.add_parser(
         "faults", help="fault-injection tooling (replay a recorded log)"
@@ -444,6 +468,7 @@ def _cmd_run(args) -> int:
                     checkpoint_dir=args.checkpoint,
                     checkpoint_every=args.checkpoint_every,
                     pool=args.pool,
+                    flight_dir=getattr(args, "flight_dir", None),
                 ).run()
             if sink is not None:
                 for b in res.bicliques:
@@ -501,6 +526,9 @@ def _cmd_run(args) -> int:
             ckpt = h.checkpoint_path or "(no checkpoint — restarts clean)"
             print(f"  shard {h.shard_id}: {h.attempts} attempts; "
                   f"last error: {h.last_error}; resume from {ckpt}")
+        flight_path = res.extras.get("flight_path")
+        if flight_path:
+            print(f"flight record written to {flight_path}")
     if res.sim_time:
         where = f"{args.device} x{args.gpus}"
         if getattr(args, "nodes", 1) > 1:
@@ -718,6 +746,7 @@ def _cmd_serve(args) -> int:
         auto_shard_over_edges=args.auto_shard_over_edges,
         auto_shard_count=args.auto_shard_count,
         shard_pool=args.shard_pool,
+        flight_dir=args.flight_dir,
     )
     try:
         if batch:
@@ -729,8 +758,14 @@ def _cmd_serve(args) -> int:
         for res in results:
             print(res.describe())
         snapshot = client.metrics_snapshot()
+        health = client.health() if args.status_out else None
     finally:
         client.close()
+    if args.status_out:
+        with open(args.status_out, "w", encoding="utf-8") as fh:
+            json.dump(health, fh, indent=2, default=str)
+            fh.write("\n")
+        print(f"health snapshot written to {args.status_out}")
     print("--- service metrics ---")
     text = json.dumps(snapshot, indent=2)
     print(text)
@@ -749,6 +784,19 @@ def _cmd_serve(args) -> int:
     return 0 if all(r.ok for r in results) else 1
 
 
+def _cmd_flight(args) -> int:
+    if args.flight_command != "show":  # pragma: no cover
+        return 1
+    from .telemetry import format_flight_record, load_flight_record
+
+    try:
+        record = load_flight_record(args.path)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read flight record: {exc}")
+    print(format_flight_record(record, max_events=args.events))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -764,6 +812,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "faults":
         return _cmd_faults(args)
+    if args.command == "flight":
+        return _cmd_flight(args)
     if args.command == "tune":
         return _cmd_tune(args)
     if args.command == "figures":

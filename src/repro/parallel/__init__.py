@@ -12,6 +12,7 @@ from .procpool import (
     SupervisorPolicy,
     WorkerCrashError,
     WorkerHungError,
+    set_heartbeat_aux_provider,
 )
 from .simpool import PoolSchedule, schedule_tasks
 from .workers import WorkerPool
@@ -28,4 +29,5 @@ __all__ = [
     "WorkerPool",
     "run_tasks_threaded",
     "schedule_tasks",
+    "set_heartbeat_aux_provider",
 ]

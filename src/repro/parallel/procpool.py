@@ -63,6 +63,7 @@ __all__ = [
     "SupervisorPolicy",
     "WorkerCrashError",
     "WorkerHungError",
+    "set_heartbeat_aux_provider",
 ]
 
 
@@ -256,6 +257,18 @@ class Supervisor:
     def restarts(self, worker_id: int) -> int:
         return self._restarts.get(worker_id, 0)
 
+    def per_worker(self) -> dict[int, dict]:
+        """Liveness/restart detail by worker id (health snapshots)."""
+        now = self._clock()
+        out: dict[int, dict] = {}
+        for worker_id in sorted(set(self._last_beat) | set(self._restarts)):
+            last = self._last_beat.get(worker_id)
+            out[worker_id] = {
+                "restarts": self._restarts.get(worker_id, 0),
+                "last_beat_age_s": None if last is None else now - last,
+            }
+        return out
+
     def summary(self) -> dict:
         """Counter snapshot (the pool exposes this as ``stats()``)."""
         return {
@@ -271,12 +284,41 @@ class Supervisor:
 # ----------------------------------------------------------------------
 # Worker side (runs in the spawned child; must stay import-light)
 # ----------------------------------------------------------------------
+
+#: Optional zero-arg callable returning a picklable payload to piggyback
+#: on each heartbeat.  The *running task* installs it (e.g.
+#: ``run_shard_task`` flushes its buffered telemetry here) so a worker
+#: that is later SIGKILLed still left its last records with the parent.
+_AUX_PROVIDER: Callable[[], object] | None = None
+
+
+def set_heartbeat_aux_provider(provider: Callable[[], object] | None) -> None:
+    """Install (or clear, with ``None``) this process's heartbeat
+    payload provider.  Meaningful only inside a pool worker; harmless
+    anywhere else."""
+    global _AUX_PROVIDER
+    _AUX_PROVIDER = provider
+
+
 def _heartbeat_loop(hb_conn, interval: float, stop: threading.Event) -> None:
     while not stop.is_set():
+        payload = None
+        provider = _AUX_PROVIDER
+        if provider is not None:
+            try:
+                payload = provider()
+            except Exception:
+                payload = None  # a broken provider must not stop beats
         try:
-            hb_conn.send(os.getpid())
+            hb_conn.send((os.getpid(), payload))
         except (BrokenPipeError, OSError):
             return  # parent is gone; nothing left to report to
+        except Exception:
+            # The payload would not pickle; the beat itself must go out.
+            try:
+                hb_conn.send((os.getpid(), None))
+            except (BrokenPipeError, OSError):
+                return
         stop.wait(interval)
 
 
@@ -392,10 +434,16 @@ class ProcessWorkerPool:
         *,
         policy: SupervisorPolicy | None = None,
         on_event: Callable[[str, dict], None] | None = None,
+        on_aux: Callable[[int, object], None] | None = None,
     ) -> None:
         if n_workers <= 0:
             raise ValueError("n_workers must be positive")
         self.n_workers = n_workers
+        #: called as ``on_aux(worker_id, payload)`` for every non-None
+        #: heartbeat payload (see :func:`set_heartbeat_aux_provider`).
+        #: Runs on the monitor thread under the pool lock — handlers
+        #: must be quick and must not call back into the pool.
+        self.on_aux = on_aux
         self.policy = policy if policy is not None else SupervisorPolicy()
         self._ctx = multiprocessing.get_context("spawn")
         self.supervisor = Supervisor(self.policy, on_event=on_event)
@@ -547,8 +595,26 @@ class ProcessWorkerPool:
             }
 
     def stats(self) -> dict:
-        """Supervision counters (spawns, deaths, hangs, restarts...)."""
-        return self.supervisor.summary()
+        """Supervision counters (spawns, deaths, hangs, restarts...)
+        plus per-slot liveness/restart detail under ``"workers"``."""
+        summary = self.supervisor.summary()
+        with self._lock:
+            per = self.supervisor.per_worker()
+            workers = {}
+            for slot in self._slots:
+                detail = per.get(
+                    slot.worker_id,
+                    {"restarts": 0, "last_beat_age_s": None},
+                )
+                workers[slot.worker_id] = {
+                    "alive": slot.live,
+                    "retired": slot.retired,
+                    "pid": (slot.process.pid
+                            if slot.process is not None else None),
+                    **detail,
+                }
+        summary["workers"] = workers
+        return summary
 
     def warm(
         self,
@@ -679,8 +745,16 @@ class ProcessWorkerPool:
         if reader is slot.hb:
             try:
                 while slot.hb.poll():
-                    slot.hb.recv()
+                    beat = slot.hb.recv()
                     self.supervisor.beat(slot.worker_id)
+                    # (pid, payload) beats carry optional task telemetry;
+                    # bare-int beats from older workers still count.
+                    payload = beat[1] if isinstance(beat, tuple) else None
+                    if payload is not None and self.on_aux is not None:
+                        try:
+                            self.on_aux(slot.worker_id, payload)
+                        except Exception:
+                            pass  # observer bug; never kill the monitor
             except (EOFError, OSError):
                 self._handle_death_locked(slot, "dead")
             return

@@ -33,6 +33,7 @@ import hashlib
 import inspect
 import itertools
 import os
+import time
 from dataclasses import dataclass, replace
 from typing import Callable
 
@@ -43,6 +44,7 @@ from ..parallel import WorkerPool
 from ..sharding import DegradedShardRun
 from ..streaming import DynamicBipartiteGraph
 from ..telemetry import NULL_TRACER, Telemetry, run_with_telemetry
+from ..telemetry.flight import FLIGHT_VERSION, write_flight_record
 from ..tuning import TunedConfigStore, TuningStoreError, device_key, tune
 from ..gpusim.device import A100
 from .cache import ResultCache
@@ -178,6 +180,7 @@ class EnumerationBroker:
         shard_pool: str = "thread",
         breaker_threshold: int = 3,
         breaker_cooldown: float = 30.0,
+        flight_dir: str | None = None,
     ) -> None:
         if n_workers <= 0:
             raise ValueError("n_workers must be positive")
@@ -268,6 +271,13 @@ class EnumerationBroker:
         self._breaker_failures = 0
         self._breaker_open_until: float | None = None
         self._breaker_probing = False
+        #: degraded / pool-broken runs dump their flight record (the
+        #: coordinator's black box + this broker's health snapshot) as
+        #: ``flight-{job}.json`` under this directory; ``None`` disables.
+        self.flight_dir = flight_dir
+        #: pool stats off the most recent degraded sharded run — the
+        #: per-worker liveness/restart view ``health()`` exposes.
+        self._last_shard_pool_stats: dict = {}
         self._runner_takes_shards = _accepts_kwarg(self._runner, "shards")
         self._runner_takes_shard_pool = _accepts_kwarg(
             self._runner, "shard_pool"
@@ -750,7 +760,18 @@ class EnumerationBroker:
             # cache it (a later submission must get the full set).
             partial = outcome.exception.partial
             self.metrics.degraded += 1
+            opened_before = self.metrics.breaker_opened
             self._note_shard_outcome(False)
+            self._last_shard_pool_stats = dict(
+                partial.extras.get("pool_stats") or {}
+            )
+            self._record_flight(
+                entry, "degraded",
+                partial=partial,
+                breaker_opened_now=(
+                    self.metrics.breaker_opened > opened_before
+                ),
+            )
             latency = (loop.time() - entry.submitted_at) * 1e3
             self.metrics.latency_ms.record(latency)
             job = entry.job
@@ -781,6 +802,12 @@ class EnumerationBroker:
                 self.metrics.cancelled += 1
             else:
                 self.metrics.failed += 1
+                if "PoolBrokenError" in (outcome.error or ""):
+                    # The shard pool died under the job: nothing partial
+                    # to attach, but the black box (attempt count, error,
+                    # broker health) still matters most on this path.
+                    self._record_flight(entry, "pool_broken",
+                                        error=outcome.error)
             result = self._result(
                 entry, status, error=outcome.error, attempts=outcome.attempts
             )
@@ -810,6 +837,93 @@ class EnumerationBroker:
         self._jobs.pop(entry.job.id, None)
         if not entry.future.done():
             entry.future.set_result(result)
+
+    # ------------------------------------------------------------------
+    # Health and the flight recorder
+    # ------------------------------------------------------------------
+    def _record_flight(
+        self, entry: _Entry, reason: str, *, partial=None,
+        error: str | None = None, breaker_opened_now: bool = False,
+    ) -> str | None:
+        """Persist the job's black box under ``self.flight_dir``.
+
+        The coordinator already assembled the interesting part — merged
+        span tree, worker last-flushes, supervisor verdicts — into
+        ``partial.extras["flight"]``; this stamps the broker's view on
+        top (job id, health snapshot, whether this outcome tripped the
+        breaker) and writes ``flight-{job}.json``.  Runs that carry no
+        coordinator record (telemetry off, or the pool broke before one
+        was built) still get a minimal record.  Never raises: the black
+        box must not turn a degraded run into a failed one.
+        """
+        if self.flight_dir is None:
+            return None
+        flight = None
+        if partial is not None:
+            flight = partial.extras.get("flight")
+        if flight is None:
+            flight = {
+                "flight_version": FLIGHT_VERSION,
+                "reason": reason,
+                "job_id": None,
+                "trace_id": None,
+                "written_unix_s": time.time(),
+            }
+        else:
+            flight = dict(flight)
+            flight["reason"] = reason
+        if flight.get("job_id") is None:
+            flight["job_id"] = entry.job.id
+        if error is not None:
+            flight["error"] = error
+        flight["breaker_opened_now"] = breaker_opened_now
+        flight["health"] = self.health()
+        try:
+            path = write_flight_record(self.flight_dir, flight)
+        except OSError:
+            return None
+        if partial is not None:
+            partial.extras["flight_path"] = path
+        return path
+
+    def health(self) -> dict:
+        """One JSON-serializable liveness snapshot of the broker.
+
+        Answerable while degraded — this is what an operator (or
+        ``gmbe serve --status-out``) polls when the service is limping:
+        queue pressure, breaker state, and the per-worker
+        liveness/restart view from the last supervised shard run.
+        """
+        now = self._loop.time() if self._loop is not None else None
+        if self._breaker_open_until is None:
+            breaker_state = "closed"
+        elif now is not None and now >= self._breaker_open_until:
+            breaker_state = "half-open"
+        else:
+            breaker_state = "open"
+        m = self.metrics
+        return {
+            "running": self._queue is not None,
+            "queue": {
+                "depth": self.queue_size,
+                "capacity": self.queue_depth,
+            },
+            "jobs": {
+                "in_flight": self.in_flight,
+                "submitted": m.submitted,
+                "completed": m.completed,
+                "degraded": m.degraded,
+                "failed": m.failed,
+            },
+            "breaker": {
+                "state": breaker_state,
+                "consecutive_failures": self._breaker_failures,
+                "open_until": self._breaker_open_until,
+                "probing": self._breaker_probing,
+            },
+            "workers": {"n_workers": self.n_workers},
+            "shard_pool": dict(self._last_shard_pool_stats),
+        }
 
     # ------------------------------------------------------------------
     @property

@@ -105,6 +105,19 @@ class ServiceClient:
 
         return self._call(_cancel())
 
+    def health(self) -> dict:
+        """The broker's liveness snapshot (queue, breaker, shard pool).
+
+        Evaluated on the broker's own event loop so the breaker clock
+        and queue depth are read consistently; see
+        :meth:`EnumerationBroker.health`.
+        """
+
+        async def _health():
+            return self._broker.health()
+
+        return self._call(_health())
+
     # ------------------------------------------------------------------
     @property
     def broker(self) -> EnumerationBroker:

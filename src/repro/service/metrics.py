@@ -26,7 +26,7 @@ import json
 
 from ..telemetry import Histogram, MetricsRegistry
 
-__all__ = ["Histogram", "ServiceMetrics"]
+__all__ = ["DESCRIPTIONS", "Histogram", "ServiceMetrics"]
 
 #: attribute name -> stable dotted registry name
 COUNTER_NAMES = {
@@ -58,6 +58,37 @@ HISTOGRAM_NAMES = {
     "queue_depth": "service.queue.depth",
 }
 
+#: ``# HELP`` text, keyed by dotted name (Prometheus export)
+DESCRIPTIONS = {
+    "service.jobs.submitted": "jobs accepted past admission control",
+    "service.jobs.completed": "jobs that finished with a full result",
+    "service.jobs.degraded":
+        "sharded jobs that returned a partial result after quarantine",
+    "service.jobs.failed": "jobs that raised and exhausted retries",
+    "service.jobs.rejected": "submissions refused by admission control",
+    "service.jobs.timeouts": "jobs cancelled by their deadline",
+    "service.jobs.expired": "queued jobs whose TTL lapsed before dispatch",
+    "service.jobs.shed": "queued jobs dropped by load shedding",
+    "service.jobs.cancelled": "jobs cancelled by the client",
+    "service.jobs.retries": "job attempts re-dispatched after a failure",
+    "service.jobs.coalesced":
+        "submissions answered by piggybacking an identical in-flight job",
+    "service.jobs.resumed": "jobs resumed from a checkpoint",
+    "service.jobs.sharded": "jobs dispatched through the shard coordinator",
+    "service.shard.auto_suppressed":
+        "auto-sharding decisions suppressed by the shard circuit breaker",
+    "service.shard.breaker_opened": "shard circuit breaker open transitions",
+    "service.cache.hits": "result-cache hits",
+    "service.cache.misses": "result-cache misses",
+    "service.tuning.hits": "tuned-config store hits at dispatch",
+    "service.tuning.misses": "tuned-config store misses at dispatch",
+    "service.tuning.started": "background auto-tune runs started",
+    "service.latency_ms": "end-to-end latency of jobs that ran on a worker",
+    "service.cache.hit_latency_ms":
+        "latency of jobs answered straight from the result cache",
+    "service.queue.depth": "queue depth observed at each admission",
+}
+
 
 class ServiceMetrics:
     """Counters + histograms one broker maintains (registry-backed).
@@ -70,20 +101,25 @@ class ServiceMetrics:
     def __init__(self, registry: MetricsRegistry | None = None) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self._counters = {
-            attr: self.registry.counter(name)
+            attr: self.registry.counter(
+                name, description=DESCRIPTIONS.get(name)
+            )
             for attr, name in COUNTER_NAMES.items()
         }
         #: End-to-end latency of jobs that ran on a worker (ms).
         self.latency_ms = self.registry.histogram(
-            HISTOGRAM_NAMES["latency_ms"]
+            HISTOGRAM_NAMES["latency_ms"],
+            description=DESCRIPTIONS["service.latency_ms"],
         )
         #: Latency of jobs answered straight from cache (ms).
         self.cache_hit_latency_ms = self.registry.histogram(
-            HISTOGRAM_NAMES["cache_hit_latency_ms"]
+            HISTOGRAM_NAMES["cache_hit_latency_ms"],
+            description=DESCRIPTIONS["service.cache.hit_latency_ms"],
         )
         #: Queue depth observed at each admission.
         self.queue_depth = self.registry.histogram(
-            HISTOGRAM_NAMES["queue_depth"]
+            HISTOGRAM_NAMES["queue_depth"],
+            description=DESCRIPTIONS["service.queue.depth"],
         )
 
     def reset(self) -> None:

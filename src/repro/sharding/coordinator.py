@@ -49,7 +49,16 @@ from ..parallel import (
     SupervisorPolicy,
     WorkerPool,
 )
-from ..telemetry import NULL_TRACER, current_telemetry, run_with_telemetry
+from ..telemetry import (
+    NULL_TRACER,
+    FlightRecorder,
+    TelemetrySnapshot,
+    TraceContext,
+    current_telemetry,
+    reparent_records,
+    run_with_telemetry,
+    write_flight_record,
+)
 from .degraded import PartialResult, ResumeHandle
 from .plan import ShardPlan
 from .runner import (
@@ -69,6 +78,34 @@ _SUPERVISOR_COUNTERS = {
     "retire": "supervisor.workers_retired",
     "broken": "supervisor.pool_broken",
 }
+
+#: ``# HELP`` text for the supervision family (Prometheus export)
+_SUPERVISOR_DESCRIPTIONS = {
+    "supervisor.workers_spawned":
+        "worker processes spawned, including restarts",
+    "supervisor.worker_deaths":
+        "worker processes that died (crash, OOM, SIGKILL, hang kill)",
+    "supervisor.worker_hangs":
+        "deaths caused by a missed-heartbeat or task-deadline verdict",
+    "supervisor.worker_restarts": "dead workers respawned under backoff",
+    "supervisor.workers_retired":
+        "worker slots that exhausted their restart budget",
+    "supervisor.pool_broken":
+        "process pools declared broken (every slot retired)",
+    "supervisor.shard_failures":
+        "shard attempts lost to a dead or hung worker",
+    "supervisor.shard_retries": "failed shard attempts re-dispatched",
+    "supervisor.shards_quarantined":
+        "shards abandoned after exhausting their attempt budget",
+    "supervisor.jobs_degraded":
+        "sharded jobs that returned a partial result",
+}
+
+
+def _register_supervisor_metrics(registry) -> None:
+    """Pre-create the ``supervisor.*`` counters with their HELP text."""
+    for name, description in _SUPERVISOR_DESCRIPTIONS.items():
+        registry.counter(name, description=description)
 
 
 class ShardMergeError(RuntimeError):
@@ -189,10 +226,25 @@ class ShardCoordinator:
     tuning_store:
         Store for ``config="tuned"`` resolution (default store if None).
     telemetry:
-        Explicit telemetry; defaults to ambient discovery.  Process
-        dispatch runs the shards themselves untraced (telemetry cannot
-        cross the process boundary) but records parent-side
-        ``supervisor.*`` counters and per-retry spans.
+        Explicit telemetry; defaults to ambient discovery.  Thread and
+        process dispatch honor the **same correlation contract**: every
+        shard's ``sim.kernel``/``sim.phase.*``/fault records share the
+        job's ``trace_id`` and ``job_id`` and sit under a per-shard
+        span in the ``shard.job`` tree.  Thread dispatch gets this by
+        shipping the contextvars context into the pool; process
+        dispatch ships a picklable
+        :class:`~repro.telemetry.TraceContext` into each worker, which
+        records into a local buffering telemetry and returns picklable
+        snapshots (incrementally on heartbeats, finally on the result)
+        that the coordinator re-parents under its per-attempt
+        ``shard.run``/``shard.retry`` spans and folds into the parent
+        registry — plus parent-side ``supervisor.*`` counters.
+    flight_dir:
+        When set, a quarantined (degraded) run dumps its flight record
+        — merged span tree, last-N records per worker including a dead
+        worker's final heartbeat flush, supervisor verdicts, attempt
+        ledger — to ``flight-{job}.json`` in this directory (see
+        :mod:`repro.telemetry.flight`).
     """
 
     def __init__(
@@ -217,6 +269,7 @@ class ShardCoordinator:
         halt_after_tasks: Mapping[int, int] | None = None,
         tuning_store=None,
         telemetry=None,
+        flight_dir: str | None = None,
     ) -> None:
         self.graph = graph
         self.n_shards = n_shards
@@ -258,6 +311,7 @@ class ShardCoordinator:
         )
         self.tuning_store = tuning_store
         self.telemetry = telemetry
+        self.flight_dir = flight_dir
         if plan is not None:
             plan.validate_against(graph)
             if plan.n_shards != n_shards:
@@ -361,14 +415,16 @@ class ShardCoordinator:
 
             gpu_of, devices, surcharges, gpu_counts = self._placement()
             if self.pool_backend == "process":
-                results, attempts, quarantine = self._dispatch_supervised(
-                    plan, config, devices, surcharges, gpu_counts,
-                    telemetry, tracer,
+                results, attempts, quarantine, recorder = (
+                    self._dispatch_supervised(
+                        plan, config, devices, surcharges, gpu_counts,
+                        telemetry, tracer, job_span,
+                    )
                 )
                 if quarantine:
                     return self._degrade(
                         plan, config, results, attempts, quarantine,
-                        gpu_of, telemetry, tracer, job_span,
+                        gpu_of, telemetry, tracer, job_span, recorder,
                     )
                 extra_dispatch = {
                     "shard_attempts": dict(attempts),
@@ -471,37 +527,62 @@ class ShardCoordinator:
             if own_pool:
                 pool.shutdown()
 
-    def _pool_event_recorder(self, telemetry):
-        """Map pool supervision events onto ``supervisor.*`` counters."""
-        if telemetry is None:
+    def _pool_event_recorder(self, telemetry, flight=None):
+        """Map pool supervision events onto ``supervisor.*`` counters
+        (and into the flight recorder's verdict log, when one exists)."""
+        if telemetry is None and flight is None:
             return None
-        registry = telemetry.registry
-        tracer = telemetry.tracer
+        registry = telemetry.registry if telemetry is not None else None
+        tracer = telemetry.tracer if telemetry is not None else NULL_TRACER
 
         def record(kind: str, info: dict) -> None:
-            name = _SUPERVISOR_COUNTERS.get(kind)
-            if name is not None:
-                registry.counter(name).add(1)
-            if kind == "death" and info.get("reason") in ("hung", "deadline"):
-                registry.counter("supervisor.worker_hangs").add(1)
+            if registry is not None:
+                name = _SUPERVISOR_COUNTERS.get(kind)
+                if name is not None:
+                    registry.counter(name).add(1)
+                if (kind == "death"
+                        and info.get("reason") in ("hung", "deadline")):
+                    registry.counter("supervisor.worker_hangs").add(1)
             if kind == "restart":
                 tracer.event("worker.restart", **info)
+            if flight is not None:
+                flight.note_pool_event(kind, info)
 
         return record
 
     def _dispatch_supervised(
         self, plan, config, devices, surcharges, gpu_counts,
-        telemetry, tracer,
+        telemetry, tracer, job_span,
     ):
         """Process fan-out with per-shard retry and quarantine.
 
-        Returns ``(results, attempts, quarantine)`` where ``results``
-        maps shard id → :class:`ShardResult` for every shard that
-        finished (as a list, shard-ordered), ``attempts`` counts
-        attempts per shard, and ``quarantine`` maps the shards that
-        exhausted their budget to their last error string.
+        Returns ``(results, attempts, quarantine, recorder)`` where
+        ``results`` maps shard id → :class:`ShardResult` for every shard
+        that finished (as a list, shard-ordered), ``attempts`` counts
+        attempts per shard, ``quarantine`` maps the shards that
+        exhausted their budget to their last error string, and
+        ``recorder`` is the job's :class:`FlightRecorder` (or None).
+
+        Telemetry: the coordinator opens one *detached* span per
+        dispatched attempt — ``shard.run`` for the first, ``shard.retry``
+        for re-dispatches — closed when that future resolves, so a
+        SIGKILLed attempt still leaves an ``status="error"`` span.  A
+        :class:`TraceContext` naming that span travels into the worker;
+        the snapshots the worker sends back (heartbeat piggyback + final
+        flush on the result) are folded *after* the dispatch loop in
+        shard/attempt/seq order, so the merged registry and trace are
+        identical regardless of which worker finished first.
         """
         registry = telemetry.registry if telemetry is not None else None
+        capture = telemetry is not None
+        if registry is not None:
+            _register_supervisor_metrics(registry)
+        recorder = None
+        if capture or self.flight_dir is not None:
+            recorder = FlightRecorder(
+                job_id=getattr(job_span, "job_id", None),
+                trace_id=getattr(job_span, "trace_id", None),
+            )
         pool = self._pool
         own_pool = pool is None
         if own_pool:
@@ -509,15 +590,36 @@ class ShardCoordinator:
                 self.n_workers
                 or min(self.n_shards, os.cpu_count() or 1, 8),
                 policy=self.supervisor_policy,
-                on_event=self._pool_event_recorder(telemetry),
+                on_event=self._pool_event_recorder(telemetry, recorder),
             )
         attempts = {i: 0 for i in range(self.n_shards)}
         quarantine: dict[int, str] = {}
         results: dict[int, ShardResult] = {}
         pending: dict = {}
+        #: (shard, attempt) -> open coordinator-side Span
+        attempt_spans: dict[tuple[int, int], object] = {}
+        #: (shard, attempt) -> heartbeat-flushed TelemetrySnapshots
+        flushes: dict[tuple[int, int], list] = {}
+        #: (shard, attempt) -> the final flush off the ShardResult
+        finals: dict[tuple[int, int], TelemetrySnapshot] = {}
 
-        def submit(i: int) -> None:
+        def on_aux(worker_id: int, payload) -> None:
+            # Monitor-thread context: collect only; folding happens on
+            # the coordinator thread after dispatch completes.
+            if isinstance(payload, TelemetrySnapshot):
+                key = (payload.shard_id, payload.attempt)
+                flushes.setdefault(key, []).append(payload)
+
+        aux_installed = False
+        prev_aux = None
+        if capture and hasattr(pool, "on_aux"):
+            prev_aux = pool.on_aux
+            pool.on_aux = on_aux
+            aux_installed = True
+
+        def submit(i: int, prior_error: str | None = None) -> None:
             attempts[i] += 1
+            att = attempts[i]
             kwargs = dict(
                 config=config,
                 device=devices[i],
@@ -529,8 +631,25 @@ class ShardCoordinator:
                 halt_after_tasks=self.halt_after_tasks.get(i),
             )
             chaos = self.chaos_kills.get(i)
-            if chaos is not None and attempts[i] <= chaos[0]:
+            if chaos is not None and att <= chaos[0]:
                 kwargs["chaos_kill_after"] = chaos[1]
+            if capture:
+                span = tracer.begin_span(
+                    "shard.run" if att == 1 else "shard.retry",
+                    parent=job_span,
+                    shard=i,
+                    attempt=att,
+                    dispatch="process",
+                )
+                if prior_error is not None:
+                    span.set_attr("error", prior_error)
+                attempt_spans[(i, att)] = span
+                kwargs["trace"] = TraceContext(
+                    trace_id=span.trace_id,
+                    parent_span_id=span.span_id,
+                    job_id=span.job_id,
+                )
+                kwargs["attempt"] = att
             future = pool.submit(
                 run_shard_task, self.graph, plan, i,
                 worker_label=f"shard {i}/{self.n_shards}",
@@ -547,46 +666,149 @@ class ShardCoordinator:
                 )
                 for future in done:
                     i = pending.pop(future)
+                    att = attempts[i]
+                    span = attempt_spans.get((i, att))
                     try:
-                        results[i] = future.result()
-                        continue
+                        result = future.result()
                     except (Exception, CancelledError) as exc:
                         error = f"{type(exc).__name__}: {exc}"
                         pool_gone = isinstance(exc, PoolBrokenError)
-                    if registry is not None:
-                        registry.counter("supervisor.shard_failures").add(1)
-                    dead_end = pool_gone or pool.broken
-                    if not dead_end and attempts[i] < self.max_shard_attempts:
-                        # The shard resumes from its own checkpoint (if
-                        # any) on a restarted worker; the pool already
-                        # replaced the dead process underneath us.
-                        with tracer.span(
-                            "shard.retry", shard=i,
-                            attempt=attempts[i] + 1, error=error,
-                        ):
-                            submit(i)
-                        if registry is not None:
-                            registry.counter("supervisor.shard_retries").add(1)
-                    else:
-                        quarantine[i] = error
+                        if span is not None:
+                            tracer.finish_span(
+                                span, status="error", error=error
+                            )
+                        if recorder is not None:
+                            recorder.note_attempt(
+                                i, att, status="error", error=error
+                            )
                         if registry is not None:
                             registry.counter(
-                                "supervisor.shards_quarantined"
+                                "supervisor.shard_failures"
                             ).add(1)
+                        dead_end = pool_gone or pool.broken
+                        if (not dead_end
+                                and att < self.max_shard_attempts):
+                            # The shard resumes from its own checkpoint
+                            # (if any) on a restarted worker; the pool
+                            # already replaced the dead process
+                            # underneath us.
+                            submit(i, prior_error=error)
+                            if registry is not None:
+                                registry.counter(
+                                    "supervisor.shard_retries"
+                                ).add(1)
+                        else:
+                            quarantine[i] = error
+                            if registry is not None:
+                                registry.counter(
+                                    "supervisor.shards_quarantined"
+                                ).add(1)
+                        continue
+                    results[i] = result
+                    final = result.extras.pop("telemetry", None)
+                    if isinstance(final, TelemetrySnapshot):
+                        finals[(i, att)] = final
+                    if span is not None:
+                        span.set_attr("n_maximal", result.n_maximal)
+                        span.set_attr("resumed", result.resumed)
+                        span.set_attr("halted", result.halted)
+                        tracer.finish_span(span)
+                    if recorder is not None:
+                        recorder.note_attempt(
+                            i, att, status="ok",
+                            pid=(final.pid
+                                 if isinstance(final, TelemetrySnapshot)
+                                 else None),
+                        )
         finally:
+            if aux_installed:
+                pool.on_aux = prev_aux
             if own_pool:
                 pool.shutdown()
             self._last_pool_stats = (
                 pool.stats() if hasattr(pool, "stats") else {}
             )
+        if capture or recorder is not None:
+            self._fold_worker_telemetry(
+                telemetry, recorder, job_span, attempt_spans,
+                flushes, finals,
+            )
         ordered = [results[i] for i in sorted(results)]
-        return ordered, attempts, quarantine
+        return ordered, attempts, quarantine, recorder
+
+    def _fold_worker_telemetry(
+        self, telemetry, recorder, job_span, attempt_spans, flushes,
+        finals,
+    ) -> None:
+        """Re-parent and merge everything the workers sent back.
+
+        Runs once, after the dispatch loop, iterating attempts in
+        (shard, attempt, seq) order — worker *completion* order cannot
+        influence the merged registry or the record stream.  Records
+        from every attempt (including dead ones) are re-parented into
+        the trace; registry dumps are folded only from *final* flushes
+        — a dead attempt's counters stay out of the parent registry
+        (its checkpoint-resumed retry partially replays that work) but
+        survive in the flight record via its last heartbeat flush.
+        """
+        registry = telemetry.registry if telemetry is not None else None
+        trace_id = getattr(job_span, "trace_id", None)
+        job_id = getattr(job_span, "job_id", None)
+        keys = sorted(set(attempt_spans) | set(flushes) | set(finals))
+        for key in keys:
+            shard_id, attempt = key
+            span = attempt_spans.get(key)
+            parent_sid = (
+                span.span_id if span is not None
+                else getattr(job_span, "span_id", None)
+            )
+            if recorder is not None and span is not None:
+                recorder.add_record(span.to_dict())
+            snaps = sorted(
+                list(flushes.get(key, ())), key=lambda s: s.seq
+            )
+            final = finals.get(key)
+            if final is not None:
+                snaps.append(final)
+            dropped = 0
+            for snap in snaps:
+                reparented = reparent_records(
+                    snap.records,
+                    trace_id=trace_id,
+                    parent_span_id=parent_sid,
+                    job_id=job_id,
+                    prefix=f"s{shard_id}a{attempt}:",
+                )
+                if telemetry is not None:
+                    telemetry.ingest(reparented)
+                if recorder is not None:
+                    recorder.add_snapshot(snap, records=reparented)
+                dropped = snap.dropped
+            if registry is not None:
+                if final is not None and final.metrics:
+                    registry.merge(final.metrics)
+                if dropped:
+                    registry.counter(
+                        "telemetry.worker.dropped",
+                        description=(
+                            "records lost to worker-side ring overflow "
+                            "before they could be flushed"
+                        ),
+                    ).add(dropped)
 
     def _degrade(
         self, plan, config, completed, attempts, quarantine,
-        gpu_of, telemetry, tracer, job_span,
+        gpu_of, telemetry, tracer, job_span, recorder=None,
     ) -> PartialResult:
-        """Build the explicit partial outcome of a quarantined run."""
+        """Build the explicit partial outcome of a quarantined run.
+
+        When telemetry (or a ``flight_dir``) is active, the flight
+        recorder's black box is attached to ``extras["flight"]`` —
+        merged span tree, each worker's last flushed records, supervisor
+        verdicts, and the attempt ledger — and additionally written to
+        ``flight-{job}.json`` under ``self.flight_dir`` when set
+        (``extras["flight_path"]``).
+        """
         with tracer.span("shard.merge", partial=True) as merge_span:
             bicliques = merge_shard_results(completed)
             if telemetry is not None:
@@ -613,6 +835,29 @@ class ShardCoordinator:
             registry.counter("supervisor.jobs_degraded").add(1)
             job_span.set_attr("degraded", True)
             job_span.set_attr("quarantined", sorted(quarantine))
+        flight_extras: dict = {}
+        if recorder is not None:
+            if telemetry is not None and hasattr(job_span, "to_dict"):
+                # Still open (no end_s yet) — recorded so the flight's
+                # span tree has its shard.job root.
+                recorder.add_record(job_span.to_dict())
+            flight = recorder.build(
+                "quarantine",
+                quarantined=sorted(quarantine),
+                shard_errors=dict(quarantine),
+                shard_attempts=dict(attempts),
+                pool_stats=getattr(self, "_last_pool_stats", {}),
+            )
+            flight_extras["flight"] = flight
+            if self.flight_dir is not None:
+                try:
+                    flight_extras["flight_path"] = write_flight_record(
+                        self.flight_dir, flight
+                    )
+                except OSError:
+                    # The black box must never turn a degraded run into
+                    # a failed one; the in-memory copy is still attached.
+                    pass
         return PartialResult(
             plan=plan,
             completed=completed,
@@ -634,5 +879,6 @@ class ShardCoordinator:
                 "shard_attempts": dict(attempts),
                 "shard_errors": dict(quarantine),
                 "pool_stats": getattr(self, "_last_pool_stats", {}),
+                **flight_extras,
             },
         )

@@ -106,6 +106,13 @@ class ShardRunner:
     telemetry:
         Explicit telemetry; defaults to ambient discovery, so shards
         dispatched by the coordinator inherit the job's correlation ids.
+    emit_span:
+        When False, the runner records its ``shard.*`` metrics but opens
+        no ``shard.run`` span of its own.  The process-pool path uses
+        this: the *coordinator* owns one span per dispatched attempt
+        (it outlives a SIGKILLed worker), and the worker's records are
+        re-parented under it on merge — a worker-side ``shard.run``
+        would duplicate it.
     """
 
     def __init__(
@@ -123,6 +130,7 @@ class ShardRunner:
         fault_plan=None,
         halt_after_tasks: int | None = None,
         telemetry=None,
+        emit_span: bool = True,
     ) -> None:
         plan.validate_against(graph)
         plan._check_shard(shard_id)
@@ -142,6 +150,7 @@ class ShardRunner:
         self.fault_plan = fault_plan
         self.halt_after_tasks = halt_after_tasks
         self.telemetry = telemetry
+        self.emit_span = emit_span
 
     # ------------------------------------------------------------------
     @property
@@ -173,7 +182,8 @@ class ShardRunner:
             if self.root_pull_surcharge is None
             else [float(self.root_pull_surcharge)] * self.n_gpus
         )
-        with tracer.span(
+        span_tracer = tracer if self.emit_span else NULL_TRACER
+        with span_tracer.span(
             "shard.run",
             shard=self.shard_id,
             n_shards=self.plan.n_shards,
@@ -257,16 +267,32 @@ def run_shard_task(
     fault_plan=None,
     halt_after_tasks: int | None = None,
     chaos_kill_after: float | None = None,
+    trace: "TraceContext | None" = None,
+    attempt: int = 1,
+    telemetry_capacity: int = 2048,
 ) -> ShardResult:
     """Run one shard in the calling process — the process-pool entry.
 
     Module-level and fully picklable-in/picklable-out, so a
     :class:`~repro.parallel.ProcessWorkerPool` can ship it to a spawned
     worker: the graph, plan, and config cross the pipe; the sorted
-    :class:`ShardResult` comes back.  Runs **untraced** — a live
-    :class:`~repro.telemetry.Telemetry` cannot cross a process boundary
-    (locks, sinks, contextvars); the coordinator keeps the parent-side
-    spans and ``supervisor.*`` counters instead.
+    :class:`ShardResult` comes back.
+
+    A live :class:`~repro.telemetry.Telemetry` still cannot cross the
+    pipe (locks, sinks, contextvars) — but its *data* can.  When the
+    coordinator passes a picklable
+    :class:`~repro.telemetry.TraceContext` (``trace=``), the worker
+    builds a local buffering :class:`~repro.telemetry.WorkerTelemetry`:
+    the kernel records ``sim.kernel`` spans, ``sim.phase.*`` counters,
+    and fault events exactly as an in-process run would, and the records
+    travel back as picklable
+    :class:`~repro.telemetry.TelemetrySnapshot`\\ s over two channels —
+    incrementally piggybacked on every heartbeat (so a SIGKILLed worker
+    still leaves its last buffered records with the parent) and as a
+    final flush in ``ShardResult.extras["telemetry"]``.  The coordinator
+    re-parents them under its per-attempt ``shard.run``/``shard.retry``
+    span, giving process-pool shards the *same* correlation contract as
+    thread-pool ones: one ``trace_id``, one ``job_id``, one grep.
 
     ``chaos_kill_after`` arms a SIGKILL against the worker's own pid
     after that many seconds — the chaos harness for the supervision
@@ -274,18 +300,49 @@ def run_shard_task(
     """
     if chaos_kill_after is not None:
         _arm_chaos_kill(float(chaos_kill_after))
-    runner = ShardRunner(
-        graph,
-        plan,
-        shard_id,
-        config=config,
-        device=device,
-        n_gpus=n_gpus,
-        root_pull_surcharge=root_pull_surcharge,
-        checkpoint_dir=checkpoint_dir,
-        checkpoint_every=checkpoint_every,
-        fault_plan=fault_plan,
-        halt_after_tasks=halt_after_tasks,
-        telemetry=None,
-    )
-    return runner.run()
+    worker = None
+    if trace is not None:
+        # Imported here, not at module top: the worker entry must stay
+        # import-light for the spawn path when telemetry is off.
+        from ..parallel.procpool import set_heartbeat_aux_provider
+        from ..telemetry.remote import WorkerTelemetry
+
+        worker = WorkerTelemetry(
+            trace,
+            shard_id=shard_id,
+            attempt=attempt,
+            capacity=telemetry_capacity,
+        )
+        # Mark the attempt immediately: the first heartbeat flush (one
+        # interval away) then carries proof this worker started, even if
+        # it is killed before the kernel emits anything.
+        worker.telemetry.tracer.event(
+            "shard.worker_start",
+            shard=shard_id,
+            attempt=attempt,
+            pid=os.getpid(),
+        )
+        set_heartbeat_aux_provider(worker.flush)
+    try:
+        runner = ShardRunner(
+            graph,
+            plan,
+            shard_id,
+            config=config,
+            device=device,
+            n_gpus=n_gpus,
+            root_pull_surcharge=root_pull_surcharge,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            fault_plan=fault_plan,
+            halt_after_tasks=halt_after_tasks,
+            telemetry=worker.telemetry if worker is not None else None,
+            emit_span=worker is None,
+        )
+        result = runner.run()
+    finally:
+        if worker is not None:
+            set_heartbeat_aux_provider(None)
+    if worker is not None:
+        result.extras["telemetry"] = worker.flush(final=True)
+    return result

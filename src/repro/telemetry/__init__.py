@@ -18,14 +18,28 @@ from .bridge import (
     register_queue_stats,
     register_sim_report,
 )
+from .flight import (
+    FlightRecorder,
+    build_span_tree,
+    format_flight_record,
+    load_flight_record,
+    write_flight_record,
+)
 from .hub import Telemetry, current_telemetry, run_with_telemetry, use_telemetry
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .remote import (
+    TelemetrySnapshot,
+    TraceContext,
+    WorkerTelemetry,
+    reparent_records,
+)
 from .sinks import CallbackSink, JSONLSink, RingSink
 from .tracing import NULL_TRACER, NullTracer, Span, Tracer, current_span
 
 __all__ = [
     "CallbackSink",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "JSONLSink",
@@ -35,13 +49,21 @@ __all__ = [
     "RingSink",
     "Span",
     "Telemetry",
+    "TelemetrySnapshot",
+    "TraceContext",
     "Tracer",
+    "WorkerTelemetry",
+    "build_span_tree",
     "current_span",
     "current_telemetry",
+    "format_flight_record",
+    "load_flight_record",
     "register_counters",
     "register_fault_log",
     "register_queue_stats",
     "register_sim_report",
+    "reparent_records",
     "run_with_telemetry",
     "use_telemetry",
+    "write_flight_record",
 ]

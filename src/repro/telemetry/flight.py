@@ -1,0 +1,310 @@
+"""The degraded-run flight recorder: a bounded per-job black box.
+
+A production sharded run that goes wrong (worker SIGKILLed, shard
+quarantined, pool broken, breaker opened) is exactly the run whose
+telemetry matters most — and exactly the run whose telemetry is at risk
+of dying with the process.  The :class:`FlightRecorder` accumulates a
+*bounded* record of one job while it runs — re-parented worker
+records, supervisor verdicts, the attempt/restart ledger — and
+:func:`write_flight_record` dumps it to ``flight-{job}.json`` when the
+coordinator or broker declares the run degraded.
+
+Everything here is plain dicts and lists: the record is JSON on disk,
+inspectable with ``gmbe flight show <path>`` or any text tool.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from collections import deque
+
+__all__ = [
+    "FLIGHT_VERSION",
+    "FlightRecorder",
+    "build_span_tree",
+    "format_flight_record",
+    "load_flight_record",
+    "write_flight_record",
+]
+
+FLIGHT_VERSION = 1
+
+_SAFE_JOB_RE = re.compile(r"[^A-Za-z0-9_.-]+")
+
+
+class FlightRecorder:
+    """Accumulates one job's black box while the job runs.
+
+    Every buffer is bounded (deques with ``maxlen``), so a pathological
+    run — thousands of restarts, a chatty worker — costs O(limits)
+    memory, never O(run length).  The recorder is fed from the
+    coordinator thread and the pool's monitor thread; each method is a
+    single append or dict write, safe under the GIL.
+    """
+
+    def __init__(
+        self,
+        *,
+        job_id=None,
+        trace_id: str | None = None,
+        max_records_per_worker: int = 64,
+        max_spans: int = 256,
+        max_verdicts: int = 128,
+    ) -> None:
+        self.job_id = job_id
+        self.trace_id = trace_id
+        self._max_records_per_worker = max_records_per_worker
+        #: coordinator-side records (job/attempt spans), bounded
+        self._spans: deque[dict] = deque(maxlen=max_spans)
+        #: supervisor verdicts and restart notes from the pool
+        self._verdicts: deque[dict] = deque(maxlen=max_verdicts)
+        #: "s{shard}a{attempt}" -> worker meta + last-N records
+        self._workers: dict[str, dict] = {}
+        #: shard -> [{attempt, status, error, pid}, ...]
+        self._attempts: dict[int, list[dict]] = {}
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _worker_key(shard_id, attempt) -> str:
+        return f"s{shard_id}a{attempt}"
+
+    def note_pool_event(self, kind: str, info: dict) -> None:
+        """Record a supervisor event (spawn/death/restart/retire/...)."""
+        entry = {"kind": kind}
+        entry.update(info)
+        self._verdicts.append(entry)
+
+    def note_attempt(self, shard_id: int, attempt: int, *, status: str,
+                     error: str | None = None, pid=None) -> None:
+        """Append to the per-shard attempt ledger."""
+        self._attempts.setdefault(int(shard_id), []).append({
+            "attempt": attempt,
+            "status": status,
+            "error": error,
+            "pid": pid,
+        })
+
+    def add_snapshot(self, snapshot, records=None) -> None:
+        """Fold a worker's :class:`TelemetrySnapshot` into its black box.
+
+        ``records`` lets the caller supply the *re-parented* copies so
+        the flight record and the live trace tell one story; otherwise
+        the snapshot's raw records are kept.
+        """
+        key = self._worker_key(snapshot.shard_id, snapshot.attempt)
+        entry = self._workers.get(key)
+        if entry is None:
+            entry = self._workers[key] = {
+                "pid": snapshot.pid,
+                "shard_id": snapshot.shard_id,
+                "attempt": snapshot.attempt,
+                "flushes": 0,
+                "final": False,
+                "dropped": 0,
+                "records": deque(maxlen=self._max_records_per_worker),
+                "metrics": {},
+            }
+        entry["pid"] = snapshot.pid
+        entry["flushes"] += 1
+        entry["final"] = entry["final"] or snapshot.final
+        entry["dropped"] = snapshot.dropped
+        for record in (snapshot.records if records is None else records):
+            entry["records"].append(record)
+        if snapshot.metrics:
+            # cumulative dump — keep only the most recent one
+            entry["metrics"] = snapshot.metrics
+
+    def add_record(self, record: dict) -> None:
+        """Keep a coordinator-side record (attempt span, job event)."""
+        self._spans.append(record)
+
+    # ------------------------------------------------------------------
+    def build(self, reason: str, **extra) -> dict:
+        """Assemble the JSON-serializable flight record."""
+        workers = {}
+        all_records = list(self._spans)
+        for key in sorted(self._workers):
+            entry = self._workers[key]
+            records = list(entry["records"])
+            all_records.extend(records)
+            workers[key] = {
+                "pid": entry["pid"],
+                "shard_id": entry["shard_id"],
+                "attempt": entry["attempt"],
+                "flushes": entry["flushes"],
+                "final_flush_seen": entry["final"],
+                "dropped": entry["dropped"],
+                "records": records,
+                "metrics": entry["metrics"],
+            }
+        record = {
+            "flight_version": FLIGHT_VERSION,
+            "reason": reason,
+            "job_id": self.job_id,
+            "trace_id": self.trace_id,
+            "written_unix_s": time.time(),
+            "attempts": {str(k): v for k, v in sorted(self._attempts.items())},
+            "supervisor": {"events": list(self._verdicts)},
+            "workers": workers,
+            "span_tree": build_span_tree(all_records),
+        }
+        record.update(extra)
+        return record
+
+
+def build_span_tree(records) -> list[dict]:
+    """Nest flat span records into parent → children trees.
+
+    Events attach to their span's ``"events"`` list; events whose span
+    was never emitted (e.g. it died with the worker) surface in a
+    synthetic top-level ``"(orphan events)"`` node rather than being
+    lost.  Returns the list of root spans, children sorted by start
+    time.
+    """
+    spans: dict[str, dict] = {}
+    events: list[dict] = []
+    for r in records:
+        if r.get("type") == "span" and r.get("span_id"):
+            node = dict(r)
+            node["children"] = []
+            node["events"] = []
+            spans[node["span_id"]] = node
+        elif r.get("type") == "event":
+            events.append(r)
+
+    roots: list[dict] = []
+    for node in spans.values():
+        parent = spans.get(node.get("parent_id") or "")
+        if parent is not None:
+            parent["children"].append(node)
+        else:
+            roots.append(node)
+
+    orphans: list[dict] = []
+    for ev in events:
+        span = spans.get(ev.get("span_id") or "")
+        if span is not None:
+            span["events"].append(ev)
+        else:
+            orphans.append(ev)
+    if orphans:
+        roots.append({
+            "type": "span",
+            "name": "(orphan events)",
+            "span_id": None,
+            "start_s": min(e.get("time_s", 0.0) for e in orphans),
+            "children": [],
+            "events": orphans,
+        })
+
+    def _sort(nodes: list[dict]) -> None:
+        nodes.sort(key=lambda n: (n.get("start_s") or 0.0, n.get("name", "")))
+        for n in nodes:
+            n["events"].sort(key=lambda e: e.get("time_s") or 0.0)
+            _sort(n["children"])
+
+    _sort(roots)
+    return roots
+
+
+def write_flight_record(directory, record: dict) -> str:
+    """Dump ``record`` to ``{directory}/flight-{job}.json`` and return
+    the path.  The directory is created if missing; an existing record
+    for the same job is overwritten (latest failure wins)."""
+    job = record.get("job_id")
+    if job is None:
+        job = record.get("trace_id") or "run"
+    name = _SAFE_JOB_RE.sub("_", str(job)) or "run"
+    directory = os.fspath(directory)
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"flight-{name}.json")
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, default=str)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+def load_flight_record(path) -> dict:
+    with open(os.fspath(path), encoding="utf-8") as fh:
+        record = json.load(fh)
+    if not isinstance(record, dict) or "flight_version" not in record:
+        raise ValueError(f"{path} is not a flight record")
+    return record
+
+
+def _format_span(node: dict, indent: int, lines: list[str],
+                 max_events: int) -> None:
+    dur = node.get("duration_s")
+    dur_txt = f" {dur * 1000:.1f}ms" if isinstance(dur, (int, float)) else ""
+    status = node.get("status", "ok")
+    mark = "" if status == "ok" else f" [{status}: {node.get('error')}]"
+    attrs = node.get("attrs") or {}
+    attr_txt = ""
+    if attrs:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+        attr_txt = f" ({inner})"
+    lines.append(f"{'  ' * indent}{node.get('name')}{dur_txt}{mark}{attr_txt}")
+    events = node.get("events") or []
+    shown = events if max_events < 0 else events[-max_events:]
+    if len(events) > len(shown):
+        lines.append(f"{'  ' * (indent + 1)}… {len(events) - len(shown)} "
+                     "earlier events")
+    for ev in shown:
+        ev_attrs = ev.get("attrs") or {}
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(ev_attrs.items()))
+        suffix = f" ({inner})" if inner else ""
+        lines.append(f"{'  ' * (indent + 1)}* {ev.get('name')}{suffix}")
+    for child in node.get("children") or []:
+        _format_span(child, indent + 1, lines, max_events)
+
+
+def format_flight_record(record: dict, *, max_events: int = 8) -> str:
+    """Human-readable rendering for ``gmbe flight show``."""
+    lines = [
+        f"flight record v{record.get('flight_version')} — "
+        f"reason: {record.get('reason')}",
+        f"job: {record.get('job_id')}  trace: {record.get('trace_id')}",
+    ]
+    attempts = record.get("attempts") or {}
+    if attempts:
+        lines.append("")
+        lines.append("attempt ledger:")
+        for shard in sorted(attempts, key=lambda s: int(s)):
+            for a in attempts[shard]:
+                err = f" — {a['error']}" if a.get("error") else ""
+                lines.append(
+                    f"  shard {shard} attempt {a['attempt']}: "
+                    f"{a['status']} (pid {a.get('pid')}){err}"
+                )
+    verdicts = (record.get("supervisor") or {}).get("events") or []
+    if verdicts:
+        lines.append("")
+        lines.append(f"supervisor events ({len(verdicts)}):")
+        for v in verdicts[-max_events:] if max_events >= 0 else verdicts:
+            extra = {k: v[k] for k in v if k != "kind"}
+            inner = ", ".join(f"{k}={val}" for k, val in sorted(extra.items()))
+            lines.append(f"  {v.get('kind')}" + (f" ({inner})" if inner else ""))
+    workers = record.get("workers") or {}
+    if workers:
+        lines.append("")
+        lines.append("workers:")
+        for key in sorted(workers):
+            w = workers[key]
+            lines.append(
+                f"  {key}: pid {w.get('pid')}, {w.get('flushes')} flushes, "
+                f"{len(w.get('records') or [])} records retained, "
+                f"{w.get('dropped')} dropped, "
+                f"final={'yes' if w.get('final_flush_seen') else 'no'}"
+            )
+    tree = record.get("span_tree") or []
+    if tree:
+        lines.append("")
+        lines.append("span tree:")
+        for root in tree:
+            _format_span(root, 1, lines, max_events)
+    return "\n".join(lines)

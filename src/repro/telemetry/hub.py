@@ -118,9 +118,25 @@ class Telemetry:
         for sink in self.sinks:
             sink.close()
 
+    def ingest(self, records) -> None:
+        """Emit already-formed records (e.g. re-parented worker spans)
+        straight to this telemetry's sinks.  No-op when disabled."""
+        if not self.enabled:
+            return
+        for record in records:
+            for sink in self.sinks:
+                sink.emit(record)
+
     def snapshot(self) -> dict:
         """JSON-serializable state: metrics plus recent trace records."""
         ring = self.ring
+        if ring is not None and self.enabled:
+            # Self-describing truncation: a capped ring that overflowed
+            # says so in the same snapshot that carries its records.
+            self.registry.gauge(
+                "telemetry.ring.dropped",
+                description="records overwritten by the bounded ring sink",
+            ).set(ring.dropped)
         return {
             "enabled": self.enabled,
             "metrics": self.registry.snapshot(),

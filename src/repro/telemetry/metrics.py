@@ -51,13 +51,14 @@ class Counter:
     producers should stick to :meth:`inc`/:meth:`add`.
     """
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "description")
 
     kind = "counter"
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, description: str | None = None) -> None:
         self.name = name
         self.value: float = 0
+        self.description = description
 
     def inc(self, n: float = 1) -> None:
         self.value += n
@@ -71,17 +72,25 @@ class Counter:
     def snapshot(self):
         return self.value
 
+    def dump(self):
+        return self.value
+
+    def merge_dump(self, data) -> None:
+        """Fold another counter's :meth:`dump` into this one (adds)."""
+        self.value += data
+
 
 class Gauge:
     """Point-in-time numeric instrument (queue size, in-flight jobs)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "description")
 
     kind = "gauge"
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, description: str | None = None) -> None:
         self.name = name
         self.value: float = 0
+        self.description = description
 
     def set(self, v: float) -> None:
         self.value = v
@@ -91,6 +100,13 @@ class Gauge:
 
     def snapshot(self):
         return self.value
+
+    def dump(self):
+        return self.value
+
+    def merge_dump(self, data) -> None:
+        """Fold another gauge's :meth:`dump` into this one (last write)."""
+        self.value = data
 
 
 class Histogram:
@@ -104,10 +120,16 @@ class Histogram:
 
     kind = "histogram"
 
-    def __init__(self, window: int = 4096, name: str = "") -> None:
+    def __init__(
+        self,
+        window: int = 4096,
+        name: str = "",
+        description: str | None = None,
+    ) -> None:
         if window <= 0:
             raise ValueError("window must be positive")
         self.name = name
+        self.description = description
         self._window = window
         self._samples: deque[float] = deque(maxlen=window)
         self.count = 0
@@ -152,6 +174,46 @@ class Histogram:
             "p99": self.percentile(99),
         }
 
+    def dump(self) -> dict:
+        """Mergeable raw form: lifetime aggregates + the sample window."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "max": self.max,
+            "samples": _safe_list(self._samples),
+        }
+
+    def merge_dump(self, data: dict) -> None:
+        """Fold another histogram's :meth:`dump` into this one.
+
+        Lifetime count/total/max combine exactly; the merged window
+        replays the other side's samples, so percentiles over the union
+        are approximate when the combined windows overflow.
+        """
+        for value in data.get("samples", ()):
+            self._samples.append(value)
+        self.count += data.get("count", 0)
+        self.total += data.get("total", 0.0)
+        other_max = data.get("max", 0.0)
+        if other_max > self.max:
+            self.max = other_max
+
+
+def _safe_list(values: deque) -> list:
+    """Copy a deque that another thread may be appending to.
+
+    Worker-side snapshot dumps run on the heartbeat thread while the
+    task thread keeps recording; ``list(deque)`` raises ``RuntimeError``
+    if the deque mutates mid-iteration, so retry a few times and fall
+    back to empty rather than ever failing a flush.
+    """
+    for _ in range(4):
+        try:
+            return list(values)
+        except RuntimeError:
+            continue
+    return []
+
 
 def prometheus_name(dotted: str) -> str:
     """Dotted metric name → Prometheus metric name (dots become ``_``)."""
@@ -185,36 +247,52 @@ class MetricsRegistry:
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
-    def _get_or_create(self, name: str, factory, kind: str):
+    def _get_or_create(self, name: str, factory, kind: str,
+                       description: str | None = None):
         inst = self._instruments.get(name)
-        if inst is not None:
-            if inst.kind != kind:
+        if inst is None:
+            if not _NAME_RE.match(name):
                 raise ValueError(
-                    f"metric {name!r} is already registered as a "
-                    f"{inst.kind}, not a {kind}"
+                    f"invalid metric name {name!r}: expected lowercase "
+                    "dotted segments like 'service.jobs.submitted'"
                 )
-            return inst
-        if not _NAME_RE.match(name):
+            with self._lock:
+                inst = self._instruments.get(name)
+                if inst is None:
+                    inst = factory()
+                    self._instruments[name] = inst
+                    return inst
+        if inst.kind != kind:
             raise ValueError(
-                f"invalid metric name {name!r}: expected lowercase dotted "
-                "segments like 'service.jobs.submitted'"
+                f"metric {name!r} is already registered as a "
+                f"{inst.kind}, not a {kind}"
             )
-        with self._lock:
-            inst = self._instruments.get(name)
-            if inst is None:
-                inst = factory()
-                self._instruments[name] = inst
+        if description is not None and inst.description is None:
+            inst.description = description
         return inst
 
-    def counter(self, name: str) -> Counter:
-        return self._get_or_create(name, lambda: Counter(name), "counter")
-
-    def gauge(self, name: str) -> Gauge:
-        return self._get_or_create(name, lambda: Gauge(name), "gauge")
-
-    def histogram(self, name: str, window: int = 4096) -> Histogram:
+    def counter(self, name: str, description: str | None = None) -> Counter:
         return self._get_or_create(
-            name, lambda: Histogram(window=window, name=name), "histogram"
+            name, lambda: Counter(name, description), "counter", description
+        )
+
+    def gauge(self, name: str, description: str | None = None) -> Gauge:
+        return self._get_or_create(
+            name, lambda: Gauge(name, description), "gauge", description
+        )
+
+    def histogram(
+        self,
+        name: str,
+        window: int = 4096,
+        description: str | None = None,
+    ) -> Histogram:
+        return self._get_or_create(
+            name,
+            lambda: Histogram(window=window, name=name,
+                              description=description),
+            "histogram",
+            description,
         )
 
     # ------------------------------------------------------------------
@@ -255,17 +333,60 @@ class MetricsRegistry:
         kwargs.setdefault("indent", 2)
         return json.dumps(self.snapshot(), **kwargs)
 
+    # ------------------------------------------------------------------
+    # Cross-process transport
+    # ------------------------------------------------------------------
+    def dump(self) -> dict:
+        """Picklable, mergeable form of every instrument.
+
+        ``{name: {"kind": ..., "data": ...}}`` — what a worker process
+        ships back over the heartbeat/result pipe.  Safe to call from a
+        thread other than the recording one (see :func:`_safe_list`).
+        """
+        with self._lock:
+            items = list(self._instruments.items())
+        return {
+            name: {"kind": inst.kind, "data": inst.dump()}
+            for name, inst in items
+        }
+
+    def merge(self, dump: dict) -> None:
+        """Fold a :meth:`dump` from another registry into this one.
+
+        Counters add, histograms merge (count/total/max exact, window
+        replayed), gauges take the incoming value — so folding worker
+        registries in a fixed order is deterministic regardless of
+        which worker finished first.  Type clashes raise ``ValueError``
+        like any other registration.
+        """
+        factories = {
+            "counter": self.counter,
+            "gauge": self.gauge,
+            "histogram": self.histogram,
+        }
+        for name in sorted(dump):
+            entry = dump[name]
+            factory = factories.get(entry.get("kind"))
+            if factory is None:
+                continue
+            factory(name).merge_dump(entry["data"])
+
     def to_prometheus_text(self) -> str:
         """Prometheus text exposition format (version 0.0.4).
 
         Counters and gauges export one sample each; histograms export as
         summaries — ``<name>{quantile="0.5"}`` samples over the current
-        window plus ``_count``/``_sum``/``_max``.
+        window plus ``_count``/``_sum``/``_max``.  Instruments created
+        with a ``description`` get a ``# HELP`` line ahead of their
+        ``# TYPE``.
         """
         lines: list[str] = []
         for name in sorted(self._instruments):
             inst = self._instruments[name]
             pname = prometheus_name(name)
+            if inst.description:
+                help_text = " ".join(str(inst.description).split())
+                lines.append(f"# HELP {pname} {help_text}")
             if inst.kind == "counter":
                 lines.append(f"# TYPE {pname} counter")
                 lines.append(f"{pname} {_format_value(inst.value)}")

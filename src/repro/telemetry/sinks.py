@@ -19,7 +19,12 @@ __all__ = ["CallbackSink", "JSONLSink", "RingSink"]
 
 
 class RingSink:
-    """In-memory ring of the most recent ``capacity`` records."""
+    """In-memory ring of the most recent ``capacity`` records.
+
+    A full ring overwrites its oldest record on ``emit``; ``dropped``
+    counts those overwrites so a truncated snapshot or flight record is
+    self-describing (``emitted == len + drained + dropped``).
+    """
 
     def __init__(self, capacity: int = 4096) -> None:
         if capacity <= 0:
@@ -27,8 +32,11 @@ class RingSink:
         self.capacity = capacity
         self._records: deque[dict] = deque(maxlen=capacity)
         self.emitted = 0
+        self.dropped = 0
 
     def emit(self, record: dict) -> None:
+        if len(self._records) == self.capacity:
+            self.dropped += 1
         self._records.append(record)
         self.emitted += 1
 
@@ -49,6 +57,20 @@ class RingSink:
             r for r in self._records
             if r.get("type") == "event" and (name is None or r["name"] == name)
         ]
+
+    def drain(self) -> list[dict]:
+        """Atomically remove and return the retained records, oldest first.
+
+        Pops one record at a time (never iterates the deque), so a
+        heartbeat thread can drain while the task thread keeps emitting —
+        the cross-process incremental-flush path depends on this.
+        """
+        out: list[dict] = []
+        while True:
+            try:
+                out.append(self._records.popleft())
+            except IndexError:
+                return out
 
     def clear(self) -> None:
         self._records.clear()

@@ -97,6 +97,10 @@ class Tracer:
         self._ids = itertools.count(1)
         #: finished-span tally by name (cheap always-on summary)
         self.span_counts: dict[str, int] = {}
+        #: stamped onto spans/events that have no parent to inherit a
+        #: job id from — a worker-local tracer sets this from the
+        #: inbound TraceContext so every record correlates by job.
+        self.default_job_id = None
 
     # ------------------------------------------------------------------
     def _emit(self, record: dict) -> None:
@@ -115,6 +119,8 @@ class Tracer:
         else:
             trace_id = f"t{span_id}"
             parent_id = None
+        if job_id is None:
+            job_id = self.default_job_id
         return Span(
             name=name,
             span_id=span_id,
@@ -151,11 +157,38 @@ class Tracer:
             self.span_counts[name] = self.span_counts.get(name, 0) + 1
             self._emit(span.to_dict())
 
+    def begin_span(self, name: str, *, job_id=None,
+                   parent: Span | None = None, **attrs) -> Span:
+        """Open a *detached* span: returned, never made current.
+
+        For operations whose begin and end are observed from an event
+        loop rather than a ``with`` block — e.g. the shard coordinator
+        opens one span per dispatched attempt and finishes it whenever
+        that future resolves, out of order.  Pair with
+        :meth:`finish_span`; children do not implicitly nest under it.
+        """
+        if parent is None:
+            parent = _CURRENT_SPAN.get()
+        return self._new_span(name, parent, job_id, attrs)
+
+    def finish_span(self, span: Span, *, status: str | None = None,
+                    error: str | None = None) -> None:
+        """Close and emit a span from :meth:`begin_span`."""
+        if status is not None:
+            span.status = status
+        if error is not None:
+            span.error = error
+        span.end_s = self._clock()
+        self.span_counts[span.name] = self.span_counts.get(span.name, 0) + 1
+        self._emit(span.to_dict())
+
     def event(self, name: str, *, job_id=None, time_s=None, **attrs) -> None:
         """Emit one instant event, correlated with the current span."""
         parent = _CURRENT_SPAN.get()
         if parent is not None and job_id is None:
             job_id = parent.job_id
+        if job_id is None:
+            job_id = self.default_job_id
         self._emit({
             "type": "event",
             "name": name,
@@ -203,9 +236,16 @@ class NullTracer:
     is_enabled = False
     sinks: list = []
     span_counts: dict = {}
+    default_job_id = None
 
     def span(self, name: str, **kwargs) -> _NullSpanCM:
         return _NULL_SPAN_CM
+
+    def begin_span(self, name: str, **kwargs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def finish_span(self, span, **kwargs) -> None:
+        pass
 
     def event(self, name: str, **kwargs) -> None:
         pass
