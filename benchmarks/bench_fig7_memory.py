@@ -36,3 +36,24 @@ def test_fig7_analog_datasets_consistent(benchmark):
     rows = once(benchmark, lambda: experiment_fig7(source="analog", scale=0.5))
     for r in rows:
         assert r.naive_bytes > r.reuse_bytes
+
+
+def test_fig7_result_store_column(benchmark):
+    """Peak result-store bytes: encoded must stay <= 0.5x materialized.
+
+    The new store column only exists for real enumerations, so it runs
+    on the analog datasets; the 0.5x bound is the acceptance criterion
+    the ``store`` regression gate also enforces on fresh runs.
+    """
+    rows = once(
+        benchmark,
+        lambda: experiment_fig7(
+            source="analog", scale=0.5, codes=["Mti", "WA"],
+            measure_store=True,
+        ),
+    )
+    print_fig7(rows)
+    for r in rows:
+        assert r.store_encoded_bytes > 0
+        assert r.store_encoded_bytes <= 0.5 * r.store_list_bytes
+        assert r.store_saving_factor >= 2.0

@@ -1,0 +1,149 @@
+"""Result-store benchmark: compression ratio and decode overhead.
+
+Enumerates the registry datasets (CPU baseline — the store is
+algorithm-agnostic) into a :class:`~repro.store.StoredResultSet` and
+gates two machine-independent ratios in ``BENCH_store.json``:
+
+``store_compression_ratio``
+    geomean over datasets of ``materialized bytes / encoded bytes``,
+    where "materialized" is the service cache's per-object byte model
+    for the equivalent Python tuple.  The acceptance floor is 2.0 —
+    i.e. encoded payload ≤ 0.5× the materialized list, the ISSUE's
+    result-memory bound.
+
+``store_decode_throughput_ratio``
+    geomean over datasets of
+    ``t(list(store) then iterate) / t(stream-iterate store)``.  Both
+    sides pay the same block decode once; the numerator additionally
+    builds the full list first, the way pre-store code consumed
+    results.  Streaming must keep ≥ 0.8× of that decode-then-iterate
+    throughput — i.e. serving straight off the compressed blocks may
+    cost at most 25% over materializing, while holding O(1) results
+    resident instead of O(output).
+
+The bench itself asserts bit-identical round-trips (store contents ==
+direct enumeration; union of cursor pages == full iteration), so the
+gated ratios can never be bought with dropped or reordered bicliques.
+
+Run directly (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_store.py
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+
+from repro.api import enumerate_maximal_bicliques
+from repro.datasets import load
+from repro.store import StoredResultSet, materialized_nbytes
+
+OUT_PATH = Path(__file__).resolve().parent / "BENCH_store.json"
+
+CODES = ("Mti", "WA")
+ALGO = "oombea"
+REPEATS = 3
+PAGE_LIMIT = 512
+
+
+def _time(fn) -> float:
+    best = math.inf
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _bench_code(code: str) -> dict:
+    graph = load(code)
+    direct = enumerate_maximal_bicliques(graph, algorithm=ALGO)
+    store = StoredResultSet.from_bicliques(direct)
+
+    # Correctness first: the ratios below are meaningless unless the
+    # store is bit-identical to the direct enumeration.
+    assert list(store) == direct, f"{code}: store round-trip mismatch"
+    paged = []
+    cursor = None
+    while True:
+        items, cursor = store.page(cursor, PAGE_LIMIT)
+        paged.extend(items)
+        if cursor is None:
+            break
+    assert paged == direct, f"{code}: page union mismatch"
+
+    encoded = store.nbytes
+    listed = materialized_nbytes(direct)
+
+    def _stream():
+        n = 0
+        for b in store:
+            n += len(b.left)
+        return n
+
+    def _materialize_then_iterate():
+        n = 0
+        for b in store.as_tuple():
+            n += len(b.left)
+        return n
+
+    t_stream = _time(_stream)
+    t_list = _time(_materialize_then_iterate)
+    return {
+        "n_bicliques": len(direct),
+        "encoded_bytes": encoded,
+        "materialized_bytes": listed,
+        "compression_ratio": listed / encoded,
+        "stream_s": t_stream,
+        "materialize_s": t_list,
+        "decode_throughput_ratio": t_list / t_stream,
+    }
+
+
+def _geomean(values) -> float:
+    values = list(values)
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def run() -> dict:
+    per_code = {code: _bench_code(code) for code in CODES}
+    return {
+        "bench": "store",
+        "config": {
+            "codes": list(CODES),
+            "algorithm": ALGO,
+            "repeats": REPEATS,
+            "page_limit": PAGE_LIMIT,
+        },
+        "per_code": per_code,
+        "store_compression_ratio": _geomean(
+            r["compression_ratio"] for r in per_code.values()
+        ),
+        "store_decode_throughput_ratio": _geomean(
+            r["decode_throughput_ratio"] for r in per_code.values()
+        ),
+    }
+
+
+def main() -> None:
+    result = run()
+    OUT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    for code, r in result["per_code"].items():
+        print(
+            f"{code:>4}: {r['n_bicliques']} bicliques  "
+            f"encoded {r['encoded_bytes']}B vs list {r['materialized_bytes']}B "
+            f"({r['compression_ratio']:.2f}x)  "
+            f"stream/materialize {r['decode_throughput_ratio']:.2f}x"
+        )
+    print(f"compression ratio:       "
+          f"{result['store_compression_ratio']:.2f}x (geomean, floor 2.0)")
+    print(f"decode throughput ratio: "
+          f"{result['store_decode_throughput_ratio']:.2f}x (geomean, floor 0.8)")
+    print(f"snapshot written to {OUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -64,6 +64,15 @@ speed:
     gates; the bench asserts merged-set equality and zero worker deaths
     internally.
 
+``store``
+    Re-runs :mod:`bench_store` and gates the result-store subsystem
+    (DESIGN.md §13): the delta-encoded :class:`StoredResultSet` must
+    keep a >= 2.0x geomean compression ratio over the materialized-list
+    byte model (encoded <= 0.5x materialized) and streamed iteration
+    must keep >= 0.8x of materialize-then-iterate throughput.  The
+    bench asserts bit-identical round-trips (full iteration and cursor
+    page union vs direct enumeration) before measuring anything.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py                 # both gates
@@ -90,6 +99,7 @@ import bench_procpool  # noqa: E402
 import bench_service_throughput  # noqa: E402
 import bench_setops  # noqa: E402
 import bench_sharding  # noqa: E402
+import bench_store  # noqa: E402
 import bench_telemetry  # noqa: E402
 import bench_tuning  # noqa: E402
 
@@ -210,6 +220,22 @@ GATES = (
         run=bench_procpool.run,
         tolerance=0.35,
         floor=0.45,
+    ),
+    # Compression is deterministic (bytes over bytes), so its tolerance
+    # is only snapshot-drift slack; decode throughput is wall clock over
+    # two in-process loops, hence the looser drift band.  Floors are the
+    # ISSUE's acceptance bars: encoded <= 0.5x materialized (ratio >=
+    # 2.0) and streamed iteration >= 0.8x of materialize-then-iterate.
+    Gate(
+        name="store",
+        path=bench_store.OUT_PATH,
+        metric="store_compression_ratio",
+        run=bench_store.run,
+        tolerance=0.10,
+        floor=2.0,
+        extra_checks=(
+            ("store_decode_throughput_ratio", 0.30, 0.80),
+        ),
     ),
 )
 

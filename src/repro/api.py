@@ -110,7 +110,8 @@ def enumerate_maximal_bicliques(
     shards: int = 1,
     shard_balancer: str = "greedy",
     shard_pool: str = "thread",
-) -> list[Biclique]:
+    as_store: bool = False,
+) -> "list[Biclique]":
     """Enumerate all maximal bicliques of ``data``.
 
     Parameters
@@ -168,11 +169,17 @@ def enumerate_maximal_bicliques(
         process-pool run that exhausts a shard's retry budget raises
         :class:`~repro.sharding.DegradedShardRun` carrying the partial
         result rather than returning a silently short list.
+    as_store:
+        Return a compressed :class:`~repro.store.StoredResultSet`
+        (same sorted contents; iterate, ``len()``, or page with
+        ``page(cursor, limit)``) instead of a Python list — O(encoded)
+        resident bytes instead of O(output) objects.
 
     Returns
     -------
     list[Biclique]
-        Sorted for determinism.
+        Sorted for determinism.  With ``as_store=True``, a
+        :class:`~repro.store.StoredResultSet` over the same sequence.
     """
     if algorithm not in _ALGORITHMS:
         raise ValueError(
@@ -272,4 +279,8 @@ def enumerate_maximal_bicliques(
         if len(b.left) >= min_left and len(b.right) >= min_right
     ]
     out.sort()
+    if as_store:
+        from .store import StoredResultSet
+
+        return StoredResultSet.from_bicliques(out)
     return out

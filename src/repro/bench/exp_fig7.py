@@ -33,11 +33,24 @@ class Fig7Row:
     naive_bytes: int
     fits_reuse: bool
     fits_naive: bool
+    #: *result*-side memory (the store subsystem): encoded result-store
+    #: bytes vs the modeled materialized-list bytes.  Zero unless the
+    #: experiment ran with ``measure_store=True`` (needs a real
+    #: enumeration, so analog source only).
+    store_encoded_bytes: int = 0
+    store_list_bytes: int = 0
 
     @property
     def saving_factor(self) -> float:
         """Per-procedure memory saving of node reuse."""
         return self.naive_bytes / self.reuse_bytes if self.reuse_bytes else 0.0
+
+    @property
+    def store_saving_factor(self) -> float:
+        """Result-memory saving of the delta-encoded store."""
+        if not self.store_encoded_bytes:
+            return 0.0
+        return self.store_list_bytes / self.store_encoded_bytes
 
 
 def experiment_fig7(
@@ -46,19 +59,44 @@ def experiment_fig7(
     device: DeviceSpec = A100,
     codes: list[str] | None = None,
     source: str = "paper",
+    measure_store: bool = False,
 ) -> list[Fig7Row]:
-    """Compute Fig. 7's per-dataset memory demands (both layouts)."""
+    """Compute Fig. 7's per-dataset memory demands (both layouts).
+
+    ``measure_store=True`` additionally enumerates each dataset (CPU
+    baseline) into a compressed result store and reports the encoded vs
+    materialized result bytes — the output-side counterpart of the
+    figure's working-memory comparison.  Requires ``source="analog"``
+    (the paper's statistics alone cannot produce result sets).
+    """
     if source not in ("paper", "analog"):
         raise ValueError(f"unknown source {source!r}")
+    if measure_store and source != "analog":
+        raise ValueError(
+            'measure_store=True needs source="analog": measuring the '
+            "result store requires actually enumerating the datasets"
+        )
     rows: list[Fig7Row] = []
     for code in codes if codes is not None else DATASET_ORDER:
         if source == "paper":
             stats = PAPER_TABLE1[code]
+            graph = None
         else:
-            stats = compute_stats(load(code, scale=scale))
+            graph = load(code, scale=scale)
+            stats = compute_stats(graph)
         model = MemoryModel(stats)
         reuse = model.demand_with_reuse(device)
         naive = model.demand_without_reuse(device)
+        store_encoded = store_list = 0
+        if measure_store:
+            from ..api import enumerate_maximal_bicliques
+            from ..store import materialized_nbytes
+
+            store = enumerate_maximal_bicliques(
+                graph, algorithm="oombea", as_store=True
+            )
+            store_encoded = store.nbytes
+            store_list = materialized_nbytes(store)
         rows.append(
             Fig7Row(
                 code=code,
@@ -66,6 +104,8 @@ def experiment_fig7(
                 naive_bytes=naive.total_bytes,
                 fits_reuse=reuse.fits(device),
                 fits_naive=naive.fits(device),
+                store_encoded_bytes=store_encoded,
+                store_list_bytes=store_list,
             )
         )
     return rows
@@ -73,18 +113,30 @@ def experiment_fig7(
 
 def print_fig7(rows: list[Fig7Row], *, device: DeviceSpec = A100) -> str:
     """Print the Fig. 7 table; returns the rendered text."""
-    out = format_table(
-        ["Dataset", "GMBE", "GMBE-w/o_REUSE", "saving", "naive fits?"],
-        [
-            (
-                r.code,
-                format_si(r.reuse_bytes) + "B",
-                format_si(r.naive_bytes) + "B",
-                f"{r.saving_factor:.0f}x",
-                "yes" if r.fits_naive else f"NO (> {device.global_mem_bytes // 1024**3} GB)",
+    with_store = any(r.store_encoded_bytes for r in rows)
+    headers = ["Dataset", "GMBE", "GMBE-w/o_REUSE", "saving", "naive fits?"]
+    if with_store:
+        headers += ["result store", "result list", "store saving"]
+
+    def _row(r: Fig7Row):
+        base = (
+            r.code,
+            format_si(r.reuse_bytes) + "B",
+            format_si(r.naive_bytes) + "B",
+            f"{r.saving_factor:.0f}x",
+            "yes" if r.fits_naive else f"NO (> {device.global_mem_bytes // 1024**3} GB)",
+        )
+        if with_store:
+            base += (
+                format_si(r.store_encoded_bytes) + "B",
+                format_si(r.store_list_bytes) + "B",
+                f"{r.store_saving_factor:.1f}x",
             )
-            for r in rows
-        ],
+        return base
+
+    out = format_table(
+        headers,
+        [_row(r) for r in rows],
         title=f"Fig. 7: memory demand on {device.name} (log-scale in paper)",
     )
     print(out)

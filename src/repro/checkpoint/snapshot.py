@@ -31,6 +31,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..store.provenance import pack_lineages, unpack_lineages
+
 __all__ = [
     "CHECKPOINT_VERSION",
     "CheckpointError",
@@ -42,7 +44,9 @@ __all__ = [
 ]
 
 #: Bump on any incompatible change to the snapshot schema.
-CHECKPOINT_VERSION = 1
+#: v2: ``executed`` (explicit lineage lists) became ``executed_paths``
+#: (LCP-compressed rows, see :mod:`repro.store.provenance`).
+CHECKPOINT_VERSION = 2
 
 _KIND = "gmbe-checkpoint"
 
@@ -153,7 +157,9 @@ class Snapshot:
             "n_roots": self.n_roots,
             "tasks": [t.to_dict() for t in self.tasks],
             "emissions": [e.to_dict() for e in self.emissions],
-            "executed": [list(lin) for lin in self.executed],
+            # Executed lineages are enumeration-tree paths: store them as
+            # LCP-compressed rows (tree-buffer provenance), not full lists.
+            "executed_paths": pack_lineages(self.executed),
             "counters": self.counters,
             "fault_plan": self.fault_plan,
             "elapsed_cycles": self.elapsed_cycles,
@@ -208,10 +214,7 @@ class Snapshot:
                     EmissionRecord.from_row(r)
                     for r in data.get("emissions", ())
                 ],
-                executed=[
-                    tuple(int(i) for i in lin)
-                    for lin in data.get("executed", ())
-                ],
+                executed=_read_executed_paths(data),
                 counters=dict(data.get("counters", {})),
                 fault_plan=data.get("fault_plan"),
                 elapsed_cycles=float(data.get("elapsed_cycles", 0.0)),
@@ -256,6 +259,17 @@ class Snapshot:
                 "timing continuity would be meaningless — restart or match "
                 "the original topology"
             )
+
+
+def _read_executed_paths(data: dict) -> list:
+    """Decode the v2 ``executed_paths`` rows into lineage tuples."""
+    try:
+        return unpack_lineages(data.get("executed_paths", ()))
+    except (TypeError, ValueError) as exc:
+        raise CheckpointError(
+            f"checkpoint has malformed executed_paths rows ({exc}); delete "
+            f"it and restart without --resume"
+        ) from exc
 
 
 def _plain(value):

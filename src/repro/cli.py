@@ -122,6 +122,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--output", help="write bicliques to this file (default: count only)"
     )
+    p_run.add_argument(
+        "--page-limit", type=int, default=None, metavar="N",
+        help="print one page of at most N bicliques (sorted) from the "
+        "compressed result store, plus the cursor for the next page",
+    )
+    p_run.add_argument(
+        "--cursor", default=None, metavar="TOK",
+        help="resume pagination from this cursor token (printed by a "
+        "previous --page-limit run); requires --page-limit",
+    )
     p_run.add_argument("--max-task-retries", type=int, default=3,
                        help="failure budget per task lineage under faults")
     p_run.add_argument("--telemetry-out", metavar="PATH",
@@ -225,6 +235,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the broker's health snapshot (queue, "
                        "breaker, shard-pool liveness) as JSON to PATH "
                        "after the batch")
+    p_srv.add_argument("--page-limit", type=int, default=None, metavar="N",
+                       help="serve results as cursor pages of at most N "
+                       "bicliques (the broker then ships compressed "
+                       "stores instead of inline tuples) and print each "
+                       "job's first page")
 
     p_fl = sub.add_parser(
         "flight", help="inspect degraded-run flight records"
@@ -429,11 +444,30 @@ def _cmd_run(args) -> int:
         from .telemetry import Telemetry, use_telemetry
 
         telemetry = Telemetry()
+    page_limit = getattr(args, "page_limit", None)
+    if page_limit is not None and page_limit < 1:
+        raise SystemExit("--page-limit must be positive")
+    if getattr(args, "cursor", None) is not None and page_limit is None:
+        raise SystemExit("--cursor requires --page-limit")
     sink = None
     out_fh = None
     if args.output:
         out_fh = open(args.output, "w", encoding="utf-8")
         sink = BicliqueWriter(out_fh)
+    # Pagination collects into a compressed store after the run; the
+    # enumeration sink tees into the collector so --output still works.
+    collector = None
+    run_sink = sink
+    if page_limit is not None:
+        from .core.bicliques import BicliqueCollector
+
+        collector = BicliqueCollector()
+        if sink is None:
+            run_sink = collector
+        else:
+            def run_sink(left, right, _w=sink, _c=collector):
+                _w(left, right)
+                _c(left, right)
     try:
         start = time.perf_counter()
         if args.algo == "gmbe" and shards > 1:
@@ -473,6 +507,9 @@ def _cmd_run(args) -> int:
             if sink is not None:
                 for b in res.bicliques:
                     sink(b.left, b.right)
+            if collector is not None:
+                for b in res.bicliques:
+                    collector(b.left, b.right)
         elif args.algo == "gmbe" and getattr(args, "nodes", 1) > 1:
             from contextlib import nullcontext
 
@@ -487,7 +524,7 @@ def _cmd_run(args) -> int:
             )
             with ctx:
                 res = gmbe_cluster(
-                    g, sink,
+                    g, run_sink,
                     config=config,
                     cluster=ClusterSpec(
                         n_nodes=args.nodes,
@@ -497,7 +534,7 @@ def _cmd_run(args) -> int:
                 )
         elif args.algo == "gmbe":
             res = gmbe_gpu(
-                g, sink,
+                g, run_sink,
                 config=config,
                 device=DEVICE_PRESETS[args.device],
                 n_gpus=args.gpus,
@@ -509,9 +546,9 @@ def _cmd_run(args) -> int:
                 telemetry=telemetry,
             )
         elif args.algo == "gmbe-host":
-            res = gmbe_host(g, sink, config=config)
+            res = gmbe_host(g, run_sink, config=config)
         else:
-            res = _ALGOS[args.algo](g, sink)
+            res = _ALGOS[args.algo](g, run_sink)
         wall = time.perf_counter() - start
     finally:
         if out_fh is not None:
@@ -560,6 +597,28 @@ def _cmd_run(args) -> int:
         print(f"telemetry written to {args.telemetry_out}")
     if args.output:
         print(f"bicliques written to {args.output}")
+    if collector is not None:
+        from .store import StoredResultSet
+
+        result_store = StoredResultSet.from_bicliques(
+            sorted(collector.bicliques)
+        )
+        try:
+            items, next_cursor = result_store.page(
+                getattr(args, "cursor", None), page_limit
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        print(f"--- page ({len(items)} of {len(result_store)} bicliques, "
+              f"store {result_store.nbytes} encoded bytes) ---")
+        for b in items:
+            print(",".join(map(str, b.left)) + " | "
+                  + ",".join(map(str, b.right)))
+        if next_cursor is not None:
+            print(f"next cursor: {next_cursor} "
+                  f"(re-run with --cursor {next_cursor})")
+        else:
+            print("next cursor: (end of results)")
     return 1 if degraded else 0
 
 
@@ -747,6 +806,9 @@ def _cmd_serve(args) -> int:
         auto_shard_count=args.auto_shard_count,
         shard_pool=args.shard_pool,
         flight_dir=args.flight_dir,
+        # Paged serving: ship results as compressed stores only, never
+        # as inline tuples — O(page) materialized per fetch_page call.
+        inline_results=0 if args.page_limit is not None else None,
     )
     try:
         if batch:
@@ -757,6 +819,18 @@ def _cmd_serve(args) -> int:
             results = [client.submit(job) for job in jobs]
         for res in results:
             print(res.describe())
+            if args.page_limit is not None and (res.ok or res.partial):
+                items, next_cursor = client.fetch_page(
+                    res, limit=args.page_limit
+                )
+                for b in items:
+                    print("  " + ",".join(map(str, b.left)) + " | "
+                          + ",".join(map(str, b.right)))
+                more = (
+                    f"cursor {next_cursor}" if next_cursor is not None
+                    else "end"
+                )
+                print(f"  page 1: {len(items)} bicliques ({more})")
         snapshot = client.metrics_snapshot()
         health = client.health() if args.status_out else None
     finally:

@@ -41,9 +41,19 @@ def graph_fingerprint(data) -> str:
     return graph.fingerprint
 
 
-def _entry_nbytes(bicliques: tuple) -> int:
+def _entry_nbytes(value) -> int:
+    """Budget charge for a cached value.
+
+    A :class:`~repro.store.StoredResultSet` (anything exposing
+    ``nbytes``) is charged its *encoded* payload size — the whole point
+    of caching stores instead of tuples — while plain biclique tuples
+    keep the modeled per-object estimate.
+    """
+    nbytes = getattr(value, "nbytes", None)
+    if nbytes is not None:
+        return _BYTES_PER_ENTRY + int(nbytes)
     total = _BYTES_PER_ENTRY
-    for b in bicliques:
+    for b in value:
         total += _BYTES_PER_BICLIQUE
         left = getattr(b, "left", b)
         right = getattr(b, "right", ())
@@ -73,7 +83,7 @@ class CacheStats:
 
 @dataclass
 class _Entry:
-    bicliques: tuple
+    bicliques: object  # tuple[Biclique, ...] or StoredResultSet
     nbytes: int
     tag: Hashable | None
 
@@ -113,7 +123,8 @@ class ResultCache:
     # Core LRU operations
     # ------------------------------------------------------------------
     def get(self, key: tuple):
-        """Cached biclique tuple, or ``None``; a hit refreshes recency."""
+        """Cached result (tuple or :class:`StoredResultSet`), or
+        ``None``; a hit refreshes recency."""
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
@@ -123,8 +134,14 @@ class ResultCache:
         return entry.bicliques
 
     def put(self, key: tuple, bicliques, tag: Hashable | None = None) -> bool:
-        """Insert (or refresh) an entry; returns False if it can't fit."""
-        bicliques = tuple(bicliques)
+        """Insert (or refresh) an entry; returns False if it can't fit.
+
+        Accepts a biclique iterable (stored as a tuple, charged by the
+        per-object model) or a :class:`~repro.store.StoredResultSet`
+        (stored as-is, charged its encoded ``nbytes``).
+        """
+        if not hasattr(bicliques, "nbytes"):
+            bicliques = tuple(bicliques)
         nbytes = _entry_nbytes(bicliques)
         if nbytes > self.max_bytes:
             return False  # would evict everything and still not fit

@@ -99,6 +99,21 @@ class ServiceClient:
 
         return list(self._call(_gather()))
 
+    def fetch_page(
+        self,
+        result: JobResult,
+        cursor: str | None = None,
+        limit: int = 100,
+    ):
+        """``(items, next_cursor)`` — page through a job's bicliques.
+
+        Works on any terminal :class:`JobResult`: results backed by a
+        compressed store decode one page at a time; inline results slice
+        the tuple with identical cursor semantics.  Pass the returned
+        ``next_cursor`` back in to continue; ``None`` means done.
+        """
+        return result.fetch_page(cursor, limit)
+
     def cancel(self, job_id: int) -> bool:
         async def _cancel():
             return self._broker.cancel(job_id)

@@ -162,7 +162,14 @@ class Job:
 
 @dataclass
 class JobResult:
-    """Terminal outcome of one job."""
+    """Terminal outcome of one job.
+
+    Results travel two ways: ``bicliques`` is the inline materialized
+    tuple (kept for API compatibility and small result sets), ``store``
+    is the compressed :class:`~repro.store.StoredResultSet` the broker
+    builds when configured with ``inline_results`` — page through it
+    with :meth:`fetch_page` instead of holding the whole list.
+    """
 
     job_id: int
     status: str
@@ -177,6 +184,9 @@ class JobResult:
     #: empty for every other status, including plain ``completed``).
     completed_shards: tuple = ()
     quarantined_shards: tuple = ()
+    #: Compressed result store, when the broker built one; compared by
+    #: content nowhere — identity only — so it stays out of equality.
+    store: Any = field(default=None, repr=False, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -189,7 +199,38 @@ class JobResult:
 
     @property
     def count(self) -> int:
+        if not self.bicliques and self.store is not None:
+            return len(self.store)
         return len(self.bicliques)
+
+    def fetch_page(self, cursor: str | None = None, limit: int = 100):
+        """``(items, next_cursor)`` over this result's bicliques.
+
+        Served from the compressed store when present (no full
+        materialization), else from the inline tuple with identical
+        cursor semantics — callers cannot tell which backing they got.
+        """
+        if self.store is not None:
+            return self.store.page(cursor, limit)
+        if limit < 1:
+            raise ValueError(f"limit must be positive, got {limit}")
+        start = 0
+        if cursor:
+            try:
+                start = int(cursor)
+            except ValueError:
+                raise ValueError(
+                    f"invalid cursor {cursor!r}: cursors are opaque tokens "
+                    f"returned by a previous fetch_page() call"
+                ) from None
+            if start < 0:
+                raise ValueError(f"invalid cursor {cursor!r}: negative ordinal")
+        items = list(self.bicliques[start:start + limit])
+        next_cursor = (
+            str(start + limit)
+            if start + limit < len(self.bicliques) else None
+        )
+        return items, next_cursor
 
     def describe(self) -> str:
         """One human line, the ``gmbe serve`` per-job output."""

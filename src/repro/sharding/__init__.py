@@ -13,7 +13,9 @@ from .coordinator import (
     ShardCoordinator,
     ShardMergeError,
     ShardReport,
+    iter_merged,
     merge_shard_results,
+    merge_shard_results_to_store,
 )
 from .degraded import DegradedShardRun, PartialResult, ResumeHandle
 from .plan import BALANCERS, ShardPlan, root_weights
@@ -30,7 +32,9 @@ __all__ = [
     "ShardReport",
     "ShardResult",
     "ShardRunner",
+    "iter_merged",
     "merge_shard_results",
+    "merge_shard_results_to_store",
     "root_weights",
     "run_shard_task",
 ]

@@ -68,7 +68,14 @@ from .runner import (
     shard_checkpoint_path,
 )
 
-__all__ = ["ShardCoordinator", "ShardReport", "ShardMergeError", "merge_shard_results"]
+__all__ = [
+    "ShardCoordinator",
+    "ShardReport",
+    "ShardMergeError",
+    "iter_merged",
+    "merge_shard_results",
+    "merge_shard_results_to_store",
+]
 
 #: telemetry counter per pool supervision event kind (DESIGN.md §12)
 _SUPERVISOR_COUNTERS = {
@@ -118,12 +125,14 @@ class ShardMergeError(RuntimeError):
     """
 
 
-def merge_shard_results(results: list[ShardResult]) -> list[Biclique]:
-    """K-way stream-merge per-shard sorted lists into one ordered set.
+def iter_merged(results: list[ShardResult]):
+    """K-way stream-merge per-shard sorted lists, yielding in order.
 
     Raises :class:`ShardMergeError` on any duplicate — disjoint
     ownership means equal bicliques from two shards indicate a plan
-    mismatch, not a benign overlap.
+    mismatch, not a benign overlap.  A generator so consumers that
+    compress or page (see :func:`merge_shard_results_to_store`) never
+    hold the merged list.
     """
     def _stream(result: ShardResult):
         for b in result.bicliques:
@@ -132,7 +141,6 @@ def merge_shard_results(results: list[ShardResult]) -> list[Biclique]:
     streams = [
         _stream(r) for r in sorted(results, key=lambda r: r.shard_id)
     ]
-    merged: list[Biclique] = []
     prev: tuple[Biclique, int] | None = None
     for item, shard_id in heapq.merge(*streams, key=lambda t: t[0]):
         if prev is not None and item == prev[0]:
@@ -141,9 +149,30 @@ def merge_shard_results(results: list[ShardResult]) -> list[Biclique]:
                 f"by shards {prev[1]} and {shard_id} — the shards did not "
                 f"run under one plan (ownership sets must be disjoint)"
             )
-        merged.append(item)
+        yield item
         prev = (item, shard_id)
-    return merged
+
+
+def merge_shard_results(results: list[ShardResult]) -> list[Biclique]:
+    """K-way stream-merge per-shard sorted lists into one ordered list."""
+    return list(iter_merged(results))
+
+
+def merge_shard_results_to_store(results: list[ShardResult], **kwargs):
+    """Stream-merge straight into a compressed result store.
+
+    The shard streams feed a :class:`~repro.store.ResultStoreWriter`
+    one biclique at a time, so peak resident memory is the per-shard
+    inputs plus O(one path) of encoder state — never the merged list.
+    ``kwargs`` pass through to the writer (``block_records``,
+    ``telemetry``).
+    """
+    from ..store import ResultStoreWriter
+
+    writer = ResultStoreWriter(**kwargs)
+    for b in iter_merged(results):
+        writer.append(b.left, b.right)
+    return writer.finish()
 
 
 @dataclass

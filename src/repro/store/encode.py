@@ -1,0 +1,288 @@
+"""Delta-encoding of biclique streams into block-framed uint32 arrays.
+
+Wire format
+-----------
+A stream of records (one per biclique, order-preserving) is framed into
+*blocks* of at most :data:`DEFAULT_BLOCK_RECORDS` records.  Each block
+is one packed ``uint32`` numpy array of concatenated records::
+
+    record := lcp_l  n_new_l  lcp_r  n_new_r   ── 4 header words
+              left_delta[n_new_l]  right_delta[n_new_r]
+
+- ``lcp_l`` / ``lcp_r``: how many leading vertices of the left / right
+  side are shared with the *previous record* (per side, independently —
+  sorted adjacent bicliques share left prefixes; DFS-adjacent emissions
+  share right prefixes).  Forced to 0 for the first record of a block,
+  so every block decodes with no state from its predecessors.
+- deltas: the non-shared vertices, each stored as the difference from
+  the previous vertex of the same side in the *same* record (the vertex
+  at ``lcp-1`` is shared, hence known); the first vertex of a side
+  deltas against −1.  Sides are strictly increasing, so every stored
+  word is ≥ 1 and fits ``uint32``.
+
+Per-block frame metadata (:class:`Block`) carries the starting record
+ordinal plus per-side maximum lengths, which buys two things without
+touching the payload: O(1) cursor seek to the containing block, and
+whole-block skipping under size filters (``max_left < min_left`` means
+no record in the block can pass).
+
+The encoder's state between records is not a pair of ad-hoc "previous"
+lists but a live path in a :class:`~repro.store.treebuf.TreeBuffer`:
+each vertex of the current biclique is a node, the shared prefix stays,
+the divergent suffix is deactivated (and immediately reclaimed — no
+live reader), and the new suffix is appended with ``add_child``.  The
+previous record used for delta computation is ``history(tip)``.  The
+buffer therefore holds O(one path) live nodes while its lifetime
+counters record how much enumeration tree streamed through — the
+measured compression the ``store.*`` metrics export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .treebuf import ROOT, TreeBuffer
+
+__all__ = [
+    "Block",
+    "DEFAULT_BLOCK_RECORDS",
+    "PathDeltaEncoder",
+    "count_records",
+    "decode_blocks",
+]
+
+#: Records per block: small enough that a cursor seek decodes little,
+#: large enough that the 0-lcp block-start records are amortized away.
+DEFAULT_BLOCK_RECORDS = 256
+
+_HEADER_WORDS = 4
+
+
+@dataclass(frozen=True)
+class Block:
+    """One self-contained frame of encoded records."""
+
+    #: ordinal (stream-wide index) of the first record in this block
+    start: int
+    n_records: int
+    #: per-side maxima over the block — size-filter block skipping
+    max_left: int
+    max_right: int
+    data: np.ndarray  # uint32 payload
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+
+def _lcp(a: tuple, b: tuple) -> int:
+    n = min(len(a), len(b))
+    i = 0
+    while i < n and a[i] == b[i]:
+        i += 1
+    return i
+
+
+class PathDeltaEncoder:
+    """Append-only encoder; ``finish()`` freezes the block list."""
+
+    def __init__(self, block_records: int = DEFAULT_BLOCK_RECORDS) -> None:
+        if block_records < 1:
+            raise ValueError(
+                f"block_records must be positive, got {block_records}"
+            )
+        self.block_records = block_records
+        self.tree = TreeBuffer()
+        #: node ids of the live path, tagged (side, vertex) payloads
+        self._path: list[int] = []
+        self._blocks: list[Block] = []
+        self._words: list[int] = []
+        self._block_start = 0
+        self._block_records = 0
+        self._max_l = 0
+        self._max_r = 0
+        self._n_records = 0
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    def _prev(self) -> tuple[tuple, tuple]:
+        """The previous record, replayed off the tree buffer's path."""
+        if not self._path:
+            return (), ()
+        pairs = self.tree.history(self._path[-1])
+        left = tuple(v for side, v in pairs if side == 0)
+        right = tuple(v for side, v in pairs if side == 1)
+        return left, right
+
+    def _repath(self, left: tuple, right: tuple, keep: int) -> None:
+        """Replace the live path's suffix beyond ``keep`` tagged nodes."""
+        for node in reversed(self._path[keep:]):
+            self.tree.deactivate(node)
+        del self._path[keep:]
+        parent = self._path[-1] if self._path else ROOT
+        for v in left[max(0, keep):] if keep < len(left) else ():
+            parent = self.tree.add_child(parent, (0, v))
+            self._path.append(parent)
+        start_r = max(0, keep - len(left))
+        for v in right[start_r:]:
+            parent = self.tree.add_child(parent, (1, v))
+            self._path.append(parent)
+
+    def add(self, left: tuple, right: tuple) -> int:
+        """Encode one record; returns its ordinal."""
+        if self._finished:
+            raise RuntimeError("encoder already finished")
+        prev_left, prev_right = self._prev()
+        lcp_l = _lcp(left, prev_left)
+        lcp_r = _lcp(right, prev_right)
+        # The tagged tree path only shares right-side nodes below a
+        # fully identical left side (a path prefix cannot skip levels).
+        if lcp_l == len(left) == len(prev_left):
+            keep = lcp_l + lcp_r
+        else:
+            keep = lcp_l
+        self._repath(left, right, keep)
+
+        if self._block_records == 0:
+            lcp_l = lcp_r = 0  # block-start records are self-contained
+        words = self._words
+        words.append(lcp_l)
+        words.append(len(left) - lcp_l)
+        words.append(lcp_r)
+        words.append(len(right) - lcp_r)
+        base = left[lcp_l - 1] if lcp_l else -1
+        for v in left[lcp_l:]:
+            words.append(v - base)
+            base = v
+        base = right[lcp_r - 1] if lcp_r else -1
+        for v in right[lcp_r:]:
+            words.append(v - base)
+            base = v
+
+        if len(left) > self._max_l:
+            self._max_l = len(left)
+        if len(right) > self._max_r:
+            self._max_r = len(right)
+        ordinal = self._n_records
+        self._n_records += 1
+        self._block_records += 1
+        if self._block_records >= self.block_records:
+            self._close_block()
+        return ordinal
+
+    def _close_block(self) -> None:
+        if self._block_records == 0:
+            return
+        self._blocks.append(
+            Block(
+                start=self._block_start,
+                n_records=self._block_records,
+                max_left=self._max_l,
+                max_right=self._max_r,
+                data=np.asarray(self._words, dtype=np.uint32),
+            )
+        )
+        self._words = []
+        self._block_start = self._n_records
+        self._block_records = 0
+        self._max_l = 0
+        self._max_r = 0
+
+    def finish(self) -> list[Block]:
+        """Close the open block; further ``add`` calls are an error."""
+        if not self._finished:
+            self._close_block()
+            # Drop the final live path — nothing will read it again.
+            for node in reversed(self._path):
+                self.tree.deactivate(node)
+            self._path = []
+            self._finished = True
+        return self._blocks
+
+    @property
+    def n_records(self) -> int:
+        return self._n_records
+
+
+# ----------------------------------------------------------------------
+# Decoding
+# ----------------------------------------------------------------------
+def decode_blocks(
+    blocks,
+    *,
+    min_left: int = 0,
+    min_right: int = 0,
+    start: int = 0,
+):
+    """Yield ``(ordinal, left, right)`` tuples from ``start`` onward.
+
+    Size-filter pushdown happens at two levels: blocks whose per-side
+    maxima cannot satisfy the filter are skipped without touching their
+    payload, and filtered-out records inside a surviving block are
+    decoded (their values seed the next record's deltas) but never
+    materialized into output tuples.
+    """
+    for block in blocks:
+        if block.start + block.n_records <= start:
+            continue
+        if block.max_left < min_left or block.max_right < min_right:
+            continue
+        data = block.data
+        i = 0
+        prev_l: tuple = ()
+        prev_r: tuple = ()
+        for k in range(block.n_records):
+            lcp_l = int(data[i])
+            n_l = int(data[i + 1])
+            lcp_r = int(data[i + 2])
+            n_r = int(data[i + 3])
+            i += _HEADER_WORDS
+            left = list(prev_l[:lcp_l])
+            base = left[-1] if left else -1
+            for w in data[i:i + n_l]:
+                base += int(w)
+                left.append(base)
+            i += n_l
+            right = list(prev_r[:lcp_r])
+            base = right[-1] if right else -1
+            for w in data[i:i + n_r]:
+                base += int(w)
+                right.append(base)
+            i += n_r
+            prev_l = tuple(left)
+            prev_r = tuple(right)
+            ordinal = block.start + k
+            if (
+                ordinal >= start
+                and len(prev_l) >= min_left
+                and len(prev_r) >= min_right
+            ):
+                yield ordinal, prev_l, prev_r
+
+
+def count_records(blocks, *, min_left: int = 0, min_right: int = 0) -> int:
+    """Number of records passing the size filter — header-only scan.
+
+    Lengths derive from ``lcp + n_new`` alone, so counting never decodes
+    a vertex value.
+    """
+    total = 0
+    for block in blocks:
+        if block.max_left < min_left or block.max_right < min_right:
+            continue
+        data = block.data
+        i = 0
+        len_l = len_r = 0
+        for _ in range(block.n_records):
+            lcp_l = int(data[i])
+            n_l = int(data[i + 1])
+            lcp_r = int(data[i + 2])
+            n_r = int(data[i + 3])
+            len_l = lcp_l + n_l
+            len_r = lcp_r + n_r
+            i += _HEADER_WORDS + n_l + n_r
+            if len_l >= min_left and len_r >= min_right:
+                total += 1
+    return total

@@ -1,0 +1,121 @@
+"""Compact executed-lineage storage for checkpoint provenance.
+
+The checkpoint snapshot must remember which subtree tasks *already*
+executed, so the resumed emission ledger can suppress their replays.
+Lineages are root-to-task paths in the enumeration tree — exactly the
+shape tree buffers compress — so instead of an explicit list of full
+paths the v2 wire format stores them as LCP-compressed rows:
+
+``pack_lineages`` sorts the lineages and writes each as
+``[lcp, *suffix]`` where ``lcp`` is the longest common prefix with the
+previous row.  Sibling tasks share all but their last component, so on
+real enumerations most rows collapse to ``[depth-1, last]``.  The rows
+are plain JSON int lists — no framing needed, the set is read whole.
+
+:class:`LineageForest` is the in-memory dual: a trie over lineage
+components with marked nodes, used where the *set* interface matters
+(membership seeding of the ledger) while sharing prefixes instead of
+storing every path as its own tuple.
+"""
+
+from __future__ import annotations
+
+__all__ = ["LineageForest", "pack_lineages", "unpack_lineages"]
+
+
+def pack_lineages(lineages) -> list:
+    """Encode an iterable of int-tuple lineages as LCP rows.
+
+    Output order is sorted (which maximizes shared prefixes); callers
+    treating ``executed`` as a set lose nothing.
+    """
+    rows = []
+    prev: tuple = ()
+    for lin in sorted(tuple(int(x) for x in l) for l in lineages):
+        n = min(len(lin), len(prev))
+        lcp = 0
+        while lcp < n and lin[lcp] == prev[lcp]:
+            lcp += 1
+        rows.append([lcp, *lin[lcp:]])
+        prev = lin
+    return rows
+
+
+def unpack_lineages(rows) -> list:
+    """Decode :func:`pack_lineages` rows back to a list of tuples."""
+    out = []
+    prev: tuple = ()
+    for row in rows:
+        if not row or not isinstance(row[0], int) or row[0] < 0:
+            raise ValueError(f"malformed lineage row {row!r}: expected [lcp, *suffix]")
+        lcp = row[0]
+        if lcp > len(prev):
+            raise ValueError(
+                f"malformed lineage row {row!r}: lcp {lcp} exceeds previous "
+                f"lineage length {len(prev)}"
+            )
+        lin = prev[:lcp] + tuple(int(x) for x in row[1:])
+        out.append(lin)
+        prev = lin
+    return out
+
+
+class LineageForest:
+    """A marked trie over lineage tuples — set semantics, shared prefixes.
+
+    ``add`` marks a path, ``in`` tests membership of a *marked* path
+    (interior nodes created only as prefixes do not count), iteration
+    yields the marked lineages in sorted order.
+    """
+
+    __slots__ = ("_root", "_n")
+
+    #: key under which a node stores its "this path is a member" mark;
+    #: impossible as a lineage component (components are ints).
+    _MARK = None
+
+    def __init__(self, lineages=()) -> None:
+        self._root: dict = {}
+        self._n = 0
+        for lin in lineages:
+            self.add(lin)
+
+    def add(self, lineage) -> None:
+        node = self._root
+        for comp in lineage:
+            node = node.setdefault(int(comp), {})
+        if self._MARK not in node:
+            node[self._MARK] = True
+            self._n += 1
+
+    def __contains__(self, lineage) -> bool:
+        node = self._root
+        for comp in lineage:
+            node = node.get(int(comp))
+            if node is None:
+                return False
+        return self._MARK in node
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __iter__(self):
+        def walk(node, prefix):
+            if self._MARK in node:
+                yield prefix
+            for comp in sorted(k for k in node if k is not self._MARK):
+                yield from walk(node[comp], prefix + (comp,))
+
+        return walk(self._root, ())
+
+    def update(self, lineages) -> None:
+        for lin in lineages:
+            self.add(lin)
+
+    def to_rows(self) -> list:
+        """The :func:`pack_lineages` wire form of this forest."""
+        return pack_lineages(self)
+
+    @classmethod
+    def from_rows(cls, rows) -> "LineageForest":
+        return cls(unpack_lineages(rows))

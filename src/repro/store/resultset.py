@@ -1,0 +1,306 @@
+"""``StoredResultSet``: the compressed, cursor-paginated result container.
+
+The service layers built so far pass ``tuple[Biclique, ...]`` around —
+O(output) resident memory per job.  A :class:`StoredResultSet` keeps the
+same logical contents as delta-encoded blocks (see
+:mod:`repro.store.encode`) and serves them three ways:
+
+- streaming iteration (``for b in store``) — decodes block by block,
+  never holding more than one materialized biclique plus the running
+  per-side prefixes;
+- size-filter pushdown (:meth:`filtered`) — a zero-copy view sharing
+  the underlying blocks, skipping whole blocks whose per-side maxima
+  cannot pass;
+- stable cursor pagination (:meth:`page`) — the cursor is the string of
+  the next record's stream-wide ordinal, so it survives pickling, limit
+  changes between calls, and filter composition, and seeking is a
+  block-metadata scan rather than a decode of everything before it.
+
+Instances hold no telemetry references (they must pickle cleanly across
+the service's process boundaries); ``page()`` discovers the ambient
+:class:`~repro.telemetry.hub.Telemetry` at call time to bump the
+``store.pages.*`` counters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.bicliques import Biclique
+from .encode import (
+    DEFAULT_BLOCK_RECORDS,
+    PathDeltaEncoder,
+    count_records,
+    decode_blocks,
+)
+
+__all__ = ["ResultStoreWriter", "StoredResultSet", "materialized_nbytes"]
+
+#: The cache's cost model for materialized results (kept in sync with
+#: ``repro.service.cache``): a Biclique object + two tuples + per-vertex
+#: ints.  Used to report the compression the store buys.
+_BYTES_PER_VERTEX = 8
+_BYTES_PER_BICLIQUE = 96
+
+
+def materialized_nbytes(bicliques) -> int:
+    """Modeled resident bytes of ``bicliques`` as plain Python objects.
+
+    Same per-object/per-vertex constants as the service cache's budget
+    model, so "encoded vs materialized" ratios line up with what the
+    cache would actually have charged for the tuple form.
+    """
+    total = 0
+    for b in bicliques:
+        total += _BYTES_PER_BICLIQUE + _BYTES_PER_VERTEX * (
+            len(b.left) + len(b.right)
+        )
+    return total
+
+
+class StoredResultSet:
+    """Immutable, ordered, compressed set of bicliques.
+
+    Build with :meth:`from_bicliques` or through a
+    :class:`ResultStoreWriter`; the record order is exactly the append
+    order (the service stores sorted results, so iteration is sorted).
+    """
+
+    def __init__(
+        self,
+        blocks,
+        n_records: int,
+        *,
+        min_left: int = 0,
+        min_right: int = 0,
+    ) -> None:
+        self._blocks = tuple(blocks)
+        #: records in the *underlying* stream, ignoring filters
+        self._n_records = int(n_records)
+        self.min_left = int(min_left)
+        self.min_right = int(min_right)
+        self._len: int | None = (
+            self._n_records if not (min_left or min_right) else None
+        )
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_bicliques(
+        cls, bicliques, *, block_records: int = DEFAULT_BLOCK_RECORDS
+    ) -> "StoredResultSet":
+        # Route through the writer so every build — API, broker, shard
+        # merge — reports the same ``store.*`` metrics.
+        writer = ResultStoreWriter(block_records=block_records)
+        for b in bicliques:
+            writer.append(b.left, b.right)
+        return writer.finish()
+
+    # -- sizing ---------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """Encoded payload bytes — what the cache budget charges."""
+        return sum(b.nbytes for b in self._blocks)
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self._blocks)
+
+    def __len__(self) -> int:
+        if self._len is None:
+            self._len = count_records(
+                self._blocks,
+                min_left=self.min_left,
+                min_right=self.min_right,
+            )
+        return self._len
+
+    def __bool__(self) -> bool:
+        # len() may scan headers; emptiness of the unfiltered stream is
+        # free and the filtered case needs the count anyway.
+        return len(self) > 0
+
+    # -- reading --------------------------------------------------------
+    def records(self, *, start: int = 0):
+        """Yield ``(ordinal, left, right)`` for records passing the
+        filter, beginning at stream ordinal ``start``."""
+        return decode_blocks(
+            self._blocks,
+            min_left=self.min_left,
+            min_right=self.min_right,
+            start=start,
+        )
+
+    def __iter__(self):
+        for _, left, right in self.records():
+            # left/right come back sorted and deduplicated by
+            # construction, so skip Biclique.make's re-sort.
+            yield Biclique(left, right)
+
+    def as_tuple(self) -> tuple:
+        """Materialize everything — the escape hatch, not the default."""
+        return tuple(self)
+
+    def filtered(self, min_left: int = 0, min_right: int = 0) -> "StoredResultSet":
+        """A view with a (composed) size filter; shares the blocks."""
+        return StoredResultSet(
+            self._blocks,
+            self._n_records,
+            min_left=max(self.min_left, int(min_left)),
+            min_right=max(self.min_right, int(min_right)),
+        )
+
+    def page(self, cursor: str | None = None, limit: int = 100):
+        """``(items, next_cursor)`` — stable cursor pagination.
+
+        The cursor is opaque to callers but simply the decimal ordinal
+        of the next underlying record, which makes it *stable*: pages
+        never skip or duplicate records across varying ``limit`` values,
+        filter views, or pickled round-trips of the store.  ``None``
+        means "from the start"; a returned ``next_cursor`` of ``None``
+        means the stream is exhausted.
+        """
+        if limit < 1:
+            raise ValueError(f"limit must be positive, got {limit}")
+        start = _parse_cursor(cursor)
+        items = []
+        next_cursor = None
+        for ordinal, left, right in self.records(start=start):
+            if len(items) >= limit:
+                next_cursor = str(ordinal)
+                break
+            items.append(Biclique(left, right))
+        _note_page(len(items))
+        return items, next_cursor
+
+    def pages(self, limit: int = 100):
+        """Iterate all pages (convenience over repeated :meth:`page`)."""
+        cursor: str | None = None
+        while True:
+            items, cursor = self.page(cursor, limit)
+            if items:
+                yield items
+            if cursor is None:
+                return
+
+    # -- misc -----------------------------------------------------------
+    def __repr__(self) -> str:
+        filt = ""
+        if self.min_left or self.min_right:
+            filt = f", min_left={self.min_left}, min_right={self.min_right}"
+        return (
+            f"StoredResultSet(records={self._n_records}, "
+            f"blocks={self.n_blocks}, nbytes={self.nbytes}{filt})"
+        )
+
+
+def _parse_cursor(cursor: str | None) -> int:
+    if cursor is None or cursor == "":
+        return 0
+    try:
+        start = int(cursor)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"invalid cursor {cursor!r}: cursors are opaque tokens returned "
+            f"by a previous page() call — do not construct them"
+        ) from None
+    if start < 0:
+        raise ValueError(f"invalid cursor {cursor!r}: negative ordinal")
+    return start
+
+
+def _note_page(n_items: int) -> None:
+    """Bump ``store.pages.*`` on the ambient telemetry, if any."""
+    from ..telemetry.hub import current_telemetry
+
+    telemetry = current_telemetry()
+    if telemetry is None or not telemetry.enabled:
+        return
+    reg = telemetry.registry
+    reg.counter(
+        "store.pages.served", description="cursor pages served"
+    ).inc()
+    reg.counter(
+        "store.pages.items", description="bicliques returned via pages"
+    ).inc(n_items)
+
+
+class ResultStoreWriter:
+    """Streaming builder for a :class:`StoredResultSet`.
+
+    Implements the :class:`~repro.core.bicliques.BicliqueSink` protocol
+    (``writer(left, right)`` with sorted numpy arrays), so any
+    enumerator — the GMBE kernel's emission ledger, the shard merge, a
+    CPU baseline — can write straight into the store with no
+    intermediate list.
+    """
+
+    def __init__(
+        self,
+        *,
+        block_records: int = DEFAULT_BLOCK_RECORDS,
+        telemetry=None,
+    ) -> None:
+        self._enc = PathDeltaEncoder(block_records)
+        self._telemetry = telemetry
+
+    def append(self, left, right) -> None:
+        """Add one biclique given any sorted int sequences."""
+        if isinstance(left, np.ndarray):
+            left = tuple(int(x) for x in left.tolist())
+        else:
+            left = tuple(int(x) for x in left)
+        if isinstance(right, np.ndarray):
+            right = tuple(int(x) for x in right.tolist())
+        else:
+            right = tuple(int(x) for x in right)
+        self._enc.add(left, right)
+
+    # BicliqueSink protocol
+    __call__ = append
+
+    @property
+    def count(self) -> int:
+        return self._enc.n_records
+
+    def finish(self) -> StoredResultSet:
+        """Freeze into a :class:`StoredResultSet` and report metrics."""
+        blocks = self._enc.finish()
+        store = StoredResultSet(blocks, self._enc.n_records)
+        self._note_store(store)
+        return store
+
+    def _note_store(self, store: StoredResultSet) -> None:
+        from ..telemetry.hub import current_telemetry
+
+        telemetry = self._telemetry
+        if telemetry is None:
+            telemetry = current_telemetry()
+        if telemetry is None or not telemetry.enabled:
+            return
+        reg = telemetry.registry
+        reg.counter(
+            "store.results.built", description="result stores finished"
+        ).inc()
+        reg.counter(
+            "store.results.records", description="records written to stores"
+        ).inc(len(store))
+        reg.counter(
+            "store.results.encoded_bytes",
+            description="encoded payload bytes across finished stores",
+        ).inc(store.nbytes)
+        reg.counter(
+            "store.results.blocks", description="encoded blocks written"
+        ).inc(store.n_blocks)
+        stats = self._enc.tree.stats()
+        reg.counter(
+            "store.treebuf.nodes_added",
+            description="tree-buffer nodes allocated while encoding",
+        ).inc(stats["added"])
+        reg.counter(
+            "store.treebuf.nodes_reclaimed",
+            description="tree-buffer nodes reclaimed by deactivation",
+        ).inc(stats["reclaimed"])
+        reg.gauge(
+            "store.treebuf.peak_live",
+            description="peak live tree-buffer nodes (O(history) bound)",
+        ).set(stats["peak_live"])

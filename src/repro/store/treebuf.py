@@ -1,0 +1,168 @@
+"""Tree buffer: O(history) storage of paths in a growing tree.
+
+A *tree buffer* (Grigore & Kiefer, "Tree buffers") stores root-to-node
+paths of a dynamically growing tree under three operations:
+
+``add_child(parent, payload) -> node``
+    Attach a new node under ``parent`` (or under the virtual root,
+    :data:`ROOT`) carrying ``payload``; returns its id.
+
+``deactivate(node)``
+    Declare that ``node``'s path will never be asked for again.  A
+    deactivated node with no live children is reclaimed immediately,
+    and reclamation cascades: freeing a node may leave its (already
+    deactivated) parent childless, which is then freed too — so an
+    abandoned branch collapses all the way up to the deepest ancestor
+    still on a live path.
+
+``history(node) -> list[payload]``
+    The payloads on the root→``node`` path, for any node not yet
+    reclaimed.
+
+The memory guarantee is the point: live nodes are bounded by the total
+length of the paths still *reachable* (sum over live tips of their
+depths, with shared prefixes counted once) — O(history) — not by the
+number of nodes ever added.  The enumeration-tree writer in
+:mod:`repro.store.encode` leans on exactly this: it keeps one live tip
+(the current biclique's path) and deactivates the divergent suffix on
+every append, so the buffer never holds more than one path regardless
+of how many millions of results streamed through it.
+
+This is the pure-Python amortized variant (slot free-list, cascading
+reclamation on deactivate); the real-time variant in the paper bounds
+the per-operation worst case, which a batch store does not need.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ROOT", "TreeBuffer"]
+
+#: Virtual-root parent id for :meth:`TreeBuffer.add_child`.
+ROOT = -1
+
+#: Parent-slot sentinel marking a reclaimed (free-listed) slot.
+_FREE = -2
+
+
+class TreeBuffer:
+    """Growable tree with node deactivation and path reclamation."""
+
+    __slots__ = (
+        "_parent",
+        "_payload",
+        "_children",
+        "_active",
+        "_free",
+        "_n_live",
+        "nodes_added",
+        "nodes_reclaimed",
+        "peak_live",
+    )
+
+    def __init__(self) -> None:
+        self._parent: list[int] = []
+        self._payload: list = []
+        #: count of not-yet-reclaimed children per slot
+        self._children: list[int] = []
+        self._active: list[bool] = []
+        self._free: list[int] = []
+        self._n_live = 0
+        #: lifetime statistics — ``peak_live`` vs ``nodes_added`` is the
+        #: measured compression of path storage over explicit storage.
+        self.nodes_added = 0
+        self.nodes_reclaimed = 0
+        self.peak_live = 0
+
+    # ------------------------------------------------------------------
+    def _check(self, node: int) -> None:
+        if node == ROOT:
+            return
+        if not 0 <= node < len(self._parent) or self._parent[node] == _FREE:
+            raise ValueError(
+                f"node {node} is not in the buffer (never added, or "
+                f"already reclaimed after deactivation)"
+            )
+
+    def add_child(self, parent: int, payload) -> int:
+        """New node under ``parent`` (:data:`ROOT` for a top-level node).
+
+        The parent must still be live (not reclaimed); it may itself be
+        deactivated — adding under it simply keeps it pinned until the
+        new subtree is deactivated too.
+        """
+        self._check(parent)
+        if self._free:
+            node = self._free.pop()
+            self._parent[node] = parent
+            self._payload[node] = payload
+            self._children[node] = 0
+            self._active[node] = True
+        else:
+            node = len(self._parent)
+            self._parent.append(parent)
+            self._payload.append(payload)
+            self._children.append(0)
+            self._active.append(True)
+        if parent != ROOT:
+            self._children[parent] += 1
+        self.nodes_added += 1
+        self._n_live += 1
+        if self._n_live > self.peak_live:
+            self.peak_live = self._n_live
+        return node
+
+    def deactivate(self, node: int) -> None:
+        """Mark ``node``'s path as dead; reclaim what nothing pins."""
+        self._check(node)
+        if node == ROOT:
+            raise ValueError("cannot deactivate the virtual root")
+        self._active[node] = False
+        # Cascade: free childless dead nodes up the path.
+        while (
+            node != ROOT
+            and not self._active[node]
+            and self._children[node] == 0
+        ):
+            parent = self._parent[node]
+            self._parent[node] = _FREE
+            self._payload[node] = None
+            self._free.append(node)
+            self._n_live -= 1
+            self.nodes_reclaimed += 1
+            if parent != ROOT:
+                self._children[parent] -= 1
+            node = parent
+
+    def history(self, node: int) -> list:
+        """Payloads on the root→``node`` path (``node`` included)."""
+        self._check(node)
+        if node == ROOT:
+            return []
+        path = []
+        while node != ROOT:
+            path.append(self._payload[node])
+            node = self._parent[node]
+        path.reverse()
+        return path
+
+    # ------------------------------------------------------------------
+    def is_live(self, node: int) -> bool:
+        """True while ``node`` has not been reclaimed."""
+        return (
+            0 <= node < len(self._parent) and self._parent[node] != _FREE
+        )
+
+    @property
+    def live_nodes(self) -> int:
+        return self._n_live
+
+    def __len__(self) -> int:
+        return self._n_live
+
+    def stats(self) -> dict:
+        return {
+            "live": self._n_live,
+            "peak_live": self.peak_live,
+            "added": self.nodes_added,
+            "reclaimed": self.nodes_reclaimed,
+        }

@@ -1,0 +1,606 @@
+"""The succinct result store (repro.store): tree buffer, delta
+encoding, StoredResultSet paging, provenance, and end-to-end threading
+through the kernel, shard merge, checkpoint, service, and CLI layers.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import enumerate_maximal_bicliques
+from repro.core.bicliques import Biclique, BicliqueCollector
+from repro.gmbe import GMBEConfig, gmbe_gpu
+from repro.graph import random_bipartite
+from repro.store import (
+    ROOT,
+    LineageForest,
+    PathDeltaEncoder,
+    ResultStoreWriter,
+    StoredResultSet,
+    TreeBuffer,
+    count_records,
+    decode_blocks,
+    materialized_nbytes,
+    pack_lineages,
+    unpack_lineages,
+)
+
+ALGORITHMS = ("gmbe", "gmbe-host", "mbea", "imbea", "pmbe", "oombea", "parmbe")
+
+
+def _random_records(rng, n, n_u=40, n_v=50):
+    recs = []
+    for _ in range(n):
+        left = tuple(sorted(rng.sample(range(n_u), rng.randint(1, 7))))
+        right = tuple(sorted(rng.sample(range(n_v), rng.randint(1, 9))))
+        recs.append((left, right))
+    recs.sort()
+    return recs
+
+
+def _store_from(recs, block_records=16) -> StoredResultSet:
+    enc = PathDeltaEncoder(block_records)
+    for left, right in recs:
+        enc.add(left, right)
+    return StoredResultSet(enc.finish(), enc.n_records)
+
+
+# ---------------------------------------------------------------------------
+class TestTreeBuffer:
+    def test_history_walks_root_to_node(self):
+        tb = TreeBuffer()
+        a = tb.add_child(ROOT, "a")
+        b = tb.add_child(a, "b")
+        c = tb.add_child(b, "c")
+        assert tb.history(c) == ["a", "b", "c"]
+        assert tb.history(a) == ["a"]
+        assert tb.history(ROOT) == []
+
+    def test_deactivate_leaf_cascades_up_dead_branch(self):
+        tb = TreeBuffer()
+        a = tb.add_child(ROOT, "a")
+        b = tb.add_child(a, "b")
+        c = tb.add_child(b, "c")
+        tb.deactivate(a)
+        tb.deactivate(b)
+        # a and b are deactivated but pinned by live c
+        assert tb.is_live(a) and tb.is_live(b)
+        tb.deactivate(c)
+        # the whole branch collapses in one cascade
+        assert not (tb.is_live(a) or tb.is_live(b) or tb.is_live(c))
+        assert len(tb) == 0
+        assert tb.stats()["reclaimed"] == 3
+
+    def test_live_sibling_pins_shared_prefix(self):
+        tb = TreeBuffer()
+        a = tb.add_child(ROOT, "a")
+        b1 = tb.add_child(a, "b1")
+        b2 = tb.add_child(a, "b2")
+        tb.deactivate(a)
+        tb.deactivate(b1)
+        assert not tb.is_live(b1)
+        assert tb.is_live(a)  # pinned by b2
+        assert tb.history(b2) == ["a", "b2"]
+        tb.deactivate(b2)
+        assert len(tb) == 0
+
+    def test_slots_are_reused_after_reclamation(self):
+        tb = TreeBuffer()
+        a = tb.add_child(ROOT, "a")
+        tb.deactivate(a)
+        b = tb.add_child(ROOT, "b")
+        assert b == a  # free-listed slot
+        assert tb.history(b) == ["b"]
+
+    def test_reclaimed_node_access_is_actionable(self):
+        tb = TreeBuffer()
+        a = tb.add_child(ROOT, "a")
+        tb.deactivate(a)
+        with pytest.raises(ValueError, match="reclaimed"):
+            tb.history(a)
+        with pytest.raises(ValueError, match="not in the buffer"):
+            tb.add_child(99, "x")
+        with pytest.raises(ValueError, match="virtual root"):
+            tb.deactivate(ROOT)
+
+    def test_peak_live_stays_path_bounded_under_streaming(self):
+        rng = random.Random(7)
+        recs = _random_records(rng, 500)
+        enc = PathDeltaEncoder()
+        for left, right in recs:
+            enc.add(left, right)
+        enc.finish()
+        max_path = max(len(l) + len(r) for l, r in recs)
+        # O(history): the buffer never holds more than ~one record path
+        assert enc.tree.peak_live <= 2 * max_path
+        assert enc.tree.live_nodes == 0
+        assert enc.tree.nodes_added > enc.tree.peak_live
+
+
+# ---------------------------------------------------------------------------
+class TestEncoding:
+    @pytest.mark.parametrize("block_records", [1, 2, 7, 256])
+    def test_roundtrip_bit_identical(self, block_records):
+        rng = random.Random(3)
+        recs = _random_records(rng, 300)
+        enc = PathDeltaEncoder(block_records)
+        for left, right in recs:
+            enc.add(left, right)
+        blocks = enc.finish()
+        assert [(l, r) for _, l, r in decode_blocks(blocks)] == recs
+        assert count_records(blocks) == len(recs)
+
+    def test_blocks_decode_independently(self):
+        rng = random.Random(5)
+        recs = _random_records(rng, 100)
+        enc = PathDeltaEncoder(8)
+        for left, right in recs:
+            enc.add(left, right)
+        blocks = enc.finish()
+        # Decoding any single block alone reproduces its slice exactly —
+        # the block-start lcp=0 framing carries no cross-block state.
+        for block in blocks:
+            got = [(l, r) for _, l, r in decode_blocks([block])]
+            assert got == recs[block.start:block.start + block.n_records]
+
+    def test_encoded_is_smaller_than_materialized_on_shared_prefixes(self):
+        base = tuple(range(30))
+        recs = sorted(
+            (base, (v,)) for v in range(200)
+        )
+        store = _store_from(recs, block_records=64)
+        bqs = [Biclique(l, r) for l, r in recs]
+        assert store.nbytes < 0.25 * materialized_nbytes(bqs)
+
+    def test_add_after_finish_is_an_error(self):
+        enc = PathDeltaEncoder()
+        enc.add((1,), (2,))
+        enc.finish()
+        with pytest.raises(RuntimeError, match="finished"):
+            enc.add((1,), (3,))
+        with pytest.raises(ValueError, match="block_records"):
+            PathDeltaEncoder(0)
+
+    def test_empty_stream(self):
+        enc = PathDeltaEncoder()
+        assert enc.finish() == []
+        store = StoredResultSet([], 0)
+        assert len(store) == 0 and list(store) == []
+        items, cur = store.page(None, 10)
+        assert items == [] and cur is None
+
+
+# ---------------------------------------------------------------------------
+class TestStoredResultSet:
+    @pytest.fixture()
+    def recs(self):
+        return _random_records(random.Random(11), 400)
+
+    def test_len_iter_and_as_tuple(self, recs):
+        store = _store_from(recs)
+        bqs = [Biclique(l, r) for l, r in recs]
+        assert len(store) == len(bqs)
+        assert list(store) == bqs
+        assert store.as_tuple() == tuple(bqs)
+        assert 0 < store.nbytes < materialized_nbytes(bqs)
+
+    def test_filter_pushdown_matches_post_filtering(self, recs):
+        store = _store_from(recs)
+        for ml, mr in [(0, 0), (3, 1), (1, 5), (4, 6), (99, 1)]:
+            view = store.filtered(min_left=ml, min_right=mr)
+            expect = [
+                Biclique(l, r) for l, r in recs
+                if len(l) >= ml and len(r) >= mr
+            ]
+            assert list(view) == expect
+            assert len(view) == len(expect)
+        # filters compose by max
+        v = store.filtered(min_left=2).filtered(min_left=4, min_right=3)
+        assert v.min_left == 4 and v.min_right == 3
+
+    def test_block_skip_serves_filters_without_decoding(self, recs):
+        store = _store_from(recs, block_records=8)
+        # a filter no record passes: len() must be 0 via header scan
+        assert len(store.filtered(min_left=50)) == 0
+        assert list(store.filtered(min_right=50)) == []
+
+    def test_cursor_pages_partition_the_stream(self, recs):
+        store = _store_from(recs)
+        bqs = [Biclique(l, r) for l, r in recs]
+        got, cursor, pages = [], None, 0
+        while True:
+            items, cursor = store.page(cursor, 37)
+            got.extend(items)
+            pages += 1
+            if cursor is None:
+                break
+        assert got == bqs
+        assert pages == (len(bqs) + 36) // 37
+
+    def test_cursor_is_stable_across_limits_and_pickling(self, recs):
+        store = _store_from(recs)
+        bqs = [Biclique(l, r) for l, r in recs]
+        rng = random.Random(2)
+        got, cursor = [], None
+        while True:
+            # vary the limit and re-load the store mid-pagination
+            store = pickle.loads(pickle.dumps(store))
+            items, cursor = store.page(cursor, rng.randint(1, 60))
+            got.extend(items)
+            if cursor is None:
+                break
+        assert got == bqs
+
+    def test_cursor_stable_under_filters(self, recs):
+        view = _store_from(recs).filtered(min_left=3, min_right=2)
+        expect = list(view)
+        got, cursor = [], None
+        while True:
+            items, cursor = view.page(cursor, 11)
+            got.extend(items)
+            if cursor is None:
+                break
+        assert got == expect
+
+    def test_pages_iterator_matches_manual_paging(self, recs):
+        store = _store_from(recs)
+        flat = [b for page in store.pages(53) for b in page]
+        assert flat == list(store)
+
+    def test_bad_cursors_are_actionable(self, recs):
+        store = _store_from(recs)
+        with pytest.raises(ValueError, match="opaque"):
+            store.page("not-a-cursor", 10)
+        with pytest.raises(ValueError, match="negative"):
+            store.page("-4", 10)
+        with pytest.raises(ValueError, match="limit"):
+            store.page(None, 0)
+
+    def test_writer_sink_protocol_accepts_numpy(self):
+        writer = ResultStoreWriter()
+        writer(np.array([3, 5]), np.array([1, 2, 9]))
+        writer.append((0, 7), [4])
+        store = writer.finish()
+        assert list(store) == [
+            Biclique((3, 5), (1, 2, 9)),
+            Biclique((0, 7), (4,)),
+        ]
+        assert writer.count == 2
+
+
+# ---------------------------------------------------------------------------
+class TestProvenance:
+    def test_pack_unpack_roundtrip(self):
+        rng = random.Random(13)
+        lins = [
+            tuple(rng.randint(0, 6) for _ in range(rng.randint(1, 8)))
+            for _ in range(300)
+        ]
+        rows = pack_lineages(lins)
+        assert unpack_lineages(rows) == sorted(lins)
+        # LCP rows must not use more words than the explicit form
+        assert sum(len(r) for r in rows) <= sum(len(l) + 1 for l in lins)
+
+    def test_sibling_heavy_sets_compress(self):
+        # one parent, many siblings: rows collapse to [depth-1, last]
+        lins = [(4, 2, k) for k in range(100)]
+        rows = pack_lineages(lins)
+        assert rows[0] == [0, 4, 2, 0]
+        assert all(r == [2, k] for k, r in enumerate(rows) if k > 0)
+
+    def test_malformed_rows_are_rejected(self):
+        with pytest.raises(ValueError, match="lcp"):
+            unpack_lineages([[3, 1]])  # lcp exceeds previous length
+        with pytest.raises(ValueError, match="malformed"):
+            unpack_lineages([[]])
+
+    def test_forest_set_semantics(self):
+        forest = LineageForest([(1, 2), (1, 2, 3)])
+        assert (1, 2) in forest and (1, 2, 3) in forest
+        assert (1,) not in forest  # interior prefix, never marked
+        assert len(forest) == 2
+        forest.add((1, 2))  # idempotent
+        assert len(forest) == 2
+        forest.update([(0,), (2, 0)])
+        assert sorted(forest) == [(0,), (1, 2), (1, 2, 3), (2, 0)]
+        again = LineageForest.from_rows(forest.to_rows())
+        assert sorted(again) == sorted(forest)
+
+
+# ---------------------------------------------------------------------------
+class TestCheckpointWireFormat:
+    def test_snapshot_v2_stores_packed_paths(self):
+        import json
+
+        from repro.checkpoint import CHECKPOINT_VERSION, Snapshot
+
+        assert CHECKPOINT_VERSION == 2
+        snap = Snapshot(
+            graph_fingerprint="f", config_signature=[("k", 1)],
+            device_name="A100", n_gpus=1, root_cursor=0, n_roots=4,
+            executed=[(2, 1), (2, 0), (2,)],
+        )
+        data = json.loads(snap.to_json())
+        assert "executed" not in data
+        assert data["executed_paths"] == [[0, 2], [1, 0], [1, 1]]
+        back = Snapshot.from_json(snap.to_json())
+        assert sorted(back.executed) == [(2,), (2, 0), (2, 1)]
+
+    def test_malformed_paths_fail_actionably(self):
+        import json
+
+        from repro.checkpoint import CheckpointError, Snapshot
+
+        snap = Snapshot(
+            graph_fingerprint="f", config_signature=[], device_name="A100",
+            n_gpus=1, root_cursor=0, n_roots=1,
+        )
+        data = json.loads(snap.to_json())
+        data["executed_paths"] = [[5, 1]]  # lcp exceeds previous length
+        with pytest.raises(CheckpointError, match="executed_paths"):
+            Snapshot.from_json(json.dumps(data))
+
+
+# ---------------------------------------------------------------------------
+class TestEndToEnd:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_as_store_bit_identical_across_algorithms(self, algorithm):
+        graph = random_bipartite(18, 16, 0.3, seed=4)
+        direct = enumerate_maximal_bicliques(graph, algorithm=algorithm)
+        store = enumerate_maximal_bicliques(
+            graph, algorithm=algorithm, as_store=True
+        )
+        assert isinstance(store, StoredResultSet)
+        assert list(store) == direct
+
+    def test_as_store_honors_size_filters(self):
+        graph = random_bipartite(20, 18, 0.35, seed=9)
+        direct = enumerate_maximal_bicliques(
+            graph, algorithm="oombea", min_left=2, min_right=2
+        )
+        store = enumerate_maximal_bicliques(
+            graph, algorithm="oombea", min_left=2, min_right=2, as_store=True
+        )
+        assert list(store) == direct
+
+    def test_kernel_emission_ledger_writes_into_store(self):
+        graph = random_bipartite(18, 16, 0.3, seed=21)
+        collector = BicliqueCollector()
+        gmbe_gpu(graph, collector, config=GMBEConfig())
+        writer = ResultStoreWriter()
+        res = gmbe_gpu(graph, writer, config=GMBEConfig())
+        store = writer.finish()
+        # same emission order, not just the same set
+        assert store.as_tuple() == tuple(collector.bicliques)
+        assert res.n_maximal == len(store)
+
+    def test_shard_merge_streams_into_store(self):
+        from repro.sharding import ShardCoordinator, merge_shard_results_to_store
+
+        graph = random_bipartite(22, 20, 0.3, seed=6)
+        report = ShardCoordinator(graph, 3).run()
+        store = merge_shard_results_to_store(report.shards)
+        assert list(store) == report.bicliques
+        single = enumerate_maximal_bicliques(graph, algorithm="gmbe")
+        assert sorted(store) == single
+
+    def test_shard_merge_to_store_refuses_duplicates(self):
+        from repro.core.bicliques import Counters
+        from repro.sharding import ShardMergeError, merge_shard_results_to_store
+        from repro.sharding.runner import ShardResult
+
+        b = Biclique((1,), (2,))
+        shards = [
+            ShardResult(shard_id=i, n_shards=2, bicliques=[b],
+                        counters=Counters(), sim_time=0.0, owned_roots=1)
+            for i in range(2)
+        ]
+        with pytest.raises(ShardMergeError, match="duplicate"):
+            merge_shard_results_to_store(shards)
+
+    def test_store_metrics_registered(self):
+        from repro.telemetry import Telemetry, use_telemetry
+
+        graph = random_bipartite(16, 14, 0.3, seed=8)
+        telemetry = Telemetry()
+        with use_telemetry(telemetry):
+            store = enumerate_maximal_bicliques(
+                graph, algorithm="oombea", as_store=True
+            )
+            store.page(None, 5)
+        snap = telemetry.registry.snapshot()
+        assert snap["store.results.built"] == 1
+        assert snap["store.results.records"] == len(store)
+        assert snap["store.results.encoded_bytes"] == store.nbytes
+        assert snap["store.pages.served"] == 1
+        assert snap["store.pages.items"] == 5
+        assert snap["store.treebuf.nodes_added"] > 0
+        assert snap["store.treebuf.peak_live"] > 0
+
+
+# ---------------------------------------------------------------------------
+class TestServiceIntegration:
+    @pytest.fixture()
+    def graph(self):
+        return random_bipartite(16, 14, 0.35, seed=17)
+
+    def test_fetch_page_over_inline_and_store_results(self, graph):
+        from repro.service import ServiceClient
+
+        with ServiceClient(n_workers=2) as client:
+            res = client.submit(graph=graph, algorithm="oombea")
+            assert res.ok and res.bicliques  # inline by default
+            got, cursor = [], None
+            while True:
+                items, cursor = client.fetch_page(res, cursor, limit=7)
+                got.extend(items)
+                if cursor is None:
+                    break
+            assert tuple(got) == res.bicliques
+
+    def test_inline_results_zero_ships_store_only(self, graph):
+        from repro.service import ServiceClient
+
+        direct = tuple(enumerate_maximal_bicliques(graph, algorithm="oombea"))
+        with ServiceClient(n_workers=2, inline_results=0) as client:
+            res = client.submit(graph=graph, algorithm="oombea")
+            assert res.ok
+            assert res.bicliques == ()  # nothing materialized inline
+            assert res.store is not None
+            assert res.count == len(direct)
+            got, cursor = [], None
+            while True:
+                items, cursor = res.fetch_page(cursor, limit=13)
+                got.extend(items)
+                if cursor is None:
+                    break
+            assert tuple(got) == direct
+            # cache hit is store-backed too
+            hit = client.submit(graph=graph, algorithm="oombea")
+            assert hit.cache_hit and hit.bicliques == ()
+            assert hit.store is not None and len(hit.store) == len(direct)
+
+    def test_cache_charges_encoded_bytes(self, graph):
+        from repro.service import ServiceClient
+        from repro.service.cache import _entry_nbytes
+
+        with ServiceClient(n_workers=2) as client:
+            res = client.submit(graph=graph, algorithm="oombea")
+            cache = client.broker.cache
+            assert len(cache) == 1
+            assert res.store is not None
+            # budget reflects encoded size, far below the tuple model
+            assert cache.current_bytes < _entry_nbytes(res.bicliques)
+            assert cache.current_bytes >= res.store.nbytes
+
+    def test_legacy_tuple_cache_entries_still_serve(self, graph):
+        from repro.service import ResultCache, ServiceClient
+
+        cache = ResultCache()
+        with ServiceClient(n_workers=2, cache=cache) as client:
+            fake = (Biclique((0,), (1,)),)
+            from repro.gmbe import GMBEConfig as _Cfg
+
+            key = ResultCache.make_key(graph, "oombea", _Cfg(), 1, 1)
+            cache.put(key, fake)
+            res = client.submit(graph=graph, algorithm="oombea")
+            assert res.cache_hit
+            assert res.bicliques == fake
+            assert res.store is None
+            assert res.fetch_page(None, 10) == ([fake[0]], None)
+
+
+# ---------------------------------------------------------------------------
+class TestCLIPagination:
+    def test_run_page_limit_and_cursor(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "g.txt"
+        path.write_text("0 0\n0 1\n1 0\n1 1\n2 1\n")
+        assert main(["run", str(path), "--algo", "oombea",
+                     "--page-limit", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "next cursor: 1" in out
+        assert main(["run", str(path), "--algo", "oombea",
+                     "--page-limit", "1", "--cursor", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "end of results" in out
+
+    def test_cursor_without_page_limit_rejected(self, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "g.txt"
+        path.write_text("0 0\n")
+        with pytest.raises(SystemExit, match="requires --page-limit"):
+            main(["run", str(path), "--algo", "oombea", "--cursor", "0"])
+
+    def test_serve_page_limit(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "g.txt"
+        path.write_text("0 0\n0 1\n1 0\n1 1\n2 1\n")
+        assert main(["serve", "--graph", str(path), "--algo", "oombea",
+                     "--page-limit", "2", "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "page 1:" in out
+
+
+# ---------------------------------------------------------------------------
+# Satellite: hypothesis property — the union of pages over random limit
+# sequences and cursor resumptions is bit-identical to full enumeration.
+# ---------------------------------------------------------------------------
+@pytest.mark.slow
+class TestPaginationProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        limits=st.lists(st.integers(1, 64), min_size=1, max_size=30),
+        block_records=st.sampled_from([1, 3, 16, 256]),
+        min_left=st.integers(0, 4),
+        min_right=st.integers(0, 4),
+    )
+    def test_page_union_bit_identical(
+        self, seed, limits, block_records, min_left, min_right
+    ):
+        rng = random.Random(seed)
+        recs = _random_records(rng, rng.randint(0, 120))
+        store = _store_from(recs, block_records).filtered(
+            min_left=min_left, min_right=min_right
+        )
+        expect = [
+            Biclique(l, r) for l, r in recs
+            if len(l) >= min_left and len(r) >= min_right
+        ]
+        got, cursor, i = [], None, 0
+        while True:
+            limit = limits[i % len(limits)]
+            i += 1
+            # resume from a pickled copy every few pages: a cursor must
+            # survive process boundaries
+            if i % 3 == 0:
+                store = pickle.loads(pickle.dumps(store))
+            items, cursor = store.page(cursor, limit)
+            got.extend(items)
+            if cursor is None:
+                break
+        assert got == expect
+        assert len(store) == len(expect)
+
+    @settings(max_examples=5, deadline=None)
+    @given(
+        halt=st.integers(1, 30),
+        limits=st.lists(st.integers(1, 40), min_size=1, max_size=8),
+    )
+    def test_pages_after_checkpoint_resume_match_uninterrupted(
+        self, tmp_path_factory, halt, limits
+    ):
+        graph = random_bipartite(20, 18, 0.3, seed=5)
+        cfg = GMBEConfig(bound_height=2, bound_size=4)
+        base = BicliqueCollector()
+        gmbe_gpu(graph, base, config=cfg)
+        expect = sorted(base.bicliques)
+
+        ckpt = str(tmp_path_factory.mktemp("store-resume") / "s.ckpt")
+        first = BicliqueCollector()
+        gmbe_gpu(graph, first, config=cfg, checkpoint_path=ckpt,
+                 checkpoint_every=1, halt_after_tasks=halt)
+        resumed = BicliqueCollector()
+        gmbe_gpu(graph, resumed, config=cfg, checkpoint_path=ckpt,
+                 resume=True)
+        store = StoredResultSet.from_bicliques(sorted(resumed.bicliques))
+        assert list(store) == expect
+
+        got, cursor, i = [], None, 0
+        while True:
+            items, cursor = store.page(cursor, limits[i % len(limits)])
+            i += 1
+            got.extend(items)
+            if cursor is None:
+                break
+        assert got == expect
